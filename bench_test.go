@@ -1,0 +1,371 @@
+// Benchmarks regenerating each figure and table of the paper's evaluation
+// section at a reduced scale, plus the ablation benches DESIGN.md calls out.
+// Every benchmark prints the measured rows via b.Log at -v, so
+// `go test -bench . -benchmem` both times the experiments and exposes their
+// outputs. EXPERIMENTS.md records a full paper-vs-measured comparison.
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/harness"
+	"repro/internal/index"
+	"repro/internal/lid"
+	"repro/internal/lsh"
+	"repro/internal/vecmath"
+)
+
+// benchWorkloads mirrors cmd/experiments' figure-order datasets at bench
+// scale (Sequoia, ALOI, FCT, MNIST).
+func benchWorkloads() []harness.Workload {
+	return []harness.Workload{
+		{Data: dataset.Sequoia(2000, 1), Backend: "covertree", Queries: 15, Seed: 42},
+		{Data: dataset.ALOI(800, 1), Backend: "covertree", Queries: 15, Seed: 42},
+		{Data: dataset.FCT(1500, 1), Backend: "covertree", Queries: 15, Seed: 42},
+		{Data: dataset.MNIST(700, 1), Backend: "scan", Queries: 15, Seed: 42},
+	}
+}
+
+// benchTradeoff runs one Figures 3–6 workload per iteration.
+func benchTradeoff(b *testing.B, w harness.Workload) {
+	b.Helper()
+	cfg := harness.TradeoffConfig{
+		Workload:     w,
+		Ks:           []int{10},
+		TValues:      []float64{2, 6, 10},
+		Alphas:       []float64{2, 8},
+		ExactMethods: true,
+		AutoT:        true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Tradeoff(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			if err := harness.WriteTradeoff(&buf, res); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkFig3_Sequoia(b *testing.B) { benchTradeoff(b, benchWorkloads()[0]) }
+func BenchmarkFig4_ALOI(b *testing.B)    { benchTradeoff(b, benchWorkloads()[1]) }
+func BenchmarkFig5_FCT(b *testing.B)     { benchTradeoff(b, benchWorkloads()[2]) }
+func BenchmarkFig6_MNIST(b *testing.B)   { benchTradeoff(b, benchWorkloads()[3]) }
+
+// BenchmarkTable1_Estimators regenerates the intrinsic-dimensionality table.
+func BenchmarkTable1_Estimators(b *testing.B) {
+	ws := benchWorkloads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := harness.IDTable(ws, lid.DefaultMLEOptions(), lid.DefaultPairwiseOptions())
+		if i == 0 {
+			var buf bytes.Buffer
+			if err := harness.WriteIDTable(&buf, rows); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// BenchmarkFig7_Mechanisms regenerates the lazy accept/reject/verify
+// proportions on the Sequoia surrogate.
+func BenchmarkFig7_Mechanisms(b *testing.B) {
+	w := benchWorkloads()[0]
+	ts := []float64{2, 4, 6, 8, 10, 12, 14}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Mechanisms(w, 10, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			if err := harness.WriteMechanisms(&buf, rows); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// BenchmarkFig8_Imagenet regenerates the scalability study on subsets of the
+// Imagenet surrogate.
+func BenchmarkFig8_Imagenet(b *testing.B) {
+	full := harness.Workload{
+		Data:    dataset.Imagenet(2400, 64, 1),
+		Backend: "scan",
+		Queries: 10,
+		Seed:    42,
+	}
+	cfg := harness.ScalabilityConfig{
+		Full:        full,
+		Sizes:       []int{800, 1600, 2400},
+		Ks:          []int{10},
+		TValues:     []float64{4, 10},
+		ExactCutoff: 1600,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs, err := harness.Scalability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			if err := harness.WriteScalability(&buf, runs); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// BenchmarkFig9_Amortization regenerates the queries-per-precomputation-
+// budget comparison.
+func BenchmarkFig9_Amortization(b *testing.B) {
+	w := harness.Workload{
+		Data:    dataset.Imagenet(1500, 64, 1),
+		Backend: "scan",
+		Queries: 10,
+		Seed:    42,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Amortization(w, 10, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			if err := harness.WriteAmortization(&buf, rows); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// BenchmarkAblationBackends compares the forward-index back-ends as RDT+'s
+// expanding-search substrate on one medium workload (DESIGN.md ablation).
+func BenchmarkAblationBackends(b *testing.B) {
+	data := dataset.FCT(2000, 1)
+	queries := []int{5, 17, 99, 256, 788, 1301, 1777}
+	for _, backend := range []string{"scan", "covertree", "kdtree", "vptree"} {
+		backend := backend
+		b.Run(backend, func(b *testing.B) {
+			ix, err := harness.BuildBackend(backend, data.Points, vecmath.Euclidean{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			qr, err := core.NewQuerier(ix, core.Params{K: 10, T: 6, Plus: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := qr.ByID(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWitnessCost compares RDT's full witness maintenance with
+// RDT+'s candidate-set reduction as the filter set grows (paper Section 4.3:
+// the quadratic witness cost is the motivation for RDT+).
+func BenchmarkAblationWitnessCost(b *testing.B) {
+	data := dataset.MNIST(900, 1)
+	ix, err := harness.BuildBackend("scan", data.Points, vecmath.Euclidean{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := []int{3, 77, 410, 555, 808}
+	for _, plus := range []bool{false, true} {
+		name := "RDT"
+		if plus {
+			name = "RDT+"
+		}
+		qr, err := core.NewQuerier(ix, core.Params{K: 10, T: 12, Plus: plus})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var comps int64
+			for i := 0; i < b.N; i++ {
+				res, err := qr.ByID(queries[i%len(queries)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				comps += res.Stats.DistanceComps
+			}
+			b.ReportMetric(float64(comps)/float64(b.N), "distcomps/op")
+		})
+	}
+}
+
+// BenchmarkAblationAutoT compares the three estimators as automatic t
+// choosers: estimation cost plus resulting query cost (paper Section 8.1
+// argues the correlation-dimension estimators are preferable).
+func BenchmarkAblationAutoT(b *testing.B) {
+	data := dataset.FCT(1500, 1)
+	ix, err := harness.BuildBackend("covertree", data.Points, vecmath.Euclidean{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	estimate := map[string]func() (float64, error){
+		"MLE": func() (float64, error) { return lid.MLE(ix, lid.DefaultMLEOptions()) },
+		"GP": func() (float64, error) {
+			return lid.GrassbergerProcaccia(data.Points, vecmath.Euclidean{}, lid.DefaultPairwiseOptions())
+		},
+		"Takens": func() (float64, error) {
+			return lid.Takens(data.Points, vecmath.Euclidean{}, lid.DefaultPairwiseOptions())
+		},
+	}
+	for _, name := range []string{"MLE", "GP", "Takens"} {
+		fn := estimate[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t, err := fn()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if t < 1 {
+					t = 1
+				}
+				qr, err := core.NewQuerier(ix, core.Params{K: 10, T: t, Plus: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := qr.ByID(i % data.Len()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationApproxRankings compares RDT+ over exact and LSH-based
+// approximate rankings (the paper's claim iii), reporting achieved recall.
+func BenchmarkAblationApproxRankings(b *testing.B) {
+	data := dataset.Imagenet(1200, 64, 1)
+	metric := vecmath.Euclidean{}
+	exact, err := harness.BuildBackend("covertree", data.Points, metric)
+	if err != nil {
+		b.Fatal(err)
+	}
+	approx, err := lsh.New(data.Points, metric, lsh.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth, err := harness.NewTruth(data.Points, metric, exact, 10, []int{1, 45, 333, 777, 1101})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := truth.Queries
+	run := func(b *testing.B, ix index.Index) {
+		qr, err := core.NewQuerier(ix, core.Params{K: 10, T: 8, Plus: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := map[int][]int{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qid := queries[i%len(queries)]
+			res, err := qr.ByID(qid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got[qid] = res.IDs
+		}
+		b.StopTimer()
+		if len(got) == len(queries) {
+			b.ReportMetric(truth.MeanRecall(got), "recall")
+		}
+	}
+	b.Run("covertree", func(b *testing.B) { run(b, exact) })
+	b.Run("lsh", func(b *testing.B) { run(b, approx) })
+}
+
+// BenchmarkAblationAdaptiveT compares the fixed-scale RDT+ against the
+// adaptive-scale variant (the paper's future-work extension), reporting the
+// scan depth saved.
+func BenchmarkAblationAdaptiveT(b *testing.B) {
+	data := dataset.Sequoia(3000, 1)
+	ix, err := harness.BuildBackend("covertree", data.Points, vecmath.Euclidean{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fixed, err := core.NewQuerier(ix, core.Params{K: 10, T: 14, Plus: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	adaptive, err := core.NewAdaptiveQuerier(ix, core.AdaptiveParams{K: 10, MaxT: 14, Multiplier: 2, Plus: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name string
+		qr   *core.Querier
+	}{{"fixed-t14", fixed}, {"adaptive", adaptive}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var depth int64
+			for i := 0; i < b.N; i++ {
+				res, err := v.qr.ByID(i % data.Len())
+				if err != nil {
+					b.Fatal(err)
+				}
+				depth += int64(res.Stats.ScanDepth)
+			}
+			b.ReportMetric(float64(depth)/float64(b.N), "scandepth/op")
+		})
+	}
+}
+
+// BenchmarkAblationMaxGED measures the exactness-threshold oracle used by
+// the Theorem 1 tests (quadratic, reference-only).
+func BenchmarkAblationMaxGED(b *testing.B) {
+	data := dataset.Sequoia(400, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lid.MaxGED(data.Points, vecmath.Euclidean{}, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreQuery isolates a single RDT+ query on each surrogate at the
+// paper's default rank, the microbenchmark backing the per-query times in
+// the figures.
+func BenchmarkCoreQuery(b *testing.B) {
+	for _, w := range benchWorkloads() {
+		w := w
+		b.Run(w.Data.Name, func(b *testing.B) {
+			ix, err := harness.BuildBackend(w.Backend, w.Data.Points, vecmath.Euclidean{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			qr, err := core.NewQuerier(ix, core.Params{K: 10, T: 8, Plus: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := qr.ByID(i % w.Data.Len()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

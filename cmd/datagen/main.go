@@ -1,0 +1,92 @@
+// Command datagen emits a surrogate dataset as CSV (default) or the compact
+// gob binary format, for use with the other tools' -csv flag or external
+// analysis.
+//
+// Examples:
+//
+//	datagen -data sequoia -n 10000 > sequoia.csv
+//	datagen -data imagenet -n 5000 -dim 256 -format gob -o imagenet.gob
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		dataName = flag.String("data", "sequoia", "sequoia, aloi, fct, mnist, imagenet, uniform, gaussmix, manifold")
+		n        = flag.Int("n", 5000, "dataset size")
+		dim      = flag.Int("dim", 128, "dimension (imagenet, uniform, gaussmix, manifold)")
+		latent   = flag.Int("latent", 4, "latent dimension (manifold)")
+		clusters = flag.Int("clusters", 10, "cluster count (gaussmix)")
+		sigma    = flag.Float64("sigma", 0.05, "cluster spread (gaussmix)")
+		noise    = flag.Float64("noise", 0.01, "observation noise (manifold)")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		format   = flag.String("format", "csv", "csv or gob")
+		outPath  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	switch *dataName {
+	case "sequoia":
+		ds = dataset.Sequoia(*n, *seed)
+	case "aloi":
+		ds = dataset.ALOI(*n, *seed)
+	case "fct":
+		ds = dataset.FCT(*n, *seed)
+	case "mnist":
+		ds = dataset.MNIST(*n, *seed)
+	case "imagenet":
+		ds = dataset.Imagenet(*n, *dim, *seed)
+	case "uniform":
+		ds = dataset.Uniform("uniform", *n, *dim, *seed)
+	case "gaussmix":
+		ds = dataset.GaussianMixture("gaussmix", *n, *dim, *clusters, *sigma, *seed)
+	case "manifold":
+		ds = dataset.Manifold("manifold", *n, *latent, *dim, *noise, *seed)
+	default:
+		fail(fmt.Errorf("unknown dataset %q", *dataName))
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		out = f
+	}
+	bw := bufio.NewWriter(out)
+	defer bw.Flush()
+
+	var err error
+	switch *format {
+	case "csv":
+		err = ds.WriteCSV(bw)
+	case "gob":
+		err = ds.WriteGob(bw)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d points, %d dimensions\n", ds.Name, ds.Len(), ds.Dim())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

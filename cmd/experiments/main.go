@@ -1,0 +1,312 @@
+// Command experiments regenerates the figures and tables of the paper's
+// evaluation section over the synthetic surrogate datasets.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -fig 3          # Sequoia tradeoff curves (Figure 3)
+//	experiments -fig 8 -profile medium
+//	experiments -table 1        # intrinsic-dimensionality estimates
+//	experiments -all
+//
+// The -profile flag scales dataset sizes and query counts: "smoke" finishes
+// in seconds, "small" (default) in minutes, "medium" is the closest to the
+// paper's scales that remains laptop-friendly. Absolute timings will differ
+// from the paper (different hardware and substrate); the curve shapes are
+// the reproduction target — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/harness"
+	"repro/internal/lid"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+var (
+	plotFlag bool
+	csvFlag  string
+)
+
+// scaled returns a copy of the profile with every dataset size multiplied
+// by f (minimum 100 points so tiny factors stay runnable).
+func (p profile) scaled(f float64) profile {
+	scale := func(n int) int {
+		v := int(float64(n) * f)
+		if v < 100 {
+			v = 100
+		}
+		return v
+	}
+	p.sequoiaN = scale(p.sequoiaN)
+	p.aloiN = scale(p.aloiN)
+	p.fctN = scale(p.fctN)
+	p.mnistN = scale(p.mnistN)
+	p.imagenetN = scale(p.imagenetN)
+	sizes := make([]int, len(p.sizes))
+	for i, s := range p.sizes {
+		sizes[i] = scale(s)
+	}
+	p.sizes = sizes
+	p.cutoff = scale(p.cutoff)
+	return p
+}
+
+// emitCSV writes one experiment's raw data next to the chosen prefix.
+func emitCSV(name string, write func(io.Writer) error) error {
+	if csvFlag == "" {
+		return nil
+	}
+	f, err := os.Create(csvFlag + "-" + name + ".csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", f.Name())
+	return nil
+}
+
+type profile struct {
+	name       string
+	sequoiaN   int
+	aloiN      int
+	fctN       int
+	mnistN     int
+	imagenetN  int
+	imagenetD  int
+	sizes      []int
+	cutoff     int
+	queries    int
+	ks         []int
+	scaleKs    []int
+	tValues    []float64
+	scaleT     []float64 // reduced t sweep for the scalability figures
+	alphas     []float64
+	mechanismT []float64
+}
+
+var profiles = map[string]profile{
+	"smoke": {
+		sequoiaN: 800, aloiN: 400, fctN: 600, mnistN: 400,
+		imagenetN: 900, imagenetD: 64, sizes: []int{300, 600}, cutoff: 400,
+		queries: 10, ks: []int{10}, scaleKs: []int{10},
+		tValues:    []float64{2, 6, 10},
+		scaleT:     []float64{2, 6, 10},
+		alphas:     []float64{2, 8},
+		mechanismT: []float64{2, 6, 10},
+	},
+	"small": {
+		sequoiaN: 6000, aloiN: 2000, fctN: 4000, mnistN: 1500,
+		imagenetN: 4000, imagenetD: 128, sizes: []int{1000, 2000, 4000}, cutoff: 2000,
+		queries: 50, ks: []int{10, 50}, scaleKs: []int{10},
+		tValues:    []float64{1, 2, 4, 6, 8, 10, 12, 14},
+		scaleT:     []float64{2, 4, 6, 8, 10},
+		alphas:     []float64{1, 2, 4, 8, 16, 32},
+		mechanismT: []float64{2, 4, 6, 8, 10, 12, 14},
+	},
+	"medium": {
+		sequoiaN: 20000, aloiN: 8000, fctN: 12000, mnistN: 5000,
+		imagenetN: 25000, imagenetD: 256, sizes: []int{5000, 12000, 25000}, cutoff: 12000,
+		queries: 100, ks: []int{10, 50, 100}, scaleKs: []int{10, 50},
+		tValues:    []float64{1, 2, 4, 6, 8, 10, 12, 14},
+		scaleT:     []float64{2, 4, 6, 8, 10},
+		alphas:     []float64{1, 2, 4, 8, 16, 32, 64},
+		mechanismT: []float64{2, 4, 6, 8, 10, 12, 14},
+	},
+}
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce (3-9)")
+	table := flag.Int("table", 0, "table to reproduce (1)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list the available experiments")
+	profileName := flag.String("profile", "small", "dataset scale: smoke, small or medium")
+	seed := flag.Int64("seed", 1, "seed for dataset generation and query sampling")
+	queries := flag.Int("queries", 0, "override the profile's query count")
+	sizeScale := flag.Float64("sizescale", 1, "multiply the profile's dataset sizes (0.5 halves every n)")
+	flag.BoolVar(&plotFlag, "plot", false, "additionally render tradeoff figures as ASCII scatter plots")
+	flag.StringVar(&csvFlag, "csv", "", "additionally write raw results as CSV to this file prefix")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("fig 3   Sequoia tradeoff curves + precomputation times")
+		fmt.Println("fig 4   ALOI tradeoff curves + precomputation times")
+		fmt.Println("fig 5   FCT tradeoff curves + precomputation times")
+		fmt.Println("fig 6   MNIST tradeoff curves + precomputation times")
+		fmt.Println("fig 7   lazy accept/reject/verify proportions vs t")
+		fmt.Println("fig 8   Imagenet-subset scalability")
+		fmt.Println("fig 9   queries answerable during RdNN precomputation")
+		fmt.Println("table 1 intrinsic-dimensionality estimates + runtimes")
+		return
+	}
+
+	p, ok := profiles[*profileName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q (want smoke, small or medium)\n", *profileName)
+		os.Exit(2)
+	}
+	p.name = *profileName
+	if *queries > 0 {
+		p.queries = *queries
+	}
+	if *sizeScale != 1 {
+		if !(*sizeScale > 0) {
+			fmt.Fprintln(os.Stderr, "sizescale must be positive")
+			os.Exit(2)
+		}
+		p = p.scaled(*sizeScale)
+	}
+
+	run := func(fig int) error { return runFigure(p, fig, *seed) }
+
+	switch {
+	case *all:
+		for _, f := range []int{3, 4, 5, 6, 7, 8, 9} {
+			if err := run(f); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+		}
+		if err := runTable1(p, *seed); err != nil {
+			fail(err)
+		}
+	case *fig >= 3 && *fig <= 9:
+		if err := run(*fig); err != nil {
+			fail(err)
+		}
+	case *table == 1:
+		if err := runTable1(p, *seed); err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -fig N, -table 1, -all or -list")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+// workloads returns the four medium-scale dataset workloads in figure order
+// (Sequoia, ALOI, FCT, MNIST) with the back-ends the paper assigns them.
+func workloads(p profile, seed int64) []harness.Workload {
+	return []harness.Workload{
+		{Data: dataset.Sequoia(p.sequoiaN, seed), Backend: "covertree", Queries: p.queries, Seed: seed},
+		{Data: dataset.ALOI(p.aloiN, seed), Backend: "covertree", Queries: p.queries, Seed: seed},
+		{Data: dataset.FCT(p.fctN, seed), Backend: "covertree", Queries: p.queries, Seed: seed},
+		{Data: dataset.MNIST(p.mnistN, seed), Backend: "scan", Queries: p.queries, Seed: seed},
+	}
+}
+
+func runFigure(p profile, fig int, seed int64) error {
+	switch fig {
+	case 3, 4, 5, 6:
+		w := workloads(p, seed)[fig-3]
+		fmt.Printf("=== Figure %d (profile %s) ===\n", fig, p.name)
+		res, err := harness.Tradeoff(harness.TradeoffConfig{
+			Workload:     w,
+			Ks:           p.ks,
+			TValues:      p.tValues,
+			Alphas:       p.alphas,
+			ExactMethods: true,
+			AutoT:        true,
+		})
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteTradeoff(os.Stdout, res); err != nil {
+			return err
+		}
+		if plotFlag {
+			if err := harness.WriteTradeoffPlot(os.Stdout, res); err != nil {
+				return err
+			}
+		}
+		return emitCSV(fmt.Sprintf("fig%d", fig), func(w io.Writer) error {
+			return harness.TradeoffCSV(w, res)
+		})
+	case 7:
+		fmt.Printf("=== Figure 7 (profile %s) ===\n", p.name)
+		for _, w := range workloads(p, seed) {
+			rows, err := harness.Mechanisms(w, 10, p.mechanismT)
+			if err != nil {
+				return err
+			}
+			if err := harness.WriteMechanisms(os.Stdout, rows); err != nil {
+				return err
+			}
+			if err := emitCSV("fig7-"+w.Data.Name, func(out io.Writer) error {
+				return harness.MechanismsCSV(out, rows)
+			}); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case 8:
+		fmt.Printf("=== Figure 8 (profile %s) ===\n", p.name)
+		full := harness.Workload{
+			Data:    dataset.Imagenet(p.imagenetN, p.imagenetD, seed),
+			Backend: "scan",
+			Queries: p.queries,
+			Seed:    seed,
+		}
+		runs, err := harness.Scalability(harness.ScalabilityConfig{
+			Full:        full,
+			Sizes:       p.sizes,
+			Ks:          p.scaleKs,
+			TValues:     p.scaleT,
+			ExactCutoff: p.cutoff,
+		})
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteScalability(os.Stdout, runs); err != nil {
+			return err
+		}
+		return emitCSV("fig8", func(w io.Writer) error {
+			return harness.ScalabilityCSV(w, runs)
+		})
+	case 9:
+		fmt.Printf("=== Figure 9 (profile %s) ===\n", p.name)
+		full := dataset.Imagenet(p.imagenetN, p.imagenetD, seed)
+		for _, size := range p.sizes {
+			if size > p.cutoff {
+				continue // the budget method itself must be feasible
+			}
+			sub := full.Subsample(fmt.Sprintf("%s-%d", full.Name, size), size, newRand(seed))
+			w := harness.Workload{Data: sub, Backend: "scan", Queries: p.queries, Seed: seed}
+			// t=10 is the setting the paper reports as reaching
+			// roughly 0.90 recall on the full Imagenet set.
+			rows, err := harness.Amortization(w, 10, 10)
+			if err != nil {
+				return err
+			}
+			if err := harness.WriteAmortization(os.Stdout, rows); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %d", fig)
+	}
+}
+
+func runTable1(p profile, seed int64) error {
+	fmt.Printf("=== Table 1 (profile %s) ===\n", p.name)
+	rows := harness.IDTable(workloads(p, seed), lid.DefaultMLEOptions(), lid.DefaultPairwiseOptions())
+	return harness.WriteIDTable(os.Stdout, rows)
+}

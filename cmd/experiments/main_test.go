@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestProfilesWellFormed(t *testing.T) {
+	for name, p := range profiles {
+		if p.sequoiaN <= 0 || p.aloiN <= 0 || p.fctN <= 0 || p.mnistN <= 0 || p.imagenetN <= 0 {
+			t.Errorf("profile %s: non-positive dataset size", name)
+		}
+		if p.queries <= 0 {
+			t.Errorf("profile %s: non-positive query count", name)
+		}
+		if len(p.ks) == 0 || len(p.scaleKs) == 0 {
+			t.Errorf("profile %s: empty rank lists", name)
+		}
+		if len(p.tValues) == 0 || len(p.scaleT) == 0 || len(p.alphas) == 0 || len(p.mechanismT) == 0 {
+			t.Errorf("profile %s: empty parameter sweeps", name)
+		}
+		if len(p.sizes) == 0 || p.cutoff <= 0 {
+			t.Errorf("profile %s: scalability sizes misconfigured", name)
+		}
+		for _, size := range p.sizes {
+			if size > p.imagenetN {
+				t.Errorf("profile %s: subset size %d exceeds imagenet size %d", name, size, p.imagenetN)
+			}
+		}
+		for _, a := range p.alphas {
+			if a < 1 {
+				t.Errorf("profile %s: alpha %g below 1", name, a)
+			}
+		}
+	}
+}
+
+func TestWorkloadsShape(t *testing.T) {
+	p := profiles["smoke"]
+	ws := workloads(p, 1)
+	if len(ws) != 4 {
+		t.Fatalf("got %d workloads, want 4 (Sequoia, ALOI, FCT, MNIST)", len(ws))
+	}
+	wantNames := []string{"sequoia", "aloi", "fct", "mnist"}
+	wantBackends := []string{"covertree", "covertree", "covertree", "scan"}
+	for i, w := range ws {
+		if w.Data.Name != wantNames[i] {
+			t.Errorf("workload %d: name %q, want %q", i, w.Data.Name, wantNames[i])
+		}
+		if w.Backend != wantBackends[i] {
+			t.Errorf("workload %d: backend %q, want %q (the paper's assignment)", i, w.Backend, wantBackends[i])
+		}
+		if w.Queries != p.queries {
+			t.Errorf("workload %d: queries %d", i, w.Queries)
+		}
+	}
+}
+
+func TestRunFigureRejectsUnknown(t *testing.T) {
+	if err := runFigure(profiles["smoke"], 42, 1); err == nil {
+		t.Error("accepted unknown figure number")
+	}
+}

@@ -1,0 +1,114 @@
+// Command idest estimates the intrinsic dimensionality of a dataset with
+// the three estimators of the paper's Section 6 (MLE/Hill, Grassberger-
+// Procaccia, Takens) and reports the resulting recommendation for RDT's
+// scale parameter t.
+//
+// Examples:
+//
+//	idest -data mnist -n 2000
+//	idest -csv points.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/harness"
+	"repro/internal/lid"
+	"repro/internal/vecmath"
+)
+
+func main() {
+	var (
+		dataName = flag.String("data", "sequoia", "surrogate dataset: sequoia, aloi, fct, mnist, imagenet, uniform")
+		csvPath  = flag.String("csv", "", "load points from a CSV file instead of generating")
+		n        = flag.Int("n", 5000, "generated dataset size")
+		dim      = flag.Int("dim", 128, "dimension for imagenet/uniform surrogates")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		sample   = flag.Float64("sample", 0.10, "MLE sample fraction")
+		nbrs     = flag.Int("neighbors", 100, "MLE neighborhood size")
+		pairs    = flag.Int("pairs", 1000, "max points for pairwise estimators")
+	)
+	flag.Parse()
+
+	pts, name, err := loadPoints(*csvPath, *dataName, *n, *dim, *seed)
+	if err != nil {
+		fail(err)
+	}
+	metric := vecmath.Euclidean{}
+	forward, err := harness.BuildBackend("covertree", pts, metric)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("dataset %s: n=%d, representational dimension D=%d\n", name, len(pts), len(pts[0]))
+
+	start := time.Now()
+	mle, err := lid.MLE(forward, lid.MLEOptions{SampleFraction: *sample, Neighbors: *nbrs, Seed: *seed})
+	report("MLE (Hill)", mle, time.Since(start), err)
+
+	pw := lid.DefaultPairwiseOptions()
+	pw.MaxSample = *pairs
+	pw.Seed = *seed
+
+	start = time.Now()
+	gp, err := lid.GrassbergerProcaccia(pts, metric, pw)
+	report("Grassberger-Procaccia", gp, time.Since(start), err)
+
+	start = time.Now()
+	tk, err := lid.Takens(pts, metric, pw)
+	report("Takens", tk, time.Since(start), err)
+}
+
+func report(name string, value float64, elapsed time.Duration, err error) {
+	if err != nil {
+		fmt.Printf("%-24s error: %v\n", name, err)
+		return
+	}
+	t := value
+	if t < 1 {
+		t = 1
+	}
+	fmt.Printf("%-24s ID ≈ %6.2f   (%-10s suggested t = %.2f)\n", name, value, elapsed.Round(time.Millisecond).String()+",", t)
+}
+
+func loadPoints(csvPath, dataName string, n, dim int, seed int64) ([][]float64, string, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		ds, err := dataset.ReadCSV(csvPath, f)
+		if err != nil {
+			return nil, "", err
+		}
+		return ds.Points, ds.Name, nil
+	}
+	var ds *dataset.Dataset
+	switch dataName {
+	case "sequoia":
+		ds = dataset.Sequoia(n, seed)
+	case "aloi":
+		ds = dataset.ALOI(n, seed)
+	case "fct":
+		ds = dataset.FCT(n, seed)
+	case "mnist":
+		ds = dataset.MNIST(n, seed)
+	case "imagenet":
+		ds = dataset.Imagenet(n, dim, seed)
+	case "uniform":
+		ds = dataset.Uniform("uniform", n, dim, seed)
+	default:
+		return nil, "", fmt.Errorf("unknown dataset %q", dataName)
+	}
+	return ds.Points, ds.Name, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "idest:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,223 @@
+// Command rknn answers reverse k-nearest-neighbor queries from the command
+// line with any of the implemented methods, over a generated surrogate
+// dataset or a CSV file.
+//
+// Examples:
+//
+//	rknn -data sequoia -n 5000 -k 10 -query 42
+//	rknn -data mnist -n 2000 -k 10 -method rdt -t 8 -query 7
+//	rknn -csv points.csv -k 5 -method sft -alpha 8 -query 0
+//	rknn -data fct -n 3000 -k 10 -method rdt+ -auto mle -query 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/harness"
+	"repro/internal/index"
+	"repro/internal/lid"
+	"repro/internal/mrknncop"
+	"repro/internal/rdnntree"
+	"repro/internal/rtree"
+	"repro/internal/sft"
+	"repro/internal/tpl"
+	"repro/internal/vecmath"
+)
+
+func main() {
+	var (
+		dataName = flag.String("data", "sequoia", "surrogate dataset: sequoia, aloi, fct, mnist, imagenet, uniform")
+		csvPath  = flag.String("csv", "", "load points from a CSV file instead of generating")
+		n        = flag.Int("n", 5000, "generated dataset size")
+		dim      = flag.Int("dim", 128, "dimension for imagenet/uniform surrogates")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		backend  = flag.String("backend", "covertree", "forward index: scan, covertree, kdtree, vptree")
+		method   = flag.String("method", "rdt+", "rdt, rdt+, sft, mrknncop, rdnn, tpl")
+		k        = flag.Int("k", 10, "reverse neighbor rank")
+		tParam   = flag.Float64("t", 8, "scale parameter for rdt/rdt+")
+		auto     = flag.String("auto", "", "choose t automatically: mle, gp or takens")
+		alpha    = flag.Float64("alpha", 8, "oversampling factor for sft")
+		queryID  = flag.Int("query", 0, "dataset member to query")
+		verbose  = flag.Bool("v", false, "print per-query statistics")
+	)
+	flag.Parse()
+
+	pts, name, err := loadPoints(*csvPath, *dataName, *n, *dim, *seed)
+	if err != nil {
+		fail(err)
+	}
+	metric := vecmath.Euclidean{}
+	forward, err := harness.BuildBackend(*backend, pts, metric)
+	if err != nil {
+		fail(err)
+	}
+
+	if *auto != "" {
+		t, err := estimateT(*auto, forward, pts, metric)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("auto t (%s) = %.2f\n", *auto, t)
+		*tParam = t
+	}
+
+	start := time.Now()
+	ids, stats, err := runQuery(strings.ToLower(*method), forward, pts, metric, *queryID, *k, *tParam, *alpha)
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("dataset %s (n=%d, dim=%d), %s back-end\n", name, len(pts), len(pts[0]), *backend)
+	fmt.Printf("R%dNN(%d) via %s: %d results in %s\n", *k, *queryID, *method, len(ids), elapsed.Round(time.Microsecond))
+	fmt.Println(ids)
+	if *verbose && stats != "" {
+		fmt.Println(stats)
+	}
+}
+
+func loadPoints(csvPath, dataName string, n, dim int, seed int64) ([][]float64, string, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		ds, err := dataset.ReadCSV(csvPath, f)
+		if err != nil {
+			return nil, "", err
+		}
+		return ds.Points, ds.Name, nil
+	}
+	var ds *dataset.Dataset
+	switch dataName {
+	case "sequoia":
+		ds = dataset.Sequoia(n, seed)
+	case "aloi":
+		ds = dataset.ALOI(n, seed)
+	case "fct":
+		ds = dataset.FCT(n, seed)
+	case "mnist":
+		ds = dataset.MNIST(n, seed)
+	case "imagenet":
+		ds = dataset.Imagenet(n, dim, seed)
+	case "uniform":
+		ds = dataset.Uniform("uniform", n, dim, seed)
+	default:
+		return nil, "", fmt.Errorf("unknown dataset %q", dataName)
+	}
+	return ds.Points, ds.Name, nil
+}
+
+// estimateT maps an estimator name to a value for the scale parameter t
+// (paper Section 6), clamped below at 1.
+func estimateT(estimator string, forward index.Index, pts [][]float64, metric vecmath.Metric) (float64, error) {
+	var (
+		t   float64
+		err error
+	)
+	switch strings.ToLower(estimator) {
+	case "mle":
+		t, err = lid.MLE(forward, lid.DefaultMLEOptions())
+	case "gp":
+		t, err = lid.GrassbergerProcaccia(pts, metric, lid.DefaultPairwiseOptions())
+	case "takens":
+		t, err = lid.Takens(pts, metric, lid.DefaultPairwiseOptions())
+	default:
+		return 0, fmt.Errorf("unknown estimator %q (want mle, gp or takens)", estimator)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t, nil
+}
+
+// runQuery dispatches to the requested method and returns the result IDs
+// plus an optional statistics line.
+func runQuery(method string, forward index.Index, pts [][]float64, metric vecmath.Metric, qid, k int, t, alpha float64) ([]int, string, error) {
+	switch method {
+	case "rdt", "rdt+":
+		qr, err := core.NewQuerier(forward, core.Params{K: k, T: t, Plus: method == "rdt+"})
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := qr.ByID(qid)
+		if err != nil {
+			return nil, "", err
+		}
+		st := res.Stats
+		return res.IDs, fmt.Sprintf(
+			"scan depth %d, filter %d, lazy accepts %d, lazy rejects %d, verified %d, ω=%.4g",
+			st.ScanDepth, st.FilterSize, st.LazyAccepts, st.LazyRejects, st.Verified, st.Omega), nil
+	case "sft":
+		qr, err := sft.NewQuerier(forward, sft.Params{K: k, Alpha: alpha})
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := qr.ByID(qid)
+		if err != nil {
+			return nil, "", err
+		}
+		st := res.Stats
+		return res.IDs, fmt.Sprintf("candidates %d, filter rejects %d, verified %d",
+			st.Candidates, st.FilterRejects, st.Verified), nil
+	case "mrknncop":
+		kmax := k
+		if kmax < 2 {
+			kmax = 2
+		}
+		ix, err := mrknncop.New(pts, metric, kmax, forward)
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := ix.Query(qid, k)
+		if err != nil {
+			return nil, "", err
+		}
+		st := res.Stats
+		return res.IDs, fmt.Sprintf("definite %d, pruned %d, verified %d (precompute %s)",
+			st.Definite, st.Pruned, st.Verified, ix.PrecomputeTime.Round(time.Millisecond)), nil
+	case "rdnn":
+		tree, err := rdnntree.New(pts, metric, k, forward)
+		if err != nil {
+			return nil, "", err
+		}
+		ids, err := tree.Query(qid)
+		if err != nil {
+			return nil, "", err
+		}
+		return ids, fmt.Sprintf("precompute %s", tree.PrecomputeTime.Round(time.Millisecond)), nil
+	case "tpl":
+		rt, err := rtree.New(pts, metric, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		qr, err := tpl.New(rt, k)
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := qr.ByID(qid)
+		if err != nil {
+			return nil, "", err
+		}
+		st := res.Stats
+		return res.IDs, fmt.Sprintf("nodes pruned %d, points pruned %d, candidates %d",
+			st.NodesPruned, st.PointsPruned, st.Candidates), nil
+	default:
+		return nil, "", fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rknn:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+// grid builds a deterministic 5×5 lattice of 2-D points, a dataset small
+// enough to reason about by eye: interior lattice points have exactly four
+// neighbors at distance 1.
+func grid() [][]float64 {
+	var pts [][]float64
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			pts = append(pts, []float64{float64(x), float64(y)})
+		}
+	}
+	return pts
+}
+
+func ExampleNew() {
+	s, err := repro.New(grid(), repro.WithScale(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s.Len(), s.Dim(), s.Scale())
+	// Output: 25 2 8
+}
+
+func ExampleSearcher_ReverseKNN() {
+	s, err := repro.New(grid(), repro.WithScale(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Point 12 is the lattice center (2,2). Its reverse 1-nearest
+	// neighbors are the points whose single nearest neighbor (allowing
+	// ties) is the center: its four axis neighbors, each at distance 1
+	// from the center and no closer to anything else... along with any
+	// point that ties; on the lattice every point has its axis
+	// neighbors at distance 1, so ties make all four axis neighbors of
+	// the center reverse neighbors.
+	ids, err := s.ReverseKNN(12, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ids)
+	// Output: [7 11 13 17]
+}
+
+func ExampleSearcher_ReverseKNNPoint() {
+	s, err := repro.New(grid(), repro.WithScale(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A probe between four lattice points: each of them has the probe
+	// closer than its nearest lattice neighbor (0.71 < 1), so all four
+	// adopt it as their new nearest neighbor.
+	ids, err := s.ReverseKNNPoint([]float64{1.5, 1.5}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ids)
+	// Output: [6 7 11 12]
+}
+
+func ExampleSearcher_KNN() {
+	s, err := repro.New(grid(), repro.WithScale(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	nn, err := s.KNN([]float64{0.2, 0}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nb := range nn {
+		fmt.Printf("%d %.1f\n", nb.ID, nb.Dist)
+	}
+	// Output:
+	// 0 0.2
+	// 5 0.8
+}

@@ -1,0 +1,110 @@
+// Hubness analysis with reverse k-nearest neighbors: in high-dimensional
+// data, some points ("hubs") appear in disproportionately many k-NN lists
+// while many ("antihubs") appear in almost none — the phenomenon the paper
+// cites from Tomašev et al. as a data-mining application of RkNN queries.
+// The degree of hubness of a point is exactly the size of its reverse
+// k-neighborhood.
+//
+//	go run ./examples/hubness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+const (
+	n = 1000
+	k = 10
+)
+
+func main() {
+	// Compare a genuinely low-dimensional workload with a
+	// high-dimensional one of higher intrinsic dimensionality.
+	low := dataset.Sequoia(n, 3)
+	high := dataset.MNIST(n, 3)
+
+	var highDegrees []float64
+	for _, ds := range []*dataset.Dataset{low, high} {
+		s, err := repro.New(ds.Points, repro.WithScaleMargin(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		degrees := make([]float64, len(ds.Points))
+		for id := range ds.Points {
+			ids, err := s.ReverseKNN(id, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			degrees[id] = float64(len(ids))
+		}
+		if ds == high {
+			highDegrees = degrees
+		}
+
+		skew := skewness(degrees)
+		anti := 0
+		maxDeg := 0.0
+		maxID := 0
+		for id, d := range degrees {
+			if d == 0 {
+				anti++
+			}
+			if d > maxDeg {
+				maxDeg, maxID = d, id
+			}
+		}
+		fmt.Printf("dataset %-8s (D=%3d, t=%5.2f):  mean N_k=%.1f  skewness=%+.2f  antihubs=%d  top hub #%d with N_k=%.0f\n",
+			ds.Name, ds.Dim(), s.Scale(), stats.Mean(degrees), skew, anti, maxID, maxDeg)
+	}
+
+	fmt.Println("\nhigher skewness and more antihubs in the high-dimensional set is the hubness effect;")
+	fmt.Println("reverse-kNN queries compute a point's hubness directly as |RkNN(x)|.")
+
+	// The k-occurrence distribution of the high-dimensional set, from the
+	// degrees already computed above.
+	var hist [11]int
+	var tail int
+	for _, d := range highDegrees {
+		if int(d) >= len(hist) {
+			tail++
+			continue
+		}
+		hist[int(d)]++
+	}
+	fmt.Println("\nk-occurrence histogram (mnist surrogate):")
+	for d, cnt := range hist {
+		fmt.Printf("  N_k=%2d: %s (%d)\n", d, bar(cnt), cnt)
+	}
+	fmt.Printf("  N_k>%d: %s (%d)\n", len(hist)-1, bar(tail), tail)
+}
+
+func skewness(xs []float64) float64 {
+	m := stats.Mean(xs)
+	sd := stats.StdDev(xs)
+	if sd == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		z := (x - m) / sd
+		s += z * z * z
+	}
+	return s / float64(len(xs))
+}
+
+func bar(count int) string {
+	width := count / 8
+	if width > 60 {
+		width = 60
+	}
+	out := make([]byte, width)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,58 @@
+// Quickstart: index a point set and answer reverse k-nearest-neighbor
+// queries through the public facade.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	// A 2-D location workload (surrogate for the paper's Sequoia set).
+	ds := dataset.Sequoia(5000, 1)
+
+	// Index it. With no options this uses the Euclidean metric, a cover
+	// tree for the forward search, the RDT+ algorithm, and a scale
+	// parameter t estimated from the data's intrinsic dimensionality.
+	s, err := repro.New(ds.Points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d points in %d dimensions; estimated scale t = %.2f\n",
+		s.Len(), s.Dim(), s.Scale())
+
+	// Reverse 10-NN of member 42: which points consider #42 one of
+	// their ten nearest neighbors?
+	const qid, k = 42, 10
+	ids, stats, err := s.ReverseKNNStats(qid, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nR%dNN(%d) = %v\n", k, qid, ids)
+	fmt.Printf("the expanding search visited %d of %d points; "+
+		"%d lazily accepted, %d lazily rejected, %d verified\n",
+		stats.ScanDepth, s.Len(), stats.LazyAccepts, stats.LazyRejects, stats.Verified)
+
+	// Reverse neighbors of an arbitrary location (not a dataset member):
+	// the points that would adopt it as a near neighbor — the "influence
+	// set" of a potential new facility.
+	probe := []float64{0.5, 0.55}
+	influenced, err := s.ReverseKNNPoint(probe, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\na new site at %v would enter the %d-neighborhoods of %d existing points\n",
+		probe, k, len(influenced))
+
+	// Forward kNN is available too.
+	nn, err := s.KNN(probe, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("its three nearest existing sites: %v\n", nn)
+}

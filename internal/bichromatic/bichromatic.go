@@ -1,0 +1,166 @@
+// Package bichromatic implements bichromatic reverse k-nearest neighbor
+// queries: the data is partitioned into services and clients, and the
+// reverse neighbors of a service q are the clients that have q among their
+// k nearest *services* (paper Section 1, citing Korn & Muthukrishnan's
+// influence sets: "one object type represents services, and the other
+// represents clients").
+//
+// The structure precomputes, for every client, its distances to its KMax
+// nearest services (one forward kNN query per client against a service
+// index), and stores the clients in an R-tree whose interior entries
+// aggregate the subtree maximum of the k-th service distance per rank.
+// A query for service q at rank k then reduces to a pruned range-style
+// traversal: report the clients c with d(q, c) ≤ d_k^services(c), cutting
+// any subtree whose bounding box lies farther from q than its most generous
+// k-th service distance — the RdNN-Tree idea transplanted to the
+// bichromatic setting, made rank-flexible by storing all ranks up to KMax.
+package bichromatic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/rtree"
+	"repro/internal/vecmath"
+)
+
+// Index answers bichromatic RkNN queries for any rank up to KMax.
+type Index struct {
+	services index.Index
+	clients  [][]float64
+	metric   vecmath.Metric
+	kmax     int
+	// kdist[c][k-1] is client c's distance to its k-th nearest service.
+	kdist [][]float64
+	// trees[k-1] is the client R-tree augmented with rank-k distances.
+	// Built lazily per rank on first use to keep construction linear in
+	// the ranks actually queried.
+	trees []*rtree.Tree
+	// PrecomputeTime records the kNN table cost.
+	PrecomputeTime time.Duration
+}
+
+// New precomputes the client-to-service kNN distance table. services must
+// index the service points under the same metric used for clients; kmax
+// bounds the supported ranks.
+func New(services index.Index, clients [][]float64, kmax int) (*Index, error) {
+	if services == nil {
+		return nil, errors.New("bichromatic: nil service index")
+	}
+	if kmax <= 0 {
+		return nil, fmt.Errorf("bichromatic: KMax must be positive, got %d", kmax)
+	}
+	if err := vecmath.ValidateAll(clients); err != nil {
+		return nil, err
+	}
+	if len(clients[0]) != services.Dim() {
+		return nil, fmt.Errorf("bichromatic: client dimension %d, service dimension %d: %w",
+			len(clients[0]), services.Dim(), vecmath.ErrDimensionMismatch)
+	}
+	if kmax > services.Len() {
+		kmax = services.Len()
+	}
+	start := time.Now()
+	kdist := make([][]float64, len(clients))
+	for c, p := range clients {
+		nn := services.KNN(p, kmax, -1)
+		row := make([]float64, kmax)
+		for i := 0; i < kmax; i++ {
+			if i < len(nn) {
+				row[i] = nn[i].Dist
+			} else {
+				row[i] = row[i-1]
+			}
+		}
+		kdist[c] = row
+	}
+	return &Index{
+		services:       services,
+		clients:        clients,
+		metric:         services.Metric(),
+		kmax:           kmax,
+		kdist:          kdist,
+		trees:          make([]*rtree.Tree, kmax),
+		PrecomputeTime: time.Since(start),
+	}, nil
+}
+
+// KMax returns the largest supported rank.
+func (ix *Index) KMax() int { return ix.kmax }
+
+// ServiceDist returns client c's distance to its k-th nearest service.
+func (ix *Index) ServiceDist(c, k int) float64 { return ix.kdist[c][k-1] }
+
+// tree returns the rank-k client R-tree, building it on first use.
+func (ix *Index) tree(k int) (*rtree.Tree, error) {
+	if t := ix.trees[k-1]; t != nil {
+		return t, nil
+	}
+	vals := make([]float64, len(ix.clients))
+	for c := range ix.clients {
+		vals[c] = ix.kdist[c][k-1]
+	}
+	t, err := rtree.New(ix.clients, ix.metric, vals)
+	if err != nil {
+		return nil, err
+	}
+	ix.trees[k-1] = t
+	return t, nil
+}
+
+// Query returns the clients that count service qid among their k nearest
+// services, sorted ascending by client ID.
+func (ix *Index) Query(qid, k int) ([]int, error) {
+	if qid < 0 || qid >= ix.services.Len() {
+		return nil, fmt.Errorf("bichromatic: service id %d out of range [0,%d)", qid, ix.services.Len())
+	}
+	return ix.query(ix.services.Point(qid), k)
+}
+
+// QueryPoint answers the query for a prospective service location not yet
+// in the service set: the clients that would adopt it among their k nearest
+// services — the influence set driving facility placement.
+func (ix *Index) QueryPoint(q []float64, k int) ([]int, error) {
+	if err := vecmath.Validate(q); err != nil {
+		return nil, err
+	}
+	if len(q) != ix.services.Dim() {
+		return nil, vecmath.ErrDimensionMismatch
+	}
+	return ix.query(q, k)
+}
+
+func (ix *Index) query(q []float64, k int) ([]int, error) {
+	if k <= 0 || k > ix.kmax {
+		return nil, fmt.Errorf("bichromatic: k must be in [1,%d], got %d", ix.kmax, k)
+	}
+	t, err := ix.tree(k)
+	if err != nil {
+		return nil, err
+	}
+	boxer := ix.metric.(vecmath.BoxDistancer) // enforced by rtree.New
+	var result []int
+	var visit func(v rtree.NodeView)
+	visit = func(v rtree.NodeView) {
+		for i := 0; i < v.NumEntries(); i++ {
+			lo, hi := v.EntryMBR(i)
+			if boxer.BoxDistance(q, lo, hi) > v.EntryValue(i) {
+				continue
+			}
+			if v.IsLeaf() {
+				c := v.EntryID(i)
+				if ix.metric.Distance(q, ix.clients[c]) <= ix.kdist[c][k-1] {
+					result = append(result, c)
+				}
+				continue
+			}
+			visit(v.EntryChild(i))
+		}
+	}
+	visit(t.Root())
+	sort.Ints(result)
+	return result, nil
+}

@@ -1,0 +1,162 @@
+package bichromatic
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/indextest"
+	"repro/internal/kdtree"
+	"repro/internal/scan"
+	"repro/internal/vecmath"
+)
+
+func build(t *testing.T, services, clients [][]float64, kmax int) *Index {
+	t.Helper()
+	svc, err := scan.New(services, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(svc, clients, kmax)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return ix
+}
+
+// bruteBichromatic computes the reference answer: clients whose distance to
+// q is within their k-th nearest service distance.
+func bruteBichromatic(services, clients [][]float64, q []float64, k int) []int {
+	m := vecmath.Euclidean{}
+	var out []int
+	for c, cp := range clients {
+		dists := make([]float64, len(services))
+		for s, sp := range services {
+			dists[s] = m.Distance(cp, sp)
+		}
+		sort.Float64s(dists)
+		idx := k - 1
+		if idx >= len(dists) {
+			idx = len(dists) - 1
+		}
+		if m.Distance(cp, q) <= dists[idx] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	services := indextest.RandPoints(20, 2, 1)
+	clients := indextest.RandPoints(30, 2, 2)
+	svc, err := scan.New(services, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, clients, 3); err == nil {
+		t.Error("accepted nil service index")
+	}
+	if _, err := New(svc, nil, 3); err == nil {
+		t.Error("accepted empty clients")
+	}
+	if _, err := New(svc, clients, 0); err == nil {
+		t.Error("accepted kmax=0")
+	}
+	if _, err := New(svc, indextest.RandPoints(5, 3, 3), 3); err == nil {
+		t.Error("accepted dimension mismatch")
+	}
+}
+
+func TestExactness(t *testing.T) {
+	services := indextest.RandPoints(40, 2, 3)
+	clients := indextest.ClusteredPoints(400, 2, 6, 4)
+	ix := build(t, services, clients, 5)
+	for _, k := range []int{1, 3, 5} {
+		for qid := 0; qid < len(services); qid += 7 {
+			got, err := ix.Query(qid, k)
+			if err != nil {
+				t.Fatalf("Query: %v", err)
+			}
+			want := bruteBichromatic(services, clients, services[qid], k)
+			if !equalIDs(got, want) {
+				t.Errorf("k=%d service=%d: got %v, want %v", k, qid, got, want)
+			}
+		}
+	}
+}
+
+func TestQueryPointProspectiveSite(t *testing.T) {
+	services := indextest.RandPoints(30, 2, 5)
+	clients := indextest.RandPoints(300, 2, 6)
+	ix := build(t, services, clients, 3)
+	q := []float64{0.5, 0.5}
+	got, err := ix.QueryPoint(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteBichromatic(services, clients, q, 3)
+	if !equalIDs(got, want) {
+		t.Errorf("prospective site: got %d clients, want %d", len(got), len(want))
+	}
+	if _, err := ix.QueryPoint([]float64{1}, 2); err == nil {
+		t.Error("accepted dimension mismatch")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ix := build(t, indextest.RandPoints(10, 2, 7), indextest.RandPoints(20, 2, 8), 4)
+	if _, err := ix.Query(-1, 2); err == nil {
+		t.Error("accepted negative service id")
+	}
+	if _, err := ix.Query(10, 2); err == nil {
+		t.Error("accepted out-of-range service id")
+	}
+	if _, err := ix.Query(0, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := ix.Query(0, 5); err == nil {
+		t.Error("accepted k above KMax")
+	}
+}
+
+func TestKMaxClampedToServiceCount(t *testing.T) {
+	ix := build(t, indextest.RandPoints(3, 2, 9), indextest.RandPoints(10, 2, 10), 50)
+	if ix.KMax() != 3 {
+		t.Errorf("KMax = %d, want clamped 3", ix.KMax())
+	}
+	if ix.PrecomputeTime <= 0 {
+		t.Error("PrecomputeTime not recorded")
+	}
+	if d := ix.ServiceDist(0, 3); d <= 0 {
+		t.Errorf("ServiceDist = %g", d)
+	}
+}
+
+func TestWithTreeServiceIndex(t *testing.T) {
+	// The service index can be any back-end; use a k-d tree here.
+	services := indextest.RandPoints(50, 3, 11)
+	clients := indextest.RandPoints(200, 3, 12)
+	svc, err := kdtree.New(services, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(svc, clients, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Query(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteBichromatic(services, clients, services[5], 4)
+	if !equalIDs(got, want) {
+		t.Errorf("kdtree services: got %v, want %v", got, want)
+	}
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

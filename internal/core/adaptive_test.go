@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+func TestAdaptiveValidation(t *testing.T) {
+	ix := newScan(t, randPoints(20, 2, 1))
+	if _, err := NewAdaptiveQuerier(nil, AdaptiveParams{K: 1}); err == nil {
+		t.Error("accepted nil index")
+	}
+	if _, err := NewAdaptiveQuerier(ix, AdaptiveParams{K: 0}); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := NewAdaptiveQuerier(ix, AdaptiveParams{K: 1, Multiplier: -1}); err == nil {
+		t.Error("accepted negative multiplier")
+	}
+	if _, err := NewAdaptiveQuerier(ix, AdaptiveParams{K: 1, MinT: 5, MaxT: 2}); err == nil {
+		t.Error("accepted MinT > MaxT")
+	}
+	if _, err := NewAdaptiveQuerier(ix, AdaptiveParams{K: 1, Warmup: -3}); err == nil {
+		t.Error("accepted negative warmup")
+	}
+}
+
+// TestAdaptiveNoFalsePositives: the adaptive scale changes only the
+// termination of the expanding search, never the accept logic, so plain
+// adaptive RDT keeps perfect precision.
+func TestAdaptiveNoFalsePositives(t *testing.T) {
+	pts := randPoints(200, 5, 13)
+	ix := newScan(t, pts)
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 5
+	qr, err := NewAdaptiveQuerier(ix, AdaptiveParams{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qid := 0; qid < 30; qid++ {
+		res, err := qr.ByID(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := truth.RkNNByID(qid, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := bruteforce.Precision(res.IDs, want); p != 1 {
+			t.Errorf("qid=%d: precision %.3f", qid, p)
+		}
+	}
+}
+
+// TestAdaptiveRecallOnSurrogates: with the default safety settings the
+// online estimate must reach high recall on the clustered workloads without
+// any user-supplied t.
+func TestAdaptiveRecallOnSurrogates(t *testing.T) {
+	for _, ds := range []*struct {
+		name string
+		pts  [][]float64
+	}{
+		{"sequoia", dataset.Sequoia(800, 3).Points},
+		{"fct", dataset.FCT(800, 3).Points},
+	} {
+		ix := newScan(t, ds.pts)
+		truth, err := bruteforce.New(ds.pts, vecmath.Euclidean{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 10
+		qr, err := NewAdaptiveQuerier(ix, AdaptiveParams{K: k, Multiplier: 2, Plus: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recallSum float64
+		const queries = 20
+		for qid := 0; qid < queries; qid++ {
+			res, err := qr.ByID(qid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := truth.RkNNByID(qid, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recallSum += bruteforce.Recall(res.IDs, want)
+		}
+		if mean := recallSum / queries; mean < 0.9 {
+			t.Errorf("%s: adaptive mean recall %.3f, want >= 0.9", ds.name, mean)
+		}
+	}
+}
+
+// TestAdaptiveScansLessThanCeiling: the point of adapting is to stop
+// earlier than a fixed t at the ceiling would.
+func TestAdaptiveScansLessThanCeiling(t *testing.T) {
+	pts := dataset.Sequoia(2000, 5).Points
+	ix := newScan(t, pts)
+	k := 10
+	adaptive, err := NewAdaptiveQuerier(ix, AdaptiveParams{K: k, MaxT: 24, Plus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := NewQuerier(ix, Params{K: k, T: 24, Plus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptiveDepth, fixedDepth int
+	for qid := 0; qid < 15; qid++ {
+		ra, err := adaptive.ByID(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := fixed.ByID(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptiveDepth += ra.Stats.ScanDepth
+		fixedDepth += rf.Stats.ScanDepth
+	}
+	if adaptiveDepth >= fixedDepth {
+		t.Errorf("adaptive scanned %d, fixed-at-ceiling scanned %d; adaptation saved nothing",
+			adaptiveDepth, fixedDepth)
+	}
+}
+
+// TestHillScaleUnit exercises the online estimator in isolation.
+func TestHillScaleUnit(t *testing.T) {
+	h := &hillScale{p: AdaptiveParams{K: 2, Multiplier: 1, MinT: 1, MaxT: 24, Warmup: 0}}
+	// All-equal distances carry no signal: stays at the ceiling.
+	if got := h.observe(1, 1); got != 24 {
+		t.Errorf("first observation: t=%g, want ceiling", got)
+	}
+	if got := h.observe(2, 1); got != 24 {
+		t.Errorf("equal distances: t=%g, want ceiling", got)
+	}
+	// A geometric distance sequence d_i = 2^i has Hill estimate
+	// -cnt / Σ ln(d_i/d_max) -> cnt / ((cnt-1+...+1)·ln2) ~ 2/ln2 for
+	// large cnt; just require the estimate to move off the ceiling and
+	// stay within the clamp.
+	h2 := &hillScale{p: AdaptiveParams{K: 2, Multiplier: 1, MinT: 1, MaxT: 24, Warmup: 0}}
+	var got float64
+	for i := 1; i <= 20; i++ {
+		got = h2.observe(i, float64(int(1)<<i))
+	}
+	if got >= 24 || got < 1 {
+		t.Errorf("geometric distances: t=%g, want inside (1, 24)", got)
+	}
+	// Zero distances are skipped, not logged.
+	h3 := &hillScale{p: AdaptiveParams{K: 2, Multiplier: 1, MinT: 1, MaxT: 24, Warmup: 0}}
+	if got := h3.observe(1, 0); got != 24 {
+		t.Errorf("zero distance: t=%g, want ceiling", got)
+	}
+}

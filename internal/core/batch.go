@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchResult pairs one query of a batch with its result or error.
+type BatchResult struct {
+	QueryID int
+	Result  *Result
+	Err     error
+}
+
+// BatchByID answers many member queries concurrently on a worker pool,
+// returning results in input order. Individual query failures are reported
+// per entry; the batch itself only fails on invalid arguments.
+//
+// The paper's conclusion names parallelizable RkNN processing as an open
+// problem for extreme scales; within one machine the problem is
+// embarrassingly parallel because the Querier and every index back-end in
+// this module are safe for concurrent readers.
+func (qr *Querier) BatchByID(qids []int, workers int) ([]BatchResult, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("core: workers must be non-negative, got %d", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qids) {
+		workers = len(qids)
+	}
+	out := make([]BatchResult, len(qids))
+	if len(qids) == 0 {
+		return out, nil
+	}
+	next := make(chan int, len(qids))
+	for i := range qids {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := qr.ByID(qids[i])
+				out[i] = BatchResult{QueryID: qids[i], Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}

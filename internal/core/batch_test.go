@@ -1,0 +1,79 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBatchMatchesSequential(t *testing.T) {
+	pts := randPoints(300, 4, 17)
+	ix := newScan(t, pts)
+	qr, err := NewQuerier(ix, Params{K: 5, T: 8, Plus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qids := make([]int, 40)
+	for i := range qids {
+		qids[i] = i * 7 % 300
+	}
+	batch, err := qr.BatchByID(qids, 4)
+	if err != nil {
+		t.Fatalf("BatchByID: %v", err)
+	}
+	if len(batch) != len(qids) {
+		t.Fatalf("batch returned %d results", len(batch))
+	}
+	for i, br := range batch {
+		if br.Err != nil {
+			t.Fatalf("entry %d: %v", i, br.Err)
+		}
+		if br.QueryID != qids[i] {
+			t.Fatalf("entry %d out of order: qid %d, want %d", i, br.QueryID, qids[i])
+		}
+		seq, err := qr.ByID(qids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(br.Result.IDs, seq.IDs) {
+			t.Fatalf("qid %d: batch %v, sequential %v", qids[i], br.Result.IDs, seq.IDs)
+		}
+	}
+}
+
+func TestBatchPerEntryErrors(t *testing.T) {
+	ix := newScan(t, randPoints(50, 2, 3))
+	qr, err := NewQuerier(ix, Params{K: 3, T: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := qr.BatchByID([]int{0, -1, 5, 999}, 2)
+	if err != nil {
+		t.Fatalf("BatchByID: %v", err)
+	}
+	if batch[0].Err != nil || batch[2].Err != nil {
+		t.Error("valid queries reported errors")
+	}
+	if batch[1].Err == nil || batch[3].Err == nil {
+		t.Error("invalid queries did not report errors")
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	ix := newScan(t, randPoints(50, 2, 5))
+	qr, err := NewQuerier(ix, Params{K: 3, T: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qr.BatchByID([]int{1}, -1); err == nil {
+		t.Error("accepted negative workers")
+	}
+	empty, err := qr.BatchByID(nil, 0)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty batch = (%v, %v)", empty, err)
+	}
+	// workers defaulting to GOMAXPROCS and clamping to batch size.
+	one, err := qr.BatchByID([]int{7}, 0)
+	if err != nil || len(one) != 1 || one[0].Err != nil {
+		t.Errorf("single-query batch failed: %v", err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package core implements RDT and RDT+, the reverse k-nearest-neighbor
+// algorithms of Casanova, Englmeier, Houle, Kröger, Nett, Schubert and Zimek:
+// "Dimensional Testing for Reverse k-Nearest Neighbor Search", PVLDB 10(7),
+// 2017 — the paper's primary contribution (Algorithm 1).
+//
+// RDT answers an RkNN query at q with a filter-refinement strategy:
+//
+//   - The filter phase expands a forward nearest-neighbor search outward
+//     from q using any index supporting incremental NN queries. The search
+//     is cut off by a *dimensional test*: assuming the scale parameter t
+//     upper-bounds the local intrinsic dimensionality around the query, an
+//     upper bound ω on the query distance of any undiscovered reverse
+//     neighbor is maintained from the observed (rank, distance) pairs, and
+//     the search stops once the expansion passes ω (Theorem 1).
+//   - Witness counting settles most candidates without any further index
+//     work: a candidate with k witnesses cannot be a reverse neighbor (lazy
+//     reject, Assertion 1), and a candidate whose 2·d(q,x) ball has been
+//     fully explored with fewer than k witnesses must be one (lazy accept,
+//     Assertion 2).
+//   - The refinement phase verifies each remaining candidate x with one
+//     forward kNN query, accepting x iff d_k(x) ≥ d(q,x).
+//
+// RDT+ (paper Section 4.3) additionally excludes a newly retrieved point
+// from the filter set when its first witness cycle already rejects it, which
+// bounds the quadratic witness-maintenance cost at a small risk of false
+// positives through lazy acceptance.
+//
+// Note on the paper's pseudocode: lines 10–15 of Algorithm 1 increment W(v)
+// under the condition d(q,x) > d(v,x) and W(x) under d(q,v) > d(v,x), which
+// is inconsistent with the witness definition W(x) = |{y ∈ F : d(x,y) <
+// d(x,q)}| used by Assertions 1 and 2 (the counters are swapped). This
+// implementation follows the definition: d(v,x) < d(q,x) makes v a witness
+// of x, and d(v,x) < d(q,v) makes x a witness of v.
+//
+// Note on ties: following the pseudocode's refinement test d_k(v) ≥ d(q,v),
+// a point tied exactly at its own k-NN ball boundary counts as a reverse
+// neighbor (the convention of practical RkNN systems). The paper's formal
+// rank definition instead assigns maximum rank to ties, under which such
+// points are excluded — and Theorem 1's exactness threshold is derived for
+// that convention. The two agree on tie-free data; on data with large
+// duplicate clusters, a boundary-tied reverse neighbor beyond the ω horizon
+// can require a scale parameter above MaxGED to be found (fuzzing produced
+// a 14-point instance needing t ≈ 87). The unconditional invariants are:
+// no false positives at any t (plain RDT), and exactness whenever the
+// expanding search exhausts the dataset.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/vecmath"
+)
+
+// Params configures a Querier.
+type Params struct {
+	// K is the reverse neighbor rank: the query returns the points that
+	// have q among their K nearest neighbors. Must be positive.
+	K int
+
+	// T is the scale parameter t > 0 of the dimensional test, trading
+	// result quality for execution time. Theorem 1 guarantees an exact
+	// result when T is at least the maximum generalized expansion
+	// dimension MaxGED(S ∪ {q}, K); in practice T is set from an
+	// intrinsic-dimensionality estimate (package lid, paper Section 6).
+	T float64
+
+	// Plus enables the RDT+ candidate-set reduction: points rejected in
+	// their first witness cycle never enter the filter set.
+	Plus bool
+}
+
+func (p Params) validate() error {
+	if p.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", p.K)
+	}
+	if !(p.T > 0) { // also rejects NaN
+		return fmt.Errorf("core: T must be positive, got %v", p.T)
+	}
+	return nil
+}
+
+// Stats reports what the filter and refinement phases did for one query.
+// The harness aggregates these to reproduce Figure 7 of the paper.
+type Stats struct {
+	// ScanDepth is s, the number of forward neighbors retrieved before
+	// the expanding search terminated.
+	ScanDepth int
+	// FilterSize is |F|, the number of candidates kept in the filter set.
+	FilterSize int
+	// Excluded counts candidates RDT+ refused to insert into F (zero for
+	// plain RDT).
+	Excluded int
+	// LazyAccepts counts candidates accepted by Assertion 2.
+	LazyAccepts int
+	// LazyRejects counts candidates whose witness count reached K,
+	// including RDT+ exclusions.
+	LazyRejects int
+	// Verified counts explicit forward-kNN verifications performed in
+	// the refinement phase.
+	Verified int
+	// VerifiedHits counts verifications that confirmed a reverse
+	// neighbor.
+	VerifiedHits int
+	// DistanceComps counts distance computations performed by the
+	// witness machinery itself (index-internal work is not included).
+	DistanceComps int64
+	// Omega is the final value of the termination bound ω
+	// (math.Inf(1) if it was never tightened).
+	Omega float64
+	// TerminatedByOmega records whether the search stopped because the
+	// expansion passed ω (as opposed to hitting the 2^t·k rank cap or
+	// exhausting the dataset).
+	TerminatedByOmega bool
+}
+
+// Candidates returns the total number of points that entered the witness
+// machinery (filter set plus RDT+ exclusions).
+func (s Stats) Candidates() int { return s.FilterSize + s.Excluded }
+
+// Result is the answer to one reverse k-nearest-neighbor query.
+type Result struct {
+	// IDs holds the reverse k-nearest neighbors found, sorted ascending.
+	IDs []int
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// scaleStrategy yields the scale parameter in effect at each step of the
+// expanding search. The fixed strategy realizes the paper's Algorithm 1;
+// the adaptive strategy (adaptive.go) implements the dynamic adjustment the
+// paper poses as future work (Section 9).
+type scaleStrategy interface {
+	// observe ingests the s-th retrieved neighbor distance and returns
+	// the scale parameter to use for this step's dimensional test.
+	observe(s int, dist float64) float64
+}
+
+// fixedScale is Algorithm 1's constant t.
+type fixedScale struct{ t float64 }
+
+func (f fixedScale) observe(int, float64) float64 { return f.t }
+
+// Querier answers RkNN queries over a fixed index using RDT or RDT+. It is
+// safe for concurrent use as long as the underlying index is.
+type Querier struct {
+	ix       index.Index
+	metric   vecmath.Metric
+	params   Params
+	newScale func() scaleStrategy // fresh per-query state
+}
+
+// NewQuerier validates the parameters and returns a Querier over ix.
+func NewQuerier(ix index.Index, params Params) (*Querier, error) {
+	if ix == nil {
+		return nil, errors.New("core: nil index")
+	}
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if ix.Len() == 0 {
+		return nil, errors.New("core: empty index")
+	}
+	return &Querier{
+		ix:       ix,
+		metric:   ix.Metric(),
+		params:   params,
+		newScale: func() scaleStrategy { return fixedScale{t: params.T} },
+	}, nil
+}
+
+// Params returns the parameters the Querier was built with.
+func (qr *Querier) Params() Params { return qr.params }
+
+// ByID answers the query for dataset member qid. The member itself is
+// excluded from its own neighborhoods per the self-exclusion convention.
+func (qr *Querier) ByID(qid int) (*Result, error) {
+	if qid < 0 || qid >= qr.ix.Len() {
+		return nil, fmt.Errorf("core: query id %d out of range [0,%d)", qid, qr.ix.Len())
+	}
+	return qr.run(qr.ix.Point(qid), qid)
+}
+
+// ByPoint answers the query for an arbitrary point q, which need not be a
+// dataset member.
+func (qr *Querier) ByPoint(q []float64) (*Result, error) {
+	if err := vecmath.Validate(q); err != nil {
+		return nil, err
+	}
+	if len(q) != qr.ix.Dim() {
+		return nil, fmt.Errorf("core: query dimension %d, index dimension %d: %w",
+			len(q), qr.ix.Dim(), vecmath.ErrDimensionMismatch)
+	}
+	return qr.run(q, -1)
+}
+
+// candidate is one member of the filter set F.
+type candidate struct {
+	id       int
+	point    []float64
+	dq       float64 // d(q, x)
+	w        int     // witness count W(x)
+	accepted bool    // lazily accepted by Assertion 2
+}
+
+// run executes Algorithm 1. skipID excludes a member query from its own
+// forward search; -1 disables the exclusion.
+func (qr *Querier) run(q []float64, skipID int) (*Result, error) {
+	k := qr.params.K
+	scale := qr.newScale()
+	n := qr.ix.Len()
+	if skipID >= 0 {
+		n-- // the query itself is not a candidate
+	}
+
+	stats := Stats{Omega: math.Inf(1)}
+	omega := math.Inf(1)
+	var filter []candidate
+
+	cursor := qr.ix.NewCursor(q, skipID)
+	s := 0
+	for {
+		nb, ok := cursor.Next()
+		if !ok {
+			break // dataset exhausted
+		}
+		s++
+		t := scale.observe(s, nb.Dist)
+		v := candidate{id: nb.ID, point: qr.ix.Point(nb.ID), dq: nb.Dist}
+
+		// Witness cycle (lines 8–19): compare v against every retained
+		// candidate, updating both witness counters, and apply the
+		// lazy-accept test to filter members.
+		for i := range filter {
+			x := &filter[i]
+			dvx := qr.metric.Distance(v.point, x.point)
+			stats.DistanceComps++
+			if dvx < x.dq { // v witnesses x
+				x.w++
+			}
+			if dvx < v.dq { // x witnesses v
+				v.w++
+			}
+			if !x.accepted && x.w < k && v.dq >= 2*x.dq {
+				x.accepted = true
+				stats.LazyAccepts++
+			}
+		}
+
+		// Line 20 with the RDT+ exclusion rule (Section 4.3): a point
+		// already holding k witnesses after its first cycle is a
+		// settled true negative; keeping it in F would only inflate
+		// the quadratic witness cost. Never applied to the first k
+		// candidates, which cannot have reached the threshold.
+		if qr.params.Plus && s > k && v.w >= k {
+			stats.Excluded++
+		} else {
+			filter = append(filter, v)
+		}
+
+		// Dimensional test (lines 21–23): tighten the termination
+		// bound ω from the observed (rank, distance) pair. Guarded by
+		// s > k so the GED denominator is positive, and by d(q,v) > 0
+		// to ignore duplicates of the query point.
+		if s > k && nb.Dist > 0 {
+			denom := math.Pow(float64(s)/float64(k), 1/t) - 1
+			if denom > 0 {
+				if w := nb.Dist / denom; w < omega {
+					omega = w
+				}
+			}
+		}
+
+		// Loop exit (line 24). The rank cap min{n, ⌊2^t·k⌋} is
+		// evaluated with the step's scale parameter, in floating
+		// point so that large t saturates at n instead of
+		// overflowing.
+		if nb.Dist > omega {
+			stats.TerminatedByOmega = true
+			break
+		}
+		sMax := n
+		if rankCap := math.Pow(2, t) * float64(k); rankCap < float64(n) {
+			sMax = int(rankCap)
+		}
+		if s >= sMax {
+			break
+		}
+	}
+
+	stats.ScanDepth = s
+	stats.FilterSize = len(filter)
+	stats.Omega = omega
+
+	// Refinement phase (lines 25–32): settle every candidate that is
+	// neither lazily accepted nor lazily rejected with one forward kNN
+	// verification.
+	var ids []int
+	for i := range filter {
+		x := &filter[i]
+		switch {
+		case x.accepted:
+			ids = append(ids, x.id)
+		case x.w >= k:
+			stats.LazyRejects++
+		default:
+			stats.Verified++
+			if qr.verify(x) {
+				stats.VerifiedHits++
+				ids = append(ids, x.id)
+			}
+		}
+	}
+	stats.LazyRejects += stats.Excluded
+
+	sort.Ints(ids)
+	return &Result{IDs: ids, Stats: stats}, nil
+}
+
+// verify runs the explicit refinement test d_k(x) ≥ d(q,x) (lines 26–29)
+// with one forward kNN query at x. A dataset holding fewer than k other
+// points trivially accepts.
+func (qr *Querier) verify(x *candidate) bool {
+	nn := qr.ix.KNN(x.point, qr.params.K, x.id)
+	if len(nn) < qr.params.K {
+		return true
+	}
+	return nn[len(nn)-1].Dist >= x.dq
+}

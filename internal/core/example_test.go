@@ -1,0 +1,31 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/scan"
+	"repro/internal/vecmath"
+)
+
+// Example runs Algorithm 1 on a hand-checkable 1-D configuration:
+// positions 0, 1, 3, 7. With k=1, point 1 is the nearest neighbor of both
+// 0 and 2 (positions 0 and 3), so R1NN(point 1) = {0, 2}.
+func Example() {
+	points := [][]float64{{0}, {1}, {3}, {7}}
+	ix, err := scan.New(points, vecmath.Euclidean{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	qr, err := core.NewQuerier(ix, core.Params{K: 1, T: 8, Plus: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := qr.ByID(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.IDs)
+	// Output: [0 2]
+}

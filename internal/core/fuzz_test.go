@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/scan"
+	"repro/internal/vecmath"
+)
+
+// FuzzRDTPrecision decodes an arbitrary byte string into a small dataset,
+// rank and scale parameter, and checks the precision invariant of plain RDT
+// plus the exactness of the saturated configuration. Run with
+// `go test -fuzz FuzzRDTPrecision ./internal/core` for continuous fuzzing;
+// plain `go test` exercises the seed corpus.
+func FuzzRDTPrecision(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			t.Skip()
+		}
+		k := int(data[0]%5) + 1
+		tParam := 0.5 + float64(data[1]%16)/2
+		dim := int(data[2]%3) + 1
+		// Decode the remaining bytes into coordinates; duplicates and
+		// collinear layouts arise naturally.
+		coords := data[3:]
+		n := len(coords) / dim
+		if n < k+2 {
+			t.Skip()
+		}
+		if n > 40 {
+			n = 40
+		}
+		pts := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			p := make([]float64, dim)
+			for j := 0; j < dim; j++ {
+				p[j] = float64(coords[i*dim+j]) / 16
+			}
+			pts[i] = p
+		}
+		ix, err := scan.New(pts, vecmath.Euclidean{})
+		if err != nil {
+			t.Fatalf("scan.New on fuzz data: %v", err)
+		}
+		truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+		if err != nil {
+			t.Fatalf("bruteforce.New: %v", err)
+		}
+		qid := int(data[1]) % n
+		want, err := truth.RkNNByID(qid, k)
+		if err != nil {
+			t.Fatalf("truth: %v", err)
+		}
+		// Plain RDT at the fuzzed t: never a false positive.
+		qr, err := NewQuerier(ix, Params{K: k, T: tParam})
+		if err != nil {
+			t.Fatalf("NewQuerier: %v", err)
+		}
+		res, err := qr.ByID(qid)
+		if err != nil {
+			t.Fatalf("ByID: %v", err)
+		}
+		if p := bruteforce.Precision(res.IDs, want); p != 1 {
+			t.Fatalf("precision %v at k=%d t=%g on %d pts: got %v want %v",
+				p, k, tParam, n, res.IDs, want)
+		}
+		// Saturated t: still perfect precision always; exact whenever
+		// the expanding search exhausted the dataset. (Equality cannot
+		// be demanded unconditionally: on duplicate-heavy fuzz inputs a
+		// boundary-tied reverse neighbor beyond the ω horizon may need
+		// t above any fixed constant — see the tie note in the package
+		// documentation; the corpus retains such an instance.)
+		exact, err := NewQuerier(ix, Params{K: k, T: 64})
+		if err != nil {
+			t.Fatalf("NewQuerier: %v", err)
+		}
+		resE, err := exact.ByID(qid)
+		if err != nil {
+			t.Fatalf("ByID: %v", err)
+		}
+		if p := bruteforce.Precision(resE.IDs, want); p != 1 {
+			t.Fatalf("saturated RDT precision %v: got %v want %v", p, resE.IDs, want)
+		}
+		if resE.Stats.ScanDepth == n-1 {
+			if len(resE.IDs) != len(want) {
+				t.Fatalf("exhausted search inexact at k=%d on %d pts: got %v want %v", k, n, resE.IDs, want)
+			}
+			for i := range want {
+				if resE.IDs[i] != want[i] {
+					t.Fatalf("exhausted search inexact: got %v want %v", resE.IDs, want)
+				}
+			}
+		}
+		// Sanity on the stats invariants under arbitrary data.
+		st := res.Stats
+		if st.LazyAccepts+st.VerifiedHits != len(res.IDs) {
+			t.Fatalf("stats identity broken: %+v for %d results", st, len(res.IDs))
+		}
+		if math.IsNaN(st.Omega) {
+			t.Fatal("ω is NaN")
+		}
+	})
+}

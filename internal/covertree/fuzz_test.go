@@ -1,0 +1,67 @@
+package covertree
+
+import (
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// FuzzTreeInvariants decodes arbitrary bytes into an insertion sequence
+// (with interleaved deletes) and checks the structural invariants plus kNN
+// agreement with a linear scan. Run with `go test -fuzz FuzzTreeInvariants`
+// for continuous fuzzing; plain `go test` exercises the seed corpus.
+func FuzzTreeInvariants(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 50, 60})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{200, 1, 200, 1, 200, 1, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		const dim = 2
+		n := len(data) / dim
+		if n < 2 {
+			t.Skip()
+		}
+		if n > 60 {
+			n = 60
+		}
+		pts := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			pts[i] = []float64{float64(data[i*dim]) / 8, float64(data[i*dim+1]) / 8}
+		}
+		tree, err := New(pts, vecmath.Euclidean{})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("after build: %v", err)
+		}
+		// Interleave a delete and an insert driven by the data.
+		victim := int(data[0]) % n
+		tree.Delete(victim)
+		if _, err := tree.Insert([]float64{float64(data[1]), float64(data[2])}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("after mutation: %v", err)
+		}
+		// kNN must agree with a brute-force pass over alive points.
+		q := pts[int(data[1])%n]
+		nn := tree.KNN(q, 3, -1)
+		metric := vecmath.Euclidean{}
+		best := -1.0
+		for _, nb := range nn {
+			if nb.Dist < best {
+				t.Fatal("kNN out of order")
+			}
+			best = nb.Dist
+			if nb.ID == victim {
+				t.Fatal("kNN returned deleted point")
+			}
+			if got := metric.Distance(q, tree.Point(nb.ID)); got != nb.Dist {
+				t.Fatalf("kNN distance mismatch: %g vs %g", got, nb.Dist)
+			}
+		}
+	})
+}

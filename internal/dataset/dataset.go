@@ -1,0 +1,222 @@
+// Package dataset provides the workloads for the experiments: seeded
+// synthetic surrogates for the five datasets of the paper's evaluation
+// (Sequoia, ALOI, FCT, MNIST, Imagenet), plus generic generators of known
+// intrinsic dimensionality used by tests and estimator validation.
+//
+// The environment is offline, so the real datasets are unavailable; DESIGN.md
+// documents why seeded surrogates that match each dataset's representational
+// dimension, intrinsic dimensionality and cluster structure preserve the
+// behaviour the paper measures.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dataset is a named collection of points with uniform dimensionality.
+type Dataset struct {
+	// Name identifies the dataset in experiment output.
+	Name string
+	// Points holds the feature vectors; IDs are slice positions.
+	Points [][]float64
+}
+
+// Len returns the number of points.
+func (d *Dataset) Len() int { return len(d.Points) }
+
+// Dim returns the representational dimension, or 0 for an empty dataset.
+func (d *Dataset) Dim() int {
+	if len(d.Points) == 0 {
+		return 0
+	}
+	return len(d.Points[0])
+}
+
+// SampleIDs draws count distinct point IDs uniformly at random, mirroring the
+// paper's protocol of issuing RkNN queries from 100 randomly chosen dataset
+// members. If count >= Len, all IDs are returned.
+func (d *Dataset) SampleIDs(count int, rng *rand.Rand) []int {
+	n := d.Len()
+	if count >= n {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
+	perm := rng.Perm(n)
+	ids := make([]int, count)
+	copy(ids, perm[:count])
+	return ids
+}
+
+// Subsample returns a uniformly down-sampled copy with the given name,
+// matching the paper's Imagenet100/250/500 protocol (Section 7.3). If size
+// >= Len the original points are reused.
+func (d *Dataset) Subsample(name string, size int, rng *rand.Rand) *Dataset {
+	if size >= d.Len() {
+		return &Dataset{Name: name, Points: d.Points}
+	}
+	perm := rng.Perm(d.Len())
+	pts := make([][]float64, size)
+	for i := 0; i < size; i++ {
+		pts[i] = d.Points[perm[i]]
+	}
+	return &Dataset{Name: name, Points: pts}
+}
+
+// Uniform generates n points uniformly in the d-dimensional unit cube. Its
+// intrinsic dimensionality equals d, which makes it the calibration workload
+// for the LID estimators.
+func Uniform(name string, n, d int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return &Dataset{Name: name, Points: pts}
+}
+
+// GaussianMixture generates n points from c spherical Gaussian clusters with
+// the given per-coordinate standard deviation, centers uniform in the unit
+// cube.
+func GaussianMixture(name string, n, d, c int, sigma float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, c)
+	for i := range centers {
+		ctr := make([]float64, d)
+		for j := range ctr {
+			ctr[j] = rng.Float64()
+		}
+		centers[i] = ctr
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		ctr := centers[rng.Intn(c)]
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = ctr[j] + rng.NormFloat64()*sigma
+		}
+		pts[i] = p
+	}
+	return &Dataset{Name: name, Points: pts}
+}
+
+// Manifold generates n points on a smooth latentDim-dimensional manifold
+// nonlinearly embedded in ambientDim dimensions, with additive Gaussian
+// observation noise. Each ambient coordinate is a random mixture of
+// sinusoids of the latent variables, giving a manifold whose local intrinsic
+// dimensionality is latentDim while its representational dimension is
+// ambientDim — the regime the paper's dimensional test exploits.
+func Manifold(name string, n, latentDim, ambientDim int, noise float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	lift := newLift(latentDim, ambientDim, rng)
+	pts := make([][]float64, n)
+	z := make([]float64, latentDim)
+	for i := range pts {
+		for j := range z {
+			z[j] = rng.Float64()
+		}
+		p := lift.apply(z)
+		for j := range p {
+			p[j] += rng.NormFloat64() * noise
+		}
+		pts[i] = p
+	}
+	return &Dataset{Name: name, Points: pts}
+}
+
+// lift is a fixed random smooth map R^latent -> R^ambient. Coordinates are
+// sums of sinusoids with random frequencies, phases and latent weights, so
+// the image is a bounded curved manifold (no two coordinates collapse to the
+// same function almost surely).
+type lift struct {
+	freq  [][]float64 // [ambient][latent]
+	phase []float64   // [ambient]
+	amp   []float64   // [ambient]
+}
+
+func newLift(latentDim, ambientDim int, rng *rand.Rand) *lift {
+	l := &lift{
+		freq:  make([][]float64, ambientDim),
+		phase: make([]float64, ambientDim),
+		amp:   make([]float64, ambientDim),
+	}
+	for i := 0; i < ambientDim; i++ {
+		row := make([]float64, latentDim)
+		for j := range row {
+			row[j] = (rng.Float64()*2 - 1) * 3 // frequencies in [-3, 3]
+		}
+		l.freq[i] = row
+		l.phase[i] = rng.Float64() * 2 * math.Pi
+		l.amp[i] = 0.5 + rng.Float64()
+	}
+	return l
+}
+
+func (l *lift) apply(z []float64) []float64 {
+	out := make([]float64, len(l.freq))
+	for i := range out {
+		var arg float64
+		for j, f := range l.freq[i] {
+			arg += f * z[j]
+		}
+		out[i] = l.amp[i] * math.Sin(arg+l.phase[i])
+	}
+	return out
+}
+
+// Standardize rescales every column to zero mean and unit variance in place,
+// the normalization the paper applies to FCT ("we normalized each feature to
+// standard scores"). Constant columns are left at zero.
+func Standardize(pts [][]float64) {
+	if len(pts) == 0 {
+		return
+	}
+	dim := len(pts[0])
+	n := float64(len(pts))
+	for j := 0; j < dim; j++ {
+		var sum float64
+		for _, p := range pts {
+			sum += p[j]
+		}
+		mean := sum / n
+		var varsum float64
+		for _, p := range pts {
+			d := p[j] - mean
+			varsum += d * d
+		}
+		sd := math.Sqrt(varsum / n)
+		if sd == 0 {
+			for _, p := range pts {
+				p[j] = 0
+			}
+			continue
+		}
+		for _, p := range pts {
+			p[j] = (p[j] - mean) / sd
+		}
+	}
+}
+
+// Validate returns an error if the dataset is empty or rows disagree on
+// dimensionality. Generators always produce valid datasets; this is for
+// data loaded from files.
+func (d *Dataset) Validate() error {
+	if d.Len() == 0 {
+		return fmt.Errorf("dataset %q: empty", d.Name)
+	}
+	dim := d.Dim()
+	for i, p := range d.Points {
+		if len(p) != dim {
+			return fmt.Errorf("dataset %q: row %d has dim %d, want %d", d.Name, i, len(p), dim)
+		}
+	}
+	return nil
+}

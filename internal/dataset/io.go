@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset as rows of comma-separated coordinates.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	row := make([]string, d.Dim())
+	for _, p := range d.Points {
+		for j, x := range p {
+			row[j] = strconv.FormatFloat(x, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset from rows of comma-separated coordinates.
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.ReuseRecord = true
+	var pts [][]float64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv: %w", err)
+		}
+		p := make([]float64, len(rec))
+		for j, field := range rec {
+			x, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d col %d: %w", len(pts), j, err)
+			}
+			p[j] = x
+		}
+		pts = append(pts, p)
+	}
+	d := &Dataset{Name: name, Points: pts}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// gobDataset is the on-disk representation for the binary format.
+type gobDataset struct {
+	Name   string
+	Points [][]float64
+}
+
+// WriteGob writes the dataset in the compact binary format.
+func (d *Dataset) WriteGob(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(gobDataset{Name: d.Name, Points: d.Points}); err != nil {
+		return fmt.Errorf("dataset: write gob: %w", err)
+	}
+	return nil
+}
+
+// ReadGob parses a dataset written by WriteGob.
+func ReadGob(r io.Reader) (*Dataset, error) {
+	var g gobDataset
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("dataset: read gob: %w", err)
+	}
+	d := &Dataset{Name: g.Name, Points: g.Points}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The CSV exporters emit the experiment results in a machine-readable form
+// for external plotting, one row per measured point.
+
+// TradeoffCSV writes a TradeoffResult as CSV with a header row.
+func TradeoffCSV(w io.Writer, res *TradeoffResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"dataset", "backend", "method", "param", "k",
+		"recall", "precision", "query_ns", "precompute_ns",
+	}); err != nil {
+		return fmt.Errorf("harness: write csv: %w", err)
+	}
+	for _, r := range res.Runs {
+		rec := []string{
+			res.Dataset, res.Backend, r.Method, r.Param, strconv.Itoa(r.K),
+			formatFloat(r.Recall), formatFloat(r.Precision),
+			strconv.FormatInt(int64(r.QueryTime), 10),
+			strconv.FormatInt(int64(r.Precomp), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("harness: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MechanismsCSV writes Figure 7 rows as CSV with a header row.
+func MechanismsCSV(w io.Writer, rows []MechanismRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "k", "t", "accept", "reject", "verify", "recall"}); err != nil {
+		return fmt.Errorf("harness: write csv: %w", err)
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Dataset, strconv.Itoa(r.K), formatFloat(r.T),
+			formatFloat(r.AcceptFrac), formatFloat(r.RejectFrac),
+			formatFloat(r.VerifyFrac), formatFloat(r.Recall),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("harness: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ScalabilityCSV writes Figure 8 rows as CSV with a header row.
+func ScalabilityCSV(w io.Writer, runs []ScalabilityRun) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"size", "k", "method", "param", "recall", "query_ns", "init_ns",
+	}); err != nil {
+		return fmt.Errorf("harness: write csv: %w", err)
+	}
+	for _, r := range runs {
+		rec := []string{
+			strconv.Itoa(r.Size), strconv.Itoa(r.K), r.Method, r.Param,
+			formatFloat(r.Recall),
+			strconv.FormatInt(int64(r.QueryTime), 10),
+			strconv.FormatInt(int64(r.Precomp), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("harness: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/lid"
+	"repro/internal/vecmath"
+)
+
+// IDRow is one row of Table 1: a dataset's representational dimension, the
+// three intrinsic-dimensionality estimates, and each estimator's runtime.
+type IDRow struct {
+	Dataset    string
+	N          int
+	D          int
+	MLE        float64
+	MLETime    time.Duration
+	GP         float64
+	GPTime     time.Duration
+	Takens     float64
+	TakensTime time.Duration
+	Err        error
+}
+
+// IDTable reproduces Table 1 of the paper over the given workloads: for each
+// dataset, the MLE, Grassberger-Procaccia and Takens estimates with their
+// execution times.
+func IDTable(workloads []Workload, mleOpts lid.MLEOptions, pwOpts lid.PairwiseOptions) []IDRow {
+	rows := make([]IDRow, 0, len(workloads))
+	for _, w := range workloads {
+		row := IDRow{Dataset: w.Data.Name, N: w.Data.Len(), D: w.Data.Dim()}
+		metric := vecmath.Euclidean{}
+		ix, err := BuildBackend(w.Backend, w.Data.Points, metric)
+		if err != nil {
+			row.Err = err
+			rows = append(rows, row)
+			continue
+		}
+		start := time.Now()
+		row.MLE, err = lid.MLE(ix, mleOpts)
+		row.MLETime = time.Since(start)
+		if err != nil {
+			row.Err = err
+		}
+		start = time.Now()
+		row.GP, err = lid.GrassbergerProcaccia(w.Data.Points, metric, pwOpts)
+		row.GPTime = time.Since(start)
+		if err != nil && row.Err == nil {
+			row.Err = err
+		}
+		start = time.Now()
+		row.Takens, err = lid.Takens(w.Data.Points, metric, pwOpts)
+		row.TakensTime = time.Since(start)
+		if err != nil && row.Err == nil {
+			row.Err = err
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/vecmath"
+)
+
+// MechanismRow is one point of Figure 7: at a fixed scale parameter, the
+// proportions of candidates settled by lazy acceptance, lazy rejection and
+// explicit verification, together with the achieved recall.
+type MechanismRow struct {
+	Dataset string
+	K       int
+	T       float64
+	// Proportions over all candidates that entered the witness
+	// machinery; they sum to 1 up to rounding.
+	AcceptFrac float64
+	RejectFrac float64
+	VerifyFrac float64
+	Recall     float64
+}
+
+// Mechanisms reproduces Figure 7: for each t in the sweep, run RDT+ at the
+// given k over the workload's queries and aggregate the Stats counters.
+func Mechanisms(w Workload, k int, ts []float64) ([]MechanismRow, error) {
+	metric := vecmath.Euclidean{}
+	forward, err := BuildBackend(w.Backend, w.Data.Points, metric)
+	if err != nil {
+		return nil, err
+	}
+	queries := w.QueryIDs()
+	truth, err := NewTruth(w.Data.Points, metric, forward, k, queries)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MechanismRow, 0, len(ts))
+	for _, t := range ts {
+		qr, err := core.NewQuerier(forward, core.Params{K: k, T: t, Plus: true})
+		if err != nil {
+			return nil, err
+		}
+		var accepts, rejects, verified, candidates int
+		got := make(map[int][]int, len(queries))
+		for _, qid := range queries {
+			res, err := qr.ByID(qid)
+			if err != nil {
+				return nil, err
+			}
+			got[qid] = res.IDs
+			st := res.Stats
+			accepts += st.LazyAccepts
+			rejects += st.LazyRejects
+			verified += st.Verified
+			candidates += st.Candidates()
+		}
+		row := MechanismRow{Dataset: w.Data.Name, K: k, T: t, Recall: truth.MeanRecall(got)}
+		if candidates > 0 {
+			row.AcceptFrac = float64(accepts) / float64(candidates)
+			row.RejectFrac = float64(rejects) / float64(candidates)
+			row.VerifyFrac = float64(verified) / float64(candidates)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteTradeoffPlot renders the Figures 3–6 content the way the paper shows
+// it: an ASCII scatter of mean recall (y axis) against mean query time
+// (x axis, log scale), one glyph per method, one panel per k.
+func WriteTradeoffPlot(w io.Writer, res *TradeoffResult) error {
+	glyphs := map[string]byte{
+		"RDT":          'r',
+		"RDT+":         'R',
+		"SFT":          's',
+		"RDT+(MLE)":    'M',
+		"RDT+(GP)":     'G',
+		"RDT+(Takens)": 'T',
+		"MRkNNCoP":     'c',
+		"RdNN-Tree":    'd',
+		"TPL":          'p',
+	}
+	for _, k := range distinctKs(res.Runs) {
+		var runs []MethodRun
+		for _, r := range res.Runs {
+			if r.K == k && r.QueryTime > 0 {
+				runs = append(runs, r)
+			}
+		}
+		if len(runs) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\n# %s, k=%d — recall vs query time (log x)\n", res.Dataset, k)
+		if err := scatter(w, runs, glyphs); err != nil {
+			return err
+		}
+		legend(w, runs, glyphs)
+	}
+	return nil
+}
+
+const (
+	plotWidth  = 64
+	plotHeight = 16
+)
+
+func scatter(w io.Writer, runs []MethodRun, glyphs map[string]byte) error {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, r := range runs {
+		x := math.Log10(float64(r.QueryTime))
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, plotHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotWidth))
+	}
+	// Recall axis spans [minRecall, 1] rounded down to a decade step.
+	minY := 1.0
+	for _, r := range runs {
+		if r.Recall < minY {
+			minY = r.Recall
+		}
+	}
+	minY = math.Floor(minY*10) / 10
+	if minY >= 1 {
+		minY = 0.9
+	}
+	for _, r := range runs {
+		x := int((math.Log10(float64(r.QueryTime)) - minX) / (maxX - minX) * float64(plotWidth-1))
+		yFrac := (r.Recall - minY) / (1 - minY)
+		if yFrac < 0 {
+			yFrac = 0
+		}
+		y := plotHeight - 1 - int(yFrac*float64(plotHeight-1))
+		g := glyphs[r.Method]
+		if g == 0 {
+			g = '?'
+		}
+		grid[y][x] = g
+	}
+	for i, row := range grid {
+		label := "      "
+		switch i {
+		case 0:
+			label = "1.000 "
+		case plotHeight - 1:
+			label = fmt.Sprintf("%.3f ", minY)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	lo := time.Duration(math.Pow(10, minX))
+	hi := time.Duration(math.Pow(10, maxX))
+	fmt.Fprintf(w, "      +%s\n", strings.Repeat("-", plotWidth))
+	fmt.Fprintf(w, "       %-*s%s\n", plotWidth-len(fmtDuration(hi)), fmtDuration(lo), fmtDuration(hi))
+	return nil
+}
+
+func legend(w io.Writer, runs []MethodRun, glyphs map[string]byte) {
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range runs {
+		if !seen[r.Method] {
+			seen[r.Method] = true
+			names = append(names, r.Method)
+		}
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		g := glyphs[n]
+		if g == 0 {
+			g = '?'
+		}
+		parts = append(parts, fmt.Sprintf("%c=%s", g, n))
+	}
+	fmt.Fprintf(w, "       %s\n", strings.Join(parts, "  "))
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// The renderers in this file print the experiment results as aligned text
+// tables in the same organization as the paper's figures: one block per
+// neighbor rank with method curves as rows (Figures 3–6, 8), the estimator
+// table (Table 1), the mechanism proportions (Figure 7), and the
+// amortization bars (Figure 9).
+
+// WriteTradeoff renders a TradeoffResult.
+func WriteTradeoff(w io.Writer, res *TradeoffResult) error {
+	fmt.Fprintf(w, "## Recall / query-time tradeoff — dataset %s (back-end %s)\n", res.Dataset, res.Backend)
+	ks := distinctKs(res.Runs)
+	for _, k := range ks {
+		fmt.Fprintf(w, "\n# k = %d\n", k)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "method\tparam\trecall\tprecision\tquery(mean)\tprecompute")
+		for _, r := range res.Runs {
+			if r.K != k {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%s\t%s\n",
+				r.Method, r.Param, r.Recall, r.Precision,
+				fmtDuration(r.QueryTime), fmtDuration(r.Precomp))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteIDTable renders the Table 1 reproduction.
+func WriteIDTable(w io.Writer, rows []IDRow) error {
+	fmt.Fprintln(w, "## Intrinsic dimensionality estimates (Table 1)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tn\tD\tMLE\t(time)\tGP\t(time)\tTakens\t(time)")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%s\t%d\t%d\terror: %v\n", r.Dataset, r.N, r.D, r.Err)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t(%s)\t%.2f\t(%s)\t%.2f\t(%s)\n",
+			r.Dataset, r.N, r.D,
+			r.MLE, fmtDuration(r.MLETime),
+			r.GP, fmtDuration(r.GPTime),
+			r.Takens, fmtDuration(r.TakensTime))
+	}
+	return tw.Flush()
+}
+
+// WriteMechanisms renders the Figure 7 reproduction.
+func WriteMechanisms(w io.Writer, rows []MechanismRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "## Lazy accept / reject / verify proportions — dataset %s, k=%d (Figure 7)\n",
+		rows[0].Dataset, rows[0].K)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "t\taccept\treject\tverify\trecall")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%g\t%.3f\t%.3f\t%.3f\t%.4f\n",
+			r.T, r.AcceptFrac, r.RejectFrac, r.VerifyFrac, r.Recall)
+	}
+	return tw.Flush()
+}
+
+// WriteScalability renders the Figure 8 reproduction.
+func WriteScalability(w io.Writer, runs []ScalabilityRun) error {
+	fmt.Fprintln(w, "## Scalability on Imagenet surrogate subsets (Figure 8)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "size\tk\tmethod\tparam\trecall\tquery(mean)\tinit")
+	for _, r := range runs {
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%.3f\t%s\t%s\n",
+			r.Size, r.K, r.Method, r.Param, r.Recall,
+			fmtDuration(r.QueryTime), fmtDuration(r.Precomp))
+	}
+	return tw.Flush()
+}
+
+// WriteAmortization renders the Figure 9 reproduction.
+func WriteAmortization(w io.Writer, rows []AmortizationRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "## Queries answerable during RdNN-Tree precomputation — %s, k=%d (Figure 9)\n",
+		rows[0].Dataset, rows[0].K)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "size\tmethod\tmean query\tbudget\tqueries-in-budget")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%.0f\n",
+			r.Size, r.Method, fmtDuration(r.MeanQuery), fmtDuration(r.Budget), r.QueriesInBudget)
+	}
+	return tw.Flush()
+}
+
+func distinctKs(runs []MethodRun) []int {
+	set := map[int]bool{}
+	for _, r := range runs {
+		set[r.K] = true
+	}
+	ks := make([]int, 0, len(set))
+	for k := range set {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// fmtDuration rounds durations to a readable precision.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTradeoff() *TradeoffResult {
+	return &TradeoffResult{
+		Dataset: "sequoia",
+		Backend: "covertree",
+		Runs: []MethodRun{
+			{Method: "RDT", Param: "t=2", K: 10, Recall: 0.95, Precision: 1, QueryTime: 80 * time.Microsecond, Precomp: time.Millisecond},
+			{Method: "RDT+", Param: "t=2", K: 10, Recall: 0.95, Precision: 0.99, QueryTime: 40 * time.Microsecond, Precomp: time.Millisecond},
+			{Method: "SFT", Param: "α=4", K: 10, Recall: 0.9, Precision: 1, QueryTime: 30 * time.Microsecond, Precomp: time.Millisecond},
+			{Method: "MRkNNCoP", K: 10, Recall: 1, Precision: 1, QueryTime: 100 * time.Microsecond, Precomp: time.Second},
+			{Method: "RDT", Param: "t=4", K: 50, Recall: 1, Precision: 1, QueryTime: 500 * time.Microsecond, Precomp: time.Millisecond},
+		},
+	}
+}
+
+func TestWriteTradeoffPlot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTradeoffPlot(&buf, sampleTradeoff()); err != nil {
+		t.Fatalf("WriteTradeoffPlot: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"k=10", "k=50", "R=RDT+", "s=SFT", "1.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot output missing %q", want)
+		}
+	}
+	// Every plotted method's glyph must appear in the k=10 panel.
+	panel := out[:strings.Index(out, "k=50")]
+	for _, glyph := range []string{"r", "R", "s", "c"} {
+		if !strings.Contains(panel, glyph) {
+			t.Errorf("panel missing glyph %q", glyph)
+		}
+	}
+}
+
+func TestWriteTradeoffPlotSkipsZeroTimes(t *testing.T) {
+	res := &TradeoffResult{Dataset: "d", Backend: "b", Runs: []MethodRun{
+		{Method: "RDT", K: 5, Recall: 1, QueryTime: 0},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTradeoffPlot(&buf, res); err != nil {
+		t.Fatalf("WriteTradeoffPlot: %v", err)
+	}
+	if strings.Contains(buf.String(), "k=5") {
+		t.Error("panel rendered for zero-time-only runs")
+	}
+}
+
+func TestTradeoffCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TradeoffCSV(&buf, sampleTradeoff()); err != nil {
+		t.Fatalf("TradeoffCSV: %v", err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse back: %v", err)
+	}
+	if len(recs) != 6 { // header + 5 rows
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0][0] != "dataset" || recs[1][2] != "RDT" {
+		t.Errorf("unexpected csv layout: %v", recs[:2])
+	}
+}
+
+func TestMechanismsCSV(t *testing.T) {
+	rows := []MechanismRow{
+		{Dataset: "fct", K: 10, T: 2, AcceptFrac: 0.1, RejectFrac: 0.7, VerifyFrac: 0.2, Recall: 0.97},
+	}
+	var buf bytes.Buffer
+	if err := MechanismsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][0] != "fct" {
+		t.Errorf("unexpected csv: %v", recs)
+	}
+}
+
+func TestScalabilityCSV(t *testing.T) {
+	runs := []ScalabilityRun{
+		{Size: 1000, MethodRun: MethodRun{Method: "RDT+", Param: "t=4", K: 10, Recall: 0.9, QueryTime: time.Millisecond, Precomp: time.Second}},
+	}
+	var buf bytes.Buffer
+	if err := ScalabilityCSV(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][0] != "1000" {
+		t.Errorf("unexpected csv: %v", recs)
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "-"},
+		{1500 * time.Nanosecond, "2µs"},
+		{2500 * time.Microsecond, "2.5ms"},
+		{3 * time.Second, "3s"},
+	}
+	for _, tc := range cases {
+		if got := fmtDuration(tc.d); got != tc.want {
+			t.Errorf("fmtDuration(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

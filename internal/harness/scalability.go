@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"math/rand"
+	"strconv"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/mrknncop"
+	"repro/internal/rdnntree"
+	"repro/internal/vecmath"
+)
+
+// ScalabilityConfig parameterizes the Figure 8 experiment: the RDT+ tradeoff
+// curve against the exact methods on growing subsets of the Imagenet
+// surrogate, with initialization (precomputation) times reported alongside
+// query times.
+type ScalabilityConfig struct {
+	// Full is the Imagenet surrogate; Sizes lists the subset cardinalities
+	// (the paper's 100k/250k/500k, scaled down by default).
+	Full    Workload
+	Sizes   []int
+	Ks      []int
+	TValues []float64
+	// ExactCutoff disables the precomputation-heavy baselines for
+	// subsets larger than this, mirroring the paper's one-week budget
+	// rule (Section 7.3: methods above the budget are excluded).
+	ExactCutoff int
+}
+
+// ScalabilityRun extends MethodRun with the subset size.
+type ScalabilityRun struct {
+	MethodRun
+	Size int
+}
+
+// Scalability runs the Figure 8 experiment and returns one run per
+// (size, method, parameter, k).
+func Scalability(cfg ScalabilityConfig) ([]ScalabilityRun, error) {
+	var out []ScalabilityRun
+	rng := rand.New(rand.NewSource(cfg.Full.Seed + 7))
+	for _, size := range cfg.Sizes {
+		sub := cfg.Full.Data.Subsample(subsetName(cfg.Full.Data.Name, size), size, rng)
+		w := Workload{Data: sub, Backend: cfg.Full.Backend, Queries: cfg.Full.Queries, Seed: cfg.Full.Seed}
+		tc := TradeoffConfig{
+			Workload:     w,
+			Ks:           cfg.Ks,
+			TValues:      cfg.TValues,
+			ExactMethods: size <= cfg.ExactCutoff,
+			SkipPlainRDT: true,
+		}
+		res, err := Tradeoff(tc)
+		if err != nil {
+			return nil, err
+		}
+		for _, run := range res.Runs {
+			if run.Method == "RDT" {
+				continue // Figure 8 shows RDT+ only (Section 8.3)
+			}
+			out = append(out, ScalabilityRun{MethodRun: run, Size: size})
+		}
+	}
+	return out, nil
+}
+
+func subsetName(base string, size int) string {
+	if size >= 1000 {
+		return base + strconv.Itoa(size/1000) + "k"
+	}
+	return base + strconv.Itoa(size)
+}
+
+// mrknncopShared builds an MRkNNCoP index sized for the single rank used by
+// the amortization experiment.
+func mrknncopShared(w Workload, metric vecmath.Metric, forward index.Index, k int) (*mrknncop.Index, error) {
+	kmax := k
+	if kmax < 2 {
+		kmax = 2
+	}
+	return mrknncop.New(w.Data.Points, metric, kmax, forward)
+}
+
+// AmortizationRow is one bar of Figure 9: how many queries a method can
+// answer in the time the RdNN-Tree spends on precomputation alone.
+type AmortizationRow struct {
+	Dataset string
+	Size    int
+	K       int
+	Method  string
+	// QueriesInBudget is RdNN-precomputation-time / mean-query-time
+	// (capped at a large sentinel when the query time rounds to zero).
+	QueriesInBudget float64
+	MeanQuery       time.Duration
+	Budget          time.Duration
+}
+
+// Amortization reproduces Figure 9: the RdNN-Tree's precomputation time is
+// taken as a budget, and each method reports how many queries it could have
+// answered in that budget (for RDT+ the scale parameter is fixed at the
+// value expected to reach ≈0.90 recall, as in the paper's Section 8.3).
+func Amortization(w Workload, k int, rdtT float64) ([]AmortizationRow, error) {
+	metric := vecmath.Euclidean{}
+	forward, err := BuildBackend(w.Backend, w.Data.Points, metric)
+	if err != nil {
+		return nil, err
+	}
+	queries := w.QueryIDs()
+	truth, err := NewTruth(w.Data.Points, metric, forward, k, queries)
+	if err != nil {
+		return nil, err
+	}
+
+	// The budget: RdNN-Tree precomputation (kNN distance table + build).
+	buildStart := time.Now()
+	rdnn, err := rdnntree.New(w.Data.Points, metric, k, forward)
+	if err != nil {
+		return nil, err
+	}
+	budget := time.Since(buildStart)
+
+	var rows []AmortizationRow
+	appendRow := func(method string, mean time.Duration) {
+		row := AmortizationRow{
+			Dataset: w.Data.Name, Size: w.Data.Len(), K: k, Method: method,
+			MeanQuery: mean, Budget: budget,
+		}
+		if mean > 0 {
+			row.QueriesInBudget = float64(budget) / float64(mean)
+		}
+		rows = append(rows, row)
+	}
+
+	run, err := runRDT(forward, truth, queries, k, rdtT, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	appendRow("RDT+", run.QueryTime)
+
+	_, mean, err := runQueries(queries, rdnn.Query)
+	if err != nil {
+		return nil, err
+	}
+	appendRow("RdNN-Tree", mean)
+
+	cop, err := mrknncopShared(w, metric, forward, k)
+	if err != nil {
+		return nil, err
+	}
+	_, mean, err = runQueries(queries, func(qid int) ([]int, error) {
+		r, err := cop.Query(qid, k)
+		if err != nil {
+			return nil, err
+		}
+		return r.IDs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	appendRow("MRkNNCoP", mean)
+	return rows, nil
+}

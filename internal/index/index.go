@@ -1,0 +1,105 @@
+// Package index defines the contract between the RkNN algorithms and the
+// similarity-search back-ends that feed them.
+//
+// The RDT algorithm (Casanova et al., PVLDB 2017, Section 4) requires only an
+// auxiliary structure that can process *incremental* forward nearest-neighbor
+// queries: neighbors of a query point are pulled one at a time, in
+// non-decreasing distance order, until the dimensional test terminates the
+// search. Cursor captures exactly that capability; Index adds the batch kNN
+// and range queries needed by the refinement phases of RDT and of the
+// competing methods.
+package index
+
+import "repro/internal/vecmath"
+
+// Neighbor is one element of a query result: a dataset member identified by
+// its stable integer ID, together with its distance from the query.
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// Cursor streams the members of a dataset in non-decreasing distance from a
+// fixed query point. A Cursor is single-use and not safe for concurrent use.
+type Cursor interface {
+	// Next returns the next-nearest unvisited neighbor. ok is false once
+	// the dataset is exhausted.
+	Next() (n Neighbor, ok bool)
+}
+
+// Index is a read-only similarity-search structure over a finite point set.
+// Implementations must be safe for concurrent readers.
+//
+// IDs are dense integers in [0, Len()) assigned in dataset order, so results
+// from different Index implementations over the same dataset are directly
+// comparable.
+type Index interface {
+	// Len returns the number of indexed points.
+	Len() int
+
+	// Dim returns the dimensionality of the indexed points.
+	Dim() int
+
+	// Point returns the coordinates of the point with the given ID. The
+	// returned slice is owned by the index and must not be modified.
+	Point(id int) []float64
+
+	// Metric returns the distance under which the index operates.
+	Metric() vecmath.Metric
+
+	// NewCursor begins an incremental nearest-neighbor traversal from q.
+	// If skipID >= 0, the point with that ID is omitted from the stream;
+	// RkNN algorithms use this to exclude a query that is itself a
+	// dataset member (see the self-exclusion convention in DESIGN.md).
+	NewCursor(q []float64, skipID int) Cursor
+
+	// KNN returns the k nearest neighbors of q in ascending distance
+	// order (fewer if the dataset is smaller). skipID as in NewCursor.
+	KNN(q []float64, k int, skipID int) []Neighbor
+
+	// Range returns all points within distance r of q, in ascending
+	// distance order. skipID as in NewCursor.
+	Range(q []float64, r float64, skipID int) []Neighbor
+
+	// CountRange returns |{x : d(q,x) <= r}|, excluding skipID. Back-ends
+	// may answer this without materializing the result set; SFT's
+	// verification step depends on it being cheap.
+	CountRange(q []float64, r float64, skipID int) int
+}
+
+// Builder constructs an Index over a dataset. Back-ends register a Builder
+// so that experiments can be parameterized by back-end name.
+type Builder interface {
+	// Build indexes the given points under the metric. The points slice
+	// is retained by reference; callers must not mutate it afterwards.
+	Build(points [][]float64, metric vecmath.Metric) (Index, error)
+
+	// Name identifies the back-end ("scan", "covertree", ...).
+	Name() string
+}
+
+// Dynamic is implemented by indexes that support online updates, the
+// property the paper highlights for dynamic scenarios (Section 4: "no
+// additional costs ... other than those due to changes made to the auxiliary
+// forward kNN index structure").
+type Dynamic interface {
+	Index
+
+	// Insert adds a point and returns its assigned ID.
+	Insert(p []float64) (int, error)
+
+	// Delete removes the point with the given ID. It reports whether the
+	// ID was present (and not already deleted).
+	Delete(id int) bool
+}
+
+// KNNDist returns the k-th nearest neighbor distance of q, or the distance of
+// the farthest point if fewer than k points are indexed. It is the d_k(·)
+// primitive of the paper's refinement test.
+func KNNDist(ix Index, q []float64, k int, skipID int) float64 {
+	nn := ix.KNN(q, k, skipID)
+	if len(nn) == 0 {
+		return 0
+	}
+	return nn[len(nn)-1].Dist
+}

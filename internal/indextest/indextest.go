@@ -1,0 +1,230 @@
+// Package indextest provides a conformance suite that every similarity-search
+// back-end in this module must pass: equivalence of cursor, kNN, range and
+// count-range results with the brute-force reference on randomized workloads.
+// Each index package runs the suite from its own tests.
+package indextest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/vecmath"
+)
+
+// RandPoints generates n points with coordinates uniform in [0,1)^dim.
+func RandPoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// ClusteredPoints generates points in c tight Gaussian clusters, the shape
+// that stresses tree balance and duplicate-ish regions.
+func ClusteredPoints(n, dim, c int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := RandPoints(c, dim, seed+1)
+	pts := make([][]float64, n)
+	for i := range pts {
+		ctr := centers[rng.Intn(c)]
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = ctr[j] + rng.NormFloat64()*0.01
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// refKNN computes exact k nearest neighbors by full sort.
+func refKNN(pts [][]float64, metric vecmath.Metric, q []float64, k, skipID int) []index.Neighbor {
+	var all []index.Neighbor
+	for id, p := range pts {
+		if id == skipID {
+			continue
+		}
+		all = append(all, index.Neighbor{ID: id, Dist: metric.Distance(q, p)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// Run exercises the back-end built by build over several workloads and
+// metrics, comparing every query primitive against brute force.
+func Run(t *testing.T, build func(points [][]float64, metric vecmath.Metric) (index.Index, error)) {
+	t.Helper()
+	workloads := []struct {
+		name string
+		pts  [][]float64
+	}{
+		{"uniform-3d", RandPoints(200, 3, 1)},
+		{"uniform-12d", RandPoints(150, 12, 2)},
+		{"clustered-5d", ClusteredPoints(200, 5, 8, 3)},
+		{"with-duplicates", withDuplicates(RandPoints(100, 4, 4), 20, 5)},
+		{"single-point", RandPoints(1, 3, 6)},
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			ix, err := build(w.pts, vecmath.Euclidean{})
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			verifyIndex(t, ix, w.pts, vecmath.Euclidean{})
+		})
+	}
+	t.Run("manhattan-metric", func(t *testing.T) {
+		pts := RandPoints(150, 4, 7)
+		ix, err := build(pts, vecmath.Manhattan{})
+		if err != nil {
+			t.Skipf("back-end rejects L1: %v", err)
+		}
+		verifyIndex(t, ix, pts, vecmath.Manhattan{})
+	})
+}
+
+func withDuplicates(pts [][]float64, copies, ofFirst int) [][]float64 {
+	out := append([][]float64{}, pts...)
+	for i := 0; i < copies; i++ {
+		out = append(out, vecmath.Clone(pts[i%ofFirst]))
+	}
+	return out
+}
+
+func verifyIndex(t *testing.T, ix index.Index, pts [][]float64, metric vecmath.Metric) {
+	t.Helper()
+	if ix.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(pts))
+	}
+	if ix.Dim() != len(pts[0]) {
+		t.Fatalf("Dim = %d, want %d", ix.Dim(), len(pts[0]))
+	}
+	rng := rand.New(rand.NewSource(42))
+	queries := 8
+	if len(pts) < queries {
+		queries = len(pts)
+	}
+	for qi := 0; qi < queries; qi++ {
+		var q []float64
+		skipID := -1
+		if qi%2 == 0 && len(pts) > 1 {
+			skipID = rng.Intn(len(pts))
+			q = pts[skipID]
+		} else {
+			q = make([]float64, len(pts[0]))
+			for j := range q {
+				q[j] = rng.Float64()
+			}
+		}
+		verifyCursor(t, ix, pts, metric, q, skipID)
+		for _, k := range []int{1, 3, len(pts)} {
+			verifyKNN(t, ix, pts, metric, q, k, skipID)
+		}
+		for _, r := range []float64{0, 0.05, 0.3, 10} {
+			verifyRange(t, ix, pts, metric, q, r, skipID)
+		}
+	}
+}
+
+func verifyCursor(t *testing.T, ix index.Index, pts [][]float64, metric vecmath.Metric, q []float64, skipID int) {
+	t.Helper()
+	want := refKNN(pts, metric, q, len(pts), skipID)
+	cur := ix.NewCursor(q, skipID)
+	prev := -1.0
+	var got []index.Neighbor
+	seen := map[int]bool{}
+	for {
+		nb, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if nb.Dist < prev-1e-12 {
+			t.Fatalf("cursor out of order: %g after %g", nb.Dist, prev)
+		}
+		if seen[nb.ID] {
+			t.Fatalf("cursor repeated id %d", nb.ID)
+		}
+		if nb.ID == skipID {
+			t.Fatalf("cursor returned skipped id %d", skipID)
+		}
+		if wantD := metric.Distance(q, pts[nb.ID]); math.Abs(wantD-nb.Dist) > 1e-9 {
+			t.Fatalf("cursor distance for id %d is %g, true %g", nb.ID, nb.Dist, wantD)
+		}
+		seen[nb.ID] = true
+		prev = nb.Dist
+		got = append(got, nb)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor yielded %d items, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("cursor position %d: dist %g, want %g", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func verifyKNN(t *testing.T, ix index.Index, pts [][]float64, metric vecmath.Metric, q []float64, k, skipID int) {
+	t.Helper()
+	got := ix.KNN(q, k, skipID)
+	want := refKNN(pts, metric, q, k, skipID)
+	if len(got) != len(want) {
+		t.Fatalf("KNN(k=%d) returned %d items, want %d", k, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("KNN(k=%d) position %d: dist %g, want %g", k, i, got[i].Dist, want[i].Dist)
+		}
+		if got[i].ID == skipID {
+			t.Fatalf("KNN returned skipped id")
+		}
+	}
+}
+
+func verifyRange(t *testing.T, ix index.Index, pts [][]float64, metric vecmath.Metric, q []float64, r float64, skipID int) {
+	t.Helper()
+	got := ix.Range(q, r, skipID)
+	count := ix.CountRange(q, r, skipID)
+	if len(got) != count {
+		t.Fatalf("Range(r=%g) len %d != CountRange %d", r, len(got), count)
+	}
+	wantCount := 0
+	for id, p := range pts {
+		if id == skipID {
+			continue
+		}
+		if metric.Distance(q, p) <= r {
+			wantCount++
+		}
+	}
+	if count != wantCount {
+		t.Fatalf("CountRange(r=%g) = %d, want %d", r, count, wantCount)
+	}
+	prev := -1.0
+	for _, nb := range got {
+		if nb.Dist > r {
+			t.Fatalf("Range returned dist %g > r %g", nb.Dist, r)
+		}
+		if nb.Dist < prev {
+			t.Fatalf("Range result not sorted")
+		}
+		prev = nb.Dist
+	}
+}

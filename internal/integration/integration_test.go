@@ -1,0 +1,251 @@
+// Package integration cross-checks every RkNN method in the repository on
+// shared workloads: run exactly (saturating parameters), all six methods
+// must return identical answers; run approximately, the approximation
+// semantics documented for each method must hold.
+package integration
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/covertree"
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/mrknncop"
+	"repro/internal/rdnntree"
+	"repro/internal/rtree"
+	"repro/internal/scan"
+	"repro/internal/sft"
+	"repro/internal/tpl"
+	"repro/internal/vecmath"
+)
+
+// method is one RkNN implementation under a fixed (dataset, k).
+type method struct {
+	name  string
+	query func(qid int) ([]int, error)
+}
+
+// buildAll constructs every method in exact configuration over the points.
+func buildAll(t *testing.T, pts [][]float64, k int) []method {
+	t.Helper()
+	metric := vecmath.Euclidean{}
+	fwd, err := scan.New(pts, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := covertree.New(pts, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdt, err := core.NewQuerier(fwd, core.Params{K: k, T: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdtCover, err := core.NewQuerier(ct, core.Params{K: k, T: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sftQ, err := sft.NewQuerier(fwd, sft.Params{K: k, Alpha: float64(len(pts)) / float64(k)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cop, err := mrknncop.New(pts, metric, k+1, fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdnn, err := rdnntree.New(pts, metric, k, fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := rtree.New(pts, metric, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tplQ, err := tpl.New(rt, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []method{
+		{"RDT(scan,t=64)", func(q int) ([]int, error) { r, err := rdt.ByID(q); return resultIDs(r, err) }},
+		{"RDT(cover,t=64)", func(q int) ([]int, error) { r, err := rdtCover.ByID(q); return resultIDs(r, err) }},
+		{"SFT(α=n/k)", func(q int) ([]int, error) { r, err := sftQ.ByID(q); return sftIDs(r, err) }},
+		{"MRkNNCoP", func(q int) ([]int, error) { r, err := cop.Query(q, k); return copIDs(r, err) }},
+		{"RdNN-Tree", rdnn.Query},
+		{"TPL", func(q int) ([]int, error) { r, err := tplQ.ByID(q); return tplIDs(r, err) }},
+	}
+}
+
+func resultIDs(r *core.Result, err error) ([]int, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.IDs, nil
+}
+
+func sftIDs(r *sft.Result, err error) ([]int, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.IDs, nil
+}
+
+func copIDs(r *mrknncop.Result, err error) ([]int, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.IDs, nil
+}
+
+func tplIDs(r *tpl.Result, err error) ([]int, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.IDs, nil
+}
+
+// TestAllMethodsAgreeExactly is the capstone consistency check: on several
+// workload shapes and ranks, every method in exact configuration must match
+// the brute-force answer (and therefore each other).
+func TestAllMethodsAgreeExactly(t *testing.T) {
+	workloads := []struct {
+		name string
+		pts  [][]float64
+	}{
+		{"sequoia", dataset.Sequoia(300, 1).Points},
+		{"fct", dataset.FCT(250, 2).Points},
+		{"uniform-8d", dataset.Uniform("u", 250, 8, 3).Points},
+		{"gaussmix", dataset.GaussianMixture("g", 300, 5, 6, 0.05, 4).Points},
+	}
+	for _, w := range workloads {
+		w := w
+		for _, k := range []int{1, 7} {
+			k := k
+			t.Run(fmt.Sprintf("%s/k=%d", w.name, k), func(t *testing.T) {
+				truth, err := bruteforce.New(w.pts, vecmath.Euclidean{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				methods := buildAll(t, w.pts, k)
+				for qid := 0; qid < 12; qid++ {
+					want, err := truth.RkNNByID(qid, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, m := range methods {
+						got, err := m.query(qid)
+						if err != nil {
+							t.Fatalf("%s qid=%d: %v", m.name, qid, err)
+						}
+						if !equalIDs(got, want) {
+							t.Errorf("%s qid=%d: got %v, want %v", m.name, qid, got, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestApproximateSemantics pins the documented behaviour of the approximate
+// configurations: perfect precision for plain RDT and SFT at any parameter,
+// and recall that saturates as the parameter grows.
+func TestApproximateSemantics(t *testing.T) {
+	pts := dataset.FCT(400, 9).Points
+	metric := vecmath.Euclidean{}
+	fwd, err := scan.New(pts, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := bruteforce.New(pts, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 8
+	for qid := 0; qid < 10; qid++ {
+		want, err := truth.RkNNByID(qid, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tv := range []float64{0.5, 2, 6} {
+			qr, err := core.NewQuerier(fwd, core.Params{K: k, T: tv})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := qr.ByID(qid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p := bruteforce.Precision(res.IDs, want); p != 1 {
+				t.Errorf("RDT t=%g qid=%d: precision %.3f", tv, qid, p)
+			}
+		}
+		for _, alpha := range []float64{1, 4} {
+			qr, err := sft.NewQuerier(fwd, sft.Params{K: k, Alpha: alpha})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := qr.ByID(qid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p := bruteforce.Precision(res.IDs, want); p != 1 {
+				t.Errorf("SFT α=%g qid=%d: precision %.3f", alpha, qid, p)
+			}
+		}
+	}
+}
+
+// TestMethodsShareForwardIndex checks that one index instance can serve
+// several methods concurrently — the deployment mode the harness uses.
+func TestMethodsShareForwardIndex(t *testing.T) {
+	pts := dataset.Sequoia(400, 5).Points
+	var fwd index.Index
+	fwd, err := covertree.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 5
+	rdt, err := core.NewQuerier(fwd, core.Params{K: k, T: 32, Plus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sftQ, err := sft.NewQuerier(fwd, sft.Params{K: k, Alpha: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	go func() {
+		for qid := 0; qid < 30; qid++ {
+			if _, err := rdt.ByID(qid); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for qid := 0; qid < 30; qid++ {
+			if _, err := sftQ.ByID(qid); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

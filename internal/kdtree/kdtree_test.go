@@ -1,0 +1,114 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/indextest"
+	"repro/internal/vecmath"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func(pts [][]float64, m vecmath.Metric) (index.Index, error) {
+		return New(pts, m)
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, vecmath.Euclidean{}); err == nil {
+		t.Error("accepted empty dataset")
+	}
+	if _, err := New([][]float64{{1}}, nil); err == nil {
+		t.Error("accepted nil metric")
+	}
+	if _, err := New([][]float64{{math.NaN()}}, vecmath.Euclidean{}); err == nil {
+		t.Error("accepted NaN coordinates")
+	}
+	// Angular cannot bound distances to boxes, so the k-d tree must
+	// refuse it rather than return wrong results.
+	if _, err := New([][]float64{{1, 0}}, vecmath.Angular{}); err == nil {
+		t.Error("accepted a metric without box bounds")
+	}
+}
+
+func TestChebyshevBackend(t *testing.T) {
+	pts := indextest.RandPoints(120, 3, 5)
+	ix, err := New(pts, vecmath.Chebyshev{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Spot-check kNN against scan-style brute force under L∞.
+	m := vecmath.Chebyshev{}
+	q := pts[11]
+	got := ix.KNN(q, 5, 11)
+	best := math.Inf(1)
+	for id, p := range pts {
+		if id == 11 {
+			continue
+		}
+		if d := m.Distance(q, p); d < best {
+			best = d
+		}
+	}
+	if len(got) != 5 || math.Abs(got[0].Dist-best) > 1e-12 {
+		t.Errorf("KNN under L∞: first dist %g, want %g", got[0].Dist, best)
+	}
+}
+
+// TestAllPointsIdentical exercises the zero-width split fallback.
+func TestAllPointsIdentical(t *testing.T) {
+	pts := make([][]float64, 100)
+	for i := range pts {
+		pts[i] = []float64{1, 2, 3}
+	}
+	ix, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	nn := ix.KNN([]float64{1, 2, 3}, 10, -1)
+	if len(nn) != 10 {
+		t.Fatalf("KNN = %d items, want 10", len(nn))
+	}
+	for _, nb := range nn {
+		if nb.Dist != 0 {
+			t.Errorf("distance %g, want 0", nb.Dist)
+		}
+	}
+	if got := ix.CountRange([]float64{1, 2, 3}, 0, -1); got != 100 {
+		t.Errorf("CountRange = %d, want 100", got)
+	}
+}
+
+// TestHalfDuplicatedDimension stresses the median shift when one side of the
+// cut is a long run of equal keys.
+func TestHalfDuplicatedDimension(t *testing.T) {
+	var pts [][]float64
+	for i := 0; i < 60; i++ {
+		pts = append(pts, []float64{5, float64(i)})
+	}
+	for i := 0; i < 40; i++ {
+		pts = append(pts, []float64{float64(i) / 100, 0})
+	}
+	ix, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cur := ix.NewCursor([]float64{5, 30}, -1)
+	count := 0
+	prev := -1.0
+	for {
+		nb, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if nb.Dist < prev {
+			t.Fatal("cursor out of order")
+		}
+		prev = nb.Dist
+		count++
+	}
+	if count != 100 {
+		t.Errorf("cursor yielded %d, want 100", count)
+	}
+}

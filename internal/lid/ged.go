@@ -1,0 +1,88 @@
+// Package lid implements the intrinsic-dimensionality machinery of the
+// paper: the generalized expansion dimension (GED, Section 3.2), its
+// dataset-wide maximum (MaxGED, the exactness threshold of Theorem 1), and
+// the three practical estimators of Section 6 used to choose the scale
+// parameter t automatically — the MLE (Hill) estimator of local intrinsic
+// dimensionality, the Grassberger-Procaccia correlation-dimension algorithm,
+// and the Takens estimator.
+package lid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/vecmath"
+)
+
+// GED returns the generalized expansion dimension determined by two
+// concentric neighborhood balls: ranks k1 < k2 at radii r1 < r2,
+//
+//	GED = log(k2/k1) / log(r2/r1).
+//
+// It returns an error when the rank or radius pairs are not strictly
+// increasing and positive.
+func GED(k1, k2 int, r1, r2 float64) (float64, error) {
+	if k1 <= 0 || k2 <= k1 {
+		return 0, fmt.Errorf("lid: GED needs 0 < k1 < k2, got %d, %d", k1, k2)
+	}
+	if !(r1 > 0) || r2 <= r1 {
+		return 0, fmt.Errorf("lid: GED needs 0 < r1 < r2, got %g, %g", r1, r2)
+	}
+	return math.Log(float64(k2)/float64(k1)) / math.Log(r2/r1), nil
+}
+
+// MaxGED computes the maximum generalized expansion dimension of the point
+// set for neighborhood size k, following the paper's definition:
+//
+//	MaxGED(S,k) = max over q ∈ S and k < s ≤ |S| with d_k(q) ≠ d_s(q) of
+//	              GED(B(q, d_s(q)), B(q, d_k(q))).
+//
+// Ranks are inclusive of the center (the paper's ball-count convention, so
+// d_1(q) = 0 for q ∈ S). Theorem 1 guarantees that RDT with t ≥
+// MaxGED(S ∪ {q}, k) returns the exact reverse k-NN result.
+//
+// The computation is Θ(n² log n); it exists as the reference oracle for the
+// Theorem 1 property tests and the MaxGED ablation, not for production use —
+// Section 6 of the paper explains why direct MaxGED estimation is
+// impractical and substitutes the ID estimators in this package.
+func MaxGED(points [][]float64, metric vecmath.Metric, k int) (float64, error) {
+	n := len(points)
+	if metric == nil {
+		return 0, errors.New("lid: nil metric")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("lid: k must be positive, got %d", k)
+	}
+	if n <= k {
+		return 0, fmt.Errorf("lid: need more than k=%d points, got %d", k, n)
+	}
+	maxGED := 0.0
+	dists := make([]float64, n)
+	for qi := range points {
+		for j := range points {
+			dists[j] = metric.Distance(points[qi], points[j])
+		}
+		sort.Float64s(dists)
+		// dists[i] is d_{i+1}(q) under inclusive ranks (dists[0] = 0,
+		// the center itself).
+		dk := dists[k-1]
+		if dk <= 0 {
+			// A zero-radius inner ball (duplicates of the center out
+			// to rank k) admits no GED test at this center.
+			continue
+		}
+		for s := k + 1; s <= n; s++ {
+			ds := dists[s-1]
+			if ds == dk {
+				continue
+			}
+			g := math.Log(float64(s)/float64(k)) / math.Log(ds/dk)
+			if g > maxGED {
+				maxGED = g
+			}
+		}
+	}
+	return maxGED, nil
+}

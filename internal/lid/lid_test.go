@@ -1,0 +1,212 @@
+package lid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/indextest"
+	"repro/internal/scan"
+	"repro/internal/vecmath"
+)
+
+func scanIndex(t *testing.T, pts [][]float64) *scan.Index {
+	t.Helper()
+	ix, err := scan.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatalf("scan.New: %v", err)
+	}
+	return ix
+}
+
+func TestGEDKnownValues(t *testing.T) {
+	// Doubling the radius and quadrupling the count is dimension 2.
+	g, err := GED(10, 40, 1, 2)
+	if err != nil {
+		t.Fatalf("GED: %v", err)
+	}
+	if math.Abs(g-2) > 1e-12 {
+		t.Errorf("GED = %g, want 2", g)
+	}
+	// Count growth of 2^d over a doubling is dimension d.
+	g, err = GED(5, 40, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-3) > 1e-12 {
+		t.Errorf("GED = %g, want 3", g)
+	}
+}
+
+func TestGEDValidation(t *testing.T) {
+	cases := []struct {
+		k1, k2 int
+		r1, r2 float64
+	}{
+		{0, 5, 1, 2},
+		{5, 5, 1, 2},
+		{5, 4, 1, 2},
+		{5, 10, 0, 2},
+		{5, 10, 2, 2},
+		{5, 10, 3, 2},
+	}
+	for _, tc := range cases {
+		if _, err := GED(tc.k1, tc.k2, tc.r1, tc.r2); err == nil {
+			t.Errorf("GED(%d,%d,%g,%g) succeeded, want error", tc.k1, tc.k2, tc.r1, tc.r2)
+		}
+	}
+}
+
+func TestMaxGEDValidation(t *testing.T) {
+	pts := indextest.RandPoints(10, 2, 1)
+	if _, err := MaxGED(pts, nil, 2); err == nil {
+		t.Error("accepted nil metric")
+	}
+	if _, err := MaxGED(pts, vecmath.Euclidean{}, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := MaxGED(pts, vecmath.Euclidean{}, 10); err == nil {
+		t.Error("accepted k >= n")
+	}
+}
+
+// TestMaxGEDDominatesLocalTests checks the defining property: MaxGED is an
+// upper bound for every individual dimensional test at kNN-distance radii.
+func TestMaxGEDDominatesLocalTests(t *testing.T) {
+	pts := indextest.ClusteredPoints(80, 3, 4, 7)
+	metric := vecmath.Euclidean{}
+	k := 4
+	maxged, err := MaxGED(pts, metric, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxged <= 0 {
+		t.Fatalf("MaxGED = %g, want positive", maxged)
+	}
+	// Recompute a handful of individual tests and compare.
+	ix := scanIndex(t, pts)
+	for qi := 0; qi < 10; qi++ {
+		nn := ix.KNN(pts[qi], len(pts), -1) // self included at rank 1
+		dk := nn[k-1].Dist
+		if dk <= 0 {
+			continue
+		}
+		for s := k + 1; s <= len(nn); s += 7 {
+			ds := nn[s-1].Dist
+			if ds == dk {
+				continue
+			}
+			g := math.Log(float64(s)/float64(k)) / math.Log(ds/dk)
+			if g > maxged+1e-9 {
+				t.Fatalf("local GED %g exceeds MaxGED %g", g, maxged)
+			}
+		}
+	}
+}
+
+// TestMLERecoverUniformDimension checks the Hill estimator against data of
+// known intrinsic dimensionality: the d-dimensional uniform cube.
+func TestMLERecoverUniformDimension(t *testing.T) {
+	for _, d := range []int{1, 2, 4} {
+		ds := dataset.Uniform("u", 2000, d, int64(d))
+		ix := scanIndex(t, ds.Points)
+		got, err := MLE(ix, MLEOptions{SampleFraction: 0.05, Neighbors: 100, Seed: 1})
+		if err != nil {
+			t.Fatalf("MLE: %v", err)
+		}
+		if got < float64(d)*0.6 || got > float64(d)*1.5 {
+			t.Errorf("MLE on uniform %d-cube = %.2f, want within [%.1f, %.1f]",
+				d, got, float64(d)*0.6, float64(d)*1.5)
+		}
+	}
+}
+
+// TestMLEManifoldIgnoresAmbientDimension checks that the estimate tracks the
+// latent dimension of an embedded manifold, not the representational one —
+// the property the whole paper rests on.
+func TestMLEManifoldIgnoresAmbientDimension(t *testing.T) {
+	ds := dataset.Manifold("m", 2000, 2, 40, 0.001, 3)
+	ix := scanIndex(t, ds.Points)
+	got, err := MLE(ix, MLEOptions{SampleFraction: 0.05, Neighbors: 100, Seed: 1})
+	if err != nil {
+		t.Fatalf("MLE: %v", err)
+	}
+	if got > 8 {
+		t.Errorf("MLE on 2-manifold in R^40 = %.2f, want well below ambient 40", got)
+	}
+	if got < 1 {
+		t.Errorf("MLE on 2-manifold = %.2f, want at least 1", got)
+	}
+}
+
+func TestMLEValidation(t *testing.T) {
+	ix := scanIndex(t, indextest.RandPoints(50, 2, 1))
+	if _, err := MLE(nil, DefaultMLEOptions()); err == nil {
+		t.Error("accepted nil index")
+	}
+	if _, err := MLE(ix, MLEOptions{SampleFraction: 0, Neighbors: 10}); err == nil {
+		t.Error("accepted zero sample fraction")
+	}
+	if _, err := MLE(ix, MLEOptions{SampleFraction: 2, Neighbors: 10}); err == nil {
+		t.Error("accepted sample fraction above 1")
+	}
+	if _, err := MLE(ix, MLEOptions{SampleFraction: 0.5, Neighbors: 1}); err == nil {
+		t.Error("accepted single-neighbor estimation")
+	}
+}
+
+func TestCorrelationDimensionEstimators(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		latent int
+		points [][]float64
+	}{
+		{"uniform-2d", 2, dataset.Uniform("u2", 1500, 2, 5).Points},
+		{"manifold-2-in-20", 2, dataset.Manifold("m", 1500, 2, 20, 0.001, 6).Points},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := DefaultPairwiseOptions()
+			gp, err := GrassbergerProcaccia(tc.points, vecmath.Euclidean{}, opts)
+			if err != nil {
+				t.Fatalf("GP: %v", err)
+			}
+			tk, err := Takens(tc.points, vecmath.Euclidean{}, opts)
+			if err != nil {
+				t.Fatalf("Takens: %v", err)
+			}
+			lo, hi := float64(tc.latent)*0.5, float64(tc.latent)*2.0
+			if gp < lo || gp > hi {
+				t.Errorf("GP = %.2f, want within [%.1f, %.1f]", gp, lo, hi)
+			}
+			if tk < lo || tk > hi {
+				t.Errorf("Takens = %.2f, want within [%.1f, %.1f]", tk, lo, hi)
+			}
+		})
+	}
+}
+
+func TestPairwiseValidation(t *testing.T) {
+	pts := indextest.RandPoints(20, 2, 1)
+	if _, err := GrassbergerProcaccia(pts, nil, DefaultPairwiseOptions()); err == nil {
+		t.Error("accepted nil metric")
+	}
+	bad := DefaultPairwiseOptions()
+	bad.MaxSample = 1
+	if _, err := GrassbergerProcaccia(pts, vecmath.Euclidean{}, bad); err == nil {
+		t.Error("accepted MaxSample=1")
+	}
+	bad = DefaultPairwiseOptions()
+	bad.TailFraction = 0
+	if _, err := Takens(pts, vecmath.Euclidean{}, bad); err == nil {
+		t.Error("accepted zero tail fraction")
+	}
+	if _, err := Takens([][]float64{{1}}, vecmath.Euclidean{}, DefaultPairwiseOptions()); err == nil {
+		t.Error("accepted single point")
+	}
+	// All-duplicate data has no positive pairwise distances.
+	dup := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	if _, err := Takens(dup, vecmath.Euclidean{}, DefaultPairwiseOptions()); err == nil {
+		t.Error("accepted all-duplicate data")
+	}
+}

@@ -1,0 +1,163 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/indextest"
+	"repro/internal/scan"
+	"repro/internal/vecmath"
+)
+
+func TestNewValidation(t *testing.T) {
+	pts := indextest.RandPoints(10, 3, 1)
+	if _, err := New(nil, vecmath.Euclidean{}, DefaultOptions()); err == nil {
+		t.Error("accepted empty dataset")
+	}
+	if _, err := New(pts, nil, DefaultOptions()); err == nil {
+		t.Error("accepted nil metric")
+	}
+	if _, err := New(pts, vecmath.Manhattan{}, DefaultOptions()); err == nil {
+		t.Error("accepted non-Euclidean metric")
+	}
+	bad := DefaultOptions()
+	bad.Tables = 0
+	if _, err := New(pts, vecmath.Euclidean{}, bad); err == nil {
+		t.Error("accepted zero tables")
+	}
+	bad = DefaultOptions()
+	bad.Hashes = 0
+	if _, err := New(pts, vecmath.Euclidean{}, bad); err == nil {
+		t.Error("accepted zero hashes")
+	}
+	bad = DefaultOptions()
+	bad.Width = math.NaN()
+	if _, err := New(pts, vecmath.Euclidean{}, bad); err == nil {
+		t.Error("accepted NaN width")
+	}
+}
+
+func TestCursorOrderingAndDedup(t *testing.T) {
+	pts := indextest.ClusteredPoints(500, 6, 5, 3)
+	ix, err := New(pts, vecmath.Euclidean{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := ix.NewCursor(pts[0], 0)
+	prev := -1.0
+	seen := map[int]bool{}
+	for {
+		nb, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if nb.ID == 0 {
+			t.Fatal("cursor returned skipped id")
+		}
+		if seen[nb.ID] {
+			t.Fatalf("cursor repeated id %d", nb.ID)
+		}
+		if nb.Dist < prev {
+			t.Fatalf("cursor out of order: %g after %g", nb.Dist, prev)
+		}
+		if want := (vecmath.Euclidean{}).Distance(pts[0], pts[nb.ID]); math.Abs(want-nb.Dist) > 1e-9 {
+			t.Fatalf("distance mismatch for id %d", nb.ID)
+		}
+		seen[nb.ID] = true
+		prev = nb.Dist
+	}
+	if len(seen) == 0 {
+		t.Fatal("cursor yielded nothing; the query's own bucket must at least collide with near duplicates")
+	}
+}
+
+// TestKNNCandidateRecall measures the approximation quality of the hash
+// tables themselves: on clustered data the true nearest neighbors land in
+// the query's buckets most of the time.
+func TestKNNCandidateRecall(t *testing.T) {
+	pts := indextest.ClusteredPoints(2000, 8, 10, 7)
+	ix, err := New(pts, vecmath.Euclidean{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := scan.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10
+	var hit, total int
+	for qid := 0; qid < 50; qid++ {
+		want := ref.KNN(pts[qid], k, qid)
+		got := ix.KNN(pts[qid], k, qid)
+		gotSet := map[int]bool{}
+		for _, nb := range got {
+			gotSet[nb.ID] = true
+		}
+		for _, nb := range want {
+			total++
+			if gotSet[nb.ID] {
+				hit++
+			}
+		}
+	}
+	recall := float64(hit) / float64(total)
+	if recall < 0.8 {
+		t.Errorf("candidate kNN recall %.3f, want >= 0.8 on clustered data", recall)
+	}
+}
+
+// TestRDTOverLSH is the paper's claim (iii) end to end: RDT+ running over
+// approximate neighbor rankings still reaches useful recall with perfect-
+// precision-free semantics left to the approximation.
+func TestRDTOverLSH(t *testing.T) {
+	pts := indextest.ClusteredPoints(1500, 6, 8, 9)
+	ix, err := New(pts, vecmath.Euclidean{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := core.NewQuerier(ix, core.Params{K: 10, T: 8, Plus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recallSum float64
+	const queries = 30
+	for qid := 0; qid < queries; qid++ {
+		res, err := qr.ByID(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := truth.RkNNByID(qid, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recallSum += bruteforce.Recall(res.IDs, want)
+	}
+	if mean := recallSum / queries; mean < 0.7 {
+		t.Errorf("RDT+ over LSH mean recall %.3f, want >= 0.7", mean)
+	}
+}
+
+func TestDuplicateHeavyData(t *testing.T) {
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = []float64{float64(i % 4), 0, 0}
+	}
+	ix, err := New(pts, vecmath.Euclidean{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact duplicates always share every bucket, so range at radius 0
+	// finds all 49 other copies.
+	if got := ix.CountRange(pts[0], 0, 0); got != 49 {
+		t.Errorf("CountRange on duplicates = %d, want 49", got)
+	}
+	if got := ix.KNN(pts[0], 3, 0); len(got) != 3 || got[0].Dist != 0 {
+		t.Errorf("KNN on duplicates = %v", got)
+	}
+}

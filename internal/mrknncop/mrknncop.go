@@ -1,0 +1,255 @@
+// Package mrknncop implements the MRkNNCoP baseline (Achtert, Böhm, Kröger,
+// Kunath, Pryakhin, Renz: "Efficient reverse k-nearest neighbor search in
+// arbitrary metric spaces", SIGMOD 2006), the exact precomputation-heavy
+// competitor the paper singles out for its implicit use of intrinsic
+// dimensionality (Section 2.1).
+//
+// MRkNNCoP assumes that an object's kNN distances follow the fractal-
+// dimension relationship log d_k ≈ a + b·log k. At build time the exact kNN
+// distances for k = 1..KMax are computed for every object (one forward kNN
+// query per object — the heavy step), and two conservative lines in log-log
+// space are fitted per object:
+//
+//	lower_o(k) ≤ d_k(o) ≤ upper_o(k)   for all 1 ≤ k ≤ KMax.
+//
+// The objects are stored in an M-tree whose routing entries aggregate the
+// maxima of the upper-line coefficients, so whole subtrees are pruned when
+// even their most generous upper bound cannot reach the query. At query
+// time an object with d(q,o) ≤ lower_o(k) is reported immediately, one with
+// d(q,o) > upper_o(k) is discarded, and the survivors are settled with one
+// forward kNN query each.
+package mrknncop
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/mtree"
+	"repro/internal/stats"
+	"repro/internal/vecmath"
+)
+
+// line is a bound line log d = A + B·log k (natural logarithms).
+type line struct {
+	A, B float64
+}
+
+// eval returns the bound at rank k.
+func (l line) eval(lnK float64) float64 { return math.Exp(l.A + l.B*lnK) }
+
+// Index is a prebuilt MRkNNCoP structure supporting exact RkNN queries for
+// any k up to KMax.
+type Index struct {
+	points  [][]float64
+	metric  vecmath.Metric
+	kmax    int
+	lower   []line
+	upper   []line
+	tree    *mtree.Tree
+	forward index.Index
+	// PrecomputeTime records the wall-clock cost of the kNN tables and
+	// line fits, the quantity Figures 8 and 9 of the paper are about.
+	PrecomputeTime time.Duration
+}
+
+// Stats reports the work one query performed.
+type Stats struct {
+	// Definite counts objects accepted via the lower bound line without
+	// verification.
+	Definite int
+	// Pruned counts leaf objects rejected via the upper bound line.
+	Pruned int
+	// Verified counts forward kNN verification queries issued.
+	Verified int
+}
+
+// Result is the answer to one query.
+type Result struct {
+	IDs   []int
+	Stats Stats
+}
+
+// New precomputes the MRkNNCoP index over points. The forward index is used
+// for the kNN tables at build time and for verification at query time; kmax
+// bounds the neighbor ranks the index can answer.
+func New(points [][]float64, metric vecmath.Metric, kmax int, forward index.Index) (*Index, error) {
+	if metric == nil {
+		return nil, errors.New("mrknncop: nil metric")
+	}
+	if kmax <= 1 {
+		return nil, fmt.Errorf("mrknncop: KMax must exceed 1, got %d", kmax)
+	}
+	if forward == nil {
+		return nil, errors.New("mrknncop: nil forward index")
+	}
+	if forward.Len() != len(points) {
+		return nil, errors.New("mrknncop: forward index size does not match points")
+	}
+	start := time.Now()
+	lower := make([]line, len(points))
+	upper := make([]line, len(points))
+	values := make([][]float64, len(points))
+	for id, p := range points {
+		nn := forward.KNN(p, kmax, id)
+		dists := make([]float64, len(nn))
+		for i, nb := range nn {
+			dists[i] = nb.Dist
+		}
+		lo, up := fitBoundLines(dists)
+		lower[id], upper[id] = lo, up
+		values[id] = []float64{up.A, up.B}
+	}
+	tree, err := mtree.New(points, metric, values)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		points:         points,
+		metric:         metric,
+		kmax:           kmax,
+		lower:          lower,
+		upper:          upper,
+		tree:           tree,
+		forward:        forward,
+		PrecomputeTime: time.Since(start),
+	}, nil
+}
+
+// fitBoundLines fits one least-squares line through (ln k, ln d_k) and
+// shifts its intercept up and down until it conservatively bounds every
+// sample. Zero distances (duplicate points) force the lower bound to zero,
+// encoded as intercept −∞.
+func fitBoundLines(dists []float64) (lower, upper line) {
+	var xs, ys []float64
+	hasZero := false
+	for i, d := range dists {
+		if d <= 0 {
+			hasZero = true
+			continue
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(d))
+	}
+	var fit stats.Line
+	if len(xs) >= 2 {
+		if l, err := stats.FitLine(xs, ys); err == nil {
+			fit = l
+		}
+		// A degenerate fit (all ranks coincide after the zero filter)
+		// keeps the zero line, which the shifts below still make safe.
+	}
+	loShift, hiShift := 0.0, 0.0
+	for i := range xs {
+		resid := ys[i] - fit.Eval(xs[i])
+		if resid > hiShift {
+			hiShift = resid
+		}
+		if resid < loShift {
+			loShift = resid
+		}
+	}
+	// Pad both intercepts by a relative epsilon in log space: the
+	// exp/log round trip loses an ulp, and an object whose query
+	// distance exactly equals its kNN distance (every k=1 mutual
+	// nearest neighbor) would otherwise be rejected by its own bound.
+	const logEps = 1e-9
+	upper = line{A: fit.Intercept + hiShift + logEps, B: fit.Slope}
+	lower = line{A: fit.Intercept + loShift - logEps, B: fit.Slope}
+	if hasZero || len(xs) == 0 {
+		lower = line{A: math.Inf(-1)}
+	}
+	if len(xs) == 0 {
+		upper = line{A: math.Inf(-1)}
+	}
+	return lower, upper
+}
+
+// KMax returns the largest supported neighbor rank.
+func (ix *Index) KMax() int { return ix.kmax }
+
+// LowerBound returns the precomputed lower bound on d_k(id).
+func (ix *Index) LowerBound(id, k int) float64 { return ix.lower[id].eval(math.Log(float64(k))) }
+
+// UpperBound returns the precomputed upper bound on d_k(id).
+func (ix *Index) UpperBound(id, k int) float64 { return ix.upper[id].eval(math.Log(float64(k))) }
+
+// Query returns the exact reverse k-nearest neighbors of dataset member qid.
+func (ix *Index) Query(qid, k int) (*Result, error) {
+	if qid < 0 || qid >= len(ix.points) {
+		return nil, fmt.Errorf("mrknncop: query id %d out of range [0,%d)", qid, len(ix.points))
+	}
+	return ix.query(ix.points[qid], qid, k)
+}
+
+// QueryPoint returns the exact reverse k-nearest neighbors of an arbitrary
+// query point (with kNN distances taken over the database alone).
+func (ix *Index) QueryPoint(q []float64, k int) (*Result, error) {
+	if err := vecmath.Validate(q); err != nil {
+		return nil, err
+	}
+	if len(q) != len(ix.points[0]) {
+		return nil, vecmath.ErrDimensionMismatch
+	}
+	return ix.query(q, -1, k)
+}
+
+func (ix *Index) query(q []float64, skipID, k int) (*Result, error) {
+	if k <= 0 || k > ix.kmax {
+		return nil, fmt.Errorf("mrknncop: k must be in [1,%d], got %d", ix.kmax, k)
+	}
+	lnK := math.Log(float64(k))
+	var res Result
+
+	var visit func(v mtree.NodeView)
+	visit = func(v mtree.NodeView) {
+		for i := 0; i < v.NumEntries(); i++ {
+			id := v.EntryID(i)
+			d := ix.metric.Distance(q, ix.points[id])
+			if v.IsLeaf() {
+				if id == skipID {
+					continue
+				}
+				switch {
+				case d <= ix.lower[id].eval(lnK):
+					res.Stats.Definite++
+					res.IDs = append(res.IDs, id)
+				case d > ix.upper[id].eval(lnK):
+					res.Stats.Pruned++
+				default:
+					res.Stats.Verified++
+					if ix.verify(id, d, k) {
+						res.IDs = append(res.IDs, id)
+					}
+				}
+				continue
+			}
+			// Subtree pruning: the most generous upper bound any
+			// object below can have is exp(max A + max B·ln k),
+			// using the aggregated coefficient maxima (valid since
+			// ln k ≥ 0 for k ≥ 1).
+			agg := v.EntryAggregate(i)
+			maxUpper := math.Exp(agg[0] + agg[1]*lnK)
+			lb := d - v.EntryRadius(i)
+			if lb > maxUpper {
+				continue
+			}
+			visit(v.EntryChild(i))
+		}
+	}
+	visit(ix.tree.Root())
+	sort.Ints(res.IDs)
+	return &res, nil
+}
+
+// verify settles a candidate with one forward kNN query.
+func (ix *Index) verify(id int, dq float64, k int) bool {
+	nn := ix.forward.KNN(ix.points[id], k, id)
+	if len(nn) < k {
+		return true
+	}
+	return nn[len(nn)-1].Dist >= dq
+}

@@ -1,0 +1,199 @@
+package mrknncop
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bruteforce"
+	"repro/internal/indextest"
+	"repro/internal/scan"
+	"repro/internal/vecmath"
+)
+
+func buildIndex(t *testing.T, pts [][]float64, kmax int) *Index {
+	t.Helper()
+	fwd, err := scan.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatalf("scan.New: %v", err)
+	}
+	ix, err := New(pts, vecmath.Euclidean{}, kmax, fwd)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return ix
+}
+
+func TestNewValidation(t *testing.T) {
+	pts := indextest.RandPoints(10, 2, 1)
+	fwd, err := scan.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(pts, nil, 10, fwd); err == nil {
+		t.Error("accepted nil metric")
+	}
+	if _, err := New(pts, vecmath.Euclidean{}, 1, fwd); err == nil {
+		t.Error("accepted kmax=1")
+	}
+	if _, err := New(pts, vecmath.Euclidean{}, 10, nil); err == nil {
+		t.Error("accepted nil forward index")
+	}
+}
+
+// TestBoundLinesBracketTruth is the core correctness property: for every
+// object and every rank up to KMax, the fitted lines must bracket the true
+// kNN distance.
+func TestBoundLinesBracketTruth(t *testing.T) {
+	pts := indextest.ClusteredPoints(150, 4, 5, 3)
+	kmax := 20
+	ix := buildIndex(t, pts, kmax)
+	fwd, err := scan.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range pts {
+		nn := fwd.KNN(pts[id], kmax, id)
+		for k := 1; k <= len(nn); k++ {
+			truth := nn[k-1].Dist
+			lo := ix.LowerBound(id, k)
+			up := ix.UpperBound(id, k)
+			if lo > truth*(1+1e-9)+1e-12 {
+				t.Fatalf("id=%d k=%d: lower bound %g above truth %g", id, k, lo, truth)
+			}
+			if up < truth*(1-1e-9)-1e-12 {
+				t.Fatalf("id=%d k=%d: upper bound %g below truth %g", id, k, up, truth)
+			}
+		}
+	}
+}
+
+// TestBoundLinesWithDuplicates checks the zero-distance handling: objects
+// with duplicate neighbors get a zero lower bound and valid upper bound.
+func TestBoundLinesWithDuplicates(t *testing.T) {
+	base := indextest.RandPoints(30, 3, 7)
+	pts := append([][]float64{}, base...)
+	for i := 0; i < 6; i++ {
+		pts = append(pts, vecmath.Clone(base[0]))
+	}
+	kmax := 5
+	ix := buildIndex(t, pts, kmax)
+	// Point 0 has six exact duplicates, so d_k = 0 for k <= 6.
+	for k := 1; k <= kmax; k++ {
+		if lo := ix.LowerBound(0, k); lo != 0 {
+			t.Errorf("LowerBound(0,%d) = %g, want 0", k, lo)
+		}
+	}
+}
+
+// TestExactness checks MRkNNCoP against brute force across ranks: filter
+// plus verification must be exact for any k <= KMax.
+func TestExactness(t *testing.T) {
+	pts := indextest.ClusteredPoints(220, 4, 6, 5)
+	kmax := 16
+	ix := buildIndex(t, pts, kmax)
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 4, 16} {
+		for qid := 0; qid < 25; qid++ {
+			got, err := ix.Query(qid, k)
+			if err != nil {
+				t.Fatalf("Query: %v", err)
+			}
+			want, err := truth.RkNNByID(qid, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalIDs(got.IDs, want) {
+				t.Errorf("k=%d qid=%d: got %v, want %v", k, qid, got.IDs, want)
+			}
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ix := buildIndex(t, indextest.RandPoints(30, 2, 2), 8)
+	if _, err := ix.Query(-1, 2); err == nil {
+		t.Error("accepted negative qid")
+	}
+	if _, err := ix.Query(30, 2); err == nil {
+		t.Error("accepted out-of-range qid")
+	}
+	if _, err := ix.Query(0, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := ix.Query(0, 9); err == nil {
+		t.Error("accepted k above KMax")
+	}
+	if _, err := ix.QueryPoint([]float64{1}, 2); err == nil {
+		t.Error("accepted dimension mismatch")
+	}
+	if _, err := ix.QueryPoint([]float64{math.NaN(), 0}, 2); err == nil {
+		t.Error("accepted NaN query")
+	}
+	if ix.KMax() != 8 {
+		t.Errorf("KMax = %d", ix.KMax())
+	}
+	if ix.PrecomputeTime <= 0 {
+		t.Error("PrecomputeTime not recorded")
+	}
+}
+
+func TestExternalQuery(t *testing.T) {
+	pts := indextest.RandPoints(120, 3, 11)
+	ix := buildIndex(t, pts, 10)
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.4, 0.6, 0.2}
+	got, err := ix.QueryPoint(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := truth.RkNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got.IDs, want) {
+		t.Errorf("external: got %v, want %v", got.IDs, want)
+	}
+}
+
+// TestFitBoundLinesProperty property-checks the fitter in isolation over
+// random nondecreasing distance sequences.
+func TestFitBoundLinesProperty(t *testing.T) {
+	property := func(seedRaw uint32, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		dists := make([]float64, n)
+		v := float64(seedRaw%100) / 100
+		for i := range dists {
+			v += float64((seedRaw>>(i%16))&3) / 7
+			dists[i] = v
+		}
+		lo, up := fitBoundLines(dists)
+		for i, d := range dists {
+			lnK := math.Log(float64(i + 1))
+			if lo.eval(lnK) > d*(1+1e-9)+1e-12 {
+				return false
+			}
+			if up.eval(lnK) < d*(1-1e-9)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

@@ -1,0 +1,95 @@
+// Package pqueue provides the priority queues used by the index structures:
+// a generic min-heap keyed by float64 priority, and a bounded max-heap for
+// accumulating k nearest neighbors.
+//
+// The standard library's container/heap requires an interface-based
+// implementation with per-operation allocations; the indexes in this module
+// sit inside tight best-first search loops, so these heaps are implemented
+// directly over generic slices.
+package pqueue
+
+// Item is a payload with a float64 priority.
+type Item[T any] struct {
+	Priority float64
+	Value    T
+}
+
+// Min is a binary min-heap on Item.Priority. The zero value is an empty heap
+// ready to use.
+type Min[T any] struct {
+	items []Item[T]
+}
+
+// NewMin returns an empty min-heap with the given initial capacity.
+func NewMin[T any](capacity int) *Min[T] {
+	return &Min[T]{items: make([]Item[T], 0, capacity)}
+}
+
+// Len returns the number of queued items.
+func (h *Min[T]) Len() int { return len(h.items) }
+
+// Push inserts value with the given priority.
+func (h *Min[T]) Push(priority float64, value T) {
+	h.items = append(h.items, Item[T]{Priority: priority, Value: value})
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum-priority item without removing it. The boolean is
+// false when the heap is empty.
+func (h *Min[T]) Peek() (Item[T], bool) {
+	if len(h.items) == 0 {
+		return Item[T]{}, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the minimum-priority item. The boolean is false
+// when the heap is empty.
+func (h *Min[T]) Pop() (Item[T], bool) {
+	if len(h.items) == 0 {
+		return Item[T]{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero Item[T]
+	h.items[last] = zero // release payload for GC
+	h.items = h.items[:last]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// Reset empties the heap, retaining capacity.
+func (h *Min[T]) Reset() { h.items = h.items[:0] }
+
+func (h *Min[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Priority <= h.items[i].Priority {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *Min[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.items[l].Priority < h.items[smallest].Priority {
+			smallest = l
+		}
+		if r < n && h.items[r].Priority < h.items[smallest].Priority {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

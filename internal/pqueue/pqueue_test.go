@@ -1,0 +1,167 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinHeapOrdering(t *testing.T) {
+	h := NewMin[string](4)
+	h.Push(3, "c")
+	h.Push(1, "a")
+	h.Push(2, "b")
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		it, ok := h.Pop()
+		if !ok || it.Value != w {
+			t.Fatalf("Pop = (%v,%v), want %q", it, ok, w)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Error("Pop on empty heap reported ok")
+	}
+}
+
+func TestMinHeapPeek(t *testing.T) {
+	h := NewMin[int](0)
+	if _, ok := h.Peek(); ok {
+		t.Error("Peek on empty heap reported ok")
+	}
+	h.Push(5, 50)
+	h.Push(2, 20)
+	it, ok := h.Peek()
+	if !ok || it.Priority != 2 || it.Value != 20 {
+		t.Errorf("Peek = %+v, want priority 2 value 20", it)
+	}
+	if h.Len() != 2 {
+		t.Errorf("Peek consumed an item: len %d", h.Len())
+	}
+}
+
+func TestMinHeapReset(t *testing.T) {
+	h := NewMin[int](0)
+	h.Push(1, 1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Errorf("len after Reset = %d", h.Len())
+	}
+}
+
+// TestMinHeapSortsRandomInput property-checks that repeated Pop yields a
+// non-decreasing priority sequence containing exactly the pushed items.
+func TestMinHeapSortsRandomInput(t *testing.T) {
+	property := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		rng := rand.New(rand.NewSource(seed))
+		h := NewMin[int](0)
+		pushed := make([]float64, n)
+		for i := 0; i < n; i++ {
+			p := rng.Float64()
+			pushed[i] = p
+			h.Push(p, i)
+		}
+		var popped []float64
+		for {
+			it, ok := h.Pop()
+			if !ok {
+				break
+			}
+			popped = append(popped, it.Priority)
+		}
+		if len(popped) != n {
+			return false
+		}
+		if !sort.Float64sAreSorted(popped) {
+			return false
+		}
+		sort.Float64s(pushed)
+		for i := range pushed {
+			if pushed[i] != popped[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKKeepsSmallest(t *testing.T) {
+	top := NewTopK[int](3)
+	for i, p := range []float64{9, 1, 8, 2, 7, 3} {
+		top.Offer(p, i)
+	}
+	got := top.Sorted()
+	wantPriorities := []float64{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, it := range got {
+		if it.Priority != wantPriorities[i] {
+			t.Errorf("Sorted()[%d].Priority = %g, want %g", i, it.Priority, wantPriorities[i])
+		}
+	}
+	if b, full := top.Bound(); !full || b != 3 {
+		t.Errorf("Bound = (%g,%v), want (3,true)", b, full)
+	}
+}
+
+func TestTopKUnderfill(t *testing.T) {
+	top := NewTopK[int](5)
+	top.Offer(1, 0)
+	if top.Full() {
+		t.Error("Full with 1/5 items")
+	}
+	if _, full := top.Bound(); full {
+		t.Error("Bound reported full with 1/5 items")
+	}
+	if top.Len() != 1 {
+		t.Errorf("Len = %d", top.Len())
+	}
+}
+
+func TestTopKPanicsOnNonPositiveK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	NewTopK[int](0)
+}
+
+// TestTopKMatchesSort property-checks TopK against a full sort.
+func TestTopKMatchesSort(t *testing.T) {
+	property := func(seed int64, kRaw, nRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		n := int(nRaw%200) + 1
+		rng := rand.New(rand.NewSource(seed))
+		top := NewTopK[int](k)
+		all := make([]float64, n)
+		for i := 0; i < n; i++ {
+			p := rng.Float64()
+			all[i] = p
+			top.Offer(p, i)
+		}
+		sort.Float64s(all)
+		got := top.Sorted()
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		for i := range got {
+			if got[i].Priority != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package pqueue
+
+import "sort"
+
+// TopK accumulates the k smallest-priority items seen so far. It is the
+// standard bounded max-heap used for kNN search: the root holds the current
+// k-th smallest priority, so a candidate can be discarded in O(1) when it
+// cannot improve the result.
+type TopK[T any] struct {
+	k     int
+	items []Item[T] // max-heap on Priority
+}
+
+// NewTopK returns an accumulator for the k smallest items. It panics if
+// k <= 0; callers validate k at the library boundary.
+func NewTopK[T any](k int) *TopK[T] {
+	if k <= 0 {
+		panic("pqueue: TopK requires k > 0")
+	}
+	return &TopK[T]{k: k, items: make([]Item[T], 0, k)}
+}
+
+// Len returns the number of retained items (at most k).
+func (t *TopK[T]) Len() int { return len(t.items) }
+
+// Full reports whether k items have been accumulated.
+func (t *TopK[T]) Full() bool { return len(t.items) == t.k }
+
+// Bound returns the current k-th smallest priority, or +Inf semantics via
+// (0, false) when fewer than k items have been offered.
+func (t *TopK[T]) Bound() (float64, bool) {
+	if len(t.items) < t.k {
+		return 0, false
+	}
+	return t.items[0].Priority, true
+}
+
+// Offer considers (priority, value) for inclusion and reports whether it was
+// retained.
+func (t *TopK[T]) Offer(priority float64, value T) bool {
+	if len(t.items) < t.k {
+		t.items = append(t.items, Item[T]{Priority: priority, Value: value})
+		t.up(len(t.items) - 1)
+		return true
+	}
+	if priority >= t.items[0].Priority {
+		return false
+	}
+	t.items[0] = Item[T]{Priority: priority, Value: value}
+	t.down(0)
+	return true
+}
+
+// Sorted returns the retained items in ascending priority order. The heap is
+// left intact.
+func (t *TopK[T]) Sorted() []Item[T] {
+	out := make([]Item[T], len(t.items))
+	copy(out, t.items)
+	sort.Slice(out, func(i, j int) bool { return out[i].Priority < out[j].Priority })
+	return out
+}
+
+func (t *TopK[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.items[parent].Priority >= t.items[i].Priority {
+			return
+		}
+		t.items[parent], t.items[i] = t.items[i], t.items[parent]
+		i = parent
+	}
+}
+
+func (t *TopK[T]) down(i int) {
+	n := len(t.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.items[l].Priority > t.items[largest].Priority {
+			largest = l
+		}
+		if r < n && t.items[r].Priority > t.items[largest].Priority {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.items[i], t.items[largest] = t.items[largest], t.items[i]
+		i = largest
+	}
+}

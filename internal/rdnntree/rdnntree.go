@@ -1,0 +1,141 @@
+// Package rdnntree implements the RdNN-Tree baseline (Yang & Lin, ICDE
+// 2001), one of the exact precomputation-heavy competitors in the paper's
+// evaluation (Section 2.1).
+//
+// At build time the k-nearest-neighbor distance d_k(x) of every database
+// object is computed (the expensive step the paper highlights: one forward
+// kNN query per object) and stored with the object in an R-tree whose
+// interior entries aggregate the subtree maximum of those distances. An
+// RkNN query then reduces to the range-style traversal "find all x with
+// d(q,x) ≤ d_k(x)": a subtree is pruned as soon as the query's distance to
+// its bounding box exceeds the subtree's largest kNN distance.
+//
+// The tree answers queries only for the single k it was built with —
+// exactly the deficiency (one tree per k) the paper points out.
+package rdnntree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/rtree"
+	"repro/internal/vecmath"
+)
+
+// Tree is an RdNN-Tree: an R-tree over the dataset augmented with kNN
+// distances for one fixed k.
+type Tree struct {
+	rt     *rtree.Tree
+	metric vecmath.Metric
+	k      int
+	kdist  []float64
+	// PrecomputeTime records the wall-clock cost of the kNN distance
+	// table, the quantity Figures 8 and 9 of the paper are about.
+	PrecomputeTime time.Duration
+}
+
+// New builds an RdNN-Tree for neighbor rank k. The forward index supplies
+// the kNN distance precomputation and must be built over exactly the same
+// points (it is used only during construction).
+func New(points [][]float64, metric vecmath.Metric, k int, forward index.Index) (*Tree, error) {
+	if metric == nil {
+		return nil, errors.New("rdnntree: nil metric")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("rdnntree: k must be positive, got %d", k)
+	}
+	if forward == nil {
+		return nil, errors.New("rdnntree: nil forward index")
+	}
+	if forward.Len() != len(points) {
+		return nil, errors.New("rdnntree: forward index size does not match points")
+	}
+	start := time.Now()
+	kdist := make([]float64, len(points))
+	for id, p := range points {
+		nn := forward.KNN(p, k, id)
+		if len(nn) == 0 {
+			kdist[id] = 0
+			continue
+		}
+		kdist[id] = nn[len(nn)-1].Dist
+	}
+	precompute := time.Since(start)
+	rt, err := rtree.New(points, metric, kdist)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		rt:             rt,
+		metric:         metric,
+		k:              k,
+		kdist:          kdist,
+		PrecomputeTime: precompute,
+	}, nil
+}
+
+// K returns the neighbor rank the tree was built for.
+func (t *Tree) K() int { return t.k }
+
+// KDist returns the precomputed kNN distance of the given object.
+func (t *Tree) KDist(id int) float64 { return t.kdist[id] }
+
+// Query returns the exact reverse k-nearest neighbors of the dataset member
+// qid, sorted ascending.
+func (t *Tree) Query(qid int) ([]int, error) {
+	if qid < 0 || qid >= t.rt.Len() {
+		return nil, fmt.Errorf("rdnntree: query id %d out of range [0,%d)", qid, t.rt.Len())
+	}
+	return t.query(t.rt.Point(qid), qid), nil
+}
+
+// QueryPoint returns the exact reverse k-nearest neighbors of an arbitrary
+// query point.
+//
+// Note the asymmetric semantics inherited from the stored d_k values: the
+// kNN distances were computed over the database only, so for an external
+// query the result is the set of objects that would have q among their k
+// nearest neighbors if q were added to the database.
+func (t *Tree) QueryPoint(q []float64) ([]int, error) {
+	if err := vecmath.Validate(q); err != nil {
+		return nil, err
+	}
+	if len(q) != t.rt.Dim() {
+		return nil, vecmath.ErrDimensionMismatch
+	}
+	return t.query(q, -1), nil
+}
+
+func (t *Tree) query(q []float64, skipID int) []int {
+	boxer := t.metric.(vecmath.BoxDistancer) // enforced by rtree.New
+	var result []int
+	var visit func(v rtree.NodeView)
+	visit = func(v rtree.NodeView) {
+		for i := 0; i < v.NumEntries(); i++ {
+			lo, hi := v.EntryMBR(i)
+			// The subtree can contain a reverse neighbor only if some
+			// point in it could lie within its own kNN distance of q;
+			// the aggregated max kNN distance bounds that.
+			if boxer.BoxDistance(q, lo, hi) > v.EntryValue(i) {
+				continue
+			}
+			if v.IsLeaf() {
+				id := v.EntryID(i)
+				if id == skipID {
+					continue
+				}
+				if t.metric.Distance(q, t.rt.Point(id)) <= t.kdist[id] {
+					result = append(result, id)
+				}
+				continue
+			}
+			visit(v.EntryChild(i))
+		}
+	}
+	visit(t.rt.Root())
+	sort.Ints(result)
+	return result
+}

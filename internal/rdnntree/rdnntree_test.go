@@ -1,0 +1,146 @@
+package rdnntree
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/indextest"
+	"repro/internal/scan"
+	"repro/internal/vecmath"
+)
+
+func buildTree(t *testing.T, pts [][]float64, k int) *Tree {
+	t.Helper()
+	fwd, err := scan.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatalf("scan.New: %v", err)
+	}
+	tree, err := New(pts, vecmath.Euclidean{}, k, fwd)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tree
+}
+
+func TestNewValidation(t *testing.T) {
+	pts := indextest.RandPoints(10, 2, 1)
+	fwd, err := scan.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(pts, nil, 1, fwd); err == nil {
+		t.Error("accepted nil metric")
+	}
+	if _, err := New(pts, vecmath.Euclidean{}, 0, fwd); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := New(pts, vecmath.Euclidean{}, 1, nil); err == nil {
+		t.Error("accepted nil forward index")
+	}
+	other, err := scan.New(indextest.RandPoints(5, 2, 2), vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(pts, vecmath.Euclidean{}, 1, other); err == nil {
+		t.Error("accepted mismatched forward index")
+	}
+	if _, err := New(pts, vecmath.Angular{}, 1, fwd); err == nil {
+		t.Error("accepted metric without box bounds")
+	}
+}
+
+// TestExactness checks the RdNN-Tree against brute force on several
+// workloads and ranks: the method is exact by construction.
+func TestExactness(t *testing.T) {
+	for _, k := range []int{1, 5, 12} {
+		for _, seed := range []int64{1, 2} {
+			pts := indextest.ClusteredPoints(250, 4, 5, seed)
+			tree := buildTree(t, pts, k)
+			truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qid := 0; qid < 25; qid++ {
+				got, err := tree.Query(qid)
+				if err != nil {
+					t.Fatalf("Query: %v", err)
+				}
+				want, err := truth.RkNNByID(qid, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalIDs(got, want) {
+					t.Errorf("k=%d seed=%d qid=%d: got %v, want %v", k, seed, qid, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExternalQueryPoint(t *testing.T) {
+	pts := indextest.RandPoints(150, 3, 7)
+	k := 4
+	tree := buildTree(t, pts, k)
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5, 0.5, 0.5}
+	got, err := tree.QueryPoint(q)
+	if err != nil {
+		t.Fatalf("QueryPoint: %v", err)
+	}
+	want, err := truth.RkNN(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got, want) {
+		t.Errorf("external: got %v, want %v", got, want)
+	}
+	if _, err := tree.QueryPoint([]float64{1}); err == nil {
+		t.Error("accepted dimension mismatch")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	tree := buildTree(t, indextest.RandPoints(20, 2, 3), 2)
+	if _, err := tree.Query(-1); err == nil {
+		t.Error("accepted negative qid")
+	}
+	if _, err := tree.Query(20); err == nil {
+		t.Error("accepted out-of-range qid")
+	}
+}
+
+func TestKDistMatchesBruteforce(t *testing.T) {
+	pts := indextest.RandPoints(100, 3, 5)
+	k := 3
+	tree := buildTree(t, pts, k)
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := truth.KNNDists(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range pts {
+		if got := tree.KDist(id); got != want[id] {
+			t.Errorf("KDist(%d) = %g, want %g", id, got, want[id])
+		}
+	}
+	if tree.K() != k {
+		t.Errorf("K() = %d, want %d", tree.K(), k)
+	}
+	if tree.PrecomputeTime <= 0 {
+		t.Error("PrecomputeTime not recorded")
+	}
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

@@ -1,0 +1,14 @@
+package rtree
+
+import "errors"
+
+// Structural-invariant violations reported by CheckInvariants.
+var (
+	errEntryCount     = errors.New("rtree: node entry count outside [minEntries, maxEntries]")
+	errEmptyNode      = errors.New("rtree: empty node")
+	errDuplicatePoint = errors.New("rtree: point appears twice")
+	errContainment    = errors.New("rtree: child MBR escapes parent entry MBR")
+	errStaleAggregate = errors.New("rtree: interior aggregate below child maximum")
+	errStaleValue     = errors.New("rtree: leaf value disagrees with source values")
+	errMissingPoints  = errors.New("rtree: tree does not contain every point")
+)

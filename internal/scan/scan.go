@@ -1,0 +1,190 @@
+// Package scan implements the sequential-scan similarity-search back-end: a
+// flat array of points with no preprocessing at all.
+//
+// The paper (Section 7.1) uses sequential scan as the forward-kNN back-end
+// for its highest-dimensional datasets (MNIST, Imagenet), where tree indexes
+// lose their pruning power to the curse of dimensionality. Scan is also the
+// reference implementation against which every other back-end in this module
+// is tested.
+package scan
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/pqueue"
+	"repro/internal/vecmath"
+)
+
+// Index is a brute-force sequential scan over the dataset. It implements
+// index.Index and index.Dynamic. The zero value is not usable; construct
+// with New.
+type Index struct {
+	points  [][]float64
+	metric  vecmath.Metric
+	dim     int
+	deleted map[int]bool // tombstones for Dynamic support
+	alive   int
+}
+
+var _ index.Dynamic = (*Index)(nil)
+
+// New builds a scan index over points. The slice is retained by reference.
+func New(points [][]float64, metric vecmath.Metric) (*Index, error) {
+	if metric == nil {
+		return nil, errors.New("scan: nil metric")
+	}
+	if err := vecmath.ValidateAll(points); err != nil {
+		return nil, err
+	}
+	return &Index{
+		points:  points,
+		metric:  metric,
+		dim:     len(points[0]),
+		deleted: make(map[int]bool),
+		alive:   len(points),
+	}, nil
+}
+
+// Builder constructs scan indexes; it implements index.Builder.
+type Builder struct{}
+
+// Build implements index.Builder.
+func (Builder) Build(points [][]float64, metric vecmath.Metric) (index.Index, error) {
+	return New(points, metric)
+}
+
+// Name implements index.Builder.
+func (Builder) Name() string { return "scan" }
+
+// Len implements index.Index. Deleted points are excluded.
+func (ix *Index) Len() int { return ix.alive }
+
+// Dim implements index.Index.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Point implements index.Index.
+func (ix *Index) Point(id int) []float64 { return ix.points[id] }
+
+// Metric implements index.Index.
+func (ix *Index) Metric() vecmath.Metric { return ix.metric }
+
+// Insert implements index.Dynamic.
+func (ix *Index) Insert(p []float64) (int, error) {
+	if err := vecmath.Validate(p); err != nil {
+		return 0, err
+	}
+	if len(p) != ix.dim {
+		return 0, vecmath.CheckDims(p, ix.points[0])
+	}
+	ix.points = append(ix.points, p)
+	ix.alive++
+	return len(ix.points) - 1, nil
+}
+
+// Delete implements index.Dynamic using a tombstone.
+func (ix *Index) Delete(id int) bool {
+	if id < 0 || id >= len(ix.points) || ix.deleted[id] {
+		return false
+	}
+	ix.deleted[id] = true
+	ix.alive--
+	return true
+}
+
+func (ix *Index) skip(id, skipID int) bool {
+	return id == skipID || ix.deleted[id]
+}
+
+// NewCursor implements index.Index. The cursor materializes and sorts all
+// distances up front: O(n log n) per query, which is the intended cost model
+// for this back-end.
+func (ix *Index) NewCursor(q []float64, skipID int) index.Cursor {
+	order := make([]index.Neighbor, 0, len(ix.points))
+	for id, p := range ix.points {
+		if ix.skip(id, skipID) {
+			continue
+		}
+		order = append(order, index.Neighbor{ID: id, Dist: ix.metric.Distance(q, p)})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Dist != order[j].Dist {
+			return order[i].Dist < order[j].Dist
+		}
+		return order[i].ID < order[j].ID
+	})
+	return &sliceCursor{order: order}
+}
+
+type sliceCursor struct {
+	order []index.Neighbor
+	next  int
+}
+
+func (c *sliceCursor) Next() (index.Neighbor, bool) {
+	if c.next >= len(c.order) {
+		return index.Neighbor{}, false
+	}
+	n := c.order[c.next]
+	c.next++
+	return n, true
+}
+
+// KNN implements index.Index with a bounded max-heap, avoiding the full sort
+// of NewCursor.
+func (ix *Index) KNN(q []float64, k int, skipID int) []index.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	top := pqueue.NewTopK[int](k)
+	for id, p := range ix.points {
+		if ix.skip(id, skipID) {
+			continue
+		}
+		d := ix.metric.Distance(q, p)
+		if bound, full := top.Bound(); !full || d < bound {
+			top.Offer(d, id)
+		}
+	}
+	items := top.Sorted()
+	out := make([]index.Neighbor, len(items))
+	for i, it := range items {
+		out[i] = index.Neighbor{ID: it.Value, Dist: it.Priority}
+	}
+	return out
+}
+
+// Range implements index.Index.
+func (ix *Index) Range(q []float64, r float64, skipID int) []index.Neighbor {
+	var out []index.Neighbor
+	for id, p := range ix.points {
+		if ix.skip(id, skipID) {
+			continue
+		}
+		if d := ix.metric.Distance(q, p); d <= r {
+			out = append(out, index.Neighbor{ID: id, Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// CountRange implements index.Index without materializing the result.
+func (ix *Index) CountRange(q []float64, r float64, skipID int) int {
+	count := 0
+	for id, p := range ix.points {
+		if ix.skip(id, skipID) {
+			continue
+		}
+		if ix.metric.Distance(q, p) <= r {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,212 @@
+package scan
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func randPoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, vecmath.Euclidean{}); err == nil {
+		t.Error("accepted empty dataset")
+	}
+	if _, err := New([][]float64{{1}}, nil); err == nil {
+		t.Error("accepted nil metric")
+	}
+	if _, err := New([][]float64{{1, 2}, {3}}, vecmath.Euclidean{}); err == nil {
+		t.Error("accepted ragged dataset")
+	}
+	if _, err := New([][]float64{{math.NaN()}}, vecmath.Euclidean{}); err == nil {
+		t.Error("accepted NaN coordinates")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	pts := randPoints(20, 4, 1)
+	ix, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 20 || ix.Dim() != 4 {
+		t.Errorf("Len/Dim = %d/%d, want 20/4", ix.Len(), ix.Dim())
+	}
+	if ix.Metric().Name() != "euclidean" {
+		t.Errorf("Metric = %s", ix.Metric().Name())
+	}
+	if &ix.Point(3)[0] != &pts[3][0] {
+		t.Error("Point should return the retained slice")
+	}
+}
+
+func TestCursorOrderingAndSkip(t *testing.T) {
+	pts := randPoints(50, 3, 2)
+	ix, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pts[7]
+	cur := ix.NewCursor(q, 7)
+	prev := -1.0
+	seen := map[int]bool{}
+	count := 0
+	for {
+		nb, ok := cur.Next()
+		if !ok {
+			break
+		}
+		count++
+		if nb.ID == 7 {
+			t.Fatal("cursor returned the skipped ID")
+		}
+		if nb.Dist < prev {
+			t.Fatalf("cursor out of order: %g after %g", nb.Dist, prev)
+		}
+		if seen[nb.ID] {
+			t.Fatalf("cursor repeated ID %d", nb.ID)
+		}
+		seen[nb.ID] = true
+		prev = nb.Dist
+	}
+	if count != 49 {
+		t.Errorf("cursor yielded %d items, want 49", count)
+	}
+}
+
+func TestKNNMatchesCursor(t *testing.T) {
+	pts := randPoints(80, 5, 3)
+	ix, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pts[0]
+	for _, k := range []int{1, 5, 79, 200} {
+		knn := ix.KNN(q, k, 0)
+		cur := ix.NewCursor(q, 0)
+		for i := range knn {
+			nb, ok := cur.Next()
+			if !ok {
+				t.Fatalf("cursor exhausted at %d", i)
+			}
+			if math.Abs(nb.Dist-knn[i].Dist) > 1e-12 {
+				t.Fatalf("k=%d pos=%d: KNN dist %g, cursor dist %g", k, i, knn[i].Dist, nb.Dist)
+			}
+		}
+		wantLen := k
+		if k > 79 {
+			wantLen = 79
+		}
+		if len(knn) != wantLen {
+			t.Errorf("k=%d: len %d, want %d", k, len(knn), wantLen)
+		}
+	}
+	if got := ix.KNN(q, 0, -1); got != nil {
+		t.Errorf("KNN with k=0 = %v, want nil", got)
+	}
+}
+
+func TestRangeAndCount(t *testing.T) {
+	pts := randPoints(100, 2, 4)
+	ix, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pts[10]
+	r := 0.3
+	got := ix.Range(q, r, 10)
+	if len(got) != ix.CountRange(q, r, 10) {
+		t.Errorf("Range len %d != CountRange %d", len(got), ix.CountRange(q, r, 10))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Dist < got[j].Dist }) {
+		t.Error("Range result not sorted")
+	}
+	for _, nb := range got {
+		if nb.Dist > r {
+			t.Errorf("Range returned %g > %g", nb.Dist, r)
+		}
+		if nb.ID == 10 {
+			t.Error("Range returned the skipped ID")
+		}
+	}
+	// Verify completeness against a manual filter.
+	want := 0
+	for id, p := range pts {
+		if id == 10 {
+			continue
+		}
+		if (vecmath.Euclidean{}).Distance(q, p) <= r {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("Range found %d, manual filter %d", len(got), want)
+	}
+}
+
+func TestDynamicInsertDelete(t *testing.T) {
+	pts := randPoints(10, 3, 5)
+	ix, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ix.Insert([]float64{0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if id != 10 || ix.Len() != 11 {
+		t.Errorf("Insert id %d len %d, want 10 and 11", id, ix.Len())
+	}
+	if _, err := ix.Insert([]float64{1, 2}); err == nil {
+		t.Error("Insert accepted wrong dimension")
+	}
+	if _, err := ix.Insert([]float64{math.NaN(), 0, 0}); err == nil {
+		t.Error("Insert accepted NaN")
+	}
+	if !ix.Delete(3) {
+		t.Error("Delete(3) reported false")
+	}
+	if ix.Delete(3) {
+		t.Error("double Delete reported true")
+	}
+	if ix.Delete(-1) || ix.Delete(100) {
+		t.Error("Delete out of range reported true")
+	}
+	if ix.Len() != 10 {
+		t.Errorf("Len after delete = %d, want 10", ix.Len())
+	}
+	// Deleted points must vanish from all query paths.
+	q := pts[3]
+	for _, nb := range ix.KNN(q, 11, -1) {
+		if nb.ID == 3 {
+			t.Error("KNN returned deleted point")
+		}
+	}
+	cur := ix.NewCursor(q, -1)
+	for {
+		nb, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if nb.ID == 3 {
+			t.Error("cursor returned deleted point")
+		}
+	}
+	if ix.CountRange(q, 0, -1) != 0 {
+		t.Error("CountRange found the deleted point at distance 0")
+	}
+}

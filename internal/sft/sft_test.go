@@ -1,0 +1,214 @@
+package sft
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/indextest"
+	"repro/internal/scan"
+	"repro/internal/vecmath"
+)
+
+func newScan(t *testing.T, pts [][]float64) *scan.Index {
+	t.Helper()
+	ix, err := scan.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatalf("scan.New: %v", err)
+	}
+	return ix
+}
+
+func TestNewQuerierValidation(t *testing.T) {
+	ix := newScan(t, indextest.RandPoints(10, 2, 1))
+	if _, err := NewQuerier(nil, Params{K: 1, Alpha: 2}); err == nil {
+		t.Error("accepted nil index")
+	}
+	if _, err := NewQuerier(ix, Params{K: 0, Alpha: 2}); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := NewQuerier(ix, Params{K: 1, Alpha: 0.5}); err == nil {
+		t.Error("accepted alpha < 1")
+	}
+	if _, err := NewQuerier(ix, Params{K: 1, Alpha: math.NaN()}); err == nil {
+		t.Error("accepted NaN alpha")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	ix := newScan(t, indextest.RandPoints(10, 3, 1))
+	qr, err := NewQuerier(ix, Params{K: 2, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qr.ByID(-1); err == nil {
+		t.Error("accepted negative id")
+	}
+	if _, err := qr.ByID(10); err == nil {
+		t.Error("accepted out-of-range id")
+	}
+	if _, err := qr.ByPoint([]float64{1}); err == nil {
+		t.Error("accepted dimension mismatch")
+	}
+	if _, err := qr.ByPoint([]float64{1, 2, math.NaN()}); err == nil {
+		t.Error("accepted NaN query")
+	}
+}
+
+// TestExactWithFullAlpha checks that α large enough to make the boundary set
+// the whole dataset turns SFT exact (the guarantee noted in the paper's
+// Section 2.2).
+func TestExactWithFullAlpha(t *testing.T) {
+	pts := indextest.ClusteredPoints(180, 4, 5, 2)
+	ix := newScan(t, pts)
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 5} {
+		qr, err := NewQuerier(ix, Params{K: k, Alpha: float64(len(pts)) / float64(k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qid := 0; qid < 25; qid++ {
+			got, err := qr.ByID(qid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := truth.RkNNByID(qid, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalIDs(got.IDs, want) {
+				t.Errorf("k=%d qid=%d: got %v, want %v", k, qid, got.IDs, want)
+			}
+		}
+	}
+}
+
+// TestNoFalsePositives checks SFT precision at any α: the count-range
+// verification is exact, so every reported ID is a true reverse neighbor.
+func TestNoFalsePositives(t *testing.T) {
+	pts := indextest.RandPoints(200, 5, 3)
+	ix := newScan(t, pts)
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	for _, alpha := range []float64{1, 1.5, 2, 4, 8} {
+		qr, err := NewQuerier(ix, Params{K: k, Alpha: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qid := 0; qid < 20; qid++ {
+			got, err := qr.ByID(qid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := truth.RkNNByID(qid, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p := bruteforce.Precision(got.IDs, want); p != 1 {
+				t.Errorf("alpha=%g qid=%d: precision %.3f", alpha, qid, p)
+			}
+		}
+	}
+}
+
+// TestRecallMonotoneInAlpha mirrors the paper's time-accuracy tradeoff: a
+// larger boundary set can only add answers.
+func TestRecallMonotoneInAlpha(t *testing.T) {
+	pts := indextest.RandPoints(150, 4, 9)
+	ix := newScan(t, pts)
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 5
+	for qid := 0; qid < 10; qid++ {
+		want, err := truth.RkNNByID(qid, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for _, alpha := range []float64{1, 2, 4, 8, 16, 30} {
+			qr, err := NewQuerier(ix, Params{K: k, Alpha: alpha})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := qr.ByID(qid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := bruteforce.Recall(got.IDs, want)
+			if r < prev {
+				t.Errorf("qid=%d: recall fell from %.3f to %.3f at alpha=%g", qid, prev, r, alpha)
+			}
+			prev = r
+		}
+		if prev != 1 {
+			t.Errorf("qid=%d: recall at alpha=30 is %.3f, want 1", qid, prev)
+		}
+	}
+}
+
+// TestDuplicateHeavy checks tie handling: duplicates of the query must be
+// reported (they always have the query at forward rank one).
+func TestDuplicateHeavy(t *testing.T) {
+	base := indextest.RandPoints(50, 3, 4)
+	pts := append([][]float64{}, base...)
+	for i := 0; i < 5; i++ {
+		pts = append(pts, vecmath.Clone(base[0]))
+	}
+	ix := newScan(t, pts)
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 2
+	qr, err := NewQuerier(ix, Params{K: k, Alpha: float64(len(pts)) / float64(k)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := qr.ByID(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := truth.RkNNByID(0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got.IDs, want) {
+		t.Errorf("duplicates: got %v, want %v", got.IDs, want)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	pts := indextest.RandPoints(120, 3, 8)
+	ix := newScan(t, pts)
+	qr, err := NewQuerier(ix, Params{K: 5, Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := qr.ByID(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Candidates != 15 {
+		t.Errorf("Candidates = %d, want ceil(3*5)=15", st.Candidates)
+	}
+	if st.FilterRejects+st.Verified != st.Candidates {
+		t.Errorf("rejects(%d) + verified(%d) != candidates(%d)", st.FilterRejects, st.Verified, st.Candidates)
+	}
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty-sample statistics should be 0")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("single-sample variance should be 0")
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %g, want 3", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %g, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %g, want 5", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %g, want 2", got)
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Errorf("interpolated P50 = %g, want 5", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %g, want 0", got)
+	}
+	// Input must not be modified.
+	if xs[0] != 5 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	line, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatalf("FitLine: %v", err)
+	}
+	if math.Abs(line.Slope-2) > 1e-12 || math.Abs(line.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", line)
+	}
+	if math.Abs(line.R2-1) > 1e-12 {
+		t.Errorf("R2 = %g, want 1", line.R2)
+	}
+	if got := line.Eval(10); math.Abs(got-21) > 1e-12 {
+		t.Errorf("Eval(10) = %g, want 21", got)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("FitLine accepted a single point")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("FitLine accepted mismatched lengths")
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("FitLine accepted a vertical line")
+	}
+}
+
+func TestFitLineHorizontal(t *testing.T) {
+	line, err := FitLine([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatalf("FitLine: %v", err)
+	}
+	if line.Slope != 0 || line.R2 != 1 {
+		t.Errorf("horizontal fit = %+v, want slope 0 R2 1", line)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 4, 1, 5})
+	if err != nil {
+		t.Fatalf("MinMax: %v", err)
+	}
+	if lo != -1 || hi != 5 {
+		t.Errorf("MinMax = (%g,%g), want (-1,5)", lo, hi)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("MinMax accepted empty input")
+	}
+}

@@ -1,0 +1,240 @@
+// Package tpl implements the TPL baseline (Tao, Papadias, Lian: "Reverse
+// kNN search in arbitrary dimensionality", VLDB 2004), the exact dynamic
+// competitor in the paper's evaluation (Section 2.2).
+//
+// TPL performs a single best-first traversal of an R-tree ordered by
+// distance to the query. Every retrieved point becomes a candidate and
+// contributes a perpendicular bisector between itself and the query: any
+// object (or whole bounding rectangle) lying on the far side of k or more
+// candidate bisectors cannot have the query among its k nearest neighbors
+// and is pruned ("k-trim"). Surviving candidates are settled in a
+// refinement pass.
+//
+// Two MBR-versus-bisector tests are used, as in the half-space pruning
+// literature: the exact convexity test over the 2^dim box corners when the
+// dimensionality is small, and a conservative max-distance test otherwise.
+// Both only ever prune rectangles that are certainly on the candidate's
+// side, so the result stays exact; the paper's own pruning is tighter but
+// shares the guarantee. Refinement verifies candidates with one forward kNN
+// query each instead of TPL's in-tree counting, which keeps the semantics
+// identical to the other methods in this repository.
+package tpl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/pqueue"
+	"repro/internal/rtree"
+	"repro/internal/vecmath"
+)
+
+// cornerTestMaxDim bounds the dimensionality for the exact 2^dim corner
+// test; beyond it the conservative distance test is used.
+const cornerTestMaxDim = 8
+
+// Querier answers exact RkNN queries with the TPL strategy over an R-tree.
+type Querier struct {
+	rt     *rtree.Tree
+	metric vecmath.Metric
+	boxer  vecmath.BoxDistancer
+	k      int
+}
+
+// Stats reports the work one query performed.
+type Stats struct {
+	// NodesPruned counts subtrees cut by accumulated bisectors.
+	NodesPruned int
+	// PointsPruned counts points cut by accumulated bisectors.
+	PointsPruned int
+	// Candidates counts points that survived trimming.
+	Candidates int
+	// Verified counts refinement kNN queries (every candidate).
+	Verified int
+}
+
+// Result is the answer to one query.
+type Result struct {
+	IDs   []int
+	Stats Stats
+}
+
+// New builds a TPL querier for neighbor rank k over an existing R-tree.
+func New(rt *rtree.Tree, k int) (*Querier, error) {
+	if rt == nil {
+		return nil, errors.New("tpl: nil R-tree")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("tpl: k must be positive, got %d", k)
+	}
+	boxer, ok := rt.Metric().(vecmath.BoxDistancer)
+	if !ok {
+		return nil, errors.New("tpl: metric cannot bound box distances")
+	}
+	return &Querier{rt: rt, metric: rt.Metric(), boxer: boxer, k: k}, nil
+}
+
+// ByID answers the query for dataset member qid.
+func (qr *Querier) ByID(qid int) (*Result, error) {
+	if qid < 0 || qid >= qr.rt.Len() {
+		return nil, fmt.Errorf("tpl: query id %d out of range [0,%d)", qid, qr.rt.Len())
+	}
+	return qr.run(qr.rt.Point(qid), qid), nil
+}
+
+// ByPoint answers the query for an arbitrary point.
+func (qr *Querier) ByPoint(q []float64) (*Result, error) {
+	if err := vecmath.Validate(q); err != nil {
+		return nil, err
+	}
+	if len(q) != qr.rt.Dim() {
+		return nil, vecmath.ErrDimensionMismatch
+	}
+	return qr.run(q, -1), nil
+}
+
+// heapItem is a pending subtree or point ordered by distance to the query.
+type heapItem struct {
+	view rtree.NodeView
+	isPt bool
+	id   int
+	dist float64
+}
+
+func (qr *Querier) run(q []float64, skipID int) *Result {
+	var res Result
+	var candidates []index.Neighbor // trimmed-in points, in retrieval order
+
+	pq := pqueue.NewMin[heapItem](64)
+	rootView := qr.rt.Root()
+	pq.Push(0, heapItem{view: rootView})
+
+	for {
+		it, ok := pq.Pop()
+		if !ok {
+			break
+		}
+		h := it.Value
+		if h.isPt {
+			if qr.countTrims(q, qr.rt.Point(h.id), h.dist, candidates) >= qr.k {
+				res.Stats.PointsPruned++
+				continue
+			}
+			candidates = append(candidates, index.Neighbor{ID: h.id, Dist: h.dist})
+			continue
+		}
+		v := h.view
+		for i := 0; i < v.NumEntries(); i++ {
+			if v.IsLeaf() {
+				id := v.EntryID(i)
+				if id == skipID {
+					continue
+				}
+				d := qr.metric.Distance(q, qr.rt.Point(id))
+				pq.Push(d, heapItem{isPt: true, id: id, dist: d})
+				continue
+			}
+			lo, hi := v.EntryMBR(i)
+			if qr.countBoxTrims(q, lo, hi, candidates) >= qr.k {
+				res.Stats.NodesPruned++
+				continue
+			}
+			pq.Push(qr.boxer.BoxDistance(q, lo, hi), heapItem{view: v.EntryChild(i)})
+		}
+	}
+
+	res.Stats.Candidates = len(candidates)
+	for _, c := range candidates {
+		res.Stats.Verified++
+		if qr.verify(c) {
+			res.IDs = append(res.IDs, c.ID)
+		}
+	}
+	sort.Ints(res.IDs)
+	return &res
+}
+
+// countTrims counts candidates strictly closer to p than the query is; k of
+// them certify that p is not a reverse neighbor.
+func (qr *Querier) countTrims(q, p []float64, dq float64, candidates []index.Neighbor) int {
+	count := 0
+	for _, c := range candidates {
+		if qr.metric.Distance(p, qr.rt.Point(c.ID)) < dq {
+			count++
+			if count >= qr.k {
+				return count
+			}
+		}
+	}
+	return count
+}
+
+// countBoxTrims counts candidates whose bisector certainly separates the
+// whole box from the query: every point of the box is strictly closer to
+// the candidate than to the query.
+func (qr *Querier) countBoxTrims(q, lo, hi []float64, candidates []index.Neighbor) int {
+	count := 0
+	for _, c := range candidates {
+		if qr.boxBehindBisector(q, qr.rt.Point(c.ID), lo, hi) {
+			count++
+			if count >= qr.k {
+				return count
+			}
+		}
+	}
+	return count
+}
+
+// boxBehindBisector reports whether every point of [lo,hi] is strictly
+// closer to cand than to q.
+func (qr *Querier) boxBehindBisector(q, cand, lo, hi []float64) bool {
+	if _, euclidean := qr.metric.(vecmath.Euclidean); euclidean && len(q) <= cornerTestMaxDim {
+		// Exact test, Euclidean only: {x : d(x,cand) < d(x,q)} is an
+		// open half-space there (hence convex), so it contains the box
+		// iff it contains every corner. Under other metrics the
+		// closer-to-cand region is not convex and the test is unsound.
+		return qr.allCornersCloser(q, cand, lo, hi, 0, make([]float64, len(q)))
+	}
+	// Conservative metric-agnostic test: the farthest box point from cand
+	// must still be closer to cand than the nearest box point is to q.
+	return maxBoxDistance(qr.metric, cand, lo, hi) < qr.boxer.BoxDistance(q, lo, hi)
+}
+
+func (qr *Querier) allCornersCloser(q, cand, lo, hi []float64, dim int, corner []float64) bool {
+	if dim == len(q) {
+		return qr.metric.Distance(corner, cand) < qr.metric.Distance(corner, q)
+	}
+	corner[dim] = lo[dim]
+	if !qr.allCornersCloser(q, cand, lo, hi, dim+1, corner) {
+		return false
+	}
+	corner[dim] = hi[dim]
+	return qr.allCornersCloser(q, cand, lo, hi, dim+1, corner)
+}
+
+// maxBoxDistance upper-bounds the distance from p to any point of the box
+// by the distance to the per-coordinate farthest corner. Exact for Lp
+// metrics.
+func maxBoxDistance(metric vecmath.Metric, p []float64, lo, hi []float64) float64 {
+	far := make([]float64, len(p))
+	for j := range p {
+		if math.Abs(p[j]-lo[j]) >= math.Abs(p[j]-hi[j]) {
+			far[j] = lo[j]
+		} else {
+			far[j] = hi[j]
+		}
+	}
+	return metric.Distance(p, far)
+}
+
+// verify settles a candidate with one forward kNN query against the tree.
+func (qr *Querier) verify(c index.Neighbor) bool {
+	nn := qr.rt.KNN(qr.rt.Point(c.ID), qr.k, c.ID)
+	if len(nn) < qr.k {
+		return true
+	}
+	return nn[len(nn)-1].Dist >= c.Dist
+}

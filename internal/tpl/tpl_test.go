@@ -1,0 +1,145 @@
+package tpl
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/indextest"
+	"repro/internal/rtree"
+	"repro/internal/vecmath"
+)
+
+func buildQuerier(t *testing.T, pts [][]float64, k int) *Querier {
+	t.Helper()
+	rt, err := rtree.New(pts, vecmath.Euclidean{}, nil)
+	if err != nil {
+		t.Fatalf("rtree.New: %v", err)
+	}
+	qr, err := New(rt, k)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return qr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Error("accepted nil tree")
+	}
+	rt, err := rtree.New(indextest.RandPoints(10, 2, 1), vecmath.Euclidean{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(rt, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+// TestExactnessLowDim exercises the exact corner test (dim <= 8).
+func TestExactnessLowDim(t *testing.T) {
+	for _, k := range []int{1, 4, 10} {
+		pts := indextest.ClusteredPoints(220, 3, 6, int64(k))
+		qr := buildQuerier(t, pts, k)
+		truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qid := 0; qid < 20; qid++ {
+			got, err := qr.ByID(qid)
+			if err != nil {
+				t.Fatalf("ByID: %v", err)
+			}
+			want, err := truth.RkNNByID(qid, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalIDs(got.IDs, want) {
+				t.Errorf("k=%d qid=%d: got %v, want %v", k, qid, got.IDs, want)
+			}
+		}
+	}
+}
+
+// TestExactnessHighDim exercises the conservative max-distance test
+// (dim > cornerTestMaxDim).
+func TestExactnessHighDim(t *testing.T) {
+	pts := indextest.RandPoints(180, 12, 4)
+	k := 5
+	qr := buildQuerier(t, pts, k)
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qid := 0; qid < 15; qid++ {
+		got, err := qr.ByID(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := truth.RkNNByID(qid, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(got.IDs, want) {
+			t.Errorf("qid=%d: got %v, want %v", qid, got.IDs, want)
+		}
+	}
+}
+
+func TestExternalQuery(t *testing.T) {
+	pts := indextest.RandPoints(150, 3, 9)
+	k := 3
+	qr := buildQuerier(t, pts, k)
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.2, 0.8, 0.5}
+	got, err := qr.ByPoint(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := truth.RkNN(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got.IDs, want) {
+		t.Errorf("external: got %v, want %v", got.IDs, want)
+	}
+	if _, err := qr.ByPoint([]float64{1}); err == nil {
+		t.Error("accepted dimension mismatch")
+	}
+	if _, err := qr.ByID(-1); err == nil {
+		t.Error("accepted negative qid")
+	}
+	if _, err := qr.ByID(150); err == nil {
+		t.Error("accepted out-of-range qid")
+	}
+}
+
+// TestPruningActuallyHappens guards against the pruning degenerating to a
+// full scan on well-separated clustered data.
+func TestPruningActuallyHappens(t *testing.T) {
+	pts := indextest.ClusteredPoints(600, 2, 12, 3)
+	qr := buildQuerier(t, pts, 2)
+	res, err := qr.ByID(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.NodesPruned == 0 && res.Stats.PointsPruned == 0 {
+		t.Error("no pruning occurred on clustered 2-D data")
+	}
+	if res.Stats.Candidates >= len(pts) {
+		t.Errorf("candidate set did not shrink: %d of %d", res.Stats.Candidates, len(pts))
+	}
+	if res.Stats.Verified != res.Stats.Candidates {
+		t.Errorf("verified %d != candidates %d", res.Stats.Verified, res.Stats.Candidates)
+	}
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

@@ -1,0 +1,131 @@
+package tpl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/indextest"
+	"repro/internal/rtree"
+	"repro/internal/vecmath"
+)
+
+func TestMaxBoxDistance(t *testing.T) {
+	lo := []float64{0, 0}
+	hi := []float64{2, 2}
+	// From the origin corner, the farthest box point is (2,2).
+	if got := maxBoxDistance(vecmath.Euclidean{}, []float64{0, 0}, lo, hi); math.Abs(got-2*math.Sqrt2) > 1e-12 {
+		t.Errorf("maxBoxDistance from corner = %g, want %g", got, 2*math.Sqrt2)
+	}
+	// From the center, any corner is farthest.
+	if got := maxBoxDistance(vecmath.Euclidean{}, []float64{1, 1}, lo, hi); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("maxBoxDistance from center = %g, want %g", got, math.Sqrt2)
+	}
+	// From far outside, the near/far corners differ per coordinate.
+	if got := maxBoxDistance(vecmath.Euclidean{}, []float64{5, 1}, lo, hi); math.Abs(got-math.Hypot(5, 1)) > 1e-12 {
+		t.Errorf("maxBoxDistance outside = %g, want %g", got, math.Hypot(5, 1))
+	}
+}
+
+func TestBoxBehindBisectorCornerCases(t *testing.T) {
+	pts := indextest.RandPoints(100, 2, 1)
+	rt, err := rtree.New(pts, vecmath.Euclidean{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := New(rt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0, 0}
+	cand := []float64{10, 10}
+	// A box hugging the candidate is entirely on its side.
+	if !qr.boxBehindBisector(q, cand, []float64{9, 9}, []float64{11, 11}) {
+		t.Error("box around candidate not recognized as behind the bisector")
+	}
+	// A box hugging the query is not.
+	if qr.boxBehindBisector(q, cand, []float64{-1, -1}, []float64{1, 1}) {
+		t.Error("box around query wrongly pruned")
+	}
+	// A box straddling the bisector is not prunable.
+	if qr.boxBehindBisector(q, cand, []float64{4, 4}, []float64{6, 6}) {
+		t.Error("straddling box wrongly pruned")
+	}
+}
+
+// TestHighDimConservativeAgreesWithCornerTest cross-validates the two
+// MBR-pruning tests: whenever the conservative max-distance test prunes,
+// the exact corner test must also prune (never vice versa being required).
+func TestHighDimConservativeAgreesWithCornerTest(t *testing.T) {
+	pts := indextest.RandPoints(50, 3, 9)
+	rt, err := rtree.New(pts, vecmath.Euclidean{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := New(rt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := indextest.RandPoints(1, 3, int64(trial))[0]
+		cand := indextest.RandPoints(1, 3, int64(trial+1000))[0]
+		lo := indextest.RandPoints(1, 3, int64(trial+2000))[0]
+		hi := []float64{lo[0] + 0.3, lo[1] + 0.3, lo[2] + 0.3}
+		conservative := maxBoxDistance(qr.metric, cand, lo, hi) < qr.boxer.BoxDistance(q, lo, hi)
+		exact := qr.allCornersCloser(q, cand, lo, hi, 0, make([]float64, 3))
+		if conservative && !exact {
+			t.Fatalf("trial %d: conservative test pruned where corner test refuses", trial)
+		}
+	}
+}
+
+// TestDuplicateQueries exercises TPL with coincident points, where the
+// bisector degenerates.
+func TestDuplicateQueries(t *testing.T) {
+	base := indextest.RandPoints(60, 2, 4)
+	pts := append([][]float64{}, base...)
+	for i := 0; i < 8; i++ {
+		pts = append(pts, vecmath.Clone(base[0]))
+	}
+	rt, err := rtree.New(pts, vecmath.Euclidean{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3
+	qr, err := New(rt, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qid := range []int{0, 60, 30} {
+		got, err := qr.ByID(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := truth.RkNNByID(qid, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.IDs) != len(want) {
+			t.Errorf("qid=%d with duplicates: got %v, want %v", qid, got.IDs, want)
+		}
+	}
+}
+
+func TestByPointValidation(t *testing.T) {
+	pts := indextest.RandPoints(30, 2, 2)
+	rt, err := rtree.New(pts, vecmath.Euclidean{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := New(rt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qr.ByPoint([]float64{math.NaN(), 0}); err == nil {
+		t.Error("accepted NaN query")
+	}
+}

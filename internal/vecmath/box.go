@@ -1,0 +1,77 @@
+package vecmath
+
+import "math"
+
+// BoxDistancer is implemented by metrics that can lower-bound the distance
+// from a point to an axis-aligned box. Spatial indexes that prune via
+// bounding rectangles (k-d tree, R*-tree) require their metric to implement
+// it; purely metric trees (cover tree, VP-tree, M-tree) do not.
+type BoxDistancer interface {
+	// BoxDistance returns min over x ∈ [lo,hi] of Distance(q, x).
+	BoxDistance(q, lo, hi []float64) float64
+}
+
+// boxExcess returns the per-coordinate distance from q[i] to the interval
+// [lo[i], hi[i]] (zero inside the interval).
+func boxExcess(q, lo, hi []float64, i int) float64 {
+	switch {
+	case q[i] < lo[i]:
+		return lo[i] - q[i]
+	case q[i] > hi[i]:
+		return q[i] - hi[i]
+	default:
+		return 0
+	}
+}
+
+// BoxDistance implements BoxDistancer for the Euclidean metric (the MINDIST
+// of the R-tree literature).
+func (Euclidean) BoxDistance(q, lo, hi []float64) float64 {
+	var s float64
+	for i := range q {
+		e := boxExcess(q, lo, hi, i)
+		s += e * e
+	}
+	return math.Sqrt(s)
+}
+
+// BoxDistance implements BoxDistancer for squared Euclidean.
+func (SquaredEuclidean) BoxDistance(q, lo, hi []float64) float64 {
+	var s float64
+	for i := range q {
+		e := boxExcess(q, lo, hi, i)
+		s += e * e
+	}
+	return s
+}
+
+// BoxDistance implements BoxDistancer for the L1 metric.
+func (Manhattan) BoxDistance(q, lo, hi []float64) float64 {
+	var s float64
+	for i := range q {
+		s += boxExcess(q, lo, hi, i)
+	}
+	return s
+}
+
+// BoxDistance implements BoxDistancer for the L∞ metric.
+func (Chebyshev) BoxDistance(q, lo, hi []float64) float64 {
+	var s float64
+	for i := range q {
+		if e := boxExcess(q, lo, hi, i); e > s {
+			s = e
+		}
+	}
+	return s
+}
+
+// BoxDistance implements BoxDistancer for general Lp.
+func (m Minkowski) BoxDistance(q, lo, hi []float64) float64 {
+	var s float64
+	for i := range q {
+		if e := boxExcess(q, lo, hi, i); e > 0 {
+			s += math.Pow(e, m.P)
+		}
+	}
+	return math.Pow(s, 1/m.P)
+}

@@ -1,0 +1,119 @@
+package vecmath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// boxMetrics are the metrics that can lower-bound box distances.
+func boxMetrics(t *testing.T) []Metric {
+	t.Helper()
+	mk, err := NewMinkowski(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Metric{Euclidean{}, SquaredEuclidean{}, Manhattan{}, Chebyshev{}, mk}
+}
+
+func TestBoxDistanceInsideIsZero(t *testing.T) {
+	lo := []float64{0, 0, 0}
+	hi := []float64{1, 1, 1}
+	q := []float64{0.5, 0.2, 0.9}
+	for _, m := range boxMetrics(t) {
+		boxer := m.(BoxDistancer)
+		if got := boxer.BoxDistance(q, lo, hi); got != 0 {
+			t.Errorf("%s: inside point distance %g, want 0", m.Name(), got)
+		}
+		// Boundary points are inside the closed box.
+		if got := boxer.BoxDistance(lo, lo, hi); got != 0 {
+			t.Errorf("%s: corner distance %g, want 0", m.Name(), got)
+		}
+	}
+}
+
+func TestBoxDistanceKnownValues(t *testing.T) {
+	lo := []float64{0, 0}
+	hi := []float64{1, 1}
+	q := []float64{4, 5} // excess (3, 4) from the nearest corner (1,1)
+	if got := (Euclidean{}).BoxDistance(q, lo, hi); got != 5 {
+		t.Errorf("Euclidean box distance = %g, want 5", got)
+	}
+	if got := (SquaredEuclidean{}).BoxDistance(q, lo, hi); got != 25 {
+		t.Errorf("squared box distance = %g, want 25", got)
+	}
+	if got := (Manhattan{}).BoxDistance(q, lo, hi); got != 7 {
+		t.Errorf("L1 box distance = %g, want 7", got)
+	}
+	if got := (Chebyshev{}).BoxDistance(q, lo, hi); got != 4 {
+		t.Errorf("L∞ box distance = %g, want 4", got)
+	}
+}
+
+// TestBoxDistanceIsLowerBound is the property every spatial index relies on:
+// BoxDistance(q, lo, hi) <= Distance(q, x) for every x in the box.
+func TestBoxDistanceIsLowerBound(t *testing.T) {
+	for _, m := range boxMetrics(t) {
+		m := m
+		boxer := m.(BoxDistancer)
+		property := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			dim := rng.Intn(6) + 1
+			lo := make([]float64, dim)
+			hi := make([]float64, dim)
+			q := make([]float64, dim)
+			x := make([]float64, dim)
+			for j := 0; j < dim; j++ {
+				a, b := rng.NormFloat64(), rng.NormFloat64()
+				if a > b {
+					a, b = b, a
+				}
+				lo[j], hi[j] = a, b
+				q[j] = rng.NormFloat64() * 3
+				x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+			}
+			return boxer.BoxDistance(q, lo, hi) <= m.Distance(q, x)+1e-9
+		}
+		if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// TestBoxDistanceIsTight checks attainment: the bound equals the distance to
+// the closest box point (the per-coordinate clamp of q).
+func TestBoxDistanceIsTight(t *testing.T) {
+	for _, m := range boxMetrics(t) {
+		m := m
+		boxer := m.(BoxDistancer)
+		property := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			dim := rng.Intn(5) + 1
+			lo := make([]float64, dim)
+			hi := make([]float64, dim)
+			q := make([]float64, dim)
+			clamp := make([]float64, dim)
+			for j := 0; j < dim; j++ {
+				a, b := rng.NormFloat64(), rng.NormFloat64()
+				if a > b {
+					a, b = b, a
+				}
+				lo[j], hi[j] = a, b
+				q[j] = rng.NormFloat64() * 3
+				switch {
+				case q[j] < lo[j]:
+					clamp[j] = lo[j]
+				case q[j] > hi[j]:
+					clamp[j] = hi[j]
+				default:
+					clamp[j] = q[j]
+				}
+			}
+			diff := boxer.BoxDistance(q, lo, hi) - m.Distance(q, clamp)
+			return diff < 1e-9 && diff > -1e-9
+		}
+		if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}

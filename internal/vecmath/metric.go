@@ -1,0 +1,207 @@
+// Package vecmath provides dense float64 vector primitives and the distance
+// metrics used throughout the repository.
+//
+// All reverse k-nearest-neighbor algorithms in this module interact with the
+// data exclusively through a Metric, mirroring the paper's observation that
+// the analysis of RDT holds for any distance measure satisfying the triangle
+// inequality (Casanova et al., PVLDB 2017, Section 5).
+package vecmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Metric is a distance function on equal-length float64 vectors.
+//
+// Implementations must be symmetric and non-negative. Implementations for
+// which Metricity() returns true must additionally satisfy the triangle
+// inequality; RDT's dimensional-test guarantee (Theorem 1) and the
+// correctness of the exact baselines require a true metric.
+type Metric interface {
+	// Distance returns the distance between a and b. It panics if the
+	// vectors have different lengths; use CheckDims for validated entry
+	// points.
+	Distance(a, b []float64) float64
+
+	// Name identifies the metric in logs and experiment output.
+	Name() string
+
+	// Metricity reports whether the triangle inequality holds.
+	Metricity() bool
+}
+
+// ErrDimensionMismatch is returned by validated entry points when two vectors
+// (or a vector and an index) disagree on dimensionality.
+var ErrDimensionMismatch = errors.New("vecmath: dimension mismatch")
+
+// CheckDims returns ErrDimensionMismatch (wrapped with the observed lengths)
+// unless len(a) == len(b).
+func CheckDims(a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(a), len(b))
+	}
+	return nil
+}
+
+// Euclidean is the L2 metric, the distance used for all experiments in the
+// paper (Section 7.1).
+type Euclidean struct{}
+
+// Distance returns the L2 distance between a and b.
+func (Euclidean) Distance(a, b []float64) float64 {
+	return math.Sqrt(SquaredDistance(a, b))
+}
+
+// Name implements Metric.
+func (Euclidean) Name() string { return "euclidean" }
+
+// Metricity implements Metric. The Euclidean distance is a true metric.
+func (Euclidean) Metricity() bool { return true }
+
+// SquaredEuclidean is the squared L2 dissimilarity. It is NOT a metric (the
+// triangle inequality fails) and is provided only for filtering steps that
+// compare distances from a common anchor, where the square preserves order.
+type SquaredEuclidean struct{}
+
+// Distance returns the squared L2 distance between a and b.
+func (SquaredEuclidean) Distance(a, b []float64) float64 {
+	return SquaredDistance(a, b)
+}
+
+// Name implements Metric.
+func (SquaredEuclidean) Name() string { return "sq-euclidean" }
+
+// Metricity implements Metric; squared Euclidean violates the triangle
+// inequality.
+func (SquaredEuclidean) Metricity() bool { return false }
+
+// Manhattan is the L1 metric.
+type Manhattan struct{}
+
+// Distance returns the L1 distance between a and b.
+func (Manhattan) Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Name implements Metric.
+func (Manhattan) Name() string { return "manhattan" }
+
+// Metricity implements Metric. L1 is a true metric.
+func (Manhattan) Metricity() bool { return true }
+
+// Chebyshev is the L∞ metric.
+type Chebyshev struct{}
+
+// Distance returns the L∞ distance between a and b.
+func (Chebyshev) Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > s {
+			s = d
+		}
+	}
+	return s
+}
+
+// Name implements Metric.
+func (Chebyshev) Name() string { return "chebyshev" }
+
+// Metricity implements Metric. L∞ is a true metric.
+func (Chebyshev) Metricity() bool { return true }
+
+// Minkowski is the general Lp metric for p >= 1.
+type Minkowski struct {
+	// P is the order of the norm; it must be >= 1 for the triangle
+	// inequality to hold.
+	P float64
+}
+
+// NewMinkowski returns an Lp metric, or an error if p < 1.
+func NewMinkowski(p float64) (Minkowski, error) {
+	if p < 1 || math.IsNaN(p) {
+		return Minkowski{}, fmt.Errorf("vecmath: Minkowski order must be >= 1, got %v", p)
+	}
+	return Minkowski{P: p}, nil
+}
+
+// Distance returns the Lp distance between a and b.
+func (m Minkowski) Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += math.Pow(math.Abs(a[i]-b[i]), m.P)
+	}
+	return math.Pow(s, 1/m.P)
+}
+
+// Name implements Metric.
+func (m Minkowski) Name() string { return fmt.Sprintf("minkowski(%g)", m.P) }
+
+// Metricity implements Metric. Lp is a metric for p >= 1.
+func (m Minkowski) Metricity() bool { return m.P >= 1 }
+
+// Angular is the angle between vectors (arc length on the unit sphere). It is
+// a true metric, unlike raw cosine dissimilarity 1−cos θ, making it safe for
+// metric-tree back-ends.
+type Angular struct{}
+
+// Distance returns the angle in radians between a and b. Zero vectors are at
+// angle 0 from everything by convention.
+func (Angular) Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := dot / math.Sqrt(na*nb)
+	// Clamp against floating-point drift outside [-1, 1].
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// Name implements Metric.
+func (Angular) Name() string { return "angular" }
+
+// Metricity implements Metric. The angular distance is a true metric on the
+// sphere.
+func (Angular) Metricity() bool { return true }
+
+// SquaredDistance returns the squared L2 distance between a and b, panicking
+// on a length mismatch. It is the hot inner loop of the whole module, kept
+// free of function-call overhead.
+func SquaredDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,155 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEuclideanKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{0, 0}, []float64{3, 4}, 5},
+		{[]float64{1, 1, 1}, []float64{1, 1, 1}, 0},
+		{[]float64{-1}, []float64{2}, 3},
+	}
+	for _, tc := range cases {
+		if got := (Euclidean{}).Distance(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Euclidean(%v,%v) = %g, want %g", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestManhattanChebyshevKnownValues(t *testing.T) {
+	a, b := []float64{1, -2, 3}, []float64{4, 2, 3}
+	if got := (Manhattan{}).Distance(a, b); got != 7 {
+		t.Errorf("Manhattan = %g, want 7", got)
+	}
+	if got := (Chebyshev{}).Distance(a, b); got != 4 {
+		t.Errorf("Chebyshev = %g, want 4", got)
+	}
+}
+
+func TestMinkowskiSpecialCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a := randVec(rng, 6)
+		b := randVec(rng, 6)
+		m1, err := NewMinkowski(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := NewMinkowski(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := m1.Distance(a, b), (Manhattan{}).Distance(a, b); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Minkowski(1) = %g, Manhattan = %g", got, want)
+		}
+		if got, want := m2.Distance(a, b), (Euclidean{}).Distance(a, b); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Minkowski(2) = %g, Euclidean = %g", got, want)
+		}
+	}
+}
+
+func TestNewMinkowskiRejectsInvalidOrder(t *testing.T) {
+	for _, p := range []float64{0, 0.5, -1, math.NaN()} {
+		if _, err := NewMinkowski(p); err == nil {
+			t.Errorf("NewMinkowski(%v) succeeded, want error", p)
+		}
+	}
+}
+
+func TestAngularBounds(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	c := []float64{-1, 0}
+	ang := Angular{}
+	if got := ang.Distance(a, b); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("angle(e1,e2) = %g, want π/2", got)
+	}
+	if got := ang.Distance(a, c); math.Abs(got-math.Pi) > 1e-12 {
+		t.Errorf("angle(e1,-e1) = %g, want π", got)
+	}
+	if got := ang.Distance(a, a); got != 0 {
+		t.Errorf("angle(e1,e1) = %g, want 0", got)
+	}
+	if got := ang.Distance(a, []float64{0, 0}); got != 0 {
+		t.Errorf("angle with zero vector = %g, want 0 by convention", got)
+	}
+}
+
+// TestMetricAxioms property-checks symmetry, identity and the triangle
+// inequality for every metric that claims Metricity.
+func TestMetricAxioms(t *testing.T) {
+	mk, err := NewMinkowski(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := []Metric{Euclidean{}, Manhattan{}, Chebyshev{}, mk, Angular{}}
+	for _, m := range metrics {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			if !m.Metricity() {
+				t.Fatalf("%s should claim metricity", m.Name())
+			}
+			property := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				a, b, c := randVec(rng, 5), randVec(rng, 5), randVec(rng, 5)
+				dab, dba := m.Distance(a, b), m.Distance(b, a)
+				if math.Abs(dab-dba) > 1e-9 {
+					return false
+				}
+				if m.Distance(a, a) > 1e-9 {
+					return false
+				}
+				// Triangle inequality with a float tolerance.
+				return m.Distance(a, c) <= dab+m.Distance(b, c)+1e-9
+			}
+			if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestSquaredEuclideanViolatesTriangle(t *testing.T) {
+	m := SquaredEuclidean{}
+	if m.Metricity() {
+		t.Fatal("squared Euclidean must not claim metricity")
+	}
+	// Collinear points 0, 1, 2: d(0,2)=4 > d(0,1)+d(1,2)=2.
+	a, b, c := []float64{0}, []float64{1}, []float64{2}
+	if m.Distance(a, c) <= m.Distance(a, b)+m.Distance(b, c) {
+		t.Error("expected triangle violation for squared Euclidean")
+	}
+}
+
+func TestCheckDims(t *testing.T) {
+	if err := CheckDims([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("CheckDims accepted mismatched dims")
+	}
+	if err := CheckDims([]float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Errorf("CheckDims rejected equal dims: %v", err)
+	}
+}
+
+func TestDistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	(Euclidean{}).Distance([]float64{1}, []float64{1, 2})
+}
+
+func randVec(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

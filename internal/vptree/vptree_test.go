@@ -1,0 +1,80 @@
+package vptree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/indextest"
+	"repro/internal/vecmath"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func(pts [][]float64, m vecmath.Metric) (index.Index, error) {
+		return New(pts, m)
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, vecmath.Euclidean{}); err == nil {
+		t.Error("accepted empty dataset")
+	}
+	if _, err := New([][]float64{{1}}, nil); err == nil {
+		t.Error("accepted nil metric")
+	}
+	if _, err := New([][]float64{{1}}, vecmath.SquaredEuclidean{}); err == nil {
+		t.Error("accepted a non-metric distance")
+	}
+	if _, err := New([][]float64{{math.Inf(1)}}, vecmath.Euclidean{}); err == nil {
+		t.Error("accepted Inf coordinates")
+	}
+}
+
+func TestAngularMetricBackend(t *testing.T) {
+	// The VP-tree accepts any true metric, including angular distance —
+	// the capability the k-d tree lacks.
+	pts := indextest.RandPoints(150, 6, 3)
+	ix, err := New(pts, vecmath.Angular{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m := vecmath.Angular{}
+	q := pts[0]
+	got := ix.KNN(q, 3, 0)
+	if len(got) != 3 {
+		t.Fatalf("KNN returned %d items", len(got))
+	}
+	// Compare against brute force.
+	best := math.Inf(1)
+	for id, p := range pts {
+		if id == 0 {
+			continue
+		}
+		if d := m.Distance(q, p); d < best {
+			best = d
+		}
+	}
+	if math.Abs(got[0].Dist-best) > 1e-12 {
+		t.Errorf("nearest angular dist %g, want %g", got[0].Dist, best)
+	}
+}
+
+// TestAllPointsIdentical exercises the flat-bucket fallback when the outer
+// partition would be empty.
+func TestAllPointsIdentical(t *testing.T) {
+	pts := make([][]float64, 80)
+	for i := range pts {
+		pts[i] = []float64{7, 7}
+	}
+	ix, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := ix.CountRange([]float64{7, 7}, 0, -1); got != 80 {
+		t.Errorf("CountRange = %d, want 80", got)
+	}
+	nn := ix.KNN([]float64{7, 7}, 80, 3)
+	if len(nn) != 79 {
+		t.Errorf("KNN with skip = %d items, want 79", len(nn))
+	}
+}

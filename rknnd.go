@@ -1,0 +1,356 @@
+// Package repro is the public facade of this repository: reverse k-nearest
+// neighbor search by dimensional testing, implementing Casanova, Englmeier,
+// Houle, Kröger, Nett, Schubert, Zimek: "Dimensional Testing for Reverse
+// k-Nearest Neighbor Search", PVLDB 10(7), 2017.
+//
+// A Searcher indexes a point set once and then answers reverse k-nearest
+// neighbor queries with the paper's RDT+ algorithm (or plain RDT): which
+// points of the dataset have the query among their k nearest neighbors?
+//
+//	s, err := repro.New(points)                    // cover-tree back-end, auto t
+//	ids, err := s.ReverseKNN(queryID, 10)          // members of RkNN(query, 10)
+//
+// The approximation quality is governed by the scale parameter t, an upper
+// bound on the local intrinsic dimensionality around queries: results are
+// exact whenever t dominates the maximum generalized expansion dimension
+// (Theorem 1 of the paper), and recall degrades gracefully for smaller t in
+// exchange for speed. By default t is estimated from the data with the
+// maximum-likelihood estimator of local intrinsic dimensionality; it can be
+// pinned with WithScale or re-estimated with a different estimator via
+// WithAutoScale.
+//
+// The subpackages under internal/ contain the full research apparatus — the
+// competing methods (SFT, MRkNNCoP, RdNN-Tree, TPL), four interchangeable
+// forward-kNN back-ends, intrinsic-dimensionality estimators, and the
+// harness reproducing the paper's experiments; see DESIGN.md.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/index"
+	"repro/internal/lid"
+	"repro/internal/vecmath"
+)
+
+// Metric is a distance function on equal-length float64 vectors. The
+// built-in metrics (Euclidean, Manhattan, Chebyshev, Minkowski, Angular)
+// satisfy it; custom metrics must be symmetric, non-negative, and — for the
+// exactness guarantee and the tree back-ends — obey the triangle inequality
+// (Metricity must report whether it holds).
+type Metric = vecmath.Metric
+
+// Built-in metrics.
+var (
+	// Euclidean is the L2 metric (the paper's experimental setting).
+	Euclidean Metric = vecmath.Euclidean{}
+	// Manhattan is the L1 metric.
+	Manhattan Metric = vecmath.Manhattan{}
+	// Chebyshev is the L∞ metric.
+	Chebyshev Metric = vecmath.Chebyshev{}
+	// Angular is the angle between vectors, a true metric on directions.
+	Angular Metric = vecmath.Angular{}
+)
+
+// Minkowski returns the Lp metric for p >= 1.
+func Minkowski(p float64) (Metric, error) { return vecmath.NewMinkowski(p) }
+
+// Backend selects the forward-kNN index structure feeding the expanding
+// search.
+type Backend string
+
+// Available back-ends. The paper uses CoverTree for low- and
+// medium-dimensional data and Scan for its highest-dimensional sets
+// (Section 7.1); KDTree and VPTree are additional choices benchmarked in
+// the ablations.
+const (
+	BackendCoverTree Backend = "covertree"
+	BackendScan      Backend = "scan"
+	BackendKDTree    Backend = "kdtree"
+	BackendVPTree    Backend = "vptree"
+)
+
+// Estimator selects how the scale parameter t is derived from the data
+// (paper Section 6).
+type Estimator string
+
+// Available estimators of intrinsic dimensionality.
+const (
+	// EstimatorMLE is the maximum-likelihood (Hill) estimator of local
+	// intrinsic dimensionality, averaged over a sample.
+	EstimatorMLE Estimator = "mle"
+	// EstimatorGP is the Grassberger-Procaccia correlation dimension.
+	EstimatorGP Estimator = "gp"
+	// EstimatorTakens is the Takens correlation-dimension estimator.
+	EstimatorTakens Estimator = "takens"
+)
+
+// Stats describes the work one query performed; see the package core
+// documentation for the meaning of each counter.
+type Stats struct {
+	ScanDepth     int
+	FilterSize    int
+	Excluded      int
+	LazyAccepts   int
+	LazyRejects   int
+	Verified      int
+	DistanceComps int64
+	Omega         float64
+}
+
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	metric   Metric
+	backend  Backend
+	scale    float64
+	auto     Estimator
+	plain    bool // disable the RDT+ candidate reduction
+	margin   float64
+	adaptive bool
+}
+
+// WithMetric selects the distance (default Euclidean).
+func WithMetric(m Metric) Option { return func(c *config) { c.metric = m } }
+
+// WithBackend selects the forward index (default BackendCoverTree).
+func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
+
+// WithScale pins the scale parameter t instead of estimating it. Larger t
+// trades time for recall; t at least the dataset's MaxGED makes results
+// exact (Theorem 1).
+func WithScale(t float64) Option { return func(c *config) { c.scale = t } }
+
+// WithAutoScale selects the intrinsic-dimensionality estimator used to set
+// t (default EstimatorMLE). Ignored when WithScale is given.
+func WithAutoScale(e Estimator) Option { return func(c *config) { c.auto = e } }
+
+// WithScaleMargin adds a safety margin on top of an estimated t: the paper
+// observes that the correlation-dimension estimators can slightly
+// underestimate the scale needed for high recall (Section 8.1). The margin
+// is ignored when WithScale pins t. Default 0.
+func WithScaleMargin(m float64) Option { return func(c *config) { c.margin = m } }
+
+// WithPlainRDT disables the RDT+ candidate-set reduction, trading speed on
+// large filter sets for the guarantee that results are never false
+// positives (RDT+ can mislabel through lazy acceptance; paper Section 4.3).
+func WithPlainRDT() Option { return func(c *config) { c.plain = true } }
+
+// WithAdaptiveScale re-estimates the scale parameter online at every step
+// of each query's expanding search instead of fixing it up front — the
+// dynamic adjustment the paper poses as future work (Section 9). WithScale
+// and WithAutoScale are ignored when this is set; WithScaleMargin acts as
+// the estimate multiplier minus one (margin 1 doubles the online estimate).
+func WithAdaptiveScale() Option { return func(c *config) { c.adaptive = true } }
+
+// Searcher answers reverse k-nearest neighbor queries over a fixed dataset.
+// It is safe for concurrent use.
+type Searcher struct {
+	ix       index.Index
+	scale    float64
+	plus     bool
+	adaptive bool
+	margin   float64
+}
+
+// New indexes points and returns a Searcher. The points slice is retained
+// by reference and must not be mutated afterwards.
+func New(points [][]float64, opts ...Option) (*Searcher, error) {
+	cfg := config{
+		metric:  Euclidean,
+		backend: BackendCoverTree,
+		scale:   math.NaN(),
+		auto:    EstimatorMLE,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.metric == nil {
+		return nil, errors.New("rknnd: nil metric")
+	}
+	ix, err := harness.BuildBackend(string(cfg.backend), points, cfg.metric)
+	if err != nil {
+		return nil, fmt.Errorf("rknnd: %w", err)
+	}
+	if cfg.adaptive {
+		if cfg.margin < 0 {
+			return nil, fmt.Errorf("rknnd: scale margin must be non-negative, got %v", cfg.margin)
+		}
+		return &Searcher{ix: ix, adaptive: true, margin: cfg.margin, plus: !cfg.plain}, nil
+	}
+	scale := cfg.scale
+	if math.IsNaN(scale) {
+		scale, err = estimate(cfg.auto, ix, points, cfg.metric)
+		if err != nil {
+			return nil, fmt.Errorf("rknnd: estimating scale parameter: %w", err)
+		}
+		scale += cfg.margin
+		if scale < 1 {
+			scale = 1
+		}
+	}
+	if !(scale > 0) {
+		return nil, fmt.Errorf("rknnd: scale parameter must be positive, got %v", scale)
+	}
+	return &Searcher{ix: ix, scale: scale, plus: !cfg.plain}, nil
+}
+
+func estimate(e Estimator, ix index.Index, points [][]float64, metric Metric) (float64, error) {
+	switch e {
+	case EstimatorMLE:
+		return lid.MLE(ix, lid.DefaultMLEOptions())
+	case EstimatorGP:
+		return lid.GrassbergerProcaccia(points, metric, lid.DefaultPairwiseOptions())
+	case EstimatorTakens:
+		return lid.Takens(points, metric, lid.DefaultPairwiseOptions())
+	default:
+		return 0, fmt.Errorf("unknown estimator %q", e)
+	}
+}
+
+// Scale returns the scale parameter t in effect, or 0 when the Searcher
+// adapts t online per query (WithAdaptiveScale).
+func (s *Searcher) Scale() float64 { return s.scale }
+
+// Len returns the number of indexed points.
+func (s *Searcher) Len() int { return s.ix.Len() }
+
+// Dim returns the dimensionality of the indexed points.
+func (s *Searcher) Dim() int { return s.ix.Dim() }
+
+// ReverseKNN returns the IDs of the dataset members that have member qid
+// among their k nearest neighbors, sorted ascending. The member itself is
+// excluded.
+func (s *Searcher) ReverseKNN(qid, k int) ([]int, error) {
+	ids, _, err := s.query(k, func(qr *core.Querier) (*core.Result, error) { return qr.ByID(qid) })
+	return ids, err
+}
+
+// ReverseKNNPoint answers the query for an arbitrary point, which need not
+// be a dataset member.
+func (s *Searcher) ReverseKNNPoint(q []float64, k int) ([]int, error) {
+	ids, _, err := s.query(k, func(qr *core.Querier) (*core.Result, error) { return qr.ByPoint(q) })
+	return ids, err
+}
+
+// ReverseKNNStats is ReverseKNN with the per-query work counters.
+func (s *Searcher) ReverseKNNStats(qid, k int) ([]int, Stats, error) {
+	return s.query(k, func(qr *core.Querier) (*core.Result, error) { return qr.ByID(qid) })
+}
+
+// querier builds the per-rank query engine: fixed-scale Algorithm 1 or the
+// adaptive variant.
+func (s *Searcher) querier(k int) (*core.Querier, error) {
+	if s.adaptive {
+		return core.NewAdaptiveQuerier(s.ix, core.AdaptiveParams{
+			K:          k,
+			Multiplier: 1 + s.margin,
+			Plus:       s.plus,
+		})
+	}
+	return core.NewQuerier(s.ix, core.Params{K: k, T: s.scale, Plus: s.plus})
+}
+
+func (s *Searcher) query(k int, run func(*core.Querier) (*core.Result, error)) ([]int, Stats, error) {
+	qr, err := s.querier(k)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("rknnd: %w", err)
+	}
+	res, err := run(qr)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("rknnd: %w", err)
+	}
+	st := res.Stats
+	return res.IDs, Stats{
+		ScanDepth:     st.ScanDepth,
+		FilterSize:    st.FilterSize,
+		Excluded:      st.Excluded,
+		LazyAccepts:   st.LazyAccepts,
+		LazyRejects:   st.LazyRejects,
+		Verified:      st.Verified,
+		DistanceComps: st.DistanceComps,
+		Omega:         st.Omega,
+	}, nil
+}
+
+// BatchReverseKNN answers many member queries concurrently on a worker pool
+// (0 workers selects all cores) and returns the per-query ID lists in input
+// order. The first per-query error aborts the batch.
+func (s *Searcher) BatchReverseKNN(qids []int, k, workers int) ([][]int, error) {
+	qr, err := s.querier(k)
+	if err != nil {
+		return nil, fmt.Errorf("rknnd: %w", err)
+	}
+	batch, err := qr.BatchByID(qids, workers)
+	if err != nil {
+		return nil, fmt.Errorf("rknnd: %w", err)
+	}
+	out := make([][]int, len(batch))
+	for i, br := range batch {
+		if br.Err != nil {
+			return nil, fmt.Errorf("rknnd: query %d: %w", br.QueryID, br.Err)
+		}
+		out[i] = br.Result.IDs
+	}
+	return out, nil
+}
+
+// KNN returns the k forward nearest neighbors of an arbitrary point as
+// (id, distance) pairs in ascending distance order — the ordinary
+// similarity query, exposed because reverse-neighbor applications almost
+// always need it too.
+func (s *Searcher) KNN(q []float64, k int) ([]Neighbor, error) {
+	if err := vecmath.Validate(q); err != nil {
+		return nil, fmt.Errorf("rknnd: %w", err)
+	}
+	if len(q) != s.ix.Dim() {
+		return nil, fmt.Errorf("rknnd: query dimension %d, index dimension %d", len(q), s.ix.Dim())
+	}
+	nn := s.ix.KNN(q, k, -1)
+	out := make([]Neighbor, len(nn))
+	for i, nb := range nn {
+		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out, nil
+}
+
+// Neighbor is a dataset member paired with its distance from a query.
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// Point returns the coordinates of a dataset member. The returned slice is
+// owned by the Searcher and must not be modified.
+func (s *Searcher) Point(id int) []float64 { return s.ix.Point(id) }
+
+// Insert adds a point when the back-end supports dynamic updates
+// (BackendCoverTree and BackendScan do) and returns its new ID. The paper
+// highlights this property for data warehouse and stream scenarios
+// (Section 4): updates cost no more than the underlying index update.
+func (s *Searcher) Insert(p []float64) (int, error) {
+	dyn, ok := s.ix.(index.Dynamic)
+	if !ok {
+		return 0, errors.New("rknnd: back-end does not support insertion")
+	}
+	id, err := dyn.Insert(p)
+	if err != nil {
+		return 0, fmt.Errorf("rknnd: %w", err)
+	}
+	return id, nil
+}
+
+// Delete removes a dataset member when the back-end supports dynamic
+// updates. It reports whether the ID was present.
+func (s *Searcher) Delete(id int) (bool, error) {
+	dyn, ok := s.ix.(index.Dynamic)
+	if !ok {
+		return false, errors.New("rknnd: back-end does not support deletion")
+	}
+	return dyn.Delete(id), nil
+}
