@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,19 +20,33 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fail(err)
+	}
+}
+
+// run generates and writes one dataset; main is its only non-test caller.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dataName = flag.String("data", "sequoia", "sequoia, aloi, fct, mnist, imagenet, uniform, gaussmix, manifold")
-		n        = flag.Int("n", 5000, "dataset size")
-		dim      = flag.Int("dim", 128, "dimension (imagenet, uniform, gaussmix, manifold)")
-		latent   = flag.Int("latent", 4, "latent dimension (manifold)")
-		clusters = flag.Int("clusters", 10, "cluster count (gaussmix)")
-		sigma    = flag.Float64("sigma", 0.05, "cluster spread (gaussmix)")
-		noise    = flag.Float64("noise", 0.01, "observation noise (manifold)")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		format   = flag.String("format", "csv", "csv or gob")
-		outPath  = flag.String("o", "", "output file (default stdout)")
+		dataName = fs.String("data", "sequoia", "sequoia, aloi, fct, mnist, imagenet, uniform, gaussmix, manifold")
+		n        = fs.Int("n", 5000, "dataset size")
+		dim      = fs.Int("dim", 128, "dimension (imagenet, uniform, gaussmix, manifold)")
+		latent   = fs.Int("latent", 4, "latent dimension (manifold)")
+		clusters = fs.Int("clusters", 10, "cluster count (gaussmix)")
+		sigma    = fs.Float64("sigma", 0.05, "cluster spread (gaussmix)")
+		noise    = fs.Float64("noise", 0.01, "observation noise (manifold)")
+		seed     = fs.Int64("seed", 1, "generation seed")
+		format   = fs.String("format", "csv", "csv or gob")
+		outPath  = fs.String("o", "", "output file (default stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
 
 	var ds *dataset.Dataset
 	switch *dataName {
@@ -52,24 +67,21 @@ func main() {
 	case "manifold":
 		ds = dataset.Manifold("manifold", *n, *latent, *dim, *noise, *seed)
 	default:
-		fail(fmt.Errorf("unknown dataset %q", *dataName))
+		return fmt.Errorf("unknown dataset %q", *dataName)
 	}
 
-	var out io.Writer = os.Stdout
+	out := stdout
+	var f *os.File
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
+		var err error
+		f, err = os.Create(*outPath)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fail(err)
-			}
-		}()
+		defer f.Close() // backstop for the error returns below
 		out = f
 	}
 	bw := bufio.NewWriter(out)
-	defer bw.Flush()
 
 	var err error
 	switch *format {
@@ -81,9 +93,20 @@ func main() {
 		err = fmt.Errorf("unknown format %q", *format)
 	}
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s: %d points, %d dimensions\n", ds.Name, ds.Len(), ds.Dim())
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if f != nil {
+		// Close-time write-back failures (quota, full disk) must fail
+		// the run, not be swallowed by the deferred backstop.
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "wrote %s: %d points, %d dimensions\n", ds.Name, ds.Len(), ds.Dim())
+	return nil
 }
 
 func fail(err error) {

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,33 +24,48 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+// run estimates intrinsic dimensionality with all three estimators and
+// prints the report; main is its only non-test caller.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("idest", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		dataName = flag.String("data", "sequoia", "surrogate dataset: sequoia, aloi, fct, mnist, imagenet, uniform")
-		csvPath  = flag.String("csv", "", "load points from a CSV file instead of generating")
-		n        = flag.Int("n", 5000, "generated dataset size")
-		dim      = flag.Int("dim", 128, "dimension for imagenet/uniform surrogates")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		sample   = flag.Float64("sample", 0.10, "MLE sample fraction")
-		nbrs     = flag.Int("neighbors", 100, "MLE neighborhood size")
-		pairs    = flag.Int("pairs", 1000, "max points for pairwise estimators")
+		dataName = fs.String("data", "sequoia", "surrogate dataset: sequoia, aloi, fct, mnist, imagenet, uniform")
+		csvPath  = fs.String("csv", "", "load points from a CSV file instead of generating")
+		n        = fs.Int("n", 5000, "generated dataset size")
+		dim      = fs.Int("dim", 128, "dimension for imagenet/uniform surrogates")
+		seed     = fs.Int64("seed", 1, "generation seed")
+		sample   = fs.Float64("sample", 0.10, "MLE sample fraction")
+		nbrs     = fs.Int("neighbors", 100, "MLE neighborhood size")
+		pairs    = fs.Int("pairs", 1000, "max points for pairwise estimators")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
 
 	pts, name, err := loadPoints(*csvPath, *dataName, *n, *dim, *seed)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	metric := vecmath.Euclidean{}
 	forward, err := harness.BuildBackend("covertree", pts, metric)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	fmt.Printf("dataset %s: n=%d, representational dimension D=%d\n", name, len(pts), len(pts[0]))
+	fmt.Fprintf(stdout, "dataset %s: n=%d, representational dimension D=%d\n", name, len(pts), len(pts[0]))
 
 	start := time.Now()
 	mle, err := lid.MLE(forward, lid.MLEOptions{SampleFraction: *sample, Neighbors: *nbrs, Seed: *seed})
-	report("MLE (Hill)", mle, time.Since(start), err)
+	report(stdout, "MLE (Hill)", mle, time.Since(start), err)
 
 	pw := lid.DefaultPairwiseOptions()
 	pw.MaxSample = *pairs
@@ -56,23 +73,24 @@ func main() {
 
 	start = time.Now()
 	gp, err := lid.GrassbergerProcaccia(pts, metric, pw)
-	report("Grassberger-Procaccia", gp, time.Since(start), err)
+	report(stdout, "Grassberger-Procaccia", gp, time.Since(start), err)
 
 	start = time.Now()
 	tk, err := lid.Takens(pts, metric, pw)
-	report("Takens", tk, time.Since(start), err)
+	report(stdout, "Takens", tk, time.Since(start), err)
+	return nil
 }
 
-func report(name string, value float64, elapsed time.Duration, err error) {
+func report(w io.Writer, name string, value float64, elapsed time.Duration, err error) {
 	if err != nil {
-		fmt.Printf("%-24s error: %v\n", name, err)
+		fmt.Fprintf(w, "%-24s error: %v\n", name, err)
 		return
 	}
 	t := value
 	if t < 1 {
 		t = 1
 	}
-	fmt.Printf("%-24s ID ≈ %6.2f   (%-10s suggested t = %.2f)\n", name, value, elapsed.Round(time.Millisecond).String()+",", t)
+	fmt.Fprintf(w, "%-24s ID ≈ %6.2f   (%-10s suggested t = %.2f)\n", name, value, elapsed.Round(time.Millisecond).String()+",", t)
 }
 
 func loadPoints(csvPath, dataName string, n, dim int, seed int64) ([][]float64, string, error) {

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunReportsAllEstimators(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-data", "fct", "-n", "600", "-pairs", "200"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "dataset fct: n=600") {
+		t.Errorf("missing dataset header:\n%s", got)
+	}
+	for _, est := range []string{"MLE (Hill)", "Grassberger-Procaccia", "Takens"} {
+		if !strings.Contains(got, est) {
+			t.Errorf("missing %s line:\n%s", est, got)
+		}
+	}
+	if !strings.Contains(got, "suggested t") {
+		t.Errorf("missing scale recommendation:\n%s", got)
+	}
+}
+
+func TestRunFromCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	rng := rand.New(rand.NewSource(1))
+	var rows strings.Builder
+	for i := 0; i < 80; i++ {
+		fmt.Fprintf(&rows, "%g,%g,%g\n", rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	if err := os.WriteFile(path, []byte(rows.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-csv", path, "-pairs", "80"}, &out); err != nil {
+		t.Fatalf("run(csv): %v", err)
+	}
+	if !strings.Contains(out.String(), "n=80") {
+		t.Errorf("csv run output:\n%s", out.String())
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Errorf("run(-h) = %v, want nil", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-data", "nosuch"}, &out); err == nil {
+		t.Error("accepted unknown dataset")
+	}
+	if err := run([]string{"-csv", "/nonexistent/points.csv"}, &out); err == nil {
+		t.Error("accepted missing CSV")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("accepted unknown flag")
+	}
+}

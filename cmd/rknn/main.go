@@ -1,6 +1,7 @@
 // Command rknn answers reverse k-nearest-neighbor queries from the command
 // line with any of the implemented methods, over a generated surrogate
-// dataset or a CSV file.
+// dataset or a CSV file — or, with the serve subcommand, runs as a
+// long-lived HTTP daemon answering them over the network.
 //
 // Examples:
 //
@@ -8,13 +9,17 @@
 //	rknn -data mnist -n 2000 -k 10 -method rdt -t 8 -query 7
 //	rknn -csv points.csv -k 5 -method sft -alpha 8 -query 0
 //	rknn -data fct -n 3000 -k 10 -method rdt+ -auto mle -query 3
+//	rknn serve -addr :8080 -data fct -n 10000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -31,6 +36,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runServe(ctx, os.Args[2:], os.Stdout, nil); err != nil {
+			fail(err)
+		}
+		return
+	}
 	var (
 		dataName = flag.String("data", "sequoia", "surrogate dataset: sequoia, aloi, fct, mnist, imagenet, uniform")
 		csvPath  = flag.String("csv", "", "load points from a CSV file instead of generating")

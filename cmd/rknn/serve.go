@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	repro "repro"
+	"repro/internal/server"
+)
+
+// runServe implements the `rknn serve` subcommand: build a Searcher over a
+// generated or CSV dataset and serve it over HTTP until ctx is cancelled
+// (SIGINT/SIGTERM in main), then shut down gracefully, draining in-flight
+// requests. When ready is non-nil, the bound address is sent on it once the
+// listener is up (tests bind :0 and read the port from here).
+func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		dataName = fs.String("data", "sequoia", "surrogate dataset: sequoia, aloi, fct, mnist, imagenet, uniform")
+		csvPath  = fs.String("csv", "", "load points from a CSV file instead of generating")
+		n        = fs.Int("n", 5000, "generated dataset size")
+		dim      = fs.Int("dim", 128, "dimension for imagenet/uniform surrogates")
+		seed     = fs.Int64("seed", 1, "generation seed")
+		backend  = fs.String("backend", "covertree", "forward index: scan, covertree, kdtree, vptree")
+		tParam   = fs.Float64("t", 0, "pin the scale parameter (0 estimates it)")
+		auto     = fs.String("auto", "mle", "scale estimator when -t is 0: mle, gp or takens")
+		plain    = fs.Bool("plain", false, "use plain RDT instead of RDT+")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
+
+	pts, name, err := loadPoints(*csvPath, *dataName, *n, *dim, *seed)
+	if err != nil {
+		return err
+	}
+	s, err := buildSearcher(pts, *backend, *tParam, *auto, *plain)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "rknn serve: %s (n=%d, dim=%d), %s back-end, t=%.2f, listening on %s\n",
+		name, s.Len(), s.Dim(), *backend, s.Scale(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	httpSrv := &http.Server{
+		Handler: server.New(s).Handler(),
+		// Bound header reads and idle keep-alives so slow or silent
+		// connections cannot pin goroutines forever; no blanket
+		// read/write timeout because large batch queries are legitimate
+		// long requests.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		done <- httpSrv.Shutdown(shutdownCtx)
+	}()
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "rknn serve: shut down cleanly")
+	return nil
+}
+
+// buildSearcher maps the serve flags onto the public facade options.
+func buildSearcher(pts [][]float64, backend string, t float64, auto string, plain bool) (*repro.Searcher, error) {
+	opts := []repro.Option{repro.WithBackend(repro.Backend(backend))}
+	if t > 0 {
+		opts = append(opts, repro.WithScale(t))
+	} else {
+		opts = append(opts, repro.WithAutoScale(repro.Estimator(auto)))
+	}
+	if plain {
+		opts = append(opts, repro.WithPlainRDT())
+	}
+	return repro.New(pts, opts...)
+}

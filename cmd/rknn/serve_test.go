@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeEndToEnd boots the daemon on an ephemeral port, queries it over
+// real HTTP, then cancels the context and checks the graceful shutdown.
+func TestServeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, []string{"-addr", "127.0.0.1:0", "-data", "sequoia", "-n", "300", "-t", "8"}, &out, ready)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("runServe exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the server to listen")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body := strings.NewReader(`{"id": 5, "k": 10}`)
+	resp, err = http.Post(base+"/v1/rknn", "application/json", body)
+	if err != nil {
+		t.Fatalf("POST /v1/rknn: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rknn status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe returned %v after shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for graceful shutdown")
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "shut down cleanly") {
+		t.Errorf("serve output missing lifecycle lines:\n%s", out.String())
+	}
+}
+
+func TestServeFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := runServe(context.Background(), []string{"-h"}, &out, nil); err != nil {
+		t.Errorf("runServe(-h) = %v, want nil", err)
+	}
+	if err := runServe(context.Background(), []string{"-data", "nosuch"}, &out, nil); err == nil {
+		t.Error("accepted unknown dataset")
+	}
+	if err := runServe(context.Background(), []string{"-backend", "nosuch", "-n", "50"}, &out, nil); err == nil {
+		t.Error("accepted unknown back-end")
+	}
+	if err := runServe(context.Background(), []string{"-bogusflag"}, &out, nil); err == nil {
+		t.Error("accepted unknown flag")
+	}
+}
+
+func TestBuildSearcherOptions(t *testing.T) {
+	pts, _, err := loadPoints("", "sequoia", 200, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := buildSearcher(pts, "scan", 6, "", false)
+	if err != nil {
+		t.Fatalf("buildSearcher pinned t: %v", err)
+	}
+	if s.Scale() != 6 {
+		t.Errorf("Scale = %g, want 6", s.Scale())
+	}
+	s, err = buildSearcher(pts, "covertree", 0, "mle", true)
+	if err != nil {
+		t.Fatalf("buildSearcher auto t: %v", err)
+	}
+	if s.Scale() < 1 {
+		t.Errorf("auto Scale = %g, want >= 1", s.Scale())
+	}
+	if _, err := buildSearcher(pts, "covertree", 0, "nosuch", false); err == nil {
+		t.Error("accepted unknown estimator")
+	}
+}

@@ -1,0 +1,250 @@
+// Concurrency tests for the snapshot-based Searcher. These are meaningful
+// under the ordinary runner but are written for `go test -race`: queries on
+// many goroutines race inserts and deletes on another, which the
+// copy-on-write snapshot swap must make both data-race-free and
+// semantically consistent (every query sees one frozen generation).
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/indextest"
+)
+
+// TestConcurrentQueriesDuringUpdates runs 8 query goroutines (member,
+// point, stats, and forward-kNN queries) against a writer goroutine doing
+// 40 inserts and 20 deletes on each dynamic back-end.
+func TestConcurrentQueriesDuringUpdates(t *testing.T) {
+	for _, b := range []Backend{BackendCoverTree, BackendScan} {
+		b := b
+		t.Run(string(b), func(t *testing.T) {
+			pts := indextest.RandPoints(300, 3, 31)
+			s, err := New(pts, WithBackend(b), WithScale(8))
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			var writerDone atomic.Bool
+			var wg sync.WaitGroup
+			const readers = 8
+			for g := 0; g < readers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					q := []float64{0.3, 0.6, float64(g) / readers}
+					for i := 0; ; i++ {
+						if writerDone.Load() && i >= 50 {
+							return
+						}
+						// ErrDeleted is the expected outcome of losing a
+						// race with the writer's Delete; anything else is
+						// a failure.
+						ids, err := s.ReverseKNN((g*37+i)%300, 5)
+						if err != nil && !errors.Is(err, ErrDeleted) {
+							t.Errorf("reader %d: ReverseKNN: %v", g, err)
+							return
+						}
+						for _, id := range ids {
+							if id < 0 {
+								t.Errorf("reader %d: negative id %d", g, id)
+								return
+							}
+						}
+						if _, err := s.ReverseKNNPoint(q, 3); err != nil {
+							t.Errorf("reader %d: ReverseKNNPoint: %v", g, err)
+							return
+						}
+						if _, _, err := s.ReverseKNNStats(i%300, 4); err != nil && !errors.Is(err, ErrDeleted) {
+							t.Errorf("reader %d: ReverseKNNStats: %v", g, err)
+							return
+						}
+						if _, err := s.KNN(q, 5); err != nil {
+							t.Errorf("reader %d: KNN: %v", g, err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer writerDone.Store(true)
+				extra := indextest.RandPoints(40, 3, 32)
+				for i, p := range extra {
+					if _, err := s.Insert(p); err != nil {
+						t.Errorf("writer: Insert: %v", err)
+						return
+					}
+					if i%2 == 0 {
+						if _, err := s.Delete(i * 7 % 300); err != nil {
+							t.Errorf("writer: Delete: %v", err)
+							return
+						}
+					}
+				}
+			}()
+			wg.Wait()
+			if s.Len() != 300+40-20 {
+				t.Errorf("Len after updates = %d, want %d", s.Len(), 300+40-20)
+			}
+		})
+	}
+}
+
+// TestConcurrentBatchDuringUpdates races BatchReverseKNN calls against the
+// writer; each batch must be internally consistent because it runs on one
+// snapshot.
+func TestConcurrentBatchDuringUpdates(t *testing.T) {
+	pts := indextest.RandPoints(250, 3, 41)
+	s, err := New(pts, WithScale(8))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	qids := make([]int, 60)
+	for i := range qids {
+		qids[i] = i * 4
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				res, err := s.BatchReverseKNN(qids, 5, 3)
+				if err != nil {
+					t.Errorf("BatchReverseKNN: %v", err)
+					return
+				}
+				if len(res) != len(qids) {
+					t.Errorf("batch returned %d results, want %d", len(res), len(qids))
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, p := range indextest.RandPoints(30, 3, 42) {
+			if _, err := s.Insert(p); err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestBatchCancellation covers both cancellation shapes: a context
+// cancelled before dispatch must abort without running anything, and one
+// cancelled mid-flight must stop the pool promptly with ctx's error.
+func TestBatchCancellation(t *testing.T) {
+	pts := indextest.RandPoints(2000, 8, 51)
+	s, err := New(pts, WithScale(12))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	qids := make([]int, 2000)
+	for i := range qids {
+		qids[i] = i
+	}
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := s.BatchReverseKNNContext(ctx, qids, 10, 2); !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	})
+
+	t.Run("mid-flight", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, err := s.BatchReverseKNNContext(ctx, qids, 10, 2)
+		elapsed := time.Since(start)
+		// The batch either finished before the cancel landed (fast
+		// machine) or must report the cancellation; it must never hang
+		// until all 2000 queries are done after a 2ms cancel.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled or nil", err)
+		}
+		if err == nil && elapsed > 10*time.Second {
+			t.Errorf("batch ignored cancellation and ran %v", elapsed)
+		}
+	})
+
+	t.Run("timeout", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		defer cancel()
+		_, err := s.BatchReverseKNNContext(ctx, qids, 10, 1)
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("err = %v, want context.DeadlineExceeded or nil", err)
+		}
+	})
+}
+
+// TestSnapshotIsolation pins the semantic heart of copy-on-write: results
+// computed before an update are unaffected by it, and a deleted point
+// disappears from subsequent results only.
+func TestSnapshotIsolation(t *testing.T) {
+	pts := indextest.RandPoints(120, 2, 61)
+	s, err := New(pts, WithScale(100), WithPlainRDT())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	before, err := s.ReverseKNN(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Fatal("query 10 has no reverse neighbors; pick another seed")
+	}
+	victim := before[0]
+	if ok, err := s.Delete(victim); !ok || err != nil {
+		t.Fatalf("Delete(%d) = (%v, %v)", victim, ok, err)
+	}
+	after, err := s.ReverseKNN(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range after {
+		if id == victim {
+			t.Errorf("deleted point %d still in results %v", victim, after)
+		}
+	}
+}
+
+// BenchmarkBatchReverseKNN measures batch throughput as the worker pool
+// widens — the scaling evidence for the worker-pool rework (numbers are
+// recorded in CHANGES.md).
+func BenchmarkBatchReverseKNN(b *testing.B) {
+	data := dataset.FCT(2000, 1)
+	s, err := New(data.Points, WithScale(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qids := make([]int, 256)
+	for i := range qids {
+		qids[i] = (i * 7) % data.Len()
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.BatchReverseKNN(qids, 10, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(qids))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}

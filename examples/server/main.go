@@ -1,0 +1,95 @@
+// Server: run the RkNN engine as an in-process HTTP service and talk to it
+// as a client would — the embedded-library face of the `rknn serve` daemon.
+// Queries race a live insert below; the engine's copy-on-write snapshots
+// keep every response consistent without a single client-visible lock.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+
+	repro "repro"
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+func main() {
+	ds := dataset.Sequoia(3000, 1)
+	s, err := repro.New(ds.Points)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// In production this handler sits behind `rknn serve -addr :8080`;
+	// here an httptest server stands in so the example is self-contained.
+	ts := httptest.NewServer(server.New(s).Handler())
+	defer ts.Close()
+	fmt.Printf("serving %d points at %s\n", s.Len(), ts.URL)
+
+	// One reverse query over the wire.
+	var rknn struct {
+		IDs []int `json:"ids"`
+	}
+	post(ts.URL+"/v1/rknn", `{"id": 42, "k": 10}`, &rknn)
+	fmt.Printf("R10NN(42) = %v\n", rknn.IDs)
+
+	// Concurrent clients: a batch query racing a point insert.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var batch struct {
+			Results [][]int `json:"results"`
+		}
+		post(ts.URL+"/v1/rknn/batch", `{"ids": [1, 2, 3, 4, 5], "k": 10, "workers": 2}`, &batch)
+		fmt.Printf("batch answered %d queries\n", len(batch.Results))
+	}()
+	go func() {
+		defer wg.Done()
+		var ins struct {
+			ID int `json:"id"`
+		}
+		post(ts.URL+"/v1/points", `{"point": [0.5, 0.5]}`, &ins)
+		fmt.Printf("inserted point, id = %d\n", ins.ID)
+	}()
+	wg.Wait()
+
+	// The daemon's observability surface.
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Endpoints map[string]struct {
+			Requests int64 `json:"requests"`
+		} `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	for _, route := range []string{"/v1/rknn", "/v1/rknn/batch", "/v1/points"} {
+		fmt.Printf("%-15s %d requests\n", route, stats.Endpoints[route].Requests)
+	}
+}
+
+func post(url, body string, out any) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -14,14 +15,27 @@ type BatchResult struct {
 }
 
 // BatchByID answers many member queries concurrently on a worker pool,
-// returning results in input order. Individual query failures are reported
-// per entry; the batch itself only fails on invalid arguments.
+// returning results in input order. It is BatchByIDContext without
+// cancellation.
+func (qr *Querier) BatchByID(qids []int, workers int) ([]BatchResult, error) {
+	return qr.BatchByIDContext(context.Background(), qids, workers)
+}
+
+// BatchByIDContext answers many member queries concurrently on a worker pool
+// of the given size (0 selects one worker per core), returning results in
+// input order. Individual query failures are reported per entry; the batch
+// itself fails only on invalid arguments or when ctx is cancelled, in which
+// case it stops dispatching, waits for in-flight queries to drain, and
+// returns ctx's error.
 //
 // The paper's conclusion names parallelizable RkNN processing as an open
 // problem for extreme scales; within one machine the problem is
 // embarrassingly parallel because the Querier and every index back-end in
 // this module are safe for concurrent readers.
-func (qr *Querier) BatchByID(qids []int, workers int) ([]BatchResult, error) {
+func (qr *Querier) BatchByIDContext(ctx context.Context, qids []int, workers int) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers < 0 {
 		return nil, fmt.Errorf("core: workers must be non-negative, got %d", workers)
 	}
@@ -31,26 +45,46 @@ func (qr *Querier) BatchByID(qids []int, workers int) ([]BatchResult, error) {
 	if workers > len(qids) {
 		workers = len(qids)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]BatchResult, len(qids))
 	if len(qids) == 0 {
 		return out, nil
 	}
-	next := make(chan int, len(qids))
-	for i := range qids {
-		next <- i
-	}
-	close(next)
+
+	// The feeder owns the dispatch channel: it stops feeding the moment
+	// ctx is cancelled, so workers drain at most one in-flight query each
+	// before the pool winds down.
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range qids {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
 				res, err := qr.ByID(qids[i])
 				out[i] = BatchResult{QueryID: qids[i], Result: res, Err: err}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/index"
 	"repro/internal/vecmath"
@@ -175,10 +176,25 @@ func NewQuerier(ix index.Index, params Params) (*Querier, error) {
 // Params returns the parameters the Querier was built with.
 func (qr *Querier) Params() Params { return qr.params }
 
+// ErrDeletedID reports a member query anchored at a tombstoned point.
+// Callers racing deletes (the serving layer, streaming workloads) match it
+// with errors.Is to tell "gone" from "never existed".
+var ErrDeletedID = errors.New("query id is deleted")
+
 // ByID answers the query for dataset member qid. The member itself is
 // excluded from its own neighborhoods per the self-exclusion convention.
+// On indexes with tombstoned deletes (index.Liveness) the live IDs are not
+// the dense prefix [0, Len()), so validation goes through the ID span and
+// rejects deleted members with ErrDeletedID.
 func (qr *Querier) ByID(qid int) (*Result, error) {
-	if qid < 0 || qid >= qr.ix.Len() {
+	if lv, ok := qr.ix.(index.Liveness); ok {
+		if qid < 0 || qid >= lv.IDSpan() {
+			return nil, fmt.Errorf("core: query id %d out of range [0,%d)", qid, lv.IDSpan())
+		}
+		if !lv.Live(qid) {
+			return nil, fmt.Errorf("core: query id %d: %w", qid, ErrDeletedID)
+		}
+	} else if qid < 0 || qid >= qr.ix.Len() {
 		return nil, fmt.Errorf("core: query id %d out of range [0,%d)", qid, qr.ix.Len())
 	}
 	return qr.run(qr.ix.Point(qid), qid)
@@ -206,6 +222,12 @@ type candidate struct {
 	accepted bool    // lazily accepted by Assertion 2
 }
 
+// filterPool recycles filter-set backing arrays across queries. The filter
+// set is the dominant transient allocation of Algorithm 1, and a serving
+// process answers queries in a steady stream; pooling keeps the per-query
+// garbage near zero under concurrent load.
+var filterPool = sync.Pool{New: func() any { return new([]candidate) }}
+
 // run executes Algorithm 1. skipID excludes a member query from its own
 // forward search; -1 disables the exclusion.
 func (qr *Querier) run(q []float64, skipID int) (*Result, error) {
@@ -218,7 +240,13 @@ func (qr *Querier) run(q []float64, skipID int) (*Result, error) {
 
 	stats := Stats{Omega: math.Inf(1)}
 	omega := math.Inf(1)
-	var filter []candidate
+	fp := filterPool.Get().(*[]candidate)
+	filter := (*fp)[:0]
+	defer func() {
+		clear(filter) // drop point references so the pool pins no dataset
+		*fp = filter[:0]
+		filterPool.Put(fp)
+	}()
 
 	cursor := qr.ix.NewCursor(q, skipID)
 	s := 0

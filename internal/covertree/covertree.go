@@ -54,7 +54,7 @@ type Tree struct {
 	alive   int
 }
 
-var _ index.Dynamic = (*Tree)(nil)
+var _ index.Cloner = (*Tree)(nil)
 
 // New builds a cover tree over points by repeated insertion. The points
 // slice is retained by reference. The metric must satisfy the triangle
@@ -120,6 +120,42 @@ func (t *Tree) Insert(p []float64) (int, error) {
 	return id, nil
 }
 
+// Clone implements index.Cloner with a deep copy of the node structure:
+// insertion mutates maxDist, children, and possibly the root level anywhere
+// along its descent path, so nodes cannot be shared between a frozen
+// snapshot and its mutable successor. Point coordinate slices are immutable
+// and stay shared; the walk is O(n).
+func (t *Tree) Clone() index.Dynamic {
+	points := make([][]float64, len(t.points), len(t.points)+1)
+	copy(points, t.points)
+	deleted := make(map[int]bool, len(t.deleted))
+	for id := range t.deleted {
+		deleted[id] = true
+	}
+	return &Tree{
+		points:  points,
+		metric:  t.metric,
+		dim:     t.dim,
+		root:    cloneNode(t.root),
+		deleted: deleted,
+		alive:   t.alive,
+	}
+}
+
+func cloneNode(n *node) *node {
+	if n == nil {
+		return nil
+	}
+	c := &node{id: n.id, level: n.level, maxDist: n.maxDist}
+	if len(n.children) > 0 {
+		c.children = make([]*node, len(n.children))
+		for i, child := range n.children {
+			c.children[i] = cloneNode(child)
+		}
+	}
+	return c
+}
+
 // Delete implements index.Dynamic with a tombstone: the point keeps serving
 // as a routing object (the covering invariant must not be disturbed) but is
 // filtered from all query results.
@@ -131,6 +167,12 @@ func (t *Tree) Delete(id int) bool {
 	t.alive--
 	return true
 }
+
+// IDSpan implements index.Liveness.
+func (t *Tree) IDSpan() int { return len(t.points) }
+
+// Live implements index.Liveness.
+func (t *Tree) Live(id int) bool { return id >= 0 && id < len(t.points) && !t.deleted[id] }
 
 // insertID threads the point with the given id into the tree.
 func (t *Tree) insertID(id int) {

@@ -93,6 +93,32 @@ type Dynamic interface {
 	Delete(id int) bool
 }
 
+// Liveness is implemented by indexes whose ID space can outgrow Len()
+// through tombstoned deletes: IDs are never reused, so after a delete the
+// live IDs are no longer the dense prefix [0, Len()). Query layers use it
+// to validate member-query IDs; indexes without it have every ID in
+// [0, Len()) live.
+type Liveness interface {
+	// IDSpan returns the number of IDs ever assigned; valid IDs lie in
+	// [0, IDSpan()).
+	IDSpan() int
+
+	// Live reports whether id is assigned and not deleted.
+	Live(id int) bool
+}
+
+// Cloner is implemented by dynamic indexes that can copy themselves in O(n).
+// The copy shares no mutable state with the original: mutating the clone
+// must never be observable through the original, so a frozen original can
+// keep serving concurrent readers while the clone absorbs updates. This is
+// the primitive behind the facade's copy-on-write snapshots (DESIGN.md).
+type Cloner interface {
+	Dynamic
+
+	// Clone returns an independent deep copy of the index.
+	Clone() Dynamic
+}
+
 // KNNDist returns the k-th nearest neighbor distance of q, or the distance of
 // the farthest point if fewer than k points are indexed. It is the d_k(·)
 // primitive of the paper's refinement test.

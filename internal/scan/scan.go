@@ -28,7 +28,7 @@ type Index struct {
 	alive   int
 }
 
-var _ index.Dynamic = (*Index)(nil)
+var _ index.Cloner = (*Index)(nil)
 
 // New builds a scan index over points. The slice is retained by reference.
 func New(points [][]float64, metric vecmath.Metric) (*Index, error) {
@@ -83,6 +83,26 @@ func (ix *Index) Insert(p []float64) (int, error) {
 	return len(ix.points) - 1, nil
 }
 
+// Clone implements index.Cloner. Point coordinate slices are shared (they
+// are immutable by the retention contract of New); the points slice itself
+// and the tombstone set are copied, so Insert and Delete on the clone are
+// invisible to the original.
+func (ix *Index) Clone() index.Dynamic {
+	points := make([][]float64, len(ix.points), len(ix.points)+1)
+	copy(points, ix.points)
+	deleted := make(map[int]bool, len(ix.deleted))
+	for id := range ix.deleted {
+		deleted[id] = true
+	}
+	return &Index{
+		points:  points,
+		metric:  ix.metric,
+		dim:     ix.dim,
+		deleted: deleted,
+		alive:   ix.alive,
+	}
+}
+
 // Delete implements index.Dynamic using a tombstone.
 func (ix *Index) Delete(id int) bool {
 	if id < 0 || id >= len(ix.points) || ix.deleted[id] {
@@ -92,6 +112,12 @@ func (ix *Index) Delete(id int) bool {
 	ix.alive--
 	return true
 }
+
+// IDSpan implements index.Liveness.
+func (ix *Index) IDSpan() int { return len(ix.points) }
+
+// Live implements index.Liveness.
+func (ix *Index) Live(id int) bool { return id >= 0 && id < len(ix.points) && !ix.deleted[id] }
 
 func (ix *Index) skip(id, skipID int) bool {
 	return id == skipID || ix.deleted[id]

@@ -1,0 +1,308 @@
+// Package server exposes a Searcher over HTTP/JSON — the serving layer of
+// the `rknn serve` daemon. It is a thin, dependency-free stateless shell:
+// all concurrency control lives in the snapshot machinery of the facade
+// (see DESIGN.md), so handlers simply call into the engine and any number
+// of requests may run in parallel, including point updates racing queries.
+//
+// Endpoints:
+//
+//	POST   /v1/rknn        {"id":3,"k":10} or {"point":[...],"k":10}
+//	POST   /v1/rknn/batch  {"ids":[1,2,3],"k":10,"workers":0}
+//	POST   /v1/knn         {"point":[...],"k":5}
+//	POST   /v1/points      {"point":[...]}            (insert)
+//	DELETE /v1/points/{id}                            (delete)
+//	GET    /healthz
+//	GET    /statsz
+//
+// Every response is JSON; errors are {"error":"..."} with a 4xx/5xx status.
+// Batch queries honor request cancellation: a client disconnect aborts the
+// remaining queries of its batch.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	repro "repro"
+)
+
+// Server wraps a Searcher with HTTP handlers and request-level statistics.
+// All methods are safe for concurrent use.
+type Server struct {
+	s     *repro.Searcher
+	start time.Time
+	stats map[string]*endpointStats // fixed key set, populated at New
+}
+
+// endpointStats aggregates one route's request counters atomically.
+type endpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	totalUS  atomic.Int64 // summed handler latency, microseconds
+}
+
+// routes is the fixed set of stats keys, one per endpoint.
+var routes = []string{
+	"/v1/rknn", "/v1/rknn/batch", "/v1/knn", "/v1/points", "/healthz", "/statsz",
+}
+
+// New returns a Server over s.
+func New(s *repro.Searcher) *Server {
+	srv := &Server{s: s, start: time.Now(), stats: make(map[string]*endpointStats, len(routes))}
+	for _, r := range routes {
+		srv.stats[r] = &endpointStats{}
+	}
+	return srv
+}
+
+// Handler returns the route table. The returned handler is safe for
+// concurrent use and may be wrapped with middleware by the caller.
+func (srv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/rknn", srv.instrument("/v1/rknn", srv.handleRkNN))
+	mux.HandleFunc("POST /v1/rknn/batch", srv.instrument("/v1/rknn/batch", srv.handleRkNNBatch))
+	mux.HandleFunc("POST /v1/knn", srv.instrument("/v1/knn", srv.handleKNN))
+	mux.HandleFunc("POST /v1/points", srv.instrument("/v1/points", srv.handleInsert))
+	mux.HandleFunc("DELETE /v1/points/{id}", srv.instrument("/v1/points", srv.handleDelete))
+	mux.HandleFunc("GET /healthz", srv.instrument("/healthz", srv.handleHealth))
+	mux.HandleFunc("GET /statsz", srv.instrument("/statsz", srv.handleStats))
+	return mux
+}
+
+// apiError carries the HTTP status a handler failure maps to.
+type apiError struct {
+	status int
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// instrument adapts an error-returning handler, recording per-endpoint
+// request count, error count, and latency, and rendering failures as JSON.
+func (srv *Server) instrument(route string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	st := srv.stats[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		err := h(w, r)
+		st.requests.Add(1)
+		st.totalUS.Add(time.Since(begin).Microseconds())
+		if err == nil {
+			return
+		}
+		st.errors.Add(1)
+		status := http.StatusInternalServerError
+		var ae *apiError
+		if errors.As(err, &ae) {
+			status = ae.status
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	}
+}
+
+// writeJSON commits the response. Encode failures after the header is sent
+// mean the client went away mid-body; there is no useful recovery and
+// returning them would make instrument write a second header and count a
+// served query as an endpoint error, so they are dropped here.
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+	return nil
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	return nil
+}
+
+// rknnRequest selects a query by member ID or by arbitrary point (exactly
+// one of the two), at reverse-neighbor rank K.
+type rknnRequest struct {
+	ID        *int      `json:"id,omitempty"`
+	Point     []float64 `json:"point,omitempty"`
+	K         int       `json:"k"`
+	WithStats bool      `json:"stats,omitempty"`
+}
+
+type rknnResponse struct {
+	IDs   []int        `json:"ids"`
+	Stats *repro.Stats `json:"stats,omitempty"`
+}
+
+func (srv *Server) handleRkNN(w http.ResponseWriter, r *http.Request) error {
+	var req rknnRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if (req.ID == nil) == (req.Point == nil) {
+		return badRequest("exactly one of id and point must be given")
+	}
+	var (
+		ids []int
+		st  repro.Stats
+		err error
+	)
+	switch {
+	case req.ID != nil && req.WithStats:
+		ids, st, err = srv.s.ReverseKNNStats(*req.ID, req.K)
+	case req.ID != nil:
+		ids, err = srv.s.ReverseKNN(*req.ID, req.K)
+	case req.WithStats:
+		ids, st, err = srv.s.ReverseKNNPointStats(req.Point, req.K)
+	default:
+		ids, err = srv.s.ReverseKNNPoint(req.Point, req.K)
+	}
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	resp := rknnResponse{IDs: emptyNotNull(ids)}
+	if req.WithStats {
+		resp.Stats = &st
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+type batchRequest struct {
+	IDs     []int `json:"ids"`
+	K       int   `json:"k"`
+	Workers int   `json:"workers,omitempty"`
+}
+
+type batchResponse struct {
+	Results [][]int `json:"results"`
+}
+
+func (srv *Server) handleRkNNBatch(w http.ResponseWriter, r *http.Request) error {
+	var req batchRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	results, err := srv.s.BatchReverseKNNContext(r.Context(), req.IDs, req.K, req.Workers)
+	if err != nil {
+		// A cancelled request context is the client disconnecting or
+		// timing out, not a bad request: there is nobody to answer and
+		// counting it as an endpoint error would bury real 400s.
+		if r.Context().Err() != nil {
+			return nil
+		}
+		return badRequest("%v", err)
+	}
+	for i := range results {
+		results[i] = emptyNotNull(results[i])
+	}
+	return writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+type knnRequest struct {
+	Point []float64 `json:"point"`
+	K     int       `json:"k"`
+}
+
+type knnResponse struct {
+	Neighbors []neighbor `json:"neighbors"`
+}
+
+type neighbor struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+func (srv *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
+	var req knnRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	nn, err := srv.s.KNN(req.Point, req.K)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	out := make([]neighbor, len(nn))
+	for i, nb := range nn {
+		out[i] = neighbor{ID: nb.ID, Dist: nb.Dist}
+	}
+	return writeJSON(w, http.StatusOK, knnResponse{Neighbors: out})
+}
+
+type insertRequest struct {
+	Point []float64 `json:"point"`
+}
+
+func (srv *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
+	var req insertRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	id, err := srv.s.Insert(req.Point)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	return writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+}
+
+func (srv *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return badRequest("invalid point id %q", r.PathValue("id"))
+	}
+	ok, err := srv.s.Delete(id)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	if !ok {
+		return &apiError{status: http.StatusNotFound, err: fmt.Errorf("point %d not found", id)}
+	}
+	return writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"points":         srv.s.Len(),
+		"dim":            srv.s.Dim(),
+		"uptime_seconds": time.Since(srv.start).Seconds(),
+	})
+}
+
+// statsz reports per-endpoint request counters plus the engine parameters,
+// the observability surface behind capacity planning for the daemon.
+func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	endpoints := make(map[string]map[string]int64, len(srv.stats))
+	for route, st := range srv.stats {
+		endpoints[route] = map[string]int64{
+			"requests": st.requests.Load(),
+			"errors":   st.errors.Load(),
+			"total_us": st.totalUS.Load(),
+		}
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"endpoints": endpoints,
+		"engine": map[string]any{
+			"points": srv.s.Len(),
+			"dim":    srv.s.Dim(),
+			"scale":  srv.s.Scale(),
+		},
+	})
+}
+
+// emptyNotNull keeps empty result lists serializing as [] rather than null.
+func emptyNotNull(ids []int) []int {
+	if ids == nil {
+		return []int{}
+	}
+	return ids
+}

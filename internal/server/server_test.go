@@ -1,0 +1,355 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	repro "repro"
+	"repro/internal/bruteforce"
+	"repro/internal/indextest"
+	"repro/internal/vecmath"
+)
+
+// newTestServer indexes a small random dataset and returns the engine, the
+// exact oracle, and an httptest server over the full route table.
+func newTestServer(t *testing.T) (*repro.Searcher, *bruteforce.Truth, *httptest.Server) {
+	t.Helper()
+	pts := indextest.RandPoints(200, 3, 7)
+	s, err := repro.New(pts, repro.WithScale(100))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatalf("bruteforce.New: %v", err)
+	}
+	ts := httptest.NewServer(New(s).Handler())
+	t.Cleanup(ts.Close)
+	return s, truth, ts
+}
+
+// call posts body to path and decodes the JSON response into out, reporting
+// the HTTP status.
+func call(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestRkNNEndpoint(t *testing.T) {
+	_, truth, ts := newTestServer(t)
+	for _, qid := range []int{0, 17, 42, 199} {
+		var resp struct {
+			IDs []int `json:"ids"`
+		}
+		status := call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"id": qid, "k": 5}, &resp)
+		if status != http.StatusOK {
+			t.Fatalf("rknn(%d) status %d", qid, status)
+		}
+		want, err := truth.RkNNByID(qid, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = []int{}
+		}
+		if !reflect.DeepEqual(resp.IDs, want) {
+			t.Errorf("rknn(%d) = %v, oracle %v", qid, resp.IDs, want)
+		}
+	}
+}
+
+func TestRkNNEndpointByPointAndStats(t *testing.T) {
+	_, truth, ts := newTestServer(t)
+	q := []float64{0.5, 0.5, 0.5}
+	var resp struct {
+		IDs []int `json:"ids"`
+	}
+	if status := call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"point": q, "k": 4}, &resp); status != http.StatusOK {
+		t.Fatalf("rknn by point: status %d", status)
+	}
+	want, err := truth.RkNN(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == nil {
+		want = []int{}
+	}
+	if !reflect.DeepEqual(resp.IDs, want) {
+		t.Errorf("rknn(point) = %v, oracle %v", resp.IDs, want)
+	}
+
+	var withStats struct {
+		IDs   []int        `json:"ids"`
+		Stats *repro.Stats `json:"stats"`
+	}
+	if status := call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"id": 3, "k": 5, "stats": true}, &withStats); status != http.StatusOK {
+		t.Fatalf("rknn with stats: status %d", status)
+	}
+	if withStats.Stats == nil || withStats.Stats.ScanDepth == 0 {
+		t.Errorf("stats missing or empty: %+v", withStats.Stats)
+	}
+
+	withStats.Stats = nil
+	if status := call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"point": q, "k": 5, "stats": true}, &withStats); status != http.StatusOK {
+		t.Fatalf("rknn by point with stats: status %d", status)
+	}
+	if withStats.Stats == nil || withStats.Stats.ScanDepth == 0 {
+		t.Errorf("point-query stats missing or empty: %+v", withStats.Stats)
+	}
+}
+
+func TestRkNNEndpointErrors(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"neither-id-nor-point", map[string]any{"k": 5}},
+		{"both-id-and-point", map[string]any{"id": 1, "point": []float64{1, 2, 3}, "k": 5}},
+		{"bad-k", map[string]any{"id": 1, "k": 0}},
+		{"id-out-of-range", map[string]any{"id": 10000, "k": 5}},
+		{"wrong-dimension", map[string]any{"point": []float64{1}, "k": 5}},
+		{"unknown-field", map[string]any{"id": 1, "k": 5, "bogus": true}},
+	}
+	for _, c := range cases {
+		var resp struct {
+			Error string `json:"error"`
+		}
+		if status := call(t, "POST", ts.URL+"/v1/rknn", c.body, &resp); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, status)
+		}
+		if resp.Error == "" {
+			t.Errorf("%s: empty error message", c.name)
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, truth, ts := newTestServer(t)
+	qids := []int{0, 5, 9, 100, 150}
+	var resp struct {
+		Results [][]int `json:"results"`
+	}
+	if status := call(t, "POST", ts.URL+"/v1/rknn/batch", map[string]any{"ids": qids, "k": 5, "workers": 3}, &resp); status != http.StatusOK {
+		t.Fatalf("batch status %d", status)
+	}
+	if len(resp.Results) != len(qids) {
+		t.Fatalf("batch returned %d results, want %d", len(resp.Results), len(qids))
+	}
+	for i, qid := range qids {
+		want, err := truth.RkNNByID(qid, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = []int{}
+		}
+		if !reflect.DeepEqual(resp.Results[i], want) {
+			t.Errorf("batch[%d] (qid %d) = %v, oracle %v", i, qid, resp.Results[i], want)
+		}
+	}
+	if status := call(t, "POST", ts.URL+"/v1/rknn/batch", map[string]any{"ids": []int{-1}, "k": 5}, nil); status != http.StatusBadRequest {
+		t.Errorf("batch with bad id: status %d, want 400", status)
+	}
+}
+
+func TestKNNEndpoint(t *testing.T) {
+	s, _, ts := newTestServer(t)
+	q := []float64{0.2, 0.8, 0.1}
+	var resp struct {
+		Neighbors []struct {
+			ID   int     `json:"id"`
+			Dist float64 `json:"dist"`
+		} `json:"neighbors"`
+	}
+	if status := call(t, "POST", ts.URL+"/v1/knn", map[string]any{"point": q, "k": 7}, &resp); status != http.StatusOK {
+		t.Fatalf("knn status %d", status)
+	}
+	want, err := s.KNN(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Neighbors) != len(want) {
+		t.Fatalf("knn returned %d neighbors, want %d", len(resp.Neighbors), len(want))
+	}
+	for i := range want {
+		if resp.Neighbors[i].ID != want[i].ID || resp.Neighbors[i].Dist != want[i].Dist {
+			t.Errorf("knn[%d] = %+v, want %+v", i, resp.Neighbors[i], want[i])
+		}
+	}
+	if status := call(t, "POST", ts.URL+"/v1/knn", map[string]any{"point": []float64{1}, "k": 3}, nil); status != http.StatusBadRequest {
+		t.Errorf("knn wrong dim: status %d, want 400", status)
+	}
+}
+
+func TestPointsInsertDelete(t *testing.T) {
+	s, _, ts := newTestServer(t)
+	before := s.Len()
+	var ins struct {
+		ID int `json:"id"`
+	}
+	if status := call(t, "POST", ts.URL+"/v1/points", map[string]any{"point": []float64{0.5, 0.5, 0.5}}, &ins); status != http.StatusCreated {
+		t.Fatalf("insert status %d, want 201", status)
+	}
+	if ins.ID != before {
+		t.Errorf("insert id = %d, want %d", ins.ID, before)
+	}
+	if s.Len() != before+1 {
+		t.Errorf("Len after insert = %d, want %d", s.Len(), before+1)
+	}
+
+	var del struct {
+		Deleted bool `json:"deleted"`
+	}
+	if status := call(t, "DELETE", fmt.Sprintf("%s/v1/points/%d", ts.URL, ins.ID), nil, &del); status != http.StatusOK {
+		t.Fatalf("delete status %d", status)
+	}
+	if !del.Deleted || s.Len() != before {
+		t.Errorf("delete = %+v, Len = %d, want %d", del, s.Len(), before)
+	}
+	// A deleted member is rejected as a query anchor, while the highest
+	// surviving ID (above Len() once tombstones exist) still answers.
+	if status := call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"id": ins.ID, "k": 3}, nil); status != http.StatusBadRequest {
+		t.Errorf("rknn on deleted id: status %d, want 400", status)
+	}
+	if status := call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"id": 199, "k": 3}, nil); status != http.StatusOK {
+		t.Errorf("rknn on highest live id: status %d, want 200", status)
+	}
+	// Deleting again is a 404, as is an unparsable id.
+	if status := call(t, "DELETE", fmt.Sprintf("%s/v1/points/%d", ts.URL, ins.ID), nil, nil); status != http.StatusNotFound {
+		t.Errorf("double delete status %d, want 404", status)
+	}
+	if status := call(t, "DELETE", ts.URL+"/v1/points/xyzzy", nil, nil); status != http.StatusBadRequest {
+		t.Errorf("bad id delete status %d, want 400", status)
+	}
+	// An insert with the wrong dimension is rejected.
+	if status := call(t, "POST", ts.URL+"/v1/points", map[string]any{"point": []float64{1}}, nil); status != http.StatusBadRequest {
+		t.Errorf("bad insert status %d, want 400", status)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	s, _, ts := newTestServer(t)
+	var health struct {
+		Status string `json:"status"`
+		Points int    `json:"points"`
+		Dim    int    `json:"dim"`
+	}
+	if status := call(t, "GET", ts.URL+"/healthz", nil, &health); status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+	if health.Status != "ok" || health.Points != s.Len() || health.Dim != s.Dim() {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	// Generate traffic, including one failure, then check the counters.
+	call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"id": 1, "k": 3}, nil)
+	call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"k": 3}, nil)
+	var stats struct {
+		Endpoints map[string]struct {
+			Requests int64 `json:"requests"`
+			Errors   int64 `json:"errors"`
+			TotalUS  int64 `json:"total_us"`
+		} `json:"endpoints"`
+		Engine struct {
+			Points int     `json:"points"`
+			Scale  float64 `json:"scale"`
+		} `json:"engine"`
+	}
+	if status := call(t, "GET", ts.URL+"/statsz", nil, &stats); status != http.StatusOK {
+		t.Fatalf("statsz status %d", status)
+	}
+	rknn := stats.Endpoints["/v1/rknn"]
+	if rknn.Requests < 2 || rknn.Errors < 1 {
+		t.Errorf("statsz /v1/rknn = %+v, want >=2 requests and >=1 error", rknn)
+	}
+	if stats.Engine.Points != s.Len() || stats.Engine.Scale != s.Scale() {
+		t.Errorf("statsz engine = %+v", stats.Engine)
+	}
+}
+
+// TestConcurrentTraffic hammers the server with parallel query and update
+// requests — the serving-layer face of the snapshot guarantee. Run under
+// -race this is an end-to-end data-race check on the full HTTP path.
+func TestConcurrentTraffic(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				var resp struct {
+					IDs []int `json:"ids"`
+				}
+				if status := call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"id": (g*31 + i) % 200, "k": 4}, &resp); status != http.StatusOK {
+					t.Errorf("goroutine %d: rknn status %d", g, status)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			p := []float64{float64(i) / 20, 0.5, 0.5}
+			if status := call(t, "POST", ts.URL+"/v1/points", map[string]any{"point": p}, nil); status != http.StatusCreated {
+				t.Errorf("insert %d: status %d", i, status)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestBatchHonorsRequestCancellation checks that a cancelled request context
+// aborts a batch: the handler surfaces the context error as a 400 rather
+// than completing the full batch.
+func TestBatchHonorsRequestCancellation(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	qids := make([]int, 200)
+	for i := range qids {
+		qids[i] = i
+	}
+	body, err := json.Marshal(map[string]any{"ids": qids, "k": 5, "workers": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before dispatch: server must abort, not serve
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/rknn/batch", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Error("request with cancelled context succeeded")
+	}
+}

@@ -26,9 +26,12 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -58,6 +61,11 @@ var (
 
 // Minkowski returns the Lp metric for p >= 1.
 func Minkowski(p float64) (Metric, error) { return vecmath.NewMinkowski(p) }
+
+// ErrDeleted reports a member query anchored at a deleted point. Queries
+// racing Delete on the same ID fail with it (match with errors.Is); it is
+// the expected outcome of that race, not a corruption.
+var ErrDeleted = core.ErrDeletedID
 
 // Backend selects the forward-kNN index structure feeding the expanding
 // search.
@@ -148,14 +156,55 @@ func WithPlainRDT() Option { return func(c *config) { c.plain = true } }
 // the estimate multiplier minus one (margin 1 doubles the online estimate).
 func WithAdaptiveScale() Option { return func(c *config) { c.adaptive = true } }
 
-// Searcher answers reverse k-nearest neighbor queries over a fixed dataset.
-// It is safe for concurrent use.
+// Searcher answers reverse k-nearest neighbor queries over an indexed
+// dataset. It is safe for unrestricted concurrent use, including queries
+// racing with Insert and Delete: queries run lock-free against an immutable
+// snapshot of the index, and each update installs a fresh snapshot with one
+// atomic pointer swap (copy-on-write; see DESIGN.md). A query therefore
+// always observes a consistent dataset — the one current when it started —
+// never a half-applied update.
 type Searcher struct {
-	ix       index.Index
 	scale    float64
 	plus     bool
 	adaptive bool
 	margin   float64
+
+	snap atomic.Pointer[snapshot]
+	mu   sync.Mutex // serializes Insert/Delete (writers clone, then swap)
+}
+
+// snapshot is one immutable generation of the index, together with its
+// memoized query engines. Queriers are stateless per query and safe for
+// concurrent use, so one Querier per reverse-neighbor rank k serves every
+// query against this generation — queries on a warm rank allocate no
+// engine state at all.
+type snapshot struct {
+	ix       index.Index
+	queriers sync.Map // k int -> *core.Querier
+}
+
+// querier returns the snapshot's memoized query engine for rank k,
+// constructing it on first use.
+func (sn *snapshot) querier(s *Searcher, k int) (*core.Querier, error) {
+	if qr, ok := sn.queriers.Load(k); ok {
+		return qr.(*core.Querier), nil
+	}
+	var qr *core.Querier
+	var err error
+	if s.adaptive {
+		qr, err = core.NewAdaptiveQuerier(sn.ix, core.AdaptiveParams{
+			K:          k,
+			Multiplier: 1 + s.margin,
+			Plus:       s.plus,
+		})
+	} else {
+		qr, err = core.NewQuerier(sn.ix, core.Params{K: k, T: s.scale, Plus: s.plus})
+	}
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := sn.queriers.LoadOrStore(k, qr)
+	return actual.(*core.Querier), nil
 }
 
 // New indexes points and returns a Searcher. The points slice is retained
@@ -181,7 +230,9 @@ func New(points [][]float64, opts ...Option) (*Searcher, error) {
 		if cfg.margin < 0 {
 			return nil, fmt.Errorf("rknnd: scale margin must be non-negative, got %v", cfg.margin)
 		}
-		return &Searcher{ix: ix, adaptive: true, margin: cfg.margin, plus: !cfg.plain}, nil
+		s := &Searcher{adaptive: true, margin: cfg.margin, plus: !cfg.plain}
+		s.snap.Store(&snapshot{ix: ix})
+		return s, nil
 	}
 	scale := cfg.scale
 	if math.IsNaN(scale) {
@@ -197,7 +248,9 @@ func New(points [][]float64, opts ...Option) (*Searcher, error) {
 	if !(scale > 0) {
 		return nil, fmt.Errorf("rknnd: scale parameter must be positive, got %v", scale)
 	}
-	return &Searcher{ix: ix, scale: scale, plus: !cfg.plain}, nil
+	s := &Searcher{scale: scale, plus: !cfg.plain}
+	s.snap.Store(&snapshot{ix: ix})
+	return s, nil
 }
 
 func estimate(e Estimator, ix index.Index, points [][]float64, metric Metric) (float64, error) {
@@ -218,10 +271,10 @@ func estimate(e Estimator, ix index.Index, points [][]float64, metric Metric) (f
 func (s *Searcher) Scale() float64 { return s.scale }
 
 // Len returns the number of indexed points.
-func (s *Searcher) Len() int { return s.ix.Len() }
+func (s *Searcher) Len() int { return s.snap.Load().ix.Len() }
 
 // Dim returns the dimensionality of the indexed points.
-func (s *Searcher) Dim() int { return s.ix.Dim() }
+func (s *Searcher) Dim() int { return s.snap.Load().ix.Dim() }
 
 // ReverseKNN returns the IDs of the dataset members that have member qid
 // among their k nearest neighbors, sorted ascending. The member itself is
@@ -243,17 +296,15 @@ func (s *Searcher) ReverseKNNStats(qid, k int) ([]int, Stats, error) {
 	return s.query(k, func(qr *core.Querier) (*core.Result, error) { return qr.ByID(qid) })
 }
 
-// querier builds the per-rank query engine: fixed-scale Algorithm 1 or the
-// adaptive variant.
+// ReverseKNNPointStats is ReverseKNNPoint with the per-query work counters.
+func (s *Searcher) ReverseKNNPointStats(q []float64, k int) ([]int, Stats, error) {
+	return s.query(k, func(qr *core.Querier) (*core.Result, error) { return qr.ByPoint(q) })
+}
+
+// querier returns the per-rank query engine of the current snapshot:
+// fixed-scale Algorithm 1 or the adaptive variant, memoized per rank.
 func (s *Searcher) querier(k int) (*core.Querier, error) {
-	if s.adaptive {
-		return core.NewAdaptiveQuerier(s.ix, core.AdaptiveParams{
-			K:          k,
-			Multiplier: 1 + s.margin,
-			Plus:       s.plus,
-		})
-	}
-	return core.NewQuerier(s.ix, core.Params{K: k, T: s.scale, Plus: s.plus})
+	return s.snap.Load().querier(s, k)
 }
 
 func (s *Searcher) query(k int, run func(*core.Querier) (*core.Result, error)) ([]int, Stats, error) {
@@ -282,11 +333,20 @@ func (s *Searcher) query(k int, run func(*core.Querier) (*core.Result, error)) (
 // (0 workers selects all cores) and returns the per-query ID lists in input
 // order. The first per-query error aborts the batch.
 func (s *Searcher) BatchReverseKNN(qids []int, k, workers int) ([][]int, error) {
+	return s.BatchReverseKNNContext(context.Background(), qids, k, workers)
+}
+
+// BatchReverseKNNContext is BatchReverseKNN with cancellation: when ctx is
+// cancelled mid-batch the pool stops dispatching, drains its in-flight
+// queries, and returns ctx's error. The whole batch runs against the single
+// snapshot current at the call, so results are mutually consistent even
+// while Insert/Delete run concurrently.
+func (s *Searcher) BatchReverseKNNContext(ctx context.Context, qids []int, k, workers int) ([][]int, error) {
 	qr, err := s.querier(k)
 	if err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
 	}
-	batch, err := qr.BatchByID(qids, workers)
+	batch, err := qr.BatchByIDContext(ctx, qids, workers)
 	if err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
 	}
@@ -305,13 +365,14 @@ func (s *Searcher) BatchReverseKNN(qids []int, k, workers int) ([][]int, error) 
 // similarity query, exposed because reverse-neighbor applications almost
 // always need it too.
 func (s *Searcher) KNN(q []float64, k int) ([]Neighbor, error) {
+	ix := s.snap.Load().ix
 	if err := vecmath.Validate(q); err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
 	}
-	if len(q) != s.ix.Dim() {
-		return nil, fmt.Errorf("rknnd: query dimension %d, index dimension %d", len(q), s.ix.Dim())
+	if len(q) != ix.Dim() {
+		return nil, fmt.Errorf("rknnd: query dimension %d, index dimension %d", len(q), ix.Dim())
 	}
-	nn := s.ix.KNN(q, k, -1)
+	nn := ix.KNN(q, k, -1)
 	out := make([]Neighbor, len(nn))
 	for i, nb := range nn {
 		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
@@ -327,30 +388,60 @@ type Neighbor struct {
 
 // Point returns the coordinates of a dataset member. The returned slice is
 // owned by the Searcher and must not be modified.
-func (s *Searcher) Point(id int) []float64 { return s.ix.Point(id) }
+func (s *Searcher) Point(id int) []float64 { return s.snap.Load().ix.Point(id) }
 
 // Insert adds a point when the back-end supports dynamic updates
 // (BackendCoverTree and BackendScan do) and returns its new ID. The paper
 // highlights this property for data warehouse and stream scenarios
-// (Section 4): updates cost no more than the underlying index update.
+// (Section 4); here an update additionally clones the index (O(n)) so that
+// in-flight queries keep reading their frozen snapshot, and then publishes
+// the updated clone with one atomic swap. Updates are serialized; queries
+// are never blocked.
 func (s *Searcher) Insert(p []float64) (int, error) {
-	dyn, ok := s.ix.(index.Dynamic)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load().ix
+	cl, ok := cur.(index.Cloner)
 	if !ok {
 		return 0, errors.New("rknnd: back-end does not support insertion")
 	}
-	id, err := dyn.Insert(p)
+	// Reject invalid points before paying for the O(n) clone, so a
+	// stream of bad requests cannot stall legitimate writers.
+	if err := vecmath.Validate(p); err != nil {
+		return 0, fmt.Errorf("rknnd: %w", err)
+	}
+	if len(p) != cur.Dim() {
+		return 0, fmt.Errorf("rknnd: point dimension %d, index dimension %d", len(p), cur.Dim())
+	}
+	next := cl.Clone()
+	id, err := next.Insert(p)
 	if err != nil {
 		return 0, fmt.Errorf("rknnd: %w", err)
 	}
+	s.snap.Store(&snapshot{ix: next})
 	return id, nil
 }
 
 // Delete removes a dataset member when the back-end supports dynamic
-// updates. It reports whether the ID was present.
+// updates, with the same copy-on-write discipline as Insert. It reports
+// whether the ID was present.
 func (s *Searcher) Delete(id int) (bool, error) {
-	dyn, ok := s.ix.(index.Dynamic)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load().ix
+	cl, ok := cur.(index.Cloner)
 	if !ok {
 		return false, errors.New("rknnd: back-end does not support deletion")
 	}
-	return dyn.Delete(id), nil
+	// Settle absent and already-deleted IDs against the current snapshot
+	// before paying for the O(n) clone.
+	if lv, ok := cur.(index.Liveness); ok && !lv.Live(id) {
+		return false, nil
+	}
+	next := cl.Clone()
+	if !next.Delete(id) {
+		return false, nil // unchanged: keep the current snapshot warm
+	}
+	s.snap.Store(&snapshot{ix: next})
+	return true, nil
 }
