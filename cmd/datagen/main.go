@@ -1,11 +1,11 @@
 // Command datagen emits a surrogate dataset as CSV (default) or the compact
-// gob binary format, for use with the other tools' -csv flag or external
-// analysis.
+// checksummed binary format of internal/persist, for use with the other
+// tools' -csv flag or external analysis.
 //
 // Examples:
 //
 //	datagen -data sequoia -n 10000 > sequoia.csv
-//	datagen -data imagenet -n 5000 -dim 256 -format gob -o imagenet.gob
+//	datagen -data imagenet -n 5000 -dim 256 -format bin -o imagenet.bin
 package main
 
 import (
@@ -38,7 +38,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sigma    = fs.Float64("sigma", 0.05, "cluster spread (gaussmix)")
 		noise    = fs.Float64("noise", 0.01, "observation noise (manifold)")
 		seed     = fs.Int64("seed", 1, "generation seed")
-		format   = fs.String("format", "csv", "csv or gob")
+		format   = fs.String("format", "csv", "csv or bin (checksummed binary; gob accepted as alias)")
 		outPath  = fs.String("o", "", "output file (default stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -87,8 +87,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	switch *format {
 	case "csv":
 		err = ds.WriteCSV(bw)
-	case "gob":
-		err = ds.WriteGob(bw)
+	case "bin", "gob":
+		err = ds.WriteBinary(bw)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}

@@ -1,7 +1,10 @@
 // Command rknn answers reverse k-nearest-neighbor queries from the command
 // line with any of the implemented methods, over a generated surrogate
 // dataset or a CSV file — or, with the serve subcommand, runs as a
-// long-lived HTTP daemon answering them over the network.
+// long-lived HTTP daemon answering them over the network. The save and
+// load subcommands separate build time from query time: save pays the
+// scale estimation and index build once and writes a snapshot file; load
+// restores it without re-estimating anything.
 //
 // Examples:
 //
@@ -10,6 +13,9 @@
 //	rknn -csv points.csv -k 5 -method sft -alpha 8 -query 0
 //	rknn -data fct -n 3000 -k 10 -method rdt+ -auto mle -query 3
 //	rknn serve -addr :8080 -data fct -n 10000
+//	rknn serve -addr :8080 -data-dir /var/lib/rknn     (durable, crash-recovering)
+//	rknn save -data fct -n 10000 -out fct.rknn
+//	rknn load -in fct.rknn -query 3 -k 10
 package main
 
 import (
@@ -36,13 +42,26 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		defer stop()
-		if err := runServe(ctx, os.Args[2:], os.Stdout, nil); err != nil {
-			fail(err)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			defer stop()
+			if err := runServe(ctx, os.Args[2:], os.Stdout, nil); err != nil {
+				fail(err)
+			}
+			return
+		case "save":
+			if err := runSave(os.Args[2:], os.Stdout); err != nil {
+				fail(err)
+			}
+			return
+		case "load":
+			if err := runLoad(os.Args[2:], os.Stdout); err != nil {
+				fail(err)
+			}
+			return
 		}
-		return
 	}
 	var (
 		dataName = flag.String("data", "sequoia", "surrogate dataset: sequoia, aloi, fct, mnist, imagenet, uniform")

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	repro "repro"
+)
+
+// runSave implements `rknn save`: build a Searcher (estimating or pinning
+// the scale parameter exactly as `rknn serve` would) and write it as one
+// snapshot file. The expensive part of bringing an RkNN engine up —
+// dimensionality estimation plus the index build — is paid here, offline;
+// `rknn load` and `rknn serve -data-dir` then restore in build-cost only.
+func runSave(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("save", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		out      = fs.String("out", "", "snapshot file to write (required)")
+		dataName = fs.String("data", "sequoia", "surrogate dataset: sequoia, aloi, fct, mnist, imagenet, uniform")
+		csvPath  = fs.String("csv", "", "load points from a CSV file instead of generating")
+		n        = fs.Int("n", 5000, "generated dataset size")
+		dim      = fs.Int("dim", 128, "dimension for imagenet/uniform surrogates")
+		seed     = fs.Int64("seed", 1, "generation seed")
+		backend  = fs.String("backend", "covertree", "forward index: scan, covertree, kdtree, vptree")
+		tParam   = fs.Float64("t", 0, "pin the scale parameter (0 estimates it)")
+		auto     = fs.String("auto", "mle", "scale estimator when -t is 0: mle, gp or takens")
+		plain    = fs.Bool("plain", false, "use plain RDT instead of RDT+")
+		metric   = fs.String("metric", "", "distance metric: euclidean (default), manhattan, chebyshev, angular, minkowski(p)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *out == "" {
+		return errors.New("save: -out is required")
+	}
+
+	pts, name, err := loadPoints(*csvPath, *dataName, *n, *dim, *seed)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	s, err := buildSearcher(pts, *backend, *tParam, *auto, *plain, *metric)
+	if err != nil {
+		return err
+	}
+	built := time.Since(start)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := s.Save(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "rknn save: %s (n=%d, dim=%d), %s back-end, t=%.2f, built in %s\n",
+		name, s.Len(), s.Dim(), *backend, s.Scale(), built.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "rknn save: wrote %d bytes to %s\n", info.Size(), *out)
+	return nil
+}
+
+// runLoad implements `rknn load`: restore a Searcher from a snapshot file —
+// metric, back-end, tombstones, and scale parameter all come from the file,
+// nothing is re-estimated — and answer one reverse query.
+func runLoad(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		in      = fs.String("in", "", "snapshot file to read (required)")
+		queryID = fs.Int("query", 0, "dataset member to query")
+		k       = fs.Int("k", 10, "reverse neighbor rank")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *in == "" {
+		return errors.New("load: -in is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	start := time.Now()
+	s, err := repro.Load(f)
+	if err != nil {
+		return err
+	}
+	loaded := time.Since(start)
+	fmt.Fprintf(stdout, "rknn load: %d points, dim=%d, t=%.2f restored in %s (no re-estimation)\n",
+		s.Len(), s.Dim(), s.Scale(), loaded.Round(time.Millisecond))
+
+	start = time.Now()
+	ids, err := s.ReverseKNN(*queryID, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "R%dNN(%d): %d results in %s\n", *k, *queryID, len(ids), time.Since(start).Round(time.Microsecond))
+	fmt.Fprintln(stdout, ids)
+	return nil
+}

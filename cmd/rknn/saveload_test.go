@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSaveLoadSubcommands drives `rknn save` then `rknn load` through
+// their run functions: the snapshot file must restore with the same scale
+// (printed as restored, not re-estimated) and answer the query.
+func TestSaveLoadSubcommands(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "sequoia.rknn")
+	var out bytes.Buffer
+	err := runSave([]string{"-data", "sequoia", "-n", "400", "-auto", "mle", "-out", snap}, &out)
+	if err != nil {
+		t.Fatalf("runSave: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Errorf("save output missing byte count:\n%s", out.String())
+	}
+	saveOut := out.String()
+
+	out.Reset()
+	if err := runLoad([]string{"-in", snap, "-query", "7", "-k", "5"}, &out); err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	if !strings.Contains(out.String(), "no re-estimation") {
+		t.Errorf("load output missing restore line:\n%s", out.String())
+	}
+	// Both must print the same t=...; extract the token from each.
+	tok := func(s string) string {
+		i := strings.Index(s, "t=")
+		if i < 0 {
+			return ""
+		}
+		return strings.Fields(s[i:])[0]
+	}
+	if st, lt := tok(saveOut), tok(out.String()); st == "" || strings.TrimSuffix(st, ",") != strings.TrimSuffix(lt, ",") {
+		t.Errorf("scale mismatch: save printed %q, load printed %q", st, lt)
+	}
+}
+
+// TestSaveLoadMetricRoundTrip saves under a non-default metric and checks
+// the loaded engine still answers (the metric travels in the snapshot).
+func TestSaveLoadMetricRoundTrip(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "cheb.rknn")
+	var out bytes.Buffer
+	err := runSave([]string{"-data", "uniform", "-n", "150", "-dim", "3", "-t", "9.5",
+		"-metric", "chebyshev", "-backend", "scan", "-out", snap}, &out)
+	if err != nil {
+		t.Fatalf("runSave: %v", err)
+	}
+	out.Reset()
+	if err := runLoad([]string{"-in", snap, "-query", "0", "-k", "4"}, &out); err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	if !strings.Contains(out.String(), "t=9.50") {
+		t.Errorf("pinned scale not restored:\n%s", out.String())
+	}
+}
+
+func TestSaveLoadFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := runSave([]string{"-h"}, &out); err != nil {
+		t.Errorf("runSave(-h) = %v, want nil", err)
+	}
+	if err := runSave(nil, &out); err == nil {
+		t.Error("runSave without -out succeeded")
+	}
+	if err := runSave([]string{"-out", filepath.Join(t.TempDir(), "x"), "-metric", "nosuch"}, &out); err == nil {
+		t.Error("runSave accepted unknown metric")
+	}
+	if err := runLoad([]string{"-h"}, &out); err != nil {
+		t.Errorf("runLoad(-h) = %v, want nil", err)
+	}
+	if err := runLoad(nil, &out); err == nil {
+		t.Error("runLoad without -in succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.rknn")
+	if err := os.WriteFile(bad, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLoad([]string{"-in", bad}, &out); err == nil {
+		t.Error("runLoad accepted a junk file")
+	}
+}

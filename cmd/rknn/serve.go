@@ -17,8 +17,12 @@ import (
 // runServe implements the `rknn serve` subcommand: build a Searcher over a
 // generated or CSV dataset and serve it over HTTP until ctx is cancelled
 // (SIGINT/SIGTERM in main), then shut down gracefully, draining in-flight
-// requests. When ready is non-nil, the bound address is sent on it once the
-// listener is up (tests bind :0 and read the port from here).
+// requests. With -data-dir the engine is durable: an existing store in the
+// directory is recovered (snapshot + write-ahead log, no dataset load and
+// no scale re-estimation), a missing one is bootstrapped from the dataset
+// flags, and every insert/delete is logged before it is acknowledged. When
+// ready is non-nil, the bound address is sent on it once the listener is up
+// (tests bind :0 and read the port from here).
 func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stdout)
@@ -33,7 +37,10 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		tParam   = fs.Float64("t", 0, "pin the scale parameter (0 estimates it)")
 		auto     = fs.String("auto", "mle", "scale estimator when -t is 0: mle, gp or takens")
 		plain    = fs.Bool("plain", false, "use plain RDT instead of RDT+")
+		metric   = fs.String("metric", "", "distance metric: euclidean (default), manhattan, chebyshev, angular, minkowski(p)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		dataDir  = fs.String("data-dir", "", "durable store directory: recover state from it, or create it and log all writes")
+		walSync  = fs.Int("wal-sync", 1, "fsync the write-ahead log every N writes (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -42,27 +49,30 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		return err
 	}
 
-	pts, name, err := loadPoints(*csvPath, *dataName, *n, *dim, *seed)
+	eng, closeEngine, err := buildEngine(stdout, *dataDir, *walSync, *csvPath, *dataName, *n, *dim, *seed, *backend, *tParam, *auto, *plain, *metric)
 	if err != nil {
 		return err
 	}
-	s, err := buildSearcher(pts, *backend, *tParam, *auto, *plain)
-	if err != nil {
-		return err
-	}
+	defer closeEngine()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "rknn serve: %s (n=%d, dim=%d), %s back-end, t=%.2f, listening on %s\n",
-		name, s.Len(), s.Dim(), *backend, s.Scale(), ln.Addr())
+	// Report the engine's actual back-end: on the recovery path it comes
+	// from the store, not from the -backend flag.
+	backendName := *backend
+	if bk, ok := eng.(interface{ Backend() repro.Backend }); ok {
+		backendName = string(bk.Backend())
+	}
+	fmt.Fprintf(stdout, "rknn serve: n=%d, dim=%d, %s back-end, t=%.2f, listening on %s\n",
+		eng.Len(), eng.Dim(), backendName, eng.Scale(), ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr()
 	}
 
 	httpSrv := &http.Server{
-		Handler: server.New(s).Handler(),
+		Handler: server.New(eng).Handler(),
 		// Bound header reads and idle keep-alives so slow or silent
 		// connections cannot pin goroutines forever; no blanket
 		// read/write timeout because large batch queries are legitimate
@@ -87,9 +97,59 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 	return nil
 }
 
-// buildSearcher maps the serve flags onto the public facade options.
-func buildSearcher(pts [][]float64, backend string, t float64, auto string, plain bool) (*repro.Searcher, error) {
+// buildEngine assembles the serving engine: recover a durable store when
+// -data-dir points at one, bootstrap a new durable store when -data-dir is
+// set but empty, or build a purely in-memory Searcher otherwise. The
+// returned closer flushes and closes the write-ahead log.
+func buildEngine(stdout io.Writer, dataDir string, walSync int, csvPath, dataName string, n, dim int, seed int64, backend string, t float64, auto string, plain bool, metric string) (server.Engine, func(), error) {
+	if dataDir != "" && repro.StoreExists(dataDir) {
+		ds, err := repro.Open(dataDir, repro.WithWALSync(walSync))
+		if err != nil {
+			return nil, nil, err
+		}
+		rec := ds.Recovery()
+		fmt.Fprintf(stdout, "rknn serve: recovered %s (generation %d, %d wal records replayed", dataDir, rec.Generation, rec.WALRecords)
+		if rec.WALTorn {
+			fmt.Fprint(stdout, ", torn tail discarded")
+		}
+		fmt.Fprintln(stdout, ")")
+		fmt.Fprintln(stdout, "rknn serve: engine configuration comes from the store; dataset, -backend, -metric, -t, -auto and -plain flags are ignored")
+		for _, skipped := range rec.SkippedSnapshots {
+			fmt.Fprintf(stdout, "rknn serve: warning: skipped unreadable snapshot %s\n", skipped)
+		}
+		return ds, func() { ds.Close() }, nil
+	}
+
+	pts, name, err := loadPoints(csvPath, dataName, n, dim, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := buildSearcher(pts, backend, t, auto, plain, metric)
+	if err != nil {
+		return nil, nil, err
+	}
+	if dataDir == "" {
+		fmt.Fprintf(stdout, "rknn serve: %s in memory only (no -data-dir)\n", name)
+		return s, func() {}, nil
+	}
+	ds, err := repro.NewDurable(dataDir, s, repro.WithWALSync(walSync))
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(stdout, "rknn serve: %s bootstrapped durable store in %s\n", name, dataDir)
+	return ds, func() { ds.Close() }, nil
+}
+
+// buildSearcher maps the serve/save flags onto the public facade options.
+func buildSearcher(pts [][]float64, backend string, t float64, auto string, plain bool, metric string) (*repro.Searcher, error) {
 	opts := []repro.Option{repro.WithBackend(repro.Backend(backend))}
+	if metric != "" {
+		m, err := repro.ParseMetric(metric)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, repro.WithMetric(m))
+	}
 	if t > 0 {
 		opts = append(opts, repro.WithScale(t))
 	} else {

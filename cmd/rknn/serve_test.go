@@ -3,8 +3,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -86,21 +91,196 @@ func TestBuildSearcherOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := buildSearcher(pts, "scan", 6, "", false)
+	s, err := buildSearcher(pts, "scan", 6, "", false, "")
 	if err != nil {
 		t.Fatalf("buildSearcher pinned t: %v", err)
 	}
 	if s.Scale() != 6 {
 		t.Errorf("Scale = %g, want 6", s.Scale())
 	}
-	s, err = buildSearcher(pts, "covertree", 0, "mle", true)
+	s, err = buildSearcher(pts, "covertree", 0, "mle", true, "")
 	if err != nil {
 		t.Fatalf("buildSearcher auto t: %v", err)
 	}
 	if s.Scale() < 1 {
 		t.Errorf("auto Scale = %g, want >= 1", s.Scale())
 	}
-	if _, err := buildSearcher(pts, "covertree", 0, "nosuch", false); err == nil {
+	if _, err := buildSearcher(pts, "covertree", 0, "nosuch", false, ""); err == nil {
 		t.Error("accepted unknown estimator")
+	}
+}
+
+// startServe boots the daemon in-process and returns its base URL, its
+// output buffer, a cancel for shutdown, and the exit channel.
+func startServe(t *testing.T, args []string) (string, *bytes.Buffer, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- runServe(ctx, args, &out, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), &out, cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("runServe exited before listening: %v\n%s", err, out.String())
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatal("timed out waiting for the server to listen")
+	}
+	panic("unreachable")
+}
+
+func postJSON(t *testing.T, url, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return b
+}
+
+func getJSON(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return b
+}
+
+// TestServeDurabilityEndToEnd is the acceptance bar for the persistence
+// layer, entirely over HTTP: start a durable server with an estimated
+// scale, mutate it, cut a snapshot mid-stream, mutate more, stop it with a
+// crash-style torn record on the log tail, restart from disk alone — no
+// dataset flags — and require byte-identical RkNN responses and an
+// identical (never re-estimated) scale parameter.
+func TestServeDurabilityEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-data", "uniform", "-n", "300", "-dim", "4",
+		"-auto", "mle", "-data-dir", dir}
+	base, out, cancel, done := startServe(t, args)
+
+	// Mutate: inserts and deletes before and after a snapshot cut, so
+	// recovery must stitch snapshot and write-ahead log together.
+	for i := 0; i < 8; i++ {
+		postJSON(t, base+"/v1/points", fmt.Sprintf(`{"point":[0.%d1,0.2,0.3,0.4]}`, i))
+	}
+	for _, id := range []int{3, 150} {
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/points/%d", base, id), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("DELETE %d: status %d", id, resp.StatusCode)
+		}
+	}
+	postJSON(t, base+"/v1/admin/snapshot", "")
+	for i := 0; i < 5; i++ {
+		postJSON(t, base+"/v1/points", fmt.Sprintf(`{"point":[0.9,0.%d2,0.1,0.5]}`, i))
+	}
+
+	// Reference answers from the never-restarted engine, raw bytes.
+	queries := []string{
+		`{"id":0,"k":5}`, `{"id":42,"k":10}`, `{"id":299,"k":3}`,
+		`{"id":307,"k":5}`, `{"id":311,"k":5}`, // inserted members (311 post-snapshot)
+		`{"point":[0.5,0.5,0.5,0.5],"k":7}`,
+	}
+	want := make([][]byte, len(queries))
+	for i, q := range queries {
+		want[i] = postJSON(t, base+"/v1/rknn", q)
+	}
+	var statsBefore struct {
+		Engine struct {
+			Scale      float64 `json:"scale"`
+			Points     int     `json:"points"`
+			Generation uint64  `json:"generation"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(getJSON(t, base+"/statsz"), &statsBefore); err != nil {
+		t.Fatal(err)
+	}
+	if statsBefore.Engine.Generation != 2 {
+		t.Errorf("generation before restart = %d, want 2", statsBefore.Engine.Generation)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("first server exited with %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("first server did not shut down")
+	}
+
+	// Crash signature: a torn half-record on the log tail, as a process
+	// killed mid-append would leave. Recovery must discard exactly this.
+	logs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(logs) != 1 {
+		t.Fatalf("wal files %v, %v", logs, err)
+	}
+	f, err := os.OpenFile(logs[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{99, 0, 0, 0, 42, 42, 42}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Restart purely from disk: no dataset flags at all.
+	base2, out2, cancel2, done2 := startServe(t, []string{"-addr", "127.0.0.1:0", "-data-dir", dir})
+	defer func() {
+		cancel2()
+		<-done2
+	}()
+	if !strings.Contains(out2.String(), "recovered") || !strings.Contains(out2.String(), "torn tail discarded") {
+		t.Errorf("recovery banner missing:\n%s", out2.String())
+	}
+	for i, q := range queries {
+		got := postJSON(t, base2+"/v1/rknn", q)
+		if !bytes.Equal(got, want[i]) {
+			t.Errorf("query %s after restart:\ngot  %s\nwant %s", q, got, want[i])
+		}
+	}
+	var statsAfter struct {
+		Engine struct {
+			Scale      float64 `json:"scale"`
+			Points     int     `json:"points"`
+			Generation uint64  `json:"generation"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(getJSON(t, base2+"/statsz"), &statsAfter); err != nil {
+		t.Fatal(err)
+	}
+	if statsAfter.Engine.Scale != statsBefore.Engine.Scale {
+		t.Errorf("scale after recovery %g, want %g (must be restored, not re-estimated)",
+			statsAfter.Engine.Scale, statsBefore.Engine.Scale)
+	}
+	if statsAfter.Engine.Points != statsBefore.Engine.Points {
+		t.Errorf("points after recovery %d, want %d", statsAfter.Engine.Points, statsBefore.Engine.Points)
 	}
 }

@@ -7,6 +7,8 @@
 package repro
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -173,4 +175,124 @@ func sameIDs(got, want []int) bool {
 		return true
 	}
 	return reflect.DeepEqual(got, want)
+}
+
+// TestCrashRecoveryOracleEquivalence is the durability conformance bar:
+// a store built from snapshot + write-ahead log, crashed with a torn and
+// then corrupted log tail, must recover to a state whose RkNN answers are
+// exactly the brute-force oracle's over the surviving points — for both
+// dynamic back-ends (the cover tree additionally exercising its native
+// structure restore).
+func TestCrashRecoveryOracleEquivalence(t *testing.T) {
+	for _, b := range []Backend{BackendCoverTree, BackendScan} {
+		b := b
+		t.Run(string(b), func(t *testing.T) {
+			dir := t.TempDir()
+			pts := indextest.RandPoints(140, 3, 31)
+			s, err := New(pts, WithBackend(b), WithScale(200), WithPlainRDT())
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			d, err := NewDurable(dir, s)
+			if err != nil {
+				t.Fatalf("NewDurable: %v", err)
+			}
+
+			// Writes before the snapshot cut land in generation 2's base;
+			// writes after it live only in the write-ahead log.
+			extra := indextest.RandPoints(25, 3, 32)
+			for _, p := range extra[:10] {
+				if _, err := d.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, id := range []int{7, 19} {
+				if ok, err := d.Delete(id); !ok || err != nil {
+					t.Fatalf("Delete(%d) = (%v, %v)", id, ok, err)
+				}
+			}
+			if err := d.Snapshot(); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			for _, p := range extra[10:] {
+				if _, err := d.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			deleted := map[int]bool{7: true, 19: true}
+			for _, id := range []int{100, 145} {
+				if ok, err := d.Delete(id); !ok || err != nil {
+					t.Fatalf("Delete(%d) = (%v, %v)", id, ok, err)
+				}
+				deleted[id] = true
+			}
+
+			// Hard stop: no Close, and a torn half-record plus garbage on
+			// the log tail, as a crash mid-append would leave.
+			logs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+			if err != nil || len(logs) != 1 {
+				t.Fatalf("wal files %v, %v", logs, err)
+			}
+			f, err := os.OpenFile(logs[0], os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte{33, 0, 0, 0, 1, 2, 3, 4, 5}); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			re, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer re.Close()
+			rec := re.Recovery()
+			if rec.Generation != 2 || !rec.WALTorn || rec.WALRecords != 17 {
+				t.Errorf("recovery info %+v, want generation 2, torn, 17 records", rec)
+			}
+
+			// Pin the recovered engine to the brute-force oracle over the
+			// surviving points.
+			span := 140 + len(extra)
+			var oraclePts [][]float64
+			var oracleToEngine []int
+			for id := 0; id < span; id++ {
+				if deleted[id] {
+					continue
+				}
+				oraclePts = append(oraclePts, re.Point(id))
+				oracleToEngine = append(oracleToEngine, id)
+			}
+			truth, err := bruteforce.New(oraclePts, vecmath.Euclidean{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := range deleted {
+				if _, err := re.ReverseKNN(id, 5); err == nil {
+					t.Errorf("recovered engine answered deleted member %d", id)
+				}
+			}
+			for oid, eid := range oracleToEngine {
+				if oid%11 != 0 && eid < 140 {
+					continue // every post-recovery insert, a sample of the rest
+				}
+				got, err := re.ReverseKNN(eid, 5)
+				if err != nil {
+					t.Fatalf("ReverseKNN(%d, 5): %v", eid, err)
+				}
+				wantOracle, err := truth.RkNNByID(oid, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := make([]int, len(wantOracle))
+				for i, o := range wantOracle {
+					want[i] = oracleToEngine[o]
+				}
+				if !sameIDs(got, want) {
+					t.Errorf("recovered ReverseKNN(%d, 5) = %v, oracle %v", eid, got, want)
+				}
+			}
+		})
+	}
 }

@@ -2,6 +2,10 @@
 // as a client would — the embedded-library face of the `rknn serve` daemon.
 // Queries race a live insert below; the engine's copy-on-write snapshots
 // keep every response consistent without a single client-visible lock.
+// The second act demonstrates the durability layer: the engine is bound to
+// an on-disk store, writes are logged, and a "restart" (drop the engine,
+// Open the directory) recovers the exact state — including the estimated
+// scale parameter, which is restored rather than re-estimated.
 //
 //	go run ./examples/server
 package main
@@ -13,6 +17,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 
 	repro "repro"
@@ -27,11 +32,24 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Bind the engine to a durable store: the initial snapshot is written
+	// now, and every insert/delete below is write-ahead logged before it
+	// is acknowledged. `rknn serve -data-dir` does exactly this.
+	dir, err := os.MkdirTemp("", "rknn-store-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	d, err := repro.NewDurable(dir, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// In production this handler sits behind `rknn serve -addr :8080`;
 	// here an httptest server stands in so the example is self-contained.
-	ts := httptest.NewServer(server.New(s).Handler())
+	ts := httptest.NewServer(server.New(d).Handler())
 	defer ts.Close()
-	fmt.Printf("serving %d points at %s\n", s.Len(), ts.URL)
+	fmt.Printf("serving %d points at %s (store: %s)\n", d.Len(), ts.URL, dir)
 
 	// One reverse query over the wire.
 	var rknn struct {
@@ -78,6 +96,37 @@ func main() {
 	for _, route := range []string{"/v1/rknn", "/v1/rknn/batch", "/v1/points"} {
 		fmt.Printf("%-15s %d requests\n", route, stats.Endpoints[route].Requests)
 	}
+
+	// Restart recovery: cut a snapshot over the wire, remember the answer
+	// to one query, "crash" (drop the engine without any shutdown
+	// ceremony), and reopen the directory. The recovered engine answers
+	// identically and keeps the original scale parameter — no dataset
+	// reload, no re-estimation.
+	var cut struct {
+		Generation uint64 `json:"generation"`
+	}
+	post(ts.URL+"/v1/admin/snapshot", "", &cut)
+	fmt.Printf("cut snapshot generation %d\n", cut.Generation)
+
+	before, err := d.ReverseKNN(42, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scale := d.Scale()
+	ts.Close() // stop serving; the store directory is the only survivor
+
+	re, err := repro.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer re.Close()
+	after, err := re.ReverseKNN(42, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered generation %d with %d wal records, t=%.2f (was t=%.2f)\n",
+		re.Recovery().Generation, re.Recovery().WALRecords, re.Scale(), scale)
+	fmt.Printf("R10NN(42) before restart %v, after %v\n", before, after)
 }
 
 func post(url, body string, out any) {

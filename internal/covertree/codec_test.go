@@ -1,0 +1,153 @@
+package covertree
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func randomPoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestStructureRoundTrip encodes a built tree's topology and restores it:
+// the restored tree must satisfy the cover tree invariants and answer
+// queries identically — all without a single distance computation during
+// the restore.
+func TestStructureRoundTrip(t *testing.T) {
+	pts := randomPoints(300, 4, 1)
+	orig, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{3, 17, 42} {
+		if !orig.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+
+	blob := orig.EncodeStructure()
+	restored, err := Restore(pts, vecmath.Euclidean{}, []int{3, 17, 42}, blob)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if err := restored.CheckInvariants(); err != nil {
+		t.Fatalf("restored tree invariants: %v", err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Errorf("restored Len %d, want %d", restored.Len(), orig.Len())
+	}
+	for qid := 0; qid < 20; qid++ {
+		want := orig.KNN(pts[qid], 10, qid)
+		got := restored.KNN(pts[qid], 10, qid)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("KNN(%d) differs after restore:\ngot  %v\nwant %v", qid, got, want)
+		}
+	}
+	// The restored tree must keep absorbing inserts correctly.
+	id, err := restored.Insert([]float64{0.1, 0.2, 0.3, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 300 {
+		t.Errorf("insert after restore assigned id %d, want 300", id)
+	}
+	if err := restored.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after post-restore insert: %v", err)
+	}
+}
+
+// TestStructureRoundTripDuplicates covers the deep-chain case: duplicate
+// points descend into linear chains, which the iterative codec must handle
+// without recursion limits.
+func TestStructureRoundTripDuplicates(t *testing.T) {
+	pts := make([][]float64, 2000)
+	for i := range pts {
+		pts[i] = []float64{1, 1}
+	}
+	orig, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(pts, vecmath.Euclidean{}, nil, orig.EncodeStructure())
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := restored.KNN(pts[0], 3, -1); len(got) != 3 {
+		t.Errorf("KNN over duplicates returned %d results", len(got))
+	}
+}
+
+func TestRestoreRejectsMalformed(t *testing.T) {
+	pts := randomPoints(50, 3, 2)
+	tree, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := tree.EncodeStructure()
+
+	cases := map[string][]byte{
+		"empty":     nil,
+		"truncated": blob[:len(blob)-1],
+		"extended":  append(bytes.Clone(blob), blob[:nodeRecordSize]...),
+	}
+	for name, b := range cases {
+		if _, err := Restore(pts, vecmath.Euclidean{}, nil, b); err == nil {
+			t.Errorf("%s: Restore succeeded", name)
+		}
+	}
+	// Flip every byte: Restore must error or produce a tree that is at
+	// least structurally safe (never panic). Many flips hit float bounds
+	// that remain decodable; the hard guarantee is no panic and no
+	// acceptance of out-of-range IDs.
+	for i := 0; i < len(blob); i++ {
+		mut := bytes.Clone(blob)
+		mut[i] ^= 0x10
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("flip at %d: Restore panicked: %v", i, r)
+				}
+			}()
+			Restore(pts, vecmath.Euclidean{}, nil, mut)
+		}()
+	}
+	if _, err := Restore(pts, vecmath.Euclidean{}, []int{50}, blob); err == nil {
+		t.Error("Restore accepted out-of-range tombstone")
+	}
+	if _, err := Restore(pts, vecmath.SquaredEuclidean{}, nil, blob); err == nil {
+		t.Error("Restore accepted a non-metric")
+	}
+}
+
+func FuzzRestoreStructure(f *testing.F) {
+	pts := randomPoints(20, 2, 3)
+	tree, err := New(pts, vecmath.Euclidean{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tree.EncodeStructure())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		restored, err := Restore(pts, vecmath.Euclidean{}, nil, blob)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must be a complete, well-formed tree.
+		if got := restored.KNN(pts[0], 5, -1); len(got) != 5 {
+			t.Fatalf("restored tree answered %d of 5 neighbors", len(got))
+		}
+	})
+}

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"math/rand"
 	"testing"
@@ -192,4 +193,47 @@ func pointsEqual(a, b [][]float64) bool {
 		}
 	}
 	return true
+}
+
+// TestBinaryRoundTrip pins the current binary format (the checksummed
+// persist framing) and the deprecated WriteGob alias writing it too.
+func TestBinaryRoundTrip(t *testing.T) {
+	d := FCT(25, 4)
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("RKNNDATA")) {
+		t.Error("binary format does not open with the persist magic")
+	}
+	back, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if back.Name != d.Name || !pointsEqual(d.Points, back.Points) {
+		t.Error("binary round trip altered the data")
+	}
+	// Corruption anywhere must be detected — the property gob never had.
+	mut := bytes.Clone(buf.Bytes())
+	mut[len(mut)/2] ^= 0x20
+	if _, err := ReadBinary(bytes.NewReader(mut)); err == nil {
+		t.Error("ReadBinary accepted a corrupted stream")
+	}
+}
+
+// TestBinaryReadsLegacyGob: files written before the persist format still
+// load through the sniffing fallback.
+func TestBinaryReadsLegacyGob(t *testing.T) {
+	d := Sequoia(15, 3)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobDataset{Name: d.Name, Points: d.Points}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinary(legacy gob): %v", err)
+	}
+	if back.Name != d.Name || !pointsEqual(d.Points, back.Points) {
+		t.Error("legacy gob fallback altered the data")
+	}
 }

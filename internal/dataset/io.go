@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/persist"
 )
 
 // WriteCSV writes the dataset as rows of comma-separated coordinates.
@@ -55,23 +57,48 @@ func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 	return d, nil
 }
 
-// gobDataset is the on-disk representation for the binary format.
+// WriteBinary writes the dataset in the checksummed binary format of
+// internal/persist (magic "RKNNDATA"): the same framing and corruption
+// detection as engine snapshots, for bare named point sets. CSV remains
+// the ingest path for external data; this is the compact interchange
+// format between the tools.
+func (d *Dataset) WriteBinary(w io.Writer) error {
+	if err := persist.WriteDataset(w, d.Name, d.Points); err != nil {
+		return fmt.Errorf("dataset: write binary: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary parses a dataset written by WriteBinary. For compatibility
+// with files produced before the persist format existed, a stream that
+// does not open with the persist magic falls back to the legacy gob
+// decoder.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := persist.DataMagic()
+	head, err := br.Peek(len(magic))
+	if err != nil || [8]byte(head) != magic {
+		return readLegacyGob(br)
+	}
+	name, pts, err := persist.ReadDataset(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read binary: %w", err)
+	}
+	d := &Dataset{Name: name, Points: pts}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// gobDataset is the legacy on-disk representation, kept only so ReadBinary
+// can still ingest old files.
 type gobDataset struct {
 	Name   string
 	Points [][]float64
 }
 
-// WriteGob writes the dataset in the compact binary format.
-func (d *Dataset) WriteGob(w io.Writer) error {
-	enc := gob.NewEncoder(w)
-	if err := enc.Encode(gobDataset{Name: d.Name, Points: d.Points}); err != nil {
-		return fmt.Errorf("dataset: write gob: %w", err)
-	}
-	return nil
-}
-
-// ReadGob parses a dataset written by WriteGob.
-func ReadGob(r io.Reader) (*Dataset, error) {
+func readLegacyGob(r io.Reader) (*Dataset, error) {
 	var g gobDataset
 	if err := gob.NewDecoder(r).Decode(&g); err != nil {
 		return nil, fmt.Errorf("dataset: read gob: %w", err)
@@ -82,3 +109,14 @@ func ReadGob(r io.Reader) (*Dataset, error) {
 	}
 	return d, nil
 }
+
+// WriteGob writes the dataset in the binary format.
+//
+// Deprecated: the gob encoding has been replaced by the checksummed
+// persist format; WriteGob now writes that format. Use WriteBinary.
+func (d *Dataset) WriteGob(w io.Writer) error { return d.WriteBinary(w) }
+
+// ReadGob parses a dataset in the binary format (current or legacy gob).
+//
+// Deprecated: use ReadBinary.
+func ReadGob(r io.Reader) (*Dataset, error) { return ReadBinary(r) }

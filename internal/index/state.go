@@ -1,0 +1,34 @@
+package index
+
+// State is the backend-independent persistable content of an Index: every
+// point ever assigned an ID (including tombstoned ones, so that the dense
+// ID space survives a round trip) plus the sorted list of tombstoned IDs.
+// It is the unit internal/persist serializes; restoring is the reverse —
+// rebuild the back-end over Points, then re-apply Deleted.
+type State struct {
+	// Points holds one row per ID in [0, len(Points)), in ID order.
+	Points [][]float64
+	// Deleted lists tombstoned IDs in ascending order (nil when none).
+	Deleted []int
+}
+
+// Capture extracts the persistable state of an index. Indexes implementing
+// Liveness contribute their full ID span and tombstone set; all others have
+// every ID in [0, Len()) live.
+func Capture(ix Index) State {
+	span := ix.Len()
+	var deleted []int
+	if lv, ok := ix.(Liveness); ok {
+		span = lv.IDSpan()
+		for id := 0; id < span; id++ {
+			if !lv.Live(id) {
+				deleted = append(deleted, id)
+			}
+		}
+	}
+	points := make([][]float64, span)
+	for id := range points {
+		points[id] = ix.Point(id)
+	}
+	return State{Points: points, Deleted: deleted}
+}

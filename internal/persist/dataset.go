@@ -1,0 +1,152 @@
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Dataset binary format: the same framing discipline as snapshots (magic,
+// version, checksummed header, checksummed point rows, trailer) for bare
+// named point sets with no engine state. internal/dataset builds its binary
+// import/export on these two functions, replacing its earlier ad-hoc gob
+// encoding.
+//
+// Layout (little-endian):
+//
+//	magic   [8]byte  "RKNNDATA"
+//	version u32      = 1
+//	header  u32 len | u16 name length + bytes, u32 dim, u64 count | u32 CRC
+//	points  count×dim f64 rows | u32 CRC
+//	trailer u32      "RKNE"
+
+// DataMagic returns the dataset file magic, letting readers sniff the
+// format before committing to a decoder.
+func DataMagic() [8]byte { return dataMagic }
+
+// WriteDataset encodes a named point set. Points must share one dimension.
+func WriteDataset(w io.Writer, name string, points [][]float64) error {
+	if len(name) > maxNameLen {
+		return fmt.Errorf("persist: dataset name of %d bytes exceeds cap %d", len(name), maxNameLen)
+	}
+	if len(points) == 0 {
+		return fmt.Errorf("persist: dataset has no points")
+	}
+	dim := len(points[0])
+	if dim < 1 || dim > maxDim {
+		return fmt.Errorf("persist: dimension %d out of range [1, %d]", dim, maxDim)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+
+	var head []byte
+	head = append(head, dataMagic[:]...)
+	head = appendU32(head, formatVersion)
+
+	var h []byte
+	h = append(h, byte(len(name)), byte(len(name)>>8))
+	h = append(h, name...)
+	h = appendU32(h, uint32(dim))
+	h = appendU64(h, uint64(len(points)))
+
+	head = appendU32(head, uint32(len(h)))
+	head = append(head, h...)
+	head = appendU32(head, crc32.Checksum(h, crcTable))
+	if _, err := bw.Write(head); err != nil {
+		return err
+	}
+	if err := writePointsSection(bw, points, dim); err != nil {
+		return err
+	}
+	var tail []byte
+	tail = appendU32(tail, trailerMagic)
+	if _, err := bw.Write(tail); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadDataset decodes a point set written by WriteDataset, with the same
+// no-panic, bounded-allocation guarantees as ReadSnapshot.
+func ReadDataset(r io.Reader) (name string, points [][]float64, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var scratch [8]byte
+
+	if err := readFull(br, scratch[:8]); err != nil {
+		return "", nil, err
+	}
+	if [8]byte(scratch[:8]) != dataMagic {
+		return "", nil, corruptf("bad dataset magic")
+	}
+	version, err := readU32(br, scratch[:])
+	if err != nil {
+		return "", nil, err
+	}
+	if version != formatVersion {
+		return "", nil, corruptf("unsupported dataset format version %d", version)
+	}
+
+	headerLen, err := readU32(br, scratch[:])
+	if err != nil {
+		return "", nil, err
+	}
+	if headerLen > maxHeaderLen {
+		return "", nil, corruptf("header length %d exceeds cap", headerLen)
+	}
+	h := make([]byte, headerLen)
+	if err := readFull(br, h); err != nil {
+		return "", nil, err
+	}
+	sum, err := readU32(br, scratch[:])
+	if err != nil {
+		return "", nil, err
+	}
+	if sum != crc32.Checksum(h, crcTable) {
+		return "", nil, corruptf("header checksum mismatch")
+	}
+
+	cur := &byteCursor{b: h}
+	nl, err := cur.take(2)
+	if err != nil {
+		return "", nil, err
+	}
+	nameLen := int(nl[0]) | int(nl[1])<<8
+	if nameLen > maxNameLen {
+		return "", nil, corruptf("dataset name length %d exceeds cap", nameLen)
+	}
+	nameBytes, err := cur.take(nameLen)
+	if err != nil {
+		return "", nil, err
+	}
+	name = string(nameBytes)
+	dim, err := cur.u32()
+	if err != nil {
+		return "", nil, err
+	}
+	if dim < 1 || dim > maxDim {
+		return "", nil, corruptf("dimension %d out of range", dim)
+	}
+	count, err := cur.u64()
+	if err != nil {
+		return "", nil, err
+	}
+	if count == 0 {
+		return "", nil, corruptf("dataset with zero points")
+	}
+	if err := cur.done(); err != nil {
+		return "", nil, err
+	}
+
+	points, err = readPointsSection(br, count, int(dim))
+	if err != nil {
+		return "", nil, err
+	}
+	tm, err := readU32(br, scratch[:])
+	if err != nil {
+		return "", nil, err
+	}
+	if tm != trailerMagic {
+		return "", nil, corruptf("bad trailer magic")
+	}
+	return name, points, nil
+}

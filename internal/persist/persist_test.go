@@ -1,0 +1,131 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		MetricID:    vecmath.MetricIDMinkowski,
+		MetricParam: 2.5,
+		Backend:     "covertree",
+		Plus:        true,
+		Scale:       8.25,
+		Margin:      0.5,
+		Dim:         3,
+		Points: [][]float64{
+			{1, 2, 3},
+			{4, 5, 6},
+			{7, 8, math.Pi},
+			{-1, 0, 1e-300},
+		},
+		Deleted: []int{1, 3},
+		Native:  []byte("opaque backend blob"),
+	}
+}
+
+func encode(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := testSnapshot()
+	got, err := ReadSnapshot(bytes.NewReader(encode(t, want)))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotRoundTripAdaptiveNoNative(t *testing.T) {
+	want := testSnapshot()
+	want.Adaptive = true
+	want.Scale = 0
+	want.Native = nil
+	want.Deleted = nil
+	got, err := ReadSnapshot(bytes.NewReader(encode(t, want)))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSnapshotDetectsCorruption flips every byte of a valid snapshot in
+// turn; each mutated stream must fail to decode (every region of the file
+// is covered by magic, version, a checksum, or the trailer) — or, if the
+// flip lands in a checksum field itself, still fail because the checksum no
+// longer matches.
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	blob := encode(t, testSnapshot())
+	for i := range blob {
+		mut := bytes.Clone(blob)
+		mut[i] ^= 0x40
+		if _, err := ReadSnapshot(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at byte %d of %d decoded successfully", i, len(blob))
+		}
+	}
+}
+
+func TestSnapshotDetectsTruncation(t *testing.T) {
+	blob := encode(t, testSnapshot())
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := ReadSnapshot(bytes.NewReader(blob[:cut])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d bytes: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestWriteSnapshotRejectsInvalid(t *testing.T) {
+	cases := map[string]func(*Snapshot){
+		"no metric":        func(s *Snapshot) { s.MetricID = vecmath.MetricIDInvalid },
+		"empty backend":    func(s *Snapshot) { s.Backend = "" },
+		"zero dim":         func(s *Snapshot) { s.Dim = 0 },
+		"huge dim":         func(s *Snapshot) { s.Dim = maxDim + 1 },
+		"no points":        func(s *Snapshot) { s.Points = nil },
+		"too many deletes": func(s *Snapshot) { s.Deleted = []int{0, 1, 2, 3, 0} },
+		"ragged point":     func(s *Snapshot) { s.Points[1] = []float64{1} },
+	}
+	for name, mutate := range cases {
+		s := testSnapshot()
+		mutate(s)
+		if err := WriteSnapshot(&bytes.Buffer{}, s); err == nil {
+			t.Errorf("%s: WriteSnapshot succeeded", name)
+		}
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	points := [][]float64{{1, 2}, {3, 4}, {-5, 1e12}}
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, "unit-test", points); err != nil {
+		t.Fatalf("WriteDataset: %v", err)
+	}
+	name, got, err := ReadDataset(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadDataset: %v", err)
+	}
+	if name != "unit-test" || !reflect.DeepEqual(got, points) {
+		t.Errorf("round trip = %q, %v", name, got)
+	}
+
+	for cut := 0; cut < buf.Len(); cut++ {
+		if _, _, err := ReadDataset(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("dataset truncation at %d decoded", cut)
+		}
+	}
+}

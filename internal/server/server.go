@@ -6,20 +6,24 @@
 //
 // Endpoints:
 //
-//	POST   /v1/rknn        {"id":3,"k":10} or {"point":[...],"k":10}
-//	POST   /v1/rknn/batch  {"ids":[1,2,3],"k":10,"workers":0}
-//	POST   /v1/knn         {"point":[...],"k":5}
-//	POST   /v1/points      {"point":[...]}            (insert)
-//	DELETE /v1/points/{id}                            (delete)
+//	POST   /v1/rknn            {"id":3,"k":10} or {"point":[...],"k":10}
+//	POST   /v1/rknn/batch      {"ids":[1,2,3],"k":10,"workers":0}
+//	POST   /v1/knn             {"point":[...],"k":5}
+//	POST   /v1/points          {"point":[...]}            (insert)
+//	DELETE /v1/points/{id}                                (delete)
+//	POST   /v1/admin/snapshot                             (cut a durable snapshot)
 //	GET    /healthz
 //	GET    /statsz
 //
 // Every response is JSON; errors are {"error":"..."} with a 4xx/5xx status.
 // Batch queries honor request cancellation: a client disconnect aborts the
-// remaining queries of its batch.
+// remaining queries of its batch. The admin snapshot endpoint requires an
+// engine with a durable store (a repro.DurableSearcher); on a purely
+// in-memory engine it answers 501.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,10 +35,34 @@ import (
 	repro "repro"
 )
 
-// Server wraps a Searcher with HTTP handlers and request-level statistics.
+// Engine is the query/update surface the server exposes. *repro.Searcher
+// implements it; *repro.DurableSearcher adds write-ahead logging underneath
+// the same methods (and unlocks the admin snapshot endpoint via Durable).
+type Engine interface {
+	Len() int
+	Dim() int
+	Scale() float64
+	ReverseKNN(qid, k int) ([]int, error)
+	ReverseKNNStats(qid, k int) ([]int, repro.Stats, error)
+	ReverseKNNPoint(q []float64, k int) ([]int, error)
+	ReverseKNNPointStats(q []float64, k int) ([]int, repro.Stats, error)
+	BatchReverseKNNContext(ctx context.Context, qids []int, k, workers int) ([][]int, error)
+	KNN(q []float64, k int) ([]repro.Neighbor, error)
+	Insert(p []float64) (int, error)
+	Delete(id int) (bool, error)
+}
+
+// Durable is the optional durability surface of an Engine: cutting an
+// on-disk snapshot and reporting the store generation.
+type Durable interface {
+	Snapshot() error
+	Generation() uint64
+}
+
+// Server wraps an Engine with HTTP handlers and request-level statistics.
 // All methods are safe for concurrent use.
 type Server struct {
-	s     *repro.Searcher
+	s     Engine
 	start time.Time
 	stats map[string]*endpointStats // fixed key set, populated at New
 }
@@ -48,11 +76,11 @@ type endpointStats struct {
 
 // routes is the fixed set of stats keys, one per endpoint.
 var routes = []string{
-	"/v1/rknn", "/v1/rknn/batch", "/v1/knn", "/v1/points", "/healthz", "/statsz",
+	"/v1/rknn", "/v1/rknn/batch", "/v1/knn", "/v1/points", "/v1/admin/snapshot", "/healthz", "/statsz",
 }
 
 // New returns a Server over s.
-func New(s *repro.Searcher) *Server {
+func New(s Engine) *Server {
 	srv := &Server{s: s, start: time.Now(), stats: make(map[string]*endpointStats, len(routes))}
 	for _, r := range routes {
 		srv.stats[r] = &endpointStats{}
@@ -69,6 +97,7 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/knn", srv.instrument("/v1/knn", srv.handleKNN))
 	mux.HandleFunc("POST /v1/points", srv.instrument("/v1/points", srv.handleInsert))
 	mux.HandleFunc("DELETE /v1/points/{id}", srv.instrument("/v1/points", srv.handleDelete))
+	mux.HandleFunc("POST /v1/admin/snapshot", srv.instrument("/v1/admin/snapshot", srv.handleSnapshot))
 	mux.HandleFunc("GET /healthz", srv.instrument("/healthz", srv.handleHealth))
 	mux.HandleFunc("GET /statsz", srv.instrument("/statsz", srv.handleStats))
 	return mux
@@ -269,6 +298,26 @@ func (srv *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
 }
 
+// handleSnapshot cuts a durable snapshot generation on engines that have a
+// store attached (see repro.DurableSearcher.Snapshot).
+func (srv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) error {
+	d, ok := srv.s.(Durable)
+	if !ok {
+		return &apiError{
+			status: http.StatusNotImplemented,
+			err:    errors.New("no durable store attached (start the server with -data-dir)"),
+		}
+	}
+	if err := d.Snapshot(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"generation": d.Generation(),
+		"points":     srv.s.Len(),
+	})
+}
+
 func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
@@ -289,13 +338,17 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			"total_us": st.totalUS.Load(),
 		}
 	}
+	engine := map[string]any{
+		"points": srv.s.Len(),
+		"dim":    srv.s.Dim(),
+		"scale":  srv.s.Scale(),
+	}
+	if d, ok := srv.s.(Durable); ok {
+		engine["generation"] = d.Generation()
+	}
 	return writeJSON(w, http.StatusOK, map[string]any{
 		"endpoints": endpoints,
-		"engine": map[string]any{
-			"points": srv.s.Len(),
-			"dim":    srv.s.Dim(),
-			"scale":  srv.s.Scale(),
-		},
+		"engine":    engine,
 	})
 }
 

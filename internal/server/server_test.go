@@ -353,3 +353,59 @@ func TestBatchHonorsRequestCancellation(t *testing.T) {
 		t.Error("request with cancelled context succeeded")
 	}
 }
+
+// TestSnapshotEndpointWithoutStore: an in-memory engine answers 501 on the
+// admin snapshot route.
+func TestSnapshotEndpointWithoutStore(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	var errResp map[string]string
+	if status := call(t, "POST", ts.URL+"/v1/admin/snapshot", nil, &errResp); status != http.StatusNotImplemented {
+		t.Errorf("snapshot on in-memory engine: status %d, want 501", status)
+	}
+	if errResp["error"] == "" {
+		t.Error("501 response carries no error message")
+	}
+}
+
+// TestSnapshotEndpointDurable: with a durable engine the route cuts a new
+// generation, reports it, and is counted in /statsz.
+func TestSnapshotEndpointDurable(t *testing.T) {
+	pts := indextest.RandPoints(100, 2, 9)
+	s, err := repro.New(pts, repro.WithScale(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := repro.NewDurable(t.TempDir(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	ts := httptest.NewServer(New(d).Handler())
+	t.Cleanup(ts.Close)
+
+	var resp struct {
+		Status     string `json:"status"`
+		Generation uint64 `json:"generation"`
+		Points     int    `json:"points"`
+	}
+	if status := call(t, "POST", ts.URL+"/v1/admin/snapshot", nil, &resp); status != http.StatusOK {
+		t.Fatalf("snapshot status %d", status)
+	}
+	if resp.Status != "ok" || resp.Generation != 2 || resp.Points != 100 {
+		t.Errorf("snapshot response %+v", resp)
+	}
+
+	var stats struct {
+		Endpoints map[string]map[string]int64 `json:"endpoints"`
+		Engine    map[string]any              `json:"engine"`
+	}
+	if status := call(t, "GET", ts.URL+"/statsz", nil, &stats); status != http.StatusOK {
+		t.Fatalf("statsz status %d", status)
+	}
+	if got := stats.Endpoints["/v1/admin/snapshot"]["requests"]; got != 1 {
+		t.Errorf("statsz counted %d snapshot requests, want 1", got)
+	}
+	if gen, ok := stats.Engine["generation"].(float64); !ok || gen != 2 {
+		t.Errorf("statsz engine generation = %v", stats.Engine["generation"])
+	}
+}

@@ -1,0 +1,99 @@
+package vecmath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MetricID is the stable on-disk identifier of a built-in metric. IDs are
+// append-only: once assigned they must never be renumbered or reused, since
+// persisted snapshots reference them (see internal/persist). A metric is
+// fully described by its ID plus one float64 parameter (only Minkowski uses
+// the parameter; every other metric stores 0).
+type MetricID uint8
+
+// Registered metric identifiers. MetricIDInvalid (0) is deliberately not a
+// valid metric so that zeroed headers cannot decode to anything.
+const (
+	MetricIDInvalid   MetricID = 0
+	MetricIDEuclidean MetricID = 1
+	MetricIDManhattan MetricID = 2
+	MetricIDChebyshev MetricID = 3
+	MetricIDMinkowski MetricID = 4
+	MetricIDAngular   MetricID = 5
+	MetricIDSqEuclid  MetricID = 6
+)
+
+// IdentifyMetric maps a metric value to its stable (ID, parameter) pair.
+// Custom metrics outside the built-in registry are not serializable and
+// return an error; callers that need to persist an index must restrict
+// themselves to registered metrics.
+func IdentifyMetric(m Metric) (MetricID, float64, error) {
+	switch mm := m.(type) {
+	case Euclidean:
+		return MetricIDEuclidean, 0, nil
+	case Manhattan:
+		return MetricIDManhattan, 0, nil
+	case Chebyshev:
+		return MetricIDChebyshev, 0, nil
+	case Minkowski:
+		return MetricIDMinkowski, mm.P, nil
+	case Angular:
+		return MetricIDAngular, 0, nil
+	case SquaredEuclidean:
+		return MetricIDSqEuclid, 0, nil
+	case nil:
+		return MetricIDInvalid, 0, fmt.Errorf("vecmath: nil metric")
+	default:
+		return MetricIDInvalid, 0, fmt.Errorf("vecmath: metric %q is not in the registry and cannot be serialized", m.Name())
+	}
+}
+
+// MetricFromID is the inverse of IdentifyMetric: it reconstructs the metric
+// value named by a stable (ID, parameter) pair read back from disk.
+func MetricFromID(id MetricID, param float64) (Metric, error) {
+	switch id {
+	case MetricIDEuclidean:
+		return Euclidean{}, nil
+	case MetricIDManhattan:
+		return Manhattan{}, nil
+	case MetricIDChebyshev:
+		return Chebyshev{}, nil
+	case MetricIDMinkowski:
+		return NewMinkowski(param)
+	case MetricIDAngular:
+		return Angular{}, nil
+	case MetricIDSqEuclid:
+		return SquaredEuclidean{}, nil
+	default:
+		return nil, fmt.Errorf("vecmath: unknown metric id %d", id)
+	}
+}
+
+// ParseMetric resolves a metric by its registered name, as produced by
+// Metric.Name: "euclidean", "manhattan", "chebyshev", "angular",
+// "sq-euclidean", or "minkowski(p)" with a numeric order p.
+func ParseMetric(name string) (Metric, error) {
+	s := strings.ToLower(strings.TrimSpace(name))
+	switch s {
+	case "euclidean", "l2":
+		return Euclidean{}, nil
+	case "manhattan", "l1":
+		return Manhattan{}, nil
+	case "chebyshev", "linf":
+		return Chebyshev{}, nil
+	case "angular":
+		return Angular{}, nil
+	case "sq-euclidean":
+		return SquaredEuclidean{}, nil
+	}
+	if strings.HasPrefix(s, "minkowski(") && strings.HasSuffix(s, ")") {
+		p, err := strconv.ParseFloat(s[len("minkowski("):len(s)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("vecmath: bad minkowski order in %q: %v", name, err)
+		}
+		return NewMinkowski(p)
+	}
+	return nil, fmt.Errorf("vecmath: unknown metric %q", name)
+}

@@ -1,0 +1,103 @@
+package vecmath
+
+import "testing"
+
+// TestMetricRegistryRoundTrip pins the stable IDs and checks that every
+// built-in metric survives Identify → FromID → Identify unchanged.
+func TestMetricRegistryRoundTrip(t *testing.T) {
+	cases := []struct {
+		m     Metric
+		id    MetricID
+		param float64
+	}{
+		{Euclidean{}, MetricIDEuclidean, 0},
+		{Manhattan{}, MetricIDManhattan, 0},
+		{Chebyshev{}, MetricIDChebyshev, 0},
+		{Minkowski{P: 3.5}, MetricIDMinkowski, 3.5},
+		{Angular{}, MetricIDAngular, 0},
+		{SquaredEuclidean{}, MetricIDSqEuclid, 0},
+	}
+	for _, tc := range cases {
+		id, param, err := IdentifyMetric(tc.m)
+		if err != nil {
+			t.Fatalf("IdentifyMetric(%s): %v", tc.m.Name(), err)
+		}
+		if id != tc.id || param != tc.param {
+			t.Errorf("IdentifyMetric(%s) = (%d, %g), want (%d, %g)",
+				tc.m.Name(), id, param, tc.id, tc.param)
+		}
+		back, err := MetricFromID(id, param)
+		if err != nil {
+			t.Fatalf("MetricFromID(%d, %g): %v", id, param, err)
+		}
+		if back.Name() != tc.m.Name() {
+			t.Errorf("round trip of %s came back as %s", tc.m.Name(), back.Name())
+		}
+		// The reconstructed metric must compute identical distances.
+		a, b := []float64{1, 2, 3}, []float64{4, 0, 5}
+		if got, want := back.Distance(a, b), tc.m.Distance(a, b); got != want {
+			t.Errorf("%s round trip distance %g, want %g", tc.m.Name(), got, want)
+		}
+	}
+}
+
+// TestMetricRegistryStableIDs guards against renumbering: these values are
+// written into persisted snapshots and must never change.
+func TestMetricRegistryStableIDs(t *testing.T) {
+	want := map[MetricID]string{
+		1: "euclidean",
+		2: "manhattan",
+		3: "chebyshev",
+		4: "minkowski(2)",
+		5: "angular",
+		6: "sq-euclidean",
+	}
+	for id, name := range want {
+		m, err := MetricFromID(id, 2)
+		if err != nil {
+			t.Fatalf("MetricFromID(%d): %v", id, err)
+		}
+		if m.Name() != name {
+			t.Errorf("MetricFromID(%d).Name() = %q, want %q", id, m.Name(), name)
+		}
+	}
+}
+
+func TestMetricRegistryErrors(t *testing.T) {
+	if _, _, err := IdentifyMetric(nil); err == nil {
+		t.Error("IdentifyMetric(nil) succeeded")
+	}
+	type custom struct{ Euclidean }
+	if _, _, err := IdentifyMetric(custom{}); err == nil {
+		t.Error("IdentifyMetric accepted an unregistered custom metric")
+	}
+	if _, err := MetricFromID(MetricIDInvalid, 0); err == nil {
+		t.Error("MetricFromID(0) succeeded")
+	}
+	if _, err := MetricFromID(200, 0); err == nil {
+		t.Error("MetricFromID(200) succeeded")
+	}
+	if _, err := MetricFromID(MetricIDMinkowski, 0.5); err == nil {
+		t.Error("MetricFromID(minkowski, 0.5) accepted p < 1")
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	for _, name := range []string{"euclidean", "manhattan", "chebyshev", "angular", "sq-euclidean", "minkowski(2.5)"} {
+		m, err := ParseMetric(name)
+		if err != nil {
+			t.Fatalf("ParseMetric(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("ParseMetric(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if m, err := ParseMetric("L2"); err != nil || m.Name() != "euclidean" {
+		t.Errorf("ParseMetric(L2) = %v, %v", m, err)
+	}
+	for _, bad := range []string{"", "cosine", "minkowski(zero)", "minkowski(0.2)"} {
+		if _, err := ParseMetric(bad); err == nil {
+			t.Errorf("ParseMetric(%q) succeeded", bad)
+		}
+	}
+}

@@ -62,6 +62,11 @@ var (
 // Minkowski returns the Lp metric for p >= 1.
 func Minkowski(p float64) (Metric, error) { return vecmath.NewMinkowski(p) }
 
+// ParseMetric resolves a built-in metric by its stable registered name
+// ("euclidean", "manhattan", "chebyshev", "angular", "minkowski(p)"), the
+// same identity under which metrics round-trip through Save and Load.
+func ParseMetric(name string) (Metric, error) { return vecmath.ParseMetric(name) }
+
 // ErrDeleted reports a member query anchored at a deleted point. Queries
 // racing Delete on the same ID fail with it (match with errors.Is); it is
 // the expected outcome of that race, not a corruption.
@@ -168,6 +173,7 @@ type Searcher struct {
 	plus     bool
 	adaptive bool
 	margin   float64
+	backend  Backend // recorded so Save can round-trip the index
 
 	snap atomic.Pointer[snapshot]
 	mu   sync.Mutex // serializes Insert/Delete (writers clone, then swap)
@@ -230,7 +236,7 @@ func New(points [][]float64, opts ...Option) (*Searcher, error) {
 		if cfg.margin < 0 {
 			return nil, fmt.Errorf("rknnd: scale margin must be non-negative, got %v", cfg.margin)
 		}
-		s := &Searcher{adaptive: true, margin: cfg.margin, plus: !cfg.plain}
+		s := &Searcher{adaptive: true, margin: cfg.margin, plus: !cfg.plain, backend: cfg.backend}
 		s.snap.Store(&snapshot{ix: ix})
 		return s, nil
 	}
@@ -248,12 +254,17 @@ func New(points [][]float64, opts ...Option) (*Searcher, error) {
 	if !(scale > 0) {
 		return nil, fmt.Errorf("rknnd: scale parameter must be positive, got %v", scale)
 	}
-	s := &Searcher{scale: scale, plus: !cfg.plain}
+	s := &Searcher{scale: scale, plus: !cfg.plain, backend: cfg.backend}
 	s.snap.Store(&snapshot{ix: ix})
 	return s, nil
 }
 
+// estimateCalls counts scale estimations; the persistence tests assert the
+// recovery path never pays one.
+var estimateCalls atomic.Int64
+
 func estimate(e Estimator, ix index.Index, points [][]float64, metric Metric) (float64, error) {
+	estimateCalls.Add(1)
 	switch e {
 	case EstimatorMLE:
 		return lid.MLE(ix, lid.DefaultMLEOptions())
@@ -269,6 +280,10 @@ func estimate(e Estimator, ix index.Index, points [][]float64, metric Metric) (f
 // Scale returns the scale parameter t in effect, or 0 when the Searcher
 // adapts t online per query (WithAdaptiveScale).
 func (s *Searcher) Scale() float64 { return s.scale }
+
+// Backend returns the forward-index back-end the Searcher was built (or
+// restored) with.
+func (s *Searcher) Backend() Backend { return s.backend }
 
 // Len returns the number of indexed points.
 func (s *Searcher) Len() int { return s.snap.Load().ix.Len() }
