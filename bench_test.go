@@ -7,6 +7,10 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -341,6 +345,56 @@ func BenchmarkAblationMaxGED(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := lid.MaxGED(data.Points, vecmath.Euclidean{}, 10); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSharded measures scatter-gather batch throughput across shard
+// counts on the FCT surrogate. CI runs it as a 1-iteration smoke
+// (-benchtime 1x); every run additionally refreshes BENCH_shard.json with
+// the measured queries/s for S ∈ {1, 4}, so the sharding perf trajectory
+// is recorded run over run. On a single-core runner the shard fan-out
+// cannot beat S=1 — the number to watch there is the overhead; on
+// multi-core hardware the per-shard snapshots share no mutable query
+// state, so the scatter scales with cores.
+func BenchmarkSharded(b *testing.B) {
+	data := dataset.FCT(2000, 1)
+	qids := make([]int, 256)
+	for i := range qids {
+		qids[i] = (i * 7) % data.Len()
+	}
+	qps := map[string]float64{}
+	for _, S := range []int{1, 4} {
+		ss, err := NewSharded(data.Points, S, WithScale(6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("S=%d", S), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ss.BatchReverseKNN(qids, 10, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q := float64(len(qids)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(q, "queries/s")
+			qps[fmt.Sprintf("S=%d", S)] = q
+		})
+	}
+	if len(qps) == 2 {
+		payload := map[string]any{
+			"benchmark":          "BenchmarkSharded",
+			"dataset":            "fct-2000",
+			"batch":              len(qids),
+			"k":                  10,
+			"gomaxprocs":         runtime.GOMAXPROCS(0),
+			"queries_per_second": qps,
+		}
+		raw, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_shard.json", append(raw, '\n'), 0o644); err != nil {
+			b.Logf("could not write BENCH_shard.json: %v", err)
 		}
 	}
 }

@@ -14,14 +14,16 @@ import (
 
 // runSave implements `rknn save`: build a Searcher (estimating or pinning
 // the scale parameter exactly as `rknn serve` would) and write it as one
-// snapshot file. The expensive part of bringing an RkNN engine up —
-// dimensionality estimation plus the index build — is paid here, offline;
+// snapshot file — or, with -shards N, as a sharded store directory holding
+// one snapshot per shard. The expensive part of bringing an RkNN engine up
+// — dimensionality estimation plus the index build — is paid here, offline;
 // `rknn load` and `rknn serve -data-dir` then restore in build-cost only.
 func runSave(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("save", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		out      = fs.String("out", "", "snapshot file to write (required)")
+		out      = fs.String("out", "", "snapshot file to write, or store directory with -shards > 1 (required)")
+		shards   = fs.Int("shards", 1, "hash-partition the dataset across N shards and write a sharded store directory")
 		dataName = fs.String("data", "sequoia", "surrogate dataset: sequoia, aloi, fct, mnist, imagenet, uniform")
 		csvPath  = fs.String("csv", "", "load points from a CSV file instead of generating")
 		n        = fs.Int("n", 5000, "generated dataset size")
@@ -46,6 +48,24 @@ func runSave(args []string, stdout io.Writer) error {
 	pts, name, err := loadPoints(*csvPath, *dataName, *n, *dim, *seed)
 	if err != nil {
 		return err
+	}
+	if *shards > 1 {
+		start := time.Now()
+		ss, err := buildShardedSearcher(pts, *shards, *backend, *tParam, *auto, *plain, *metric)
+		if err != nil {
+			return err
+		}
+		d, err := repro.NewDurableSharded(*out, ss)
+		if err != nil {
+			return err
+		}
+		if err := d.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "rknn save: %s (n=%d, dim=%d), %s back-end, t=%.2f, built in %s\n",
+			name, ss.Len(), ss.Dim(), *backend, ss.Scale(), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "rknn save: wrote sharded store (%d shards) to %s\n", *shards, *out)
+		return nil
 	}
 	start := time.Now()
 	s, err := buildSearcher(pts, *backend, *tParam, *auto, *plain, *metric)
@@ -80,14 +100,15 @@ func runSave(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// runLoad implements `rknn load`: restore a Searcher from a snapshot file —
-// metric, back-end, tombstones, and scale parameter all come from the file,
-// nothing is re-estimated — and answer one reverse query.
+// runLoad implements `rknn load`: restore an engine from a snapshot file
+// (or a sharded store directory written by `rknn save -shards`) — metric,
+// back-end, tombstones, and scale parameter all come from disk, nothing is
+// re-estimated — and answer one reverse query.
 func runLoad(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("load", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		in      = fs.String("in", "", "snapshot file to read (required)")
+		in      = fs.String("in", "", "snapshot file or sharded store directory to read (required)")
 		queryID = fs.Int("query", 0, "dataset member to query")
 		k       = fs.Int("k", 10, "reverse neighbor rank")
 	)
@@ -99,6 +120,25 @@ func runLoad(args []string, stdout io.Writer) error {
 	}
 	if *in == "" {
 		return errors.New("load: -in is required")
+	}
+
+	if repro.ShardedStoreExists(*in) {
+		start := time.Now()
+		ss, err := repro.OpenSharded(*in)
+		if err != nil {
+			return err
+		}
+		defer ss.Close()
+		fmt.Fprintf(stdout, "rknn load: %d points across %d shards, dim=%d, t=%.2f restored in %s (no re-estimation)\n",
+			ss.Len(), ss.Shards(), ss.Dim(), ss.Scale(), time.Since(start).Round(time.Millisecond))
+		start = time.Now()
+		ids, err := ss.ReverseKNN(*queryID, *k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "R%dNN(%d): %d results in %s\n", *k, *queryID, len(ids), time.Since(start).Round(time.Microsecond))
+		fmt.Fprintln(stdout, ids)
+		return nil
 	}
 
 	f, err := os.Open(*in)

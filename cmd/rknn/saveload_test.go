@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -85,5 +86,50 @@ func TestSaveLoadFlagErrors(t *testing.T) {
 	}
 	if err := runLoad([]string{"-in", bad}, &out); err == nil {
 		t.Error("runLoad accepted a junk file")
+	}
+}
+
+// TestSaveLoadSharded round-trips a sharded store through the save and
+// load subcommands: save writes one store per shard plus the manifest,
+// load restores without re-estimating and answers the same query as the
+// single-file path.
+func TestSaveLoadSharded(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	var out bytes.Buffer
+	err := runSave([]string{"-data", "uniform", "-n", "200", "-dim", "3", "-t", "100",
+		"-plain", "-shards", "3", "-out", dir}, &out)
+	if err != nil {
+		t.Fatalf("runSave -shards: %v", err)
+	}
+	if !strings.Contains(out.String(), "sharded store (3 shards)") {
+		t.Errorf("save output missing shard note:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+
+	// The single-file engine over the same flags is the reference.
+	file := filepath.Join(t.TempDir(), "ref.rknn")
+	if err := runSave([]string{"-data", "uniform", "-n", "200", "-dim", "3", "-t", "100",
+		"-plain", "-out", file}, io.Discard); err != nil {
+		t.Fatalf("runSave single: %v", err)
+	}
+
+	var sharded, single bytes.Buffer
+	if err := runLoad([]string{"-in", dir, "-query", "42", "-k", "5"}, &sharded); err != nil {
+		t.Fatalf("runLoad sharded: %v", err)
+	}
+	if err := runLoad([]string{"-in", file, "-query", "42", "-k", "5"}, &single); err != nil {
+		t.Fatalf("runLoad single: %v", err)
+	}
+	lastLine := func(s string) string {
+		lines := strings.Split(strings.TrimSpace(s), "\n")
+		return lines[len(lines)-1]
+	}
+	if lastLine(sharded.String()) != lastLine(single.String()) {
+		t.Errorf("sharded load answered %q, single-file load %q", lastLine(sharded.String()), lastLine(single.String()))
+	}
+	if !strings.Contains(sharded.String(), "across 3 shards") {
+		t.Errorf("sharded load banner missing:\n%s", sharded.String())
 	}
 }

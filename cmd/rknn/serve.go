@@ -20,9 +20,11 @@ import (
 // requests. With -data-dir the engine is durable: an existing store in the
 // directory is recovered (snapshot + write-ahead log, no dataset load and
 // no scale re-estimation), a missing one is bootstrapped from the dataset
-// flags, and every insert/delete is logged before it is acknowledged. When
-// ready is non-nil, the bound address is sent on it once the listener is up
-// (tests bind :0 and read the port from here).
+// flags, and every insert/delete is logged before it is acknowledged. With
+// -shards N the engine is a scatter-gather ShardedSearcher (and -data-dir
+// then holds one store per shard, recovered shard by shard). When ready is
+// non-nil, the bound address is sent on it once the listener is up (tests
+// bind :0 and read the port from here).
 func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stdout)
@@ -41,6 +43,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		dataDir  = fs.String("data-dir", "", "durable store directory: recover state from it, or create it and log all writes")
 		walSync  = fs.Int("wal-sync", 1, "fsync the write-ahead log every N writes (0 = never)")
+		shards   = fs.Int("shards", 1, "hash-partition the dataset across N shards served by scatter-gather")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -49,7 +52,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		return err
 	}
 
-	eng, closeEngine, err := buildEngine(stdout, *dataDir, *walSync, *csvPath, *dataName, *n, *dim, *seed, *backend, *tParam, *auto, *plain, *metric)
+	eng, closeEngine, err := buildEngine(stdout, *dataDir, *walSync, *shards, *csvPath, *dataName, *n, *dim, *seed, *backend, *tParam, *auto, *plain, *metric)
 	if err != nil {
 		return err
 	}
@@ -98,10 +101,34 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 }
 
 // buildEngine assembles the serving engine: recover a durable store when
-// -data-dir points at one, bootstrap a new durable store when -data-dir is
-// set but empty, or build a purely in-memory Searcher otherwise. The
-// returned closer flushes and closes the write-ahead log.
-func buildEngine(stdout io.Writer, dataDir string, walSync int, csvPath, dataName string, n, dim int, seed int64, backend string, t float64, auto string, plain bool, metric string) (server.Engine, func(), error) {
+// -data-dir points at one (sharded or single, whichever the directory
+// holds), bootstrap a new durable store when -data-dir is set but empty,
+// or build a purely in-memory engine otherwise — sharded scatter-gather
+// when -shards > 1. The returned closer flushes and closes the write-ahead
+// logs.
+func buildEngine(stdout io.Writer, dataDir string, walSync, shards int, csvPath, dataName string, n, dim int, seed int64, backend string, t float64, auto string, plain bool, metric string) (server.Engine, func(), error) {
+	if shards < 1 {
+		return nil, nil, fmt.Errorf("serve: -shards must be at least 1, got %d", shards)
+	}
+	if dataDir != "" && repro.ShardedStoreExists(dataDir) {
+		ds, err := repro.OpenSharded(dataDir, repro.WithWALSync(walSync))
+		if err != nil {
+			return nil, nil, err
+		}
+		replayed, torn := 0, false
+		for _, rec := range ds.Recovery() {
+			replayed += rec.WALRecords
+			torn = torn || rec.WALTorn
+		}
+		fmt.Fprintf(stdout, "rknn serve: recovered sharded store %s (%d shards, generation %d, %d wal records replayed",
+			dataDir, ds.Shards(), ds.Generation(), replayed)
+		if torn {
+			fmt.Fprint(stdout, ", torn tail discarded")
+		}
+		fmt.Fprintln(stdout, ")")
+		fmt.Fprintln(stdout, "rknn serve: engine configuration comes from the store; dataset, -shards, -backend, -metric, -t, -auto and -plain flags are ignored")
+		return ds, func() { ds.Close() }, nil
+	}
 	if dataDir != "" && repro.StoreExists(dataDir) {
 		ds, err := repro.Open(dataDir, repro.WithWALSync(walSync))
 		if err != nil {
@@ -124,6 +151,22 @@ func buildEngine(stdout io.Writer, dataDir string, walSync int, csvPath, dataNam
 	if err != nil {
 		return nil, nil, err
 	}
+	if shards > 1 {
+		ss, err := buildShardedSearcher(pts, shards, backend, t, auto, plain, metric)
+		if err != nil {
+			return nil, nil, err
+		}
+		if dataDir == "" {
+			fmt.Fprintf(stdout, "rknn serve: %s sharded %d ways in memory only (no -data-dir)\n", name, shards)
+			return ss, func() {}, nil
+		}
+		ds, err := repro.NewDurableSharded(dataDir, ss, repro.WithWALSync(walSync))
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(stdout, "rknn serve: %s bootstrapped sharded store (%d shards) in %s\n", name, shards, dataDir)
+		return ds, func() { ds.Close() }, nil
+	}
 	s, err := buildSearcher(pts, backend, t, auto, plain, metric)
 	if err != nil {
 		return nil, nil, err
@@ -140,8 +183,8 @@ func buildEngine(stdout io.Writer, dataDir string, walSync int, csvPath, dataNam
 	return ds, func() { ds.Close() }, nil
 }
 
-// buildSearcher maps the serve/save flags onto the public facade options.
-func buildSearcher(pts [][]float64, backend string, t float64, auto string, plain bool, metric string) (*repro.Searcher, error) {
+// searcherOptions maps the serve/save flags onto the public facade options.
+func searcherOptions(backend string, t float64, auto string, plain bool, metric string) ([]repro.Option, error) {
 	opts := []repro.Option{repro.WithBackend(repro.Backend(backend))}
 	if metric != "" {
 		m, err := repro.ParseMetric(metric)
@@ -158,5 +201,23 @@ func buildSearcher(pts [][]float64, backend string, t float64, auto string, plai
 	if plain {
 		opts = append(opts, repro.WithPlainRDT())
 	}
+	return opts, nil
+}
+
+// buildSearcher builds the single-engine form of the flag set.
+func buildSearcher(pts [][]float64, backend string, t float64, auto string, plain bool, metric string) (*repro.Searcher, error) {
+	opts, err := searcherOptions(backend, t, auto, plain, metric)
+	if err != nil {
+		return nil, err
+	}
 	return repro.New(pts, opts...)
+}
+
+// buildShardedSearcher builds the scatter-gather form of the flag set.
+func buildShardedSearcher(pts [][]float64, shards int, backend string, t float64, auto string, plain bool, metric string) (*repro.ShardedSearcher, error) {
+	opts, err := searcherOptions(backend, t, auto, plain, metric)
+	if err != nil {
+		return nil, err
+	}
+	return repro.NewSharded(pts, shards, opts...)
 }

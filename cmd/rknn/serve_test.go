@@ -284,3 +284,118 @@ func TestServeDurabilityEndToEnd(t *testing.T) {
 		t.Errorf("points after recovery %d, want %d", statsAfter.Engine.Points, statsBefore.Engine.Points)
 	}
 }
+
+// TestServeShardedEndToEnd boots the daemon with -shards over a sharded
+// durable store, mutates it over HTTP, restarts purely from disk (with a
+// torn WAL tail on one shard), and requires byte-identical responses plus
+// per-shard counters in /statsz.
+func TestServeShardedEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-data", "uniform", "-n", "250", "-dim", "4",
+		"-t", "100", "-plain", "-shards", "3", "-data-dir", dir}
+	base, out, cancel, done := startServe(t, args)
+	if !strings.Contains(out.String(), "3 shards") {
+		t.Errorf("bootstrap banner missing shard count:\n%s", out.String())
+	}
+
+	for i := 0; i < 6; i++ {
+		postJSON(t, base+"/v1/points", fmt.Sprintf(`{"point":[0.%d1,0.2,0.3,0.4]}`, i))
+	}
+	postJSON(t, base+"/v1/admin/snapshot", "")
+	for i := 0; i < 4; i++ {
+		postJSON(t, base+"/v1/points", fmt.Sprintf(`{"point":[0.8,0.%d3,0.2,0.6]}`, i))
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/points/17", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE 17: status %d", resp.StatusCode)
+	}
+
+	queries := []string{
+		`{"id":0,"k":5}`, `{"id":123,"k":10}`, `{"id":255,"k":5}`, `{"id":258,"k":5}`,
+		`{"point":[0.5,0.5,0.5,0.5],"k":7}`,
+	}
+	want := make([][]byte, len(queries))
+	for i, q := range queries {
+		want[i] = postJSON(t, base+"/v1/rknn", q)
+	}
+	var statsBefore struct {
+		Engine struct {
+			Scale      float64 `json:"scale"`
+			Points     int     `json:"points"`
+			ShardCount int     `json:"shard_count"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(getJSON(t, base+"/statsz"), &statsBefore); err != nil {
+		t.Fatal(err)
+	}
+	if statsBefore.Engine.ShardCount != 3 {
+		t.Errorf("shard_count = %d, want 3", statsBefore.Engine.ShardCount)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("first server exited with %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("first server did not shut down")
+	}
+
+	// Crash signature on one shard's log tail.
+	logs, err := filepath.Glob(filepath.Join(dir, "shard-*", "wal-*.log"))
+	if err != nil || len(logs) == 0 {
+		t.Fatalf("wal files %v, %v", logs, err)
+	}
+	f, err := os.OpenFile(logs[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{77, 0, 0, 0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Restart purely from disk; engine flags must be ignored.
+	base2, out2, cancel2, done2 := startServe(t, []string{"-addr", "127.0.0.1:0", "-data-dir", dir, "-shards", "7"})
+	defer func() {
+		cancel2()
+		<-done2
+	}()
+	if !strings.Contains(out2.String(), "recovered sharded store") || !strings.Contains(out2.String(), "torn tail discarded") {
+		t.Errorf("sharded recovery banner missing:\n%s", out2.String())
+	}
+	for i, q := range queries {
+		got := postJSON(t, base2+"/v1/rknn", q)
+		if !bytes.Equal(got, want[i]) {
+			t.Errorf("query %s after restart:\ngot  %s\nwant %s", q, got, want[i])
+		}
+	}
+	var statsAfter struct {
+		Engine struct {
+			Scale      float64 `json:"scale"`
+			Points     int     `json:"points"`
+			ShardCount int     `json:"shard_count"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(getJSON(t, base2+"/statsz"), &statsAfter); err != nil {
+		t.Fatal(err)
+	}
+	if statsAfter.Engine.ShardCount != 3 {
+		t.Errorf("recovered shard_count = %d, want 3 (the -shards flag must be ignored on recovery)", statsAfter.Engine.ShardCount)
+	}
+	if statsAfter.Engine.Points != statsBefore.Engine.Points {
+		t.Errorf("points after recovery %d, want %d", statsAfter.Engine.Points, statsBefore.Engine.Points)
+	}
+	if statsAfter.Engine.Scale != statsBefore.Engine.Scale {
+		t.Errorf("scale after recovery %g, want %g", statsAfter.Engine.Scale, statsBefore.Engine.Scale)
+	}
+}

@@ -224,6 +224,303 @@ func TestSnapshotIsolation(t *testing.T) {
 	}
 }
 
+// TestShardedConcurrentQueriesDuringUpdates races 8 query goroutines
+// (member, point, stats, and forward-kNN queries) against a writer doing
+// inserts and deletes across the shards of each dynamic back-end. Per-shard
+// snapshots plus the map-before-snapshot publication order must keep every
+// read consistent; losing a race with Delete may surface only as ErrDeleted.
+func TestShardedConcurrentQueriesDuringUpdates(t *testing.T) {
+	for _, b := range []Backend{BackendCoverTree, BackendScan} {
+		b := b
+		t.Run(string(b), func(t *testing.T) {
+			pts := indextest.RandPoints(300, 3, 71)
+			ss, err := NewSharded(pts, 3, WithBackend(b), WithScale(8))
+			if err != nil {
+				t.Fatalf("NewSharded: %v", err)
+			}
+			var writerDone atomic.Bool
+			var wg sync.WaitGroup
+			const readers = 8
+			for g := 0; g < readers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					q := []float64{0.3, 0.6, float64(g) / readers}
+					for i := 0; ; i++ {
+						if writerDone.Load() && i >= 40 {
+							return
+						}
+						ids, err := ss.ReverseKNN((g*37+i)%300, 5)
+						if err != nil && !errors.Is(err, ErrDeleted) {
+							t.Errorf("reader %d: ReverseKNN: %v", g, err)
+							return
+						}
+						for _, id := range ids {
+							if id < 0 {
+								t.Errorf("reader %d: negative id %d", g, id)
+								return
+							}
+						}
+						if _, err := ss.ReverseKNNPoint(q, 3); err != nil {
+							t.Errorf("reader %d: ReverseKNNPoint: %v", g, err)
+							return
+						}
+						if _, _, err := ss.ReverseKNNStats(i%300, 4); err != nil && !errors.Is(err, ErrDeleted) {
+							t.Errorf("reader %d: ReverseKNNStats: %v", g, err)
+							return
+						}
+						if _, err := ss.KNN(q, 5); err != nil {
+							t.Errorf("reader %d: KNN: %v", g, err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer writerDone.Store(true)
+				extra := indextest.RandPoints(40, 3, 72)
+				for i, p := range extra {
+					if _, err := ss.Insert(p); err != nil {
+						t.Errorf("writer: Insert: %v", err)
+						return
+					}
+					if i%2 == 0 {
+						if _, err := ss.Delete(i * 7 % 300); err != nil {
+							t.Errorf("writer: Delete: %v", err)
+							return
+						}
+					}
+				}
+			}()
+			wg.Wait()
+			if ss.Len() != 300+40-20 {
+				t.Errorf("Len after updates = %d, want %d", ss.Len(), 300+40-20)
+			}
+			// Every shard's final snapshot must still verify against the
+			// oracle: the exactness bar survives the race.
+			total := 0
+			for _, si := range ss.ShardStats() {
+				if si.Points < 0 {
+					t.Errorf("shard %d reports %d points", si.Shard, si.Points)
+				}
+				total += si.Points
+			}
+			if total != ss.Len() {
+				t.Errorf("shard stats sum to %d points, Len says %d", total, ss.Len())
+			}
+		})
+	}
+}
+
+// TestShardedConcurrentBatchDuringUpdates races sharded batch queries
+// against a writer; each batch runs on one pinned set of shard snapshots
+// and must return a full, internally consistent result set.
+func TestShardedConcurrentBatchDuringUpdates(t *testing.T) {
+	pts := indextest.RandPoints(250, 3, 73)
+	ss, err := NewSharded(pts, 3, WithScale(8))
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	qids := make([]int, 60)
+	for i := range qids {
+		qids[i] = i*4 + 1
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				res, err := ss.BatchReverseKNN(qids, 5, 3)
+				if err != nil && !errors.Is(err, ErrDeleted) {
+					t.Errorf("BatchReverseKNN: %v", err)
+					return
+				}
+				if err == nil && len(res) != len(qids) {
+					t.Errorf("batch returned %d results, want %d", len(res), len(qids))
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, p := range indextest.RandPoints(30, 3, 74) {
+			if _, err := ss.Insert(p); err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestShardedBatchCancellation cancels a sharded batch before and during
+// flight; afterwards every shard snapshot must remain fully usable — the
+// cancelled scatter may not leave any shard state behind.
+func TestShardedBatchCancellation(t *testing.T) {
+	pts := indextest.RandPoints(1200, 8, 75)
+	ss, err := NewSharded(pts, 4, WithScale(12))
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	qids := make([]int, 1200)
+	for i := range qids {
+		qids[i] = i
+	}
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := ss.BatchReverseKNNContext(ctx, qids, 10, 2); !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	})
+
+	t.Run("mid-flight", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			cancel()
+		}()
+		_, err := ss.BatchReverseKNNContext(ctx, qids, 10, 2)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled or nil", err)
+		}
+	})
+
+	// The engine is undamaged: updates and exact queries still work on
+	// every shard.
+	if _, err := ss.Insert(indextest.RandPoints(1, 8, 76)[0]); err != nil {
+		t.Fatalf("Insert after cancellation: %v", err)
+	}
+	if _, err := ss.ReverseKNN(17, 5); err != nil {
+		t.Fatalf("ReverseKNN after cancellation: %v", err)
+	}
+	if _, err := ss.KNN(pts[3], 5); err != nil {
+		t.Fatalf("KNN after cancellation: %v", err)
+	}
+}
+
+// TestShardedSnapshotIsolation pins copy-on-write semantics across shards:
+// a result computed before a delete is unaffected by it, and the deleted
+// point disappears from subsequent results only.
+func TestShardedSnapshotIsolation(t *testing.T) {
+	pts := indextest.RandPoints(120, 2, 77)
+	ss, err := NewSharded(pts, 3, WithScale(100), WithPlainRDT())
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	var victim, anchor int
+	found := false
+	for anchor = 0; anchor < 40 && !found; anchor++ {
+		before, err := ss.ReverseKNN(anchor, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(before) > 0 {
+			victim = before[0]
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no anchor with reverse neighbors; pick another seed")
+	}
+	if ok, err := ss.Delete(victim); !ok || err != nil {
+		t.Fatalf("Delete(%d) = (%v, %v)", victim, ok, err)
+	}
+	after, err := ss.ReverseKNN(anchor, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range after {
+		if id == victim {
+			t.Errorf("deleted point %d still in results %v", victim, after)
+		}
+	}
+}
+
+// TestShardedConcurrentDurableWrites races logged writes with queries on a
+// sharded durable store, then recovers and cross-checks the final state —
+// the WAL ordering under concurrency must replay to exactly the in-memory
+// outcome.
+func TestShardedConcurrentDurableWrites(t *testing.T) {
+	dir := t.TempDir()
+	pts := indextest.RandPoints(150, 3, 79)
+	ss, err := NewSharded(pts, 3, WithScale(100), WithPlainRDT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDurableSharded(dir, ss, WithWALSync(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if _, err := d.ReverseKNN((g*31+i)%150, 5); err != nil && !errors.Is(err, ErrDeleted) {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, p := range indextest.RandPoints(25, 3, 80) {
+			if _, err := d.Insert(p); err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+			if i%5 == 4 {
+				if err := d.Snapshot(); err != nil {
+					t.Errorf("Snapshot: %v", err)
+					return
+				}
+			}
+			if i%3 == 0 {
+				if _, err := d.Delete(i * 11 % 150); err != nil {
+					t.Errorf("Delete: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	want := map[int][]int{}
+	for qid := 0; qid < 175; qid += 6 {
+		if ids, err := d.ReverseKNN(qid, 5); err == nil {
+			want[qid] = ids
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	defer re.Close()
+	for qid, ids := range want {
+		got, err := re.ReverseKNN(qid, 5)
+		if err != nil {
+			t.Fatalf("recovered ReverseKNN(%d): %v", qid, err)
+		}
+		if !sameIDs(got, ids) {
+			t.Errorf("recovered ReverseKNN(%d) = %v, pre-close %v", qid, got, ids)
+		}
+	}
+}
+
 // BenchmarkBatchReverseKNN measures batch throughput as the worker pool
 // widens — the scaling evidence for the worker-pool rework (numbers are
 // recorded in CHANGES.md).

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -33,58 +34,98 @@ func (qr *Querier) BatchByID(qids []int, workers int) ([]BatchResult, error) {
 // embarrassingly parallel because the Querier and every index back-end in
 // this module are safe for concurrent readers.
 func (qr *Querier) BatchByIDContext(ctx context.Context, qids []int, workers int) ([]BatchResult, error) {
+	out := make([]BatchResult, len(qids))
+	err := ForEach(ctx, len(qids), workers, func(ctx context.Context, i int) error {
+		res, err := qr.ByID(qids[i])
+		out[i] = BatchResult{QueryID: qids[i], Result: res, Err: err}
+		return nil // per-entry errors are data, not pool failures
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a worker pool of the given
+// size (0 selects one worker per core) and waits for completion. The pool
+// is capped at both n and GOMAXPROCS: more workers than tasks idle
+// forever, and more workers than cores only add scheduler pressure — the
+// cap matters most under sharded fan-out, where every worker scatters to S
+// shard goroutines and an uncapped request would multiply goroutines
+// quadratically. The first fn error stops dispatching and is returned
+// (preferred over the context.Canceled noise it induces); an outside
+// cancellation drains in-flight calls and returns ctx's error.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if workers < 0 {
-		return nil, fmt.Errorf("core: workers must be non-negative, got %d", workers)
+		return fmt.Errorf("core: workers must be non-negative, got %d", workers)
 	}
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(qids) {
-		workers = len(qids)
+	if workers > n {
+		workers = n
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	out := make([]BatchResult, len(qids))
-	if len(qids) == 0 {
-		return out, nil
+	if n == 0 {
+		return nil
 	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	// The feeder owns the dispatch channel: it stops feeding the moment
-	// ctx is cancelled, so workers drain at most one in-flight query each
-	// before the pool winds down.
+	// the pool context is cancelled, so workers drain at most one
+	// in-flight task each before the pool winds down.
 	next := make(chan int)
 	go func() {
 		defer close(next)
-		for i := range qids {
+		for i := 0; i < n; i++ {
 			select {
 			case next <- i:
-			case <-ctx.Done():
+			case <-pctx.Done():
 				return
 			}
 		}
 	}()
 
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				if ctx.Err() != nil {
+				if pctx.Err() != nil {
 					return
 				}
-				res, err := qr.ByID(qids[i])
-				out[i] = BatchResult{QueryID: qids[i], Result: res, Err: err}
+				if err := fn(pctx, i); err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	return out, nil
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

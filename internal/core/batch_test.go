@@ -2,7 +2,10 @@ package core
 
 import (
 	"reflect"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestBatchMatchesSequential(t *testing.T) {
@@ -75,5 +78,55 @@ func TestBatchEdgeCases(t *testing.T) {
 	one, err := qr.BatchByID([]int{7}, 0)
 	if err != nil || len(one) != 1 || one[0].Err != nil {
 		t.Errorf("single-query batch failed: %v", err)
+	}
+}
+
+// TestBatchWorkerCapBoundsGoroutines is the regression test for the worker
+// pool sizing: a batch requesting far more workers than cores must run on
+// at most GOMAXPROCS workers, so peak goroutine count stays bounded even
+// when every worker itself fans out (the sharded scatter-gather path).
+func TestBatchWorkerCapBoundsGoroutines(t *testing.T) {
+	const procs = 4
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+
+	ix := newScan(t, randPoints(600, 6, 7))
+	qr, err := NewQuerier(ix, Params{K: 8, T: 10, Plus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qids := make([]int, 256)
+	for i := range qids {
+		qids[i] = i * 2
+	}
+
+	before := runtime.NumGoroutine()
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+				peak.Store(n)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	if _, err := qr.BatchByID(qids, 512); err != nil {
+		t.Fatalf("BatchByID: %v", err)
+	}
+	close(stop)
+	<-sampled
+
+	// The pool may add at most GOMAXPROCS workers plus the feeder; the
+	// sampler itself and a little scheduler slack account for the rest.
+	if extra := peak.Load() - int64(before); extra > procs+4 {
+		t.Errorf("peak goroutines grew by %d with 512 requested workers, want <= %d (GOMAXPROCS=%d + feeder + slack)",
+			extra, procs+4, procs)
 	}
 }

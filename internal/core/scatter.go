@@ -1,0 +1,192 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/index"
+)
+
+// This file is the scatter-gather substrate of the sharded engine: fanning
+// one query out to every shard with cancellation, and merging the per-shard
+// answers back into exactly the result a single index over the union of the
+// shards would have produced. The merge functions are deliberately pure —
+// no engine state — so they can be pinned by property-based tests against
+// reference implementations (scatter_test.go).
+
+// Gather runs fn once per shard on its own goroutine and waits for all of
+// them. The first fn error cancels the context passed to the others and is
+// returned (sibling cancellations it caused are not reported in its place);
+// if ctx is cancelled from outside, Gather stops early and returns ctx's
+// error. Shards whose fn was never started or was cancelled must be treated
+// by the caller as having produced nothing.
+func Gather(ctx context.Context, shards int, fn func(ctx context.Context, shard int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if gctx.Err() != nil {
+				errs[i] = gctx.Err()
+				return
+			}
+			if err := fn(gctx, i); err != nil {
+				errs[i] = err
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Prefer a real failure over the context.Canceled noise it induced in
+	// sibling shards.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// neighborLess orders neighbors by (distance, ID): ascending distance, ties
+// broken by the smaller ID. This is the one total order every merge in the
+// sharded engine uses, so results are deterministic regardless of how the
+// dataset is partitioned.
+func neighborLess(a, b index.Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// mergeHeap is a min-heap of (list, position) cursors keyed by the current
+// head neighbor of each list under neighborLess.
+type mergeHeap struct {
+	lists [][]index.Neighbor
+	pos   []int
+	order []int // heap of list indexes
+}
+
+func (h *mergeHeap) Len() int { return len(h.order) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.order[i], h.order[j]
+	return neighborLess(h.lists[a][h.pos[a]], h.lists[b][h.pos[b]])
+}
+func (h *mergeHeap) Swap(i, j int) { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *mergeHeap) Push(x any)    { h.order = append(h.order, x.(int)) }
+func (h *mergeHeap) Pop() any {
+	x := h.order[len(h.order)-1]
+	h.order = h.order[:len(h.order)-1]
+	return x
+}
+
+// MergeKNN k-way merges per-shard kNN result lists into the global top-k
+// under the (distance, ID) order. Each input list must itself be sorted
+// ascending by distance (the contract of every index.Index.KNN); equal
+// distances within a list need not be ID-ordered — the merge re-sorts tie
+// runs so the output order never depends on back-end tie behavior. IDs for
+// which live returns false are dropped (nil accepts everything); duplicate
+// IDs surface once, keeping their best-ordered occurrence.
+func MergeKNN(lists [][]index.Neighbor, k int, live func(id int) bool) []index.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	h := &mergeHeap{lists: make([][]index.Neighbor, 0, len(lists)), pos: make([]int, 0, len(lists))}
+	for _, l := range lists {
+		if len(l) == 0 {
+			continue
+		}
+		// Normalize tie runs to (dist, id) order so the heap's head
+		// comparison sees each list in the global total order.
+		if !sort.SliceIsSorted(l, func(i, j int) bool { return neighborLess(l[i], l[j]) }) {
+			l = append([]index.Neighbor(nil), l...)
+			sort.Slice(l, func(i, j int) bool { return neighborLess(l[i], l[j]) })
+		}
+		h.order = append(h.order, len(h.lists))
+		h.lists = append(h.lists, l)
+		h.pos = append(h.pos, 0)
+	}
+	heap.Init(h)
+	out := make([]index.Neighbor, 0, k)
+	var seen map[int]bool
+	for h.Len() > 0 && len(out) < k {
+		li := h.order[0]
+		nb := h.lists[li][h.pos[li]]
+		h.pos[li]++
+		if h.pos[li] < len(h.lists[li]) {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+		if live != nil && !live(nb.ID) {
+			continue
+		}
+		if seen[nb.ID] {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[int]bool, k)
+		}
+		seen[nb.ID] = true
+		out = append(out, nb)
+	}
+	return out
+}
+
+// MergeIDs unions per-shard RkNN result lists (each sorted ascending, the
+// contract of core.Result.IDs) into one sorted, duplicate-free list,
+// dropping IDs for which live returns false (nil accepts everything). For
+// disjoint shards the union is exactly the global candidate set — see the
+// merge-correctness argument in DESIGN.md.
+func MergeIDs(lists [][]int, live func(id int) bool) []int {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	pos := make([]int, len(lists))
+	out := make([]int, 0, total)
+	for {
+		best, bestList := 0, -1
+		for li, l := range lists {
+			if pos[li] >= len(l) {
+				continue
+			}
+			if bestList < 0 || l[pos[li]] < best {
+				best, bestList = l[pos[li]], li
+			}
+		}
+		if bestList < 0 {
+			return out
+		}
+		pos[bestList]++
+		if len(out) > 0 && out[len(out)-1] == best {
+			continue // duplicate across lists
+		}
+		if live != nil && !live(best) {
+			continue
+		}
+		out = append(out, best)
+	}
+}

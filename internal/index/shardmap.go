@@ -1,0 +1,120 @@
+package index
+
+import "fmt"
+
+// ShardMap is the stable bidirectional mapping between the global ID space
+// of a sharded engine and the (shard, local ID) spaces of its per-shard
+// indexes. Global IDs are dense integers assigned in insertion order, like
+// the IDs of any single Index; each global ID is hash-partitioned to a
+// shard by ShardOf and receives the next local ID of that shard. Local IDs
+// therefore grow densely per shard in global insertion order, which makes
+// the whole mapping a pure function of (global count, shard count) — the
+// property the durable recovery path relies on (RebuildShardMap).
+//
+// A ShardMap is immutable from the reader side: queries hold one map value
+// and translate freely, while writers Clone, Assign, and publish the clone
+// (the same copy-on-write discipline as the index snapshots, DESIGN.md).
+// Deletes never touch the map — tombstones live in the shard indexes — so a
+// once-published (global, shard, local) triple is valid forever.
+type ShardMap struct {
+	shards  int
+	shardOf []int32   // global -> shard
+	localOf []int32   // global -> local
+	globals [][]int32 // shard -> local -> global
+}
+
+// ShardOf returns the shard a global ID is partitioned to, a fixed
+// splitmix64-style mix of the ID so that consecutive IDs spread evenly.
+// It is a pure function: the same (global, shards) pair maps identically
+// across processes, restarts, and releases — on-disk stores depend on it.
+func ShardOf(global, shards int) int {
+	z := uint64(global) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(shards))
+}
+
+// NewShardMap returns an empty mapping over the given number of shards.
+func NewShardMap(shards int) (*ShardMap, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("index: shard count must be positive, got %d", shards)
+	}
+	return &ShardMap{shards: shards, globals: make([][]int32, shards)}, nil
+}
+
+// RebuildShardMap reconstructs the mapping for n global IDs, exactly as n
+// successive Assign calls on a fresh map would have built it. Recovery uses
+// it to re-derive the mapping from per-shard ID spans instead of persisting
+// the map itself.
+func RebuildShardMap(shards, n int) (*ShardMap, error) {
+	m, err := NewShardMap(shards)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		m.Assign()
+	}
+	return m, nil
+}
+
+// Shards returns the shard count.
+func (m *ShardMap) Shards() int { return m.shards }
+
+// Len returns the number of global IDs ever assigned (the global ID span;
+// tombstoned IDs are still counted, exactly like Liveness.IDSpan).
+func (m *ShardMap) Len() int { return len(m.shardOf) }
+
+// ShardLen returns the number of global IDs ever assigned to one shard —
+// the shard index's expected ID span.
+func (m *ShardMap) ShardLen(shard int) int { return len(m.globals[shard]) }
+
+// Assign allocates the next global ID, places it on its shard, and returns
+// the full (global, shard, local) triple. Not safe for concurrent use;
+// writers must hold their update lock and publish a Clone.
+func (m *ShardMap) Assign() (global, shard, local int) {
+	global = len(m.shardOf)
+	shard = ShardOf(global, m.shards)
+	local = len(m.globals[shard])
+	m.shardOf = append(m.shardOf, int32(shard))
+	m.localOf = append(m.localOf, int32(local))
+	m.globals[shard] = append(m.globals[shard], int32(global))
+	return global, shard, local
+}
+
+// Locate translates a global ID to its (shard, local) placement. ok is
+// false for IDs never assigned.
+func (m *ShardMap) Locate(global int) (shard, local int, ok bool) {
+	if global < 0 || global >= len(m.shardOf) {
+		return 0, 0, false
+	}
+	return int(m.shardOf[global]), int(m.localOf[global]), true
+}
+
+// Global translates a (shard, local) placement back to its global ID. ok is
+// false for locals never assigned.
+func (m *ShardMap) Global(shard, local int) (global int, ok bool) {
+	if shard < 0 || shard >= m.shards || local < 0 || local >= len(m.globals[shard]) {
+		return 0, false
+	}
+	return int(m.globals[shard][local]), true
+}
+
+// Globals returns the ascending global IDs living on one shard, indexed by
+// local ID. The returned slice is owned by the map and must not be
+// modified.
+func (m *ShardMap) Globals(shard int) []int32 { return m.globals[shard] }
+
+// Clone returns an independent copy for a writer to extend and publish.
+func (m *ShardMap) Clone() *ShardMap {
+	cl := &ShardMap{
+		shards:  m.shards,
+		shardOf: append([]int32(nil), m.shardOf...),
+		localOf: append([]int32(nil), m.localOf...),
+		globals: make([][]int32, m.shards),
+	}
+	for s, g := range m.globals {
+		cl.globals[s] = append([]int32(nil), g...)
+	}
+	return cl
+}

@@ -59,6 +59,14 @@ type Durable interface {
 	Generation() uint64
 }
 
+// Sharded is the optional sharding surface of an Engine
+// (*repro.ShardedSearcher implements it): /statsz reports the shard count
+// and the per-shard point and traffic counters when present.
+type Sharded interface {
+	Shards() int
+	ShardStats() []repro.ShardInfo
+}
+
 // Server wraps an Engine with HTTP handlers and request-level statistics.
 // All methods are safe for concurrent use.
 type Server struct {
@@ -345,6 +353,10 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	}
 	if d, ok := srv.s.(Durable); ok {
 		engine["generation"] = d.Generation()
+	}
+	if sh, ok := srv.s.(Sharded); ok {
+		engine["shard_count"] = sh.Shards()
+		engine["shards"] = sh.ShardStats()
 	}
 	return writeJSON(w, http.StatusOK, map[string]any{
 		"endpoints": endpoints,

@@ -409,3 +409,87 @@ func TestSnapshotEndpointDurable(t *testing.T) {
 		t.Errorf("statsz engine generation = %v", stats.Engine["generation"])
 	}
 }
+
+// TestShardedEngineEndToEnd serves a ShardedSearcher through the full route
+// table: queries agree with the oracle, writes route to the right shards,
+// and /statsz reports the per-shard counters.
+func TestShardedEngineEndToEnd(t *testing.T) {
+	pts := indextest.RandPoints(180, 3, 15)
+	ss, err := repro.NewSharded(pts, 3, repro.WithScale(100), repro.WithPlainRDT())
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	truth, err := bruteforce.New(pts, vecmath.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(ss).Handler())
+	t.Cleanup(ts.Close)
+
+	for _, qid := range []int{0, 59, 179} {
+		var resp struct {
+			IDs []int `json:"ids"`
+		}
+		if status := call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"id": qid, "k": 5}, &resp); status != http.StatusOK {
+			t.Fatalf("rknn(%d) status %d", qid, status)
+		}
+		want, err := truth.RkNNByID(qid, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != 0 && !reflect.DeepEqual(resp.IDs, want) {
+			t.Errorf("rknn(%d) = %v, oracle %v", qid, resp.IDs, want)
+		}
+	}
+
+	var batch struct {
+		Results [][]int `json:"results"`
+	}
+	if status := call(t, "POST", ts.URL+"/v1/rknn/batch", map[string]any{"ids": []int{1, 2, 3, 4}, "k": 4}, &batch); status != http.StatusOK {
+		t.Fatalf("batch status %d", status)
+	}
+	if len(batch.Results) != 4 {
+		t.Fatalf("batch returned %d results", len(batch.Results))
+	}
+
+	var ins struct {
+		ID int `json:"id"`
+	}
+	if status := call(t, "POST", ts.URL+"/v1/points", map[string]any{"point": []float64{0.5, 0.5, 0.5}}, &ins); status != http.StatusCreated {
+		t.Fatalf("insert status %d", status)
+	}
+	if ins.ID != 180 {
+		t.Errorf("insert assigned global id %d, want 180", ins.ID)
+	}
+	if status := call(t, "DELETE", fmt.Sprintf("%s/v1/points/%d", ts.URL, ins.ID), nil, nil); status != http.StatusOK {
+		t.Errorf("delete status %d", status)
+	}
+
+	var stats struct {
+		Engine struct {
+			ShardCount int `json:"shard_count"`
+			Shards     []struct {
+				Shard   int   `json:"shard"`
+				Points  int   `json:"points"`
+				Queries int64 `json:"queries"`
+			} `json:"shards"`
+		} `json:"engine"`
+	}
+	if status := call(t, "GET", ts.URL+"/statsz", nil, &stats); status != http.StatusOK {
+		t.Fatalf("statsz status %d", status)
+	}
+	if stats.Engine.ShardCount != 3 || len(stats.Engine.Shards) != 3 {
+		t.Fatalf("statsz shards = %+v", stats.Engine)
+	}
+	totalPts, totalQ := 0, int64(0)
+	for _, sh := range stats.Engine.Shards {
+		totalPts += sh.Points
+		totalQ += sh.Queries
+	}
+	if totalPts != 180 {
+		t.Errorf("statsz shard points sum to %d, want 180", totalPts)
+	}
+	if totalQ == 0 {
+		t.Error("statsz reports zero shard queries after serving traffic")
+	}
+}

@@ -1,0 +1,682 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/index"
+	"repro/internal/vecmath"
+)
+
+// This file is the sharded face of the engine: a ShardedSearcher
+// hash-partitions the dataset across S shards, each an independent
+// copy-on-write Searcher, and answers every query by scatter-gather —
+// fan the query out to all shards, merge the per-shard answers exactly.
+//
+// The merge is exact because reverse k-NN decomposes over any disjoint
+// partition of the dataset: if x is a global reverse neighbor of q then,
+// within x's own shard (a subset of the dataset), strictly fewer than k
+// points lie closer to x than q does, so x is also a reverse neighbor of q
+// within its shard. The union of per-shard results is therefore a superset
+// of the global result, and one exact verification of each candidate
+// against the globally merged k-NN distance (d_k(x) >= d(q,x), the paper's
+// refinement test) filters it down to exactly the global answer. Forward
+// kNN merges even more directly: the global top-k is the top-k of the
+// per-shard top-k lists. See DESIGN.md, "Sharded scatter-gather".
+
+// ShardInfo describes one shard of a ShardedSearcher for monitoring.
+type ShardInfo struct {
+	// Shard is the shard number in [0, Shards()).
+	Shard int `json:"shard"`
+	// Points is the number of live points the shard currently holds.
+	Points int `json:"points"`
+	// Queries counts scatter-gather visits this shard has served.
+	Queries int64 `json:"queries"`
+}
+
+// shardSlot is the engine holder of one shard. The engine pointer is nil
+// until the first point lands on the shard (hash partitioning can leave
+// shards empty on small datasets) and is published atomically so queries
+// never lock.
+type shardSlot struct {
+	eng     atomic.Pointer[Searcher]
+	queries atomic.Int64
+}
+
+// ShardedSearcher answers reverse k-nearest neighbor queries over a
+// dataset hash-partitioned across S shards. Each shard is an independent
+// copy-on-write Searcher, so the concurrency contract matches Searcher:
+// unrestricted concurrent queries racing Insert/Delete, with every
+// per-shard read served from one frozen snapshot. Global IDs are stable
+// and dense in insertion order, exactly like Searcher IDs, and are mapped
+// to (shard, local) placements by an immutable index.ShardMap published
+// with the same copy-on-write discipline.
+//
+// Results are deterministic: merges order by (distance, ID) and candidate
+// verification recomputes the global k-NN test exactly, so the answer does
+// not depend on the shard count — the property the metamorphic conformance
+// suite pins (shard_conformance_test.go).
+type ShardedSearcher struct {
+	scale    float64
+	plus     bool
+	adaptive bool
+	margin   float64
+	backend  Backend
+	metric   Metric
+	dim      int
+	dynamic  bool
+
+	slots []*shardSlot
+	smap  atomic.Pointer[index.ShardMap]
+	mu    sync.Mutex // serializes Insert/Delete across the map and all shards
+
+	// Mutation hooks, called under mu. The durable wrapper overrides them
+	// to route every applied mutation through a shard's write-ahead log.
+	// insertShard reports applied=true when the in-memory insert took
+	// effect even if the call failed afterwards (a WAL append failure),
+	// in which case the global ID assignment must be kept.
+	insertShard func(shard int, eng *Searcher, p []float64) (local int, applied bool, err error)
+	createShard func(shard int, p []float64) (*Searcher, error)
+	deleteShard func(shard int, eng *Searcher, local int) (bool, error)
+}
+
+// NewSharded partitions points across the given number of shards and
+// returns a ShardedSearcher. The options are those of New; when the scale
+// parameter is estimated, it is estimated once over the full dataset (not
+// per shard), so a ShardedSearcher and a Searcher over the same points use
+// the same t. The points slice is retained by reference.
+func NewSharded(points [][]float64, shards int, opts ...Option) (*ShardedSearcher, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("rknnd: shard count must be positive, got %d", shards)
+	}
+	cfg := config{
+		metric:  Euclidean,
+		backend: BackendCoverTree,
+		scale:   math.NaN(),
+		auto:    EstimatorMLE,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.metric == nil {
+		return nil, errors.New("rknnd: nil metric")
+	}
+	if err := vecmath.ValidateAll(points); err != nil {
+		return nil, fmt.Errorf("rknnd: %w", err)
+	}
+
+	scale := cfg.scale
+	if cfg.adaptive {
+		if cfg.margin < 0 {
+			return nil, fmt.Errorf("rknnd: scale margin must be non-negative, got %v", cfg.margin)
+		}
+		scale = 0
+	} else if math.IsNaN(scale) {
+		// Estimate over the full dataset through a throwaway scan index —
+		// the estimators are exact-kNN-based, so this yields the same t as
+		// estimating on any back-end over the same points.
+		full, err := harness.BuildBackend(string(BackendScan), points, cfg.metric)
+		if err != nil {
+			return nil, fmt.Errorf("rknnd: %w", err)
+		}
+		scale, err = estimate(cfg.auto, full, points, cfg.metric)
+		if err != nil {
+			return nil, fmt.Errorf("rknnd: estimating scale parameter: %w", err)
+		}
+		scale += cfg.margin
+		if scale < 1 {
+			scale = 1
+		}
+	}
+	if !cfg.adaptive && !(scale > 0) {
+		return nil, fmt.Errorf("rknnd: scale parameter must be positive, got %v", scale)
+	}
+
+	m, err := index.NewShardMap(shards)
+	if err != nil {
+		return nil, fmt.Errorf("rknnd: %w", err)
+	}
+	parts := make([][][]float64, shards)
+	for range points {
+		g, s, _ := m.Assign()
+		parts[s] = append(parts[s], points[g])
+	}
+
+	ss := &ShardedSearcher{
+		scale:    scale,
+		plus:     !cfg.plain,
+		adaptive: cfg.adaptive,
+		margin:   cfg.margin,
+		backend:  cfg.backend,
+		metric:   cfg.metric,
+		dim:      len(points[0]),
+		slots:    make([]*shardSlot, shards),
+	}
+	for i := range ss.slots {
+		ss.slots[i] = &shardSlot{}
+	}
+	for s, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		ix, err := harness.BuildBackend(string(cfg.backend), part, cfg.metric)
+		if err != nil {
+			return nil, fmt.Errorf("rknnd: shard %d: %w", s, err)
+		}
+		if !ss.dynamic {
+			_, ss.dynamic = ix.(index.Cloner)
+		}
+		ss.slots[s].eng.Store(ss.newShardEngine(ix))
+	}
+	ss.smap.Store(m)
+	ss.insertShard = ss.plainInsert
+	ss.createShard = ss.plainCreate
+	ss.deleteShard = ss.plainDelete
+	return ss, nil
+}
+
+// newShardEngine wraps an index in a Searcher carrying the sharded
+// engine's configuration — deliberately without any scale estimation.
+func (ss *ShardedSearcher) newShardEngine(ix index.Index) *Searcher {
+	s := &Searcher{
+		scale:    ss.scale,
+		plus:     ss.plus,
+		adaptive: ss.adaptive,
+		margin:   ss.margin,
+		backend:  ss.backend,
+	}
+	s.snap.Store(&snapshot{ix: ix})
+	return s
+}
+
+// Shards returns the shard count.
+func (ss *ShardedSearcher) Shards() int { return len(ss.slots) }
+
+// Scale returns the scale parameter t in effect on every shard (0 when
+// adaptive).
+func (ss *ShardedSearcher) Scale() float64 { return ss.scale }
+
+// Backend returns the forward-index back-end of the shards.
+func (ss *ShardedSearcher) Backend() Backend { return ss.backend }
+
+// Dim returns the dimensionality of the indexed points.
+func (ss *ShardedSearcher) Dim() int { return ss.dim }
+
+// Len returns the number of live points across all shards.
+func (ss *ShardedSearcher) Len() int {
+	n := 0
+	for _, slot := range ss.slots {
+		if eng := slot.eng.Load(); eng != nil {
+			n += eng.Len()
+		}
+	}
+	return n
+}
+
+// ShardStats reports per-shard size and traffic counters, the monitoring
+// surface behind the server's /statsz shards section.
+func (ss *ShardedSearcher) ShardStats() []ShardInfo {
+	out := make([]ShardInfo, len(ss.slots))
+	for i, slot := range ss.slots {
+		out[i] = ShardInfo{Shard: i, Queries: slot.queries.Load()}
+		if eng := slot.eng.Load(); eng != nil {
+			out[i].Points = eng.Len()
+		}
+	}
+	return out
+}
+
+// Point returns the coordinates of a dataset member by global ID. The
+// returned slice is owned by the engine and must not be modified. Like
+// Searcher.Point, it panics on IDs that were never assigned; an ID
+// returned by Insert is always valid (Insert publishes before returning),
+// but an ID guessed while the insert that will assign it is still in
+// flight counts as never assigned.
+func (ss *ShardedSearcher) Point(global int) []float64 {
+	m := ss.smap.Load()
+	s, l, ok := m.Locate(global)
+	if !ok {
+		panic(fmt.Sprintf("rknnd: point id %d out of range [0,%d)", global, m.Len()))
+	}
+	eng := ss.slots[s].eng.Load()
+	if eng == nil {
+		// The map entry is published before the shard engine (the writer
+		// ordering); a nil engine here means the assigning insert has not
+		// finished yet.
+		panic(fmt.Sprintf("rknnd: point id %d is not yet published", global))
+	}
+	return eng.Point(l)
+}
+
+// shardView is one shard pinned for the duration of a query: the engine
+// and the immutable snapshot the query will read. Pinning all views up
+// front gives a cross-shard read set that updates cannot perturb
+// mid-query.
+type shardView struct {
+	shard int
+	slot  *shardSlot
+	eng   *Searcher
+	sn    *snapshot
+}
+
+// views pins the current snapshot of every non-empty shard. The shard map
+// must be loaded AFTER this (writers publish map entries before engine
+// snapshots), so every local ID any pinned snapshot can return is
+// translatable; see pin.
+func (ss *ShardedSearcher) views() []shardView {
+	vs := make([]shardView, 0, len(ss.slots))
+	for i, slot := range ss.slots {
+		eng := slot.eng.Load()
+		if eng == nil {
+			continue
+		}
+		sn := eng.snap.Load()
+		if sn.ix.Len() == 0 {
+			continue
+		}
+		vs = append(vs, shardView{shard: i, slot: slot, eng: eng, sn: sn})
+	}
+	return vs
+}
+
+// pin captures a consistent read set: shard snapshots first, then the
+// map. Writers publish in the opposite order (map, then snapshot), so the
+// map here covers every ID the snapshots can surface.
+func (ss *ShardedSearcher) pin() ([]shardView, *index.ShardMap) {
+	vs := ss.views()
+	return vs, ss.smap.Load()
+}
+
+// ReverseKNN returns the global IDs of the dataset members that have
+// member qid among their k nearest neighbors, sorted ascending. The member
+// itself is excluded.
+func (ss *ShardedSearcher) ReverseKNN(qid, k int) ([]int, error) {
+	views, m := ss.pin()
+	ids, _, err := ss.reverseKNN(context.Background(), views, m, qid, nil, k)
+	return ids, err
+}
+
+// ReverseKNNStats is ReverseKNN with aggregated per-query work counters
+// (summed across shards; Omega is the tightest shard bound).
+func (ss *ShardedSearcher) ReverseKNNStats(qid, k int) ([]int, Stats, error) {
+	views, m := ss.pin()
+	return ss.reverseKNN(context.Background(), views, m, qid, nil, k)
+}
+
+// ReverseKNNPoint answers the query for an arbitrary point, which need not
+// be a dataset member.
+func (ss *ShardedSearcher) ReverseKNNPoint(q []float64, k int) ([]int, error) {
+	views, m := ss.pin()
+	ids, _, err := ss.reverseKNN(context.Background(), views, m, -1, q, k)
+	return ids, err
+}
+
+// ReverseKNNPointStats is ReverseKNNPoint with the aggregated counters.
+func (ss *ShardedSearcher) ReverseKNNPointStats(q []float64, k int) ([]int, Stats, error) {
+	views, m := ss.pin()
+	return ss.reverseKNN(context.Background(), views, m, -1, q, k)
+}
+
+// reverseKNN is the scatter-gather RkNN query over a pinned read set.
+// qid >= 0 anchors the query at a member (q is then looked up); qid < 0
+// queries the arbitrary point q.
+func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m *index.ShardMap, qid int, q []float64, k int) ([]int, Stats, error) {
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("rknnd: core: K must be positive, got %d", k)
+	}
+	homeShard, homeLocal := -1, -1
+	if qid >= 0 {
+		s, l, ok := m.Locate(qid)
+		if !ok {
+			return nil, Stats{}, fmt.Errorf("rknnd: core: query id %d out of range [0,%d)", qid, m.Len())
+		}
+		homeShard, homeLocal = s, l
+		home := -1
+		for i := range views {
+			if views[i].shard == s {
+				home = i
+				break
+			}
+		}
+		if home < 0 {
+			// The member's shard pinned empty (or unpublished): every copy
+			// of the point this read set can see is gone.
+			return nil, Stats{}, fmt.Errorf("rknnd: core: query id %d: %w", qid, ErrDeleted)
+		}
+		hix := views[home].sn.ix
+		if lv, ok := hix.(index.Liveness); ok {
+			if l >= lv.IDSpan() || !lv.Live(l) {
+				return nil, Stats{}, fmt.Errorf("rknnd: core: query id %d: %w", qid, ErrDeleted)
+			}
+		} else if l >= hix.Len() {
+			return nil, Stats{}, fmt.Errorf("rknnd: core: query id %d: %w", qid, ErrDeleted)
+		}
+		q = hix.Point(l)
+	} else {
+		if err := vecmath.Validate(q); err != nil {
+			return nil, Stats{}, fmt.Errorf("rknnd: %w", err)
+		}
+		if len(q) != ss.dim {
+			return nil, Stats{}, fmt.Errorf("rknnd: query dimension %d, index dimension %d", len(q), ss.dim)
+		}
+	}
+
+	// Scatter: per-shard RkNN. The member's home shard runs a member query
+	// (self-exclusion applies there); every other shard sees q as an
+	// external point.
+	type shardResult struct {
+		globals []int // translated, ascending
+		stats   core.Stats
+	}
+	results := make([]shardResult, len(views))
+	err := core.Gather(ctx, len(views), func(ctx context.Context, i int) error {
+		v := views[i]
+		v.slot.queries.Add(1)
+		qr, err := v.sn.querier(v.eng, k)
+		if err != nil {
+			return err
+		}
+		var res *core.Result
+		if v.shard == homeShard {
+			res, err = qr.ByID(homeLocal)
+		} else {
+			res, err = qr.ByPoint(q)
+		}
+		if err != nil {
+			return err
+		}
+		globals := make([]int, len(res.IDs))
+		for j, l := range res.IDs {
+			g, ok := m.Global(v.shard, l)
+			if !ok {
+				return fmt.Errorf("shard %d returned unmapped local id %d", v.shard, l)
+			}
+			globals[j] = g
+		}
+		results[i] = shardResult{globals: globals, stats: res.Stats}
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, wrapShardErr(err)
+	}
+
+	stats := Stats{Omega: math.Inf(1)}
+	lists := make([][]int, len(results))
+	for i, r := range results {
+		lists[i] = r.globals
+		stats.ScanDepth += r.stats.ScanDepth
+		stats.FilterSize += r.stats.FilterSize
+		stats.Excluded += r.stats.Excluded
+		stats.LazyAccepts += r.stats.LazyAccepts
+		stats.LazyRejects += r.stats.LazyRejects
+		stats.Verified += r.stats.Verified
+		stats.DistanceComps += r.stats.DistanceComps
+		if r.stats.Omega < stats.Omega {
+			stats.Omega = r.stats.Omega
+		}
+	}
+
+	// One populated shard holds the entire dataset, so its answer is
+	// definitionally the global answer — the same algorithm the unsharded
+	// Searcher runs. Verification below is only the cross-shard merge
+	// step; skipping it here makes a single-view engine byte-identical to
+	// a Searcher (and avoids one kNN scan per candidate).
+	if len(results) == 1 {
+		return results[0].globals, stats, nil
+	}
+	candidates := core.MergeIDs(lists, nil)
+
+	// Gather: each candidate is re-verified against the globally merged
+	// k-NN distance, which makes the final answer exact relative to the
+	// candidate union (and independent of the partitioning).
+	ids := make([]int, 0, len(candidates))
+	for _, g := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, Stats{}, err
+		}
+		ok, comps, err := ss.verifyGlobal(views, m, g, q, k)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		stats.Verified++
+		stats.DistanceComps += comps
+		if ok {
+			ids = append(ids, g)
+		}
+	}
+	return ids, stats, nil
+}
+
+// verifyGlobal runs the refinement test d_k(x) >= d(q,x) for candidate x
+// (global ID g) against the union of all pinned shards: per-shard forward
+// kNN queries at x, merged under the (distance, ID) order.
+func (ss *ShardedSearcher) verifyGlobal(views []shardView, m *index.ShardMap, g int, q []float64, k int) (bool, int64, error) {
+	sx, lx, ok := m.Locate(g)
+	if !ok {
+		return false, 0, fmt.Errorf("rknnd: candidate id %d not in shard map", g)
+	}
+	var px []float64
+	for i := range views {
+		if views[i].shard == sx {
+			px = views[i].sn.ix.Point(lx)
+			break
+		}
+	}
+	if px == nil {
+		return false, 0, fmt.Errorf("rknnd: candidate id %d has no pinned shard", g)
+	}
+	dqx := ss.metric.Distance(q, px)
+	lists := make([][]index.Neighbor, len(views))
+	for i := range views {
+		v := views[i]
+		skip := -1
+		if v.shard == sx {
+			skip = lx
+		}
+		nn := v.sn.ix.KNN(px, k, skip)
+		tr := make([]index.Neighbor, len(nn))
+		for j, nb := range nn {
+			tg, ok := m.Global(v.shard, nb.ID)
+			if !ok {
+				return false, 0, fmt.Errorf("rknnd: shard %d returned unmapped local id %d", v.shard, nb.ID)
+			}
+			tr[j] = index.Neighbor{ID: tg, Dist: nb.Dist}
+		}
+		lists[i] = tr
+	}
+	merged := core.MergeKNN(lists, k, nil)
+	if len(merged) < k {
+		return true, 1, nil // fewer than k other points exist globally
+	}
+	return merged[len(merged)-1].Dist >= dqx, 1, nil
+}
+
+// wrapShardErr prefixes shard-level errors with the facade's rknnd tag
+// unless they already carry it.
+func wrapShardErr(err error) error {
+	return fmt.Errorf("rknnd: %w", err)
+}
+
+// KNN returns the k global forward nearest neighbors of an arbitrary point
+// in ascending (distance, ID) order — the per-shard top-k lists k-way
+// merged.
+func (ss *ShardedSearcher) KNN(q []float64, k int) ([]Neighbor, error) {
+	if err := vecmath.Validate(q); err != nil {
+		return nil, fmt.Errorf("rknnd: %w", err)
+	}
+	if len(q) != ss.dim {
+		return nil, fmt.Errorf("rknnd: query dimension %d, index dimension %d", len(q), ss.dim)
+	}
+	views, m := ss.pin()
+	lists := make([][]index.Neighbor, len(views))
+	err := core.Gather(context.Background(), len(views), func(ctx context.Context, i int) error {
+		v := views[i]
+		v.slot.queries.Add(1)
+		nn := v.sn.ix.KNN(q, k, -1)
+		tr := make([]index.Neighbor, len(nn))
+		for j, nb := range nn {
+			g, ok := m.Global(v.shard, nb.ID)
+			if !ok {
+				return fmt.Errorf("shard %d returned unmapped local id %d", v.shard, nb.ID)
+			}
+			tr[j] = index.Neighbor{ID: g, Dist: nb.Dist}
+		}
+		lists[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, wrapShardErr(err)
+	}
+	merged := core.MergeKNN(lists, k, nil)
+	out := make([]Neighbor, len(merged))
+	for i, nb := range merged {
+		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out, nil
+}
+
+// BatchReverseKNN answers many member queries concurrently on a worker
+// pool (0 workers selects all cores; the pool is capped at the batch
+// length and at GOMAXPROCS) and returns the per-query ID lists in input
+// order. The first per-query error aborts the batch.
+func (ss *ShardedSearcher) BatchReverseKNN(qids []int, k, workers int) ([][]int, error) {
+	return ss.BatchReverseKNNContext(context.Background(), qids, k, workers)
+}
+
+// BatchReverseKNNContext is BatchReverseKNN with cancellation. The whole
+// batch runs against one pinned set of shard snapshots, so its results are
+// mutually consistent even while Insert/Delete run concurrently. The pool
+// scaffolding is core.ForEach — the same clamps and cancellation contract
+// as the single-engine batch.
+func (ss *ShardedSearcher) BatchReverseKNNContext(ctx context.Context, qids []int, k, workers int) ([][]int, error) {
+	views, m := ss.pin()
+	out := make([][]int, len(qids))
+	errs := make([]error, len(qids))
+	err := core.ForEach(ctx, len(qids), workers, func(ctx context.Context, i int) error {
+		ids, _, err := ss.reverseKNN(ctx, views, m, qids[i], nil, k)
+		if err != nil {
+			errs[i] = err
+			return err
+		}
+		out[i] = ids
+		return nil
+	})
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		for i, e := range errs {
+			if e != nil && !errors.Is(e, context.Canceled) {
+				return nil, fmt.Errorf("rknnd: query %d: %w", qids[i], e)
+			}
+		}
+		for i, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("rknnd: query %d: %w", qids[i], e)
+			}
+		}
+		return nil, fmt.Errorf("rknnd: %w", err) // invalid arguments (negative workers)
+	}
+	return out, nil
+}
+
+// Insert adds a point to its hash-assigned shard and returns its new
+// global ID. Requires a dynamic back-end (BackendCoverTree, BackendScan).
+// The shard map is published before the shard snapshot, so a concurrent
+// query either sees neither or can translate everything it sees.
+func (ss *ShardedSearcher) Insert(p []float64) (int, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if !ss.dynamic {
+		return 0, errors.New("rknnd: back-end does not support insertion")
+	}
+	if err := vecmath.Validate(p); err != nil {
+		return 0, fmt.Errorf("rknnd: %w", err)
+	}
+	if len(p) != ss.dim {
+		return 0, fmt.Errorf("rknnd: point dimension %d, index dimension %d", len(p), ss.dim)
+	}
+	m := ss.smap.Load()
+	m2 := m.Clone()
+	g, s, l := m2.Assign()
+	ss.smap.Store(m2)
+
+	eng := ss.slots[s].eng.Load()
+	if eng == nil {
+		neweng, err := ss.createShard(s, p)
+		if err != nil {
+			ss.smap.Store(m) // the assignment never took effect
+			return 0, err
+		}
+		ss.slots[s].eng.Store(neweng)
+		return g, nil
+	}
+	local, applied, err := ss.insertShard(s, eng, p)
+	if !applied {
+		ss.smap.Store(m)
+		return 0, err
+	}
+	if local != l {
+		// The shard engine and the map disagree on the local ID — a broken
+		// invariant that would silently corrupt every future translation.
+		panic(fmt.Sprintf("rknnd: shard %d assigned local id %d, shard map expected %d", s, local, l))
+	}
+	if err != nil {
+		// Applied in memory but not durably logged (WAL failure): the map
+		// entry must stay, matching the visible in-memory state.
+		return g, err
+	}
+	return g, nil
+}
+
+// Delete removes the dataset member with the given global ID, reporting
+// whether it was present. Requires a dynamic back-end. The shard map keeps
+// the ID forever (tombstones live in the shard index), so global IDs are
+// never reused.
+func (ss *ShardedSearcher) Delete(global int) (bool, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if !ss.dynamic {
+		return false, errors.New("rknnd: back-end does not support deletion")
+	}
+	m := ss.smap.Load()
+	s, l, ok := m.Locate(global)
+	if !ok {
+		return false, nil
+	}
+	eng := ss.slots[s].eng.Load()
+	if eng == nil {
+		return false, nil
+	}
+	return ss.deleteShard(s, eng, l)
+}
+
+// plainInsert routes an applied mutation to an in-memory shard engine.
+func (ss *ShardedSearcher) plainInsert(shard int, eng *Searcher, p []float64) (int, bool, error) {
+	id, err := eng.Insert(p)
+	if err != nil {
+		return 0, false, err
+	}
+	return id, true, nil
+}
+
+// plainCreate builds a fresh single-point shard engine for a shard that
+// was empty until now.
+func (ss *ShardedSearcher) plainCreate(shard int, p []float64) (*Searcher, error) {
+	ix, err := harness.BuildBackend(string(ss.backend), [][]float64{vecmath.Clone(p)}, ss.metric)
+	if err != nil {
+		return nil, fmt.Errorf("rknnd: shard %d: %w", shard, err)
+	}
+	return ss.newShardEngine(ix), nil
+}
+
+// plainDelete routes a deletion to an in-memory shard engine.
+func (ss *ShardedSearcher) plainDelete(shard int, eng *Searcher, local int) (bool, error) {
+	return eng.Delete(local)
+}
