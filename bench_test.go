@@ -399,6 +399,85 @@ func BenchmarkSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreEngine measures the single-engine facade on the FCT
+// surrogate — RkNN, forward kNN, and batch throughput, plus the mean
+// pruning ratio from the per-query stats — and refreshes BENCH_core.json
+// with the measured queries/s, the perf baseline future PRs report
+// against (the single-engine sibling of BENCH_shard.json). CI runs it as
+// a 1-iteration smoke (-benchtime 1x).
+func BenchmarkCoreEngine(b *testing.B) {
+	data := dataset.FCT(2000, 1)
+	s, err := New(data.Points, WithScale(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qids := make([]int, 256)
+	for i := range qids {
+		qids[i] = (i * 7) % data.Len()
+	}
+	qps := map[string]float64{}
+	var pruning float64
+	b.Run("rknn", func(b *testing.B) {
+		var generated, settled int64
+		for i := 0; i < b.N; i++ {
+			_, st, err := s.ReverseKNNStats(qids[i%len(qids)], 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			generated += int64(st.FilterSize + st.Excluded)
+			settled += int64(st.LazyAccepts + st.LazyRejects)
+		}
+		q := float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(q, "queries/s")
+		qps["rknn"] = q
+		if generated > 0 {
+			// settled/generated: on the single engine this is identically
+			// the live rknn_pruning_ratio gauge (1 - verified/generated),
+			// since generated = settled + verified there.
+			pruning = float64(settled) / float64(generated)
+			b.ReportMetric(pruning, "pruning-ratio")
+		}
+	})
+	b.Run("knn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.KNN(data.Points[qids[i%len(qids)]], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+		q := float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(q, "queries/s")
+		qps["knn"] = q
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.BatchReverseKNN(qids, 10, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		q := float64(len(qids)) * float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(q, "queries/s")
+		qps["batch"] = q
+	})
+	if len(qps) == 3 {
+		payload := map[string]any{
+			"benchmark":          "BenchmarkCoreEngine",
+			"dataset":            "fct-2000",
+			"batch":              len(qids),
+			"k":                  10,
+			"gomaxprocs":         runtime.GOMAXPROCS(0),
+			"queries_per_second": qps,
+			"mean_pruning_ratio": pruning,
+		}
+		raw, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_core.json", append(raw, '\n'), 0o644); err != nil {
+			b.Logf("could not write BENCH_core.json: %v", err)
+		}
+	}
+}
+
 // BenchmarkCoreQuery isolates a single RDT+ query on each surrogate at the
 // paper's default rank, the microbenchmark backing the per-query times in
 // the figures.

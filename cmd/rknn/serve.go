@@ -12,6 +12,7 @@ import (
 
 	repro "repro"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 // runServe implements the `rknn serve` subcommand: build a Searcher over a
@@ -44,6 +45,8 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		dataDir  = fs.String("data-dir", "", "durable store directory: recover state from it, or create it and log all writes")
 		walSync  = fs.Int("wal-sync", 1, "fsync the write-ahead log every N writes (0 = never)")
 		shards   = fs.Int("shards", 1, "hash-partition the dataset across N shards served by scatter-gather")
+		slowThr  = fs.Duration("slowlog-threshold", server.DefaultSlowLogThreshold, "record requests at or above this latency in /v1/admin/slowlog (0 records all)")
+		slowSize = fs.Int("slowlog-size", server.DefaultSlowLogSize, "slow-query log capacity (entries)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -57,6 +60,17 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		return err
 	}
 	defer closeEngine()
+
+	// One registry spans the engine and the HTTP layer, so /metrics serves
+	// the pruning counters and the request histograms side by side. The
+	// engine is attached after construction because the recovery paths
+	// (Open, OpenSharded) never pass through the facade options.
+	reg := telemetry.NewRegistry()
+	if te, ok := eng.(interface {
+		EnableTelemetry(*telemetry.Registry)
+	}); ok {
+		te.EnableTelemetry(reg)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -75,7 +89,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 	}
 
 	httpSrv := &http.Server{
-		Handler: server.New(eng).Handler(),
+		Handler: server.New(eng, server.WithRegistry(reg), server.WithSlowLog(*slowThr, *slowSize)).Handler(),
 		// Bound header reads and idle keep-alives so slow or silent
 		// connections cannot pin goroutines forever; no blanket
 		// read/write timeout because large batch queries are legitimate
@@ -96,8 +110,66 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 	if err := <-done; err != nil {
 		return err
 	}
+	logMetricsSummary(stdout, reg)
 	fmt.Fprintln(stdout, "rknn serve: shut down cleanly")
 	return nil
+}
+
+// logMetricsSummary prints the shutdown digest of the run: per-route
+// traffic with histogram-derived p50/p99, and the engine's lifetime
+// pruning effectiveness — the paper's candidate-reduction story as the
+// daemon's parting line.
+func logMetricsSummary(stdout io.Writer, reg *telemetry.Registry) {
+	byName := make(map[string]telemetry.FamilySnapshot)
+	for _, f := range reg.Gather() {
+		byName[f.Name] = f
+	}
+	label := func(s telemetry.Sample, name string) string {
+		for _, l := range s.Labels {
+			if l.Name == name {
+				return l.Value
+			}
+		}
+		return ""
+	}
+	sampleFor := func(f telemetry.FamilySnapshot, name, value string) (telemetry.Sample, bool) {
+		for _, s := range f.Samples {
+			if label(s, name) == value {
+				return s, true
+			}
+		}
+		return telemetry.Sample{}, false
+	}
+
+	for _, s := range byName["rknn_http_requests_total"].Samples {
+		if s.Value == 0 {
+			continue
+		}
+		route := label(s, "route")
+		line := fmt.Sprintf("rknn serve: %-20s %6.0f requests", route, s.Value)
+		if es, ok := sampleFor(byName["rknn_http_request_errors_total"], "route", route); ok && es.Value > 0 {
+			line += fmt.Sprintf(", %.0f errors", es.Value)
+		}
+		if hs, ok := sampleFor(byName["rknn_http_request_duration_seconds"], "route", route); ok && hs.Hist != nil && hs.Hist.Count > 0 {
+			line += fmt.Sprintf(", p50 %s, p99 %s",
+				time.Duration(hs.Hist.Quantile(0.50)*float64(time.Second)).Round(time.Microsecond),
+				time.Duration(hs.Hist.Quantile(0.99)*float64(time.Second)).Round(time.Microsecond))
+		}
+		fmt.Fprintln(stdout, line)
+	}
+
+	sum := func(name string) float64 {
+		var total float64
+		for _, s := range byName[name].Samples {
+			total += s.Value
+		}
+		return total
+	}
+	if generated := sum("rknn_candidates_generated_total"); generated > 0 {
+		settled := sum("rknn_candidates_lazy_settled_total")
+		fmt.Fprintf(stdout, "rknn serve: pruning: %.0f candidates generated, %.0f settled lazily (%.1f%%), %.0f verified\n",
+			generated, settled, 100*settled/generated, sum("rknn_candidates_verified_total"))
+	}
 }
 
 // buildEngine assembles the serving engine: recover a durable store when

@@ -399,3 +399,97 @@ func TestServeShardedEndToEnd(t *testing.T) {
 		t.Errorf("scale after recovery %g, want %g", statsAfter.Engine.Scale, statsBefore.Engine.Scale)
 	}
 }
+
+// TestServeMetricsAndSlowlog boots the daemon with the observability flags,
+// scrapes /metrics and /v1/admin/slowlog over real HTTP, and checks the
+// shutdown metrics summary.
+func TestServeMetricsAndSlowlog(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, []string{
+			"-addr", "127.0.0.1:0", "-data", "sequoia", "-n", "300", "-t", "8",
+			"-slowlog-threshold", "0s", "-slowlog-size", "8",
+		}, &out, ready)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("runServe exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the server to listen")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Post(base+"/v1/rknn", "application/json", strings.NewReader(`{"id": 5, "k": 10}`))
+	if err != nil {
+		t.Fatalf("POST /v1/rknn: %v", err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		`rknn_queries_total{backend="covertree",op="rknn"} 1`,
+		"rknn_candidates_excluded_total",
+		"rknn_candidates_lazy_settled_total",
+		`rknn_http_requests_total{route="/v1/rknn"} 1`,
+		"rknn_points 300",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	resp, err = http.Get(base + "/v1/admin/slowlog")
+	if err != nil {
+		t.Fatalf("GET /v1/admin/slowlog: %v", err)
+	}
+	var slowlog struct {
+		Capacity int `json:"capacity"`
+		Entries  []struct {
+			Route string `json:"route"`
+		} `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&slowlog); err != nil {
+		t.Fatalf("decoding slowlog: %v", err)
+	}
+	resp.Body.Close()
+	if slowlog.Capacity != 8 || len(slowlog.Entries) == 0 {
+		t.Errorf("slowlog = %+v, want capacity 8 with entries", slowlog)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe returned %v after shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for graceful shutdown")
+	}
+	for _, want := range []string{"rknn serve: pruning:", "/v1/rknn", "shut down cleanly"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("shutdown output missing %q:\n%s", want, out.String())
+		}
+	}
+}

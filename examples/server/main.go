@@ -11,11 +11,17 @@
 // one durable store per shard) — and shows that the scatter-gather answers
 // are byte-identical to the single engine's, with per-shard counters on
 // /statsz.
+// The fourth act is the observability surface: the engine and the server
+// share one telemetry registry, so a single /metrics scrape exposes both
+// the HTTP latency histograms and the paper's pruning mechanics
+// (candidates generated / excluded / lazily settled) as live Prometheus
+// series — `rknn serve` wires this identically.
 //
 //	go run ./examples/server
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -23,16 +29,19 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"sync"
 
 	repro "repro"
 	"repro/internal/dataset"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	ds := dataset.Sequoia(3000, 1)
-	s, err := repro.New(ds.Points)
+	reg := telemetry.NewRegistry()
+	s, err := repro.New(ds.Points, repro.WithTelemetry(reg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +61,9 @@ func main() {
 
 	// In production this handler sits behind `rknn serve -addr :8080`;
 	// here an httptest server stands in so the example is self-contained.
-	ts := httptest.NewServer(server.New(d).Handler())
+	// The server shares the engine's registry, so /metrics below carries
+	// both layers.
+	ts := httptest.NewServer(server.New(d, server.WithRegistry(reg)).Handler())
 	defer ts.Close()
 	fmt.Printf("serving %d points at %s (store: %s)\n", d.Len(), ts.URL, dir)
 
@@ -100,6 +111,34 @@ func main() {
 	}
 	for _, route := range []string{"/v1/rknn", "/v1/rknn/batch", "/v1/points"} {
 		fmt.Printf("%-15s %d requests\n", route, stats.Endpoints[route].Requests)
+	}
+
+	// The Prometheus surface: one scrape of /metrics carries the HTTP
+	// histograms and the engine's pruning counters — the paper's
+	// candidate-reduction mechanics as live series. A real deployment
+	// points a Prometheus scrape job at this endpoint.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("selected /metrics series:")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, prefix := range []string{
+			"rknn_queries_total", "rknn_candidates_generated_total",
+			"rknn_candidates_excluded_total", "rknn_candidates_lazy_settled_total",
+			"rknn_pruning_ratio", "rknn_http_requests_total{route=\"/v1/rknn\"}",
+		} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Println("  " + line)
+				break
+			}
+		}
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
 	}
 
 	// Restart recovery: cut a snapshot over the wire, remember the answer

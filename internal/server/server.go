@@ -12,14 +12,26 @@
 //	POST   /v1/points          {"point":[...]}            (insert)
 //	DELETE /v1/points/{id}                                (delete)
 //	POST   /v1/admin/snapshot                             (cut a durable snapshot)
+//	GET    /v1/admin/slowlog                              (recent slow requests)
 //	GET    /healthz
 //	GET    /statsz
+//	GET    /metrics                                       (Prometheus exposition)
 //
-// Every response is JSON; errors are {"error":"..."} with a 4xx/5xx status.
-// Batch queries honor request cancellation: a client disconnect aborts the
-// remaining queries of its batch. The admin snapshot endpoint requires an
-// engine with a durable store (a repro.DurableSearcher); on a purely
-// in-memory engine it answers 501.
+// Every response is JSON except /metrics (Prometheus text format); errors
+// are {"error":"..."} with a 4xx/5xx status. Request bodies are bounded
+// (oversized bodies get a 413). Batch queries honor request cancellation:
+// a client disconnect aborts the remaining queries of its batch. The admin
+// snapshot endpoint requires an engine with a durable store (a
+// repro.DurableSearcher); on a purely in-memory engine it answers 501.
+//
+// Observability: every route records request/error counters and a
+// log-bucket latency histogram in an internal/telemetry Registry — its own
+// by default, or one shared with the engine via WithRegistry, in which
+// case /metrics also exposes the engine's pruning counters
+// (rknn_candidates_*_total; see the repro facade). /statsz derives its
+// latency quantiles from the same histograms that /metrics exposes, and a
+// bounded ring buffer retains the slowest recent requests for
+// /v1/admin/slowlog.
 package server
 
 import (
@@ -29,10 +41,10 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	repro "repro"
+	"repro/internal/telemetry"
 )
 
 // Engine is the query/update surface the server exposes. *repro.Searcher
@@ -67,34 +79,105 @@ type Sharded interface {
 	ShardStats() []repro.ShardInfo
 }
 
-// Server wraps an Engine with HTTP handlers and request-level statistics.
+// Server wraps an Engine with HTTP handlers and request-level telemetry.
 // All methods are safe for concurrent use.
 type Server struct {
 	s     Engine
 	start time.Time
+	reg   *telemetry.Registry
+	slow  *telemetry.SlowLog
 	stats map[string]*endpointStats // fixed key set, populated at New
 }
 
-// endpointStats aggregates one route's request counters atomically.
+// endpointStats holds one route's telemetry instruments, resolved once at
+// New so the per-request path is lock-free.
 type endpointStats struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	totalUS  atomic.Int64 // summed handler latency, microseconds
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
 }
 
 // routes is the fixed set of stats keys, one per endpoint.
 var routes = []string{
-	"/v1/rknn", "/v1/rknn/batch", "/v1/knn", "/v1/points", "/v1/admin/snapshot", "/healthz", "/statsz",
+	"/v1/rknn", "/v1/rknn/batch", "/v1/knn", "/v1/points", "/v1/admin/snapshot",
+	"/v1/admin/slowlog", "/healthz", "/statsz", "/metrics",
+}
+
+// Slow-log defaults: requests at or above the threshold enter the ring.
+const (
+	DefaultSlowLogThreshold = 250 * time.Millisecond
+	DefaultSlowLogSize      = 128
+)
+
+// Option configures New.
+type Option func(*options)
+
+type options struct {
+	reg           *telemetry.Registry
+	slowThreshold time.Duration
+	slowSize      int
+}
+
+// WithRegistry shares a telemetry Registry with the server instead of
+// letting it create a private one. Pass the registry the engine was built
+// with (repro.WithTelemetry) so /metrics exposes engine and HTTP series
+// together.
+func WithRegistry(reg *telemetry.Registry) Option {
+	return func(o *options) { o.reg = reg }
+}
+
+// WithSlowLog sets the slow-query log's recording threshold and capacity
+// (entries); capacity < 1 keeps a single entry. A zero threshold records
+// every request.
+func WithSlowLog(threshold time.Duration, capacity int) Option {
+	return func(o *options) { o.slowThreshold = threshold; o.slowSize = capacity }
 }
 
 // New returns a Server over s.
-func New(s Engine) *Server {
-	srv := &Server{s: s, start: time.Now(), stats: make(map[string]*endpointStats, len(routes))}
-	for _, r := range routes {
-		srv.stats[r] = &endpointStats{}
+func New(s Engine, opts ...Option) *Server {
+	o := options{slowThreshold: DefaultSlowLogThreshold, slowSize: DefaultSlowLogSize}
+	for _, opt := range opts {
+		opt(&o)
 	}
+	if o.reg == nil {
+		o.reg = telemetry.NewRegistry()
+	}
+	srv := &Server{
+		s:     s,
+		start: time.Now(),
+		reg:   o.reg,
+		slow:  telemetry.NewSlowLog(o.slowThreshold, o.slowSize),
+		stats: make(map[string]*endpointStats, len(routes)),
+	}
+	requests := o.reg.CounterVec("rknn_http_requests_total", "HTTP requests served, by route.", "route")
+	errs := o.reg.CounterVec("rknn_http_request_errors_total", "HTTP requests that failed, by route.", "route")
+	latency := o.reg.HistogramVec("rknn_http_request_duration_seconds",
+		"Handler latency, by route.", telemetry.DefaultLatencyBuckets, "route")
+	for _, r := range routes {
+		srv.stats[r] = &endpointStats{requests: requests.With(r), errors: errs.With(r), latency: latency.With(r)}
+	}
+	srv.registerEngineGauges()
 	return srv
 }
+
+// registerEngineGauges exposes the engine's live shape as scrape-time
+// gauges, including the optional durability and sharding surfaces.
+func (srv *Server) registerEngineGauges() {
+	s := srv.s
+	srv.reg.GaugeFunc("rknn_points", "Live points in the engine.", func() float64 { return float64(s.Len()) })
+	srv.reg.GaugeFunc("rknn_scale", "Scale parameter t in effect (0 when adaptive).", s.Scale)
+	if d, ok := s.(Durable); ok {
+		srv.reg.GaugeFunc("rknn_store_generation", "Current durable snapshot generation.",
+			func() float64 { return float64(d.Generation()) })
+	}
+	if sh, ok := s.(Sharded); ok {
+		srv.reg.GaugeFunc("rknn_shards", "Shard count of the scatter-gather engine.",
+			func() float64 { return float64(sh.Shards()) })
+	}
+}
+
+// Registry returns the telemetry registry backing /metrics.
+func (srv *Server) Registry() *telemetry.Registry { return srv.reg }
 
 // Handler returns the route table. The returned handler is safe for
 // concurrent use and may be wrapped with middleware by the caller.
@@ -106,8 +189,10 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/points", srv.instrument("/v1/points", srv.handleInsert))
 	mux.HandleFunc("DELETE /v1/points/{id}", srv.instrument("/v1/points", srv.handleDelete))
 	mux.HandleFunc("POST /v1/admin/snapshot", srv.instrument("/v1/admin/snapshot", srv.handleSnapshot))
+	mux.HandleFunc("GET /v1/admin/slowlog", srv.instrument("/v1/admin/slowlog", srv.handleSlowlog))
 	mux.HandleFunc("GET /healthz", srv.instrument("/healthz", srv.handleHealth))
 	mux.HandleFunc("GET /statsz", srv.instrument("/statsz", srv.handleStats))
+	mux.HandleFunc("GET /metrics", srv.instrument("/metrics", srv.handleMetrics))
 	return mux
 }
 
@@ -124,18 +209,31 @@ func badRequest(format string, args ...any) error {
 }
 
 // instrument adapts an error-returning handler, recording per-endpoint
-// request count, error count, and latency, and rendering failures as JSON.
+// request and error counters, a latency histogram observation, and a
+// slow-log entry when the request crosses the threshold, and rendering
+// failures as JSON.
 func (srv *Server) instrument(route string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	st := srv.stats[route]
 	return func(w http.ResponseWriter, r *http.Request) {
 		begin := time.Now()
 		err := h(w, r)
-		st.requests.Add(1)
-		st.totalUS.Add(time.Since(begin).Microseconds())
+		elapsed := time.Since(begin)
+		st.requests.Inc()
+		st.latency.Observe(elapsed.Seconds())
+		entry := telemetry.SlowEntry{
+			Time:     begin,
+			Route:    route,
+			Detail:   r.Method + " " + r.URL.Path,
+			Duration: elapsed,
+		}
+		if err != nil {
+			entry.Err = err.Error()
+		}
+		srv.slow.Observe(entry)
 		if err == nil {
 			return
 		}
-		st.errors.Add(1)
+		st.errors.Inc()
 		status := http.StatusInternalServerError
 		var ae *apiError
 		if errors.As(err, &ae) {
@@ -158,10 +256,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) error {
 	return nil
 }
 
-func decode(r *http.Request, v any) error {
+// maxRequestBody bounds every JSON request body. 1 MiB fits batches of
+// ~10^5 query IDs and points of ~10^5 dimensions — far past any legitimate
+// request — while keeping a hostile stream from buffering unbounded input.
+const maxRequestBody = 1 << 20
+
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &apiError{
+				status: http.StatusRequestEntityTooLarge,
+				err:    fmt.Errorf("request body exceeds %d bytes", mbe.Limit),
+			}
+		}
 		return badRequest("invalid request body: %v", err)
 	}
 	return nil
@@ -183,7 +294,7 @@ type rknnResponse struct {
 
 func (srv *Server) handleRkNN(w http.ResponseWriter, r *http.Request) error {
 	var req rknnRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		return err
 	}
 	if (req.ID == nil) == (req.Point == nil) {
@@ -226,7 +337,7 @@ type batchResponse struct {
 
 func (srv *Server) handleRkNNBatch(w http.ResponseWriter, r *http.Request) error {
 	var req batchRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		return err
 	}
 	results, err := srv.s.BatchReverseKNNContext(r.Context(), req.IDs, req.K, req.Workers)
@@ -261,7 +372,7 @@ type neighbor struct {
 
 func (srv *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 	var req knnRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		return err
 	}
 	nn, err := srv.s.KNN(req.Point, req.K)
@@ -281,7 +392,7 @@ type insertRequest struct {
 
 func (srv *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
 	var req insertRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		return err
 	}
 	id, err := srv.s.Insert(req.Point)
@@ -335,16 +446,27 @@ func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
 	})
 }
 
-// statsz reports per-endpoint request counters plus the engine parameters,
-// the observability surface behind capacity planning for the daemon.
+// statsz reports per-endpoint request counters and latency quantiles plus
+// the engine parameters, the observability surface behind capacity
+// planning for the daemon. The quantiles are estimated from the same
+// log-bucket histograms /metrics exposes, so the two surfaces can never
+// disagree.
 func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
-	endpoints := make(map[string]map[string]int64, len(srv.stats))
+	endpoints := make(map[string]map[string]any, len(srv.stats))
 	for route, st := range srv.stats {
-		endpoints[route] = map[string]int64{
-			"requests": st.requests.Load(),
-			"errors":   st.errors.Load(),
-			"total_us": st.totalUS.Load(),
+		ep := map[string]any{
+			"requests": st.requests.Value(),
+			"errors":   st.errors.Value(),
 		}
+		// One snapshot per route, so the reported quantiles all describe
+		// the same moment even while requests keep landing.
+		if snap := st.latency.Snapshot(); snap.Count > 0 {
+			ep["p50_us"] = snap.Quantile(0.50) * 1e6
+			ep["p95_us"] = snap.Quantile(0.95) * 1e6
+			ep["p99_us"] = snap.Quantile(0.99) * 1e6
+			ep["mean_us"] = snap.Sum / float64(snap.Count) * 1e6
+		}
+		endpoints[route] = ep
 	}
 	engine := map[string]any{
 		"points": srv.s.Len(),
@@ -361,6 +483,47 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusOK, map[string]any{
 		"endpoints": endpoints,
 		"engine":    engine,
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition of the server's
+// registry — including the engine's pruning counters when the engine was
+// built over the same registry. Encoding errors after the header is sent
+// mean the scraper went away; as in writeJSON, they are dropped.
+func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = srv.reg.WritePrometheus(w)
+	return nil
+}
+
+// slowEntry is the JSON shape of one slow-log record.
+type slowEntry struct {
+	Time       time.Time `json:"time"`
+	Route      string    `json:"route"`
+	Detail     string    `json:"detail,omitempty"`
+	DurationUS int64     `json:"duration_us"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// handleSlowlog reports the retained slow requests, newest first, plus the
+// log's configuration and lifetime total.
+func (srv *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) error {
+	snap := srv.slow.Snapshot()
+	entries := make([]slowEntry, len(snap))
+	for i, e := range snap {
+		entries[i] = slowEntry{
+			Time:       e.Time,
+			Route:      e.Route,
+			Detail:     e.Detail,
+			DurationUS: e.Duration.Microseconds(),
+			Error:      e.Err,
+		}
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_us": srv.slow.Threshold().Microseconds(),
+		"capacity":     srv.slow.Cap(),
+		"total":        srv.slow.Total(),
+		"entries":      entries,
 	})
 }
 

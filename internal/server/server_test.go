@@ -5,15 +5,19 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"regexp"
+	"strings"
 	"sync"
 	"testing"
 
 	repro "repro"
 	"repro/internal/bruteforce"
 	"repro/internal/indextest"
+	"repro/internal/telemetry"
 	"repro/internal/vecmath"
 )
 
@@ -269,14 +273,18 @@ func TestHealthAndStats(t *testing.T) {
 		t.Errorf("healthz = %+v", health)
 	}
 
-	// Generate traffic, including one failure, then check the counters.
+	// Generate traffic, including one failure, then check the counters and
+	// the histogram-derived latency quantiles.
 	call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"id": 1, "k": 3}, nil)
 	call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"k": 3}, nil)
 	var stats struct {
 		Endpoints map[string]struct {
-			Requests int64 `json:"requests"`
-			Errors   int64 `json:"errors"`
-			TotalUS  int64 `json:"total_us"`
+			Requests int64   `json:"requests"`
+			Errors   int64   `json:"errors"`
+			P50US    float64 `json:"p50_us"`
+			P95US    float64 `json:"p95_us"`
+			P99US    float64 `json:"p99_us"`
+			MeanUS   float64 `json:"mean_us"`
 		} `json:"endpoints"`
 		Engine struct {
 			Points int     `json:"points"`
@@ -289,6 +297,9 @@ func TestHealthAndStats(t *testing.T) {
 	rknn := stats.Endpoints["/v1/rknn"]
 	if rknn.Requests < 2 || rknn.Errors < 1 {
 		t.Errorf("statsz /v1/rknn = %+v, want >=2 requests and >=1 error", rknn)
+	}
+	if !(rknn.P50US > 0) || rknn.P99US < rknn.P50US || !(rknn.MeanUS > 0) {
+		t.Errorf("statsz /v1/rknn quantiles = %+v, want p50 > 0 and p99 >= p50", rknn)
 	}
 	if stats.Engine.Points != s.Len() || stats.Engine.Scale != s.Scale() {
 		t.Errorf("statsz engine = %+v", stats.Engine)
@@ -396,14 +407,14 @@ func TestSnapshotEndpointDurable(t *testing.T) {
 	}
 
 	var stats struct {
-		Endpoints map[string]map[string]int64 `json:"endpoints"`
-		Engine    map[string]any              `json:"engine"`
+		Endpoints map[string]map[string]float64 `json:"endpoints"`
+		Engine    map[string]any                `json:"engine"`
 	}
 	if status := call(t, "GET", ts.URL+"/statsz", nil, &stats); status != http.StatusOK {
 		t.Fatalf("statsz status %d", status)
 	}
 	if got := stats.Endpoints["/v1/admin/snapshot"]["requests"]; got != 1 {
-		t.Errorf("statsz counted %d snapshot requests, want 1", got)
+		t.Errorf("statsz counted %v snapshot requests, want 1", got)
 	}
 	if gen, ok := stats.Engine["generation"].(float64); !ok || gen != 2 {
 		t.Errorf("statsz engine generation = %v", stats.Engine["generation"])
@@ -491,5 +502,143 @@ func TestShardedEngineEndToEnd(t *testing.T) {
 	}
 	if totalQ == 0 {
 		t.Error("statsz reports zero shard queries after serving traffic")
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics on a server sharing its registry
+// with the engine: the exposition must carry both the HTTP latency
+// histograms and the engine's pruning counters, and every line must be
+// well-formed Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	pts := indextest.RandPoints(150, 3, 21)
+	reg := telemetry.NewRegistry()
+	s, err := repro.New(pts, repro.WithScale(100), repro.WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(s, WithRegistry(reg)).Handler())
+	t.Cleanup(ts.Close)
+
+	var withStats struct {
+		Stats *repro.Stats `json:"stats"`
+	}
+	call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"id": 3, "k": 5, "stats": true}, &withStats)
+	if withStats.Stats == nil {
+		t.Fatal("no stats in response")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, telemetry.ContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	// Line-by-line shape check: every non-comment line is name{labels} value.
+	sampleLine := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed exposition line %d: %q", i+1, line)
+		}
+	}
+
+	for _, want := range []string{
+		`rknn_queries_total{backend="covertree",op="rknn"} 1`,
+		fmt.Sprintf(`rknn_candidates_excluded_total{backend="covertree"} %d`, withStats.Stats.Excluded),
+		fmt.Sprintf(`rknn_candidates_lazy_settled_total{backend="covertree"} %d`,
+			withStats.Stats.LazyAccepts+withStats.Stats.LazyRejects),
+		`rknn_http_requests_total{route="/v1/rknn"} 1`,
+		`rknn_http_request_duration_seconds_bucket{route="/v1/rknn",le="+Inf"} 1`,
+		"rknn_points 150",
+		"# TYPE rknn_http_request_duration_seconds histogram",
+		"# TYPE rknn_pruning_ratio gauge",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", text)
+	}
+}
+
+// TestRequestBodyLimit: a body past the decoder bound gets a 413 with a
+// JSON error instead of being buffered.
+func TestRequestBodyLimit(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	huge := append([]byte(`{"k":5,"point":[`), bytes.Repeat([]byte("0.1,"), 1<<19)...)
+	huge = append(huge, []byte("0.1]}")...)
+	resp, err := http.Post(ts.URL+"/v1/rknn", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	var errResp map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&errResp); err != nil {
+		t.Fatalf("413 body is not JSON: %v", err)
+	}
+	if errResp["error"] == "" {
+		t.Error("413 response carries no error message")
+	}
+}
+
+// TestSlowlogEndpoint: with a zero threshold every request is retained,
+// newest first, with its route, latency and (for failures) error.
+func TestSlowlogEndpoint(t *testing.T) {
+	pts := indextest.RandPoints(120, 2, 5)
+	s, err := repro.New(pts, repro.WithScale(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(s, WithSlowLog(0, 4)).Handler())
+	t.Cleanup(ts.Close)
+
+	call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"id": 1, "k": 3}, nil)
+	call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"k": 3}, nil) // error entry
+
+	var slowlog struct {
+		ThresholdUS int64 `json:"threshold_us"`
+		Capacity    int   `json:"capacity"`
+		Total       int64 `json:"total"`
+		Entries     []struct {
+			Route      string `json:"route"`
+			Detail     string `json:"detail"`
+			DurationUS int64  `json:"duration_us"`
+			Error      string `json:"error"`
+		} `json:"entries"`
+	}
+	if status := call(t, "GET", ts.URL+"/v1/admin/slowlog", nil, &slowlog); status != http.StatusOK {
+		t.Fatalf("slowlog status %d", status)
+	}
+	if slowlog.Capacity != 4 || slowlog.ThresholdUS != 0 {
+		t.Errorf("slowlog config = %+v", slowlog)
+	}
+	if slowlog.Total != 2 || len(slowlog.Entries) != 2 {
+		t.Fatalf("slowlog recorded %d/%d entries, want 2", slowlog.Total, len(slowlog.Entries))
+	}
+	// Newest first: the failing request came last.
+	if slowlog.Entries[0].Error == "" || slowlog.Entries[1].Error != "" {
+		t.Errorf("slowlog order/errors wrong: %+v", slowlog.Entries)
+	}
+	for _, e := range slowlog.Entries {
+		if e.Route != "/v1/rknn" || e.Detail != "POST /v1/rknn" {
+			t.Errorf("slowlog entry = %+v", e)
+		}
 	}
 }

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+)
+
+// counterStripe pads one atomic to a cache line so that concurrent writers
+// on different stripes never share a line (false sharing would serialize
+// exactly the hot path the striping exists to spread out).
+type counterStripe struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing counter, sharded across
+// cache-line-padded stripes: Add picks a stripe with a cheap per-thread
+// random draw, so concurrent increments from many goroutines land on
+// different cache lines instead of contending on one. Value sums the
+// stripes. Reads are not atomic with respect to concurrent Adds (Value may
+// miss an in-flight increment), but every increment lands in exactly one
+// stripe, so no update is ever lost — the guarantee the race tests pin.
+type Counter struct {
+	stripes []counterStripe
+}
+
+// maxStripes bounds the memory of one counter; past 64 cores the stripe
+// collision probability is already low.
+const maxStripes = 64
+
+func newCounter() *Counter {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < maxStripes {
+		n <<= 1
+	}
+	return &Counter{stripes: make([]counterStripe, n)}
+}
+
+// Add increments the counter. Negative deltas panic: counters are
+// monotonic, and a silent decrement would break every rate() over the
+// exposition.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("telemetry: counter decremented")
+	}
+	i := 0
+	if len(c.stripes) > 1 {
+		// rand/v2's global functions draw from per-thread runtime state —
+		// no lock, a few nanoseconds — which is all the stripe pick needs.
+		i = int(rand.Uint32()) & (len(c.stripes) - 1)
+	}
+	c.stripes[i].n.Add(delta)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].n.Load()
+	}
+	return total
+}

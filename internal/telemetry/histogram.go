@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets with ascending upper
+// bounds plus an implicit +Inf overflow bucket, and accumulates the sum of
+// observed values. Observe is lock-free: one atomic increment on the bucket
+// and one CAS loop on the sum. Snapshots taken during concurrent observes
+// are not a single atomic cut (an observation may appear in the count
+// before the sum, or vice versa), but every observation increments exactly
+// one bucket exactly once, so totals are never lost — monitoring-grade
+// consistency, pinned by the race tests.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sumBits atomic.Uint64   // float64 bits of the observation sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped: they would
+// poison the sum while landing in the overflow bucket, skewing quantiles.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: cumulative "le" semantics
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile of the current distribution; see
+// HistSnapshot.Quantile. Callers reading several quantiles of one moment
+// should take one Snapshot and query that, so all values describe the same
+// distribution.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// Snapshot captures the current distribution.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.Sum()
+	return s
+}
+
+// HistSnapshot is a histogram captured at scrape time.
+type HistSnapshot struct {
+	// Bounds holds the finite bucket upper bounds, ascending.
+	Bounds []float64
+	// Counts holds per-bucket (non-cumulative) observation counts;
+	// Counts[len(Bounds)] is the +Inf overflow bucket.
+	Counts []uint64
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the sum of all observed values.
+	Sum float64
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket the rank falls into — the same estimate Prometheus's
+// histogram_quantile computes from the exposition. Observations in the
+// overflow bucket are attributed to the highest finite bound (quantiles
+// cannot resolve beyond the bucket layout). Returns 0 for an empty
+// histogram.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := q * float64(s.Count)
+	var cum float64
+	lower := 0.0
+	for i, c := range s.Counts {
+		if i >= len(s.Bounds) {
+			// Overflow bucket: the layout's resolution ends here.
+			return lower
+		}
+		upper := s.Bounds[i]
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			frac := (rank - cum) / float64(c)
+			return lower + (upper-lower)*frac
+		}
+		cum = next
+		lower = upper
+	}
+	return lower
+}
+
+// ExponentialBuckets returns n log-spaced bucket upper bounds starting at
+// start and growing by factor — the fixed layout behind every latency
+// histogram in this repository.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if !(start > 0) || !(factor > 1) || n < 1 {
+		panic("telemetry: ExponentialBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefaultLatencyBuckets spans 10µs to ~21s in doubling steps (22 buckets)
+// — wide enough for both sub-millisecond point reads and multi-second
+// batch queries on one fixed layout.
+var DefaultLatencyBuckets = ExponentialBuckets(10e-6, 2, 22)

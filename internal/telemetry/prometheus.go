@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the hand-rolled Prometheus text exposition encoder
+// (text/plain; version=0.0.4): # HELP and # TYPE comments per family, one
+// sample line per series, and the cumulative _bucket/_sum/_count triplet
+// for histograms. No dependency on any client library — the format is
+// simple enough to emit (and test) directly.
+
+// ContentType is the Content-Type of the exposition format this package
+// writes.
+const ContentType = "text/plain; version=0.0.4"
+
+// WritePrometheus writes every registered family to w in the Prometheus
+// text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.Gather() {
+		writeFamily(&b, f)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeFamily(b *strings.Builder, f FamilySnapshot) {
+	if f.Help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.Help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(f.Name)
+	b.WriteByte(' ')
+	b.WriteString(f.Kind.String())
+	b.WriteByte('\n')
+	for _, s := range f.Samples {
+		if f.Kind == KindHistogram {
+			writeHistogramSample(b, f.Name, s)
+			continue
+		}
+		writeSampleLine(b, f.Name, s.Labels, nil, s.Value)
+	}
+}
+
+// writeHistogramSample emits the cumulative bucket series, then _sum and
+// _count, as the format requires.
+func writeHistogramSample(b *strings.Builder, name string, s Sample) {
+	h := s.Hist
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatValue(h.Bounds[i])
+		}
+		writeSampleLine(b, name+"_bucket", s.Labels, &Label{Name: "le", Value: le}, float64(cum))
+	}
+	writeSampleLine(b, name+"_sum", s.Labels, nil, h.Sum)
+	writeSampleLine(b, name+"_count", s.Labels, nil, float64(h.Count))
+}
+
+// writeSampleLine emits one `name{labels} value` line; extra is appended
+// after the series labels (the histogram "le" label).
+func writeSampleLine(b *strings.Builder, name string, labels []Label, extra *Label, value float64) {
+	b.WriteString(name)
+	wrote := false
+	for _, l := range labels {
+		if l.Value == "" {
+			continue // an empty label value is equivalent to the label being absent
+		}
+		if !wrote {
+			b.WriteByte('{')
+			wrote = true
+		} else {
+			b.WriteByte(',')
+		}
+		writeLabel(b, l)
+	}
+	if extra != nil {
+		if !wrote {
+			b.WriteByte('{')
+			wrote = true
+		} else {
+			b.WriteByte(',')
+		}
+		writeLabel(b, *extra)
+	}
+	if wrote {
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(value))
+	b.WriteByte('\n')
+}
+
+func writeLabel(b *strings.Builder, l Label) {
+	b.WriteString(l.Name)
+	b.WriteString(`="`)
+	b.WriteString(escapeLabelValue(l.Value))
+	b.WriteByte('"')
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation. FormatFloat already spells infinities as
+// +Inf/-Inf, the exposition's spelling.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+func escapeHelp(s string) string       { return helpEscaper.Replace(s) }
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }

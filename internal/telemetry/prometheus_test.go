@@ -1,0 +1,283 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parsePrometheus validates one exposition document line by line — the
+// sanity the scrape smoke in CI and the conformance tests rely on — and
+// returns sample values keyed by "name{label=value,...}".
+func parsePrometheus(t testing.TB, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || fields[2] == "" {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					t.Fatalf("line %d: unknown TYPE %q", ln+1, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		name, rest := line, ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		} else {
+			t.Fatalf("line %d: no value on %q", ln+1, line)
+		}
+		labels := ""
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, `} `)
+			if end < 0 {
+				t.Fatalf("line %d: unterminated label set %q", ln+1, line)
+			}
+			labels = rest[1:end]
+			for _, pair := range splitLabelPairs(labels) {
+				eq := strings.Index(pair, `="`)
+				if eq <= 0 || !strings.HasSuffix(pair, `"`) {
+					t.Fatalf("line %d: malformed label pair %q", ln+1, pair)
+				}
+				val := pair[eq+2 : len(pair)-1]
+				if strings.ContainsAny(val, "\n") || hasUnescapedQuote(val) {
+					t.Fatalf("line %d: unescaped label value %q", ln+1, val)
+				}
+			}
+			rest = rest[end+1:]
+		}
+		valStr := strings.TrimSpace(rest)
+		var v float64
+		switch valStr {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		default:
+			var err error
+			v, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && typed[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("line %d: sample %q has no TYPE comment", ln+1, name)
+		}
+		key := name
+		if labels != "" {
+			key = name + "{" + labels + "}"
+		}
+		samples[key] = v
+	}
+	return samples
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quoted values.
+func splitLabelPairs(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\':
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteRune(r)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func hasUnescapedQuote(s string) bool {
+	escaped := false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\':
+			escaped = true
+		case r == '"':
+			return true
+		}
+	}
+	return false
+}
+
+func scrape(t testing.TB, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestWritePrometheusCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("rknn_queries_total", "Queries served.", "op").With("rknn").Add(3)
+	r.Gauge("rknn_points", "Live points.").Set(1500)
+	text := scrape(t, r)
+	samples := parsePrometheus(t, text)
+	if got := samples[`rknn_queries_total{op="rknn"}`]; got != 3 {
+		t.Fatalf("counter sample = %v, want 3\n%s", got, text)
+	}
+	if got := samples["rknn_points"]; got != 1500 {
+		t.Fatalf("gauge sample = %v, want 1500\n%s", got, text)
+	}
+	for _, want := range []string{
+		"# HELP rknn_queries_total Queries served.",
+		"# TYPE rknn_queries_total counter",
+		"# TYPE rknn_points gauge",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("lat_seconds", "Latency.", []float64{0.1, 1}, "route")
+	h.With("/x").Observe(0.05)
+	h.With("/x").Observe(0.5)
+	h.With("/x").Observe(5)
+	text := scrape(t, r)
+	samples := parsePrometheus(t, text)
+	checks := map[string]float64{
+		`lat_seconds_bucket{route="/x",le="0.1"}`:  1,
+		`lat_seconds_bucket{route="/x",le="1"}`:    2,
+		`lat_seconds_bucket{route="/x",le="+Inf"}`: 3,
+		`lat_seconds_count{route="/x"}`:            3,
+	}
+	for key, want := range checks {
+		if got := samples[key]; got != want {
+			t.Fatalf("%s = %v, want %v\n%s", key, got, want, text)
+		}
+	}
+	sum := samples[`lat_seconds_sum{route="/x"}`]
+	if sum < 5.54 || sum > 5.56 {
+		t.Fatalf("sum = %v, want 5.55", sum)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("m_total", "help with \\ and \n newline", "lab").With("quo\"te\\back\nnl").Inc()
+	text := scrape(t, r)
+	parsePrometheus(t, text)
+	if !strings.Contains(text, `lab="quo\"te\\back\nnl"`) {
+		t.Fatalf("label value not escaped:\n%s", text)
+	}
+	if !strings.Contains(text, `# HELP m_total help with \\ and \n newline`) {
+		t.Fatalf("help not escaped:\n%s", text)
+	}
+}
+
+func TestWritePrometheusEmptyLabelOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("m_total", "", "shard").With("").Inc()
+	text := scrape(t, r)
+	parsePrometheus(t, text)
+	if !strings.Contains(text, "m_total 1\n") {
+		t.Fatalf("empty label value should render as unlabeled sample:\n%s", text)
+	}
+}
+
+// FuzzPrometheusText drives adversarial label values, help strings, and
+// observations through the encoder and asserts the output always parses —
+// the encoder can never emit an exposition a scraper would reject.
+func FuzzPrometheusText(f *testing.F) {
+	f.Add("route", `a"b\c`+"\nd", 0.5, int64(3))
+	f.Add("op", "", -1.5, int64(0))
+	f.Add("x", "plain", 1e300, int64(7))
+	f.Fuzz(func(t *testing.T, labelName, labelValue string, obs float64, add int64) {
+		if !validLabelName(labelName) {
+			t.Skip()
+		}
+		if add < 0 {
+			add = -add
+		}
+		if add > 1<<40 {
+			add = 1 << 40
+		}
+		r := NewRegistry()
+		r.CounterVec("fuzz_total", labelValue, labelName).With(labelValue).Add(add)
+		g := r.GaugeVec("fuzz_gauge", "g", labelName).With(labelValue)
+		g.Set(obs)
+		r.HistogramVec("fuzz_seconds", "h", DefaultLatencyBuckets, labelName).With(labelValue).Observe(obs)
+		text := scrape(t, r)
+		samples := parsePrometheus(t, text)
+		key := "fuzz_total"
+		if labelValue != "" {
+			key = fmt.Sprintf(`fuzz_total{%s="%s"}`, labelName, escapeLabelValue(labelValue))
+		}
+		if got := samples[key]; got != float64(add) {
+			t.Fatalf("counter sample %q = %v, want %d\n%s", key, got, add, text)
+		}
+	})
+}
+
+// validLabelName mirrors the Prometheus label-name charset
+// [a-zA-Z_][a-zA-Z0-9_]*; the encoder trusts callers on names (they are
+// compile-time constants everywhere in this repo), so the fuzzer only
+// feeds valid ones.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func TestSlowEntryFieldsRoundTrip(t *testing.T) {
+	l := NewSlowLog(0, 4)
+	now := time.Now()
+	l.Observe(SlowEntry{Time: now, Route: "/v1/rknn", Detail: "POST /v1/rknn", Duration: 42 * time.Millisecond, Err: "boom"})
+	got := l.Snapshot()[0]
+	if got.Route != "/v1/rknn" || got.Detail != "POST /v1/rknn" || got.Err != "boom" || got.Duration != 42*time.Millisecond || !got.Time.Equal(now) {
+		t.Fatalf("entry round-trip mismatch: %+v", got)
+	}
+}

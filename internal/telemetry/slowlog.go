@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"slices"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one record of the slow-query log.
+type SlowEntry struct {
+	// Time is when the request began.
+	Time time.Time
+	// Route is the stats route of the endpoint that served it.
+	Route string
+	// Detail describes the request (method and path, or a query summary).
+	Detail string
+	// Duration is the handler latency.
+	Duration time.Duration
+	// Err is the handler error, empty on success.
+	Err string
+}
+
+// SlowLog is a bounded ring buffer of the slowest recent requests: an
+// Observe whose duration is at or above the threshold overwrites the
+// oldest retained entry once the buffer is full. Memory is fixed at
+// capacity entries forever, so it can sit on every request path of a
+// long-lived daemon. Safe for concurrent use; Observe takes a mutex, which
+// is fine because entries past the threshold are rare by construction.
+type SlowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	ring      []SlowEntry
+	next      int    // ring index the next entry lands on
+	total     uint64 // entries ever recorded, including overwritten ones
+}
+
+// NewSlowLog returns a SlowLog retaining up to capacity entries at or
+// above threshold. A zero threshold records everything (useful in tests
+// and for short diagnostic sessions); capacity < 1 is clamped to 1.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowEntry, 0, capacity)}
+}
+
+// Threshold returns the recording threshold.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Cap returns the maximum number of retained entries.
+func (l *SlowLog) Cap() int { return cap(l.ring) }
+
+// Observe records e when its duration reaches the threshold, reporting
+// whether it was recorded.
+func (l *SlowLog) Observe(e SlowEntry) bool {
+	if e.Duration < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+	}
+	l.next = (l.next + 1) % cap(l.ring)
+	l.total++
+	return true
+}
+
+// Total returns how many entries were ever recorded, including ones the
+// ring has since overwritten.
+func (l *SlowLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained entries, newest first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.ring))
+	// Entries are ordered oldest→newest starting at next when full, at 0
+	// while filling; walk backwards from the most recent.
+	for i := 0; i < len(l.ring); i++ {
+		idx := l.next - 1 - i
+		for idx < 0 {
+			idx += len(l.ring)
+		}
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
+
+// Reset drops all retained entries (the recorded total is kept).
+func (l *SlowLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring = slices.Delete(l.ring, 0, len(l.ring))
+	l.next = 0
+}

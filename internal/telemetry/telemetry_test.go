@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value() = %d, want 42", got)
+	}
+	if again := r.Counter("c_total", "help"); again != c {
+		t.Fatal("re-registration did not return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestCounterNoLostIncrementsUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	const goroutines, per = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("Value() = %d, want %d (lost increments)", got, goroutines*per)
+	}
+}
+
+func TestCounterVecSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "", "route")
+	v.With("/a").Add(3)
+	v.With("/b").Add(5)
+	if v.With("/a").Value() != 3 || v.With("/b").Value() != 5 {
+		t.Fatal("label values do not partition the counter")
+	}
+	if v.With("/a") != v.With("/a") {
+		t.Fatal("With is not memoized")
+	}
+}
+
+func TestConflictingRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	for name, reg := range map[string]func(){
+		"kind":   func() { r.Gauge("m", "") },
+		"labels": func() { r.CounterVec("m", "", "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s conflict did not panic", name)
+				}
+			}()
+			reg()
+		}()
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value() = %v, want 1.5", got)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 7.0
+	r.GaugeFunc("points", "", func() float64 { return n }, Label{Name: "shard", Value: "0"})
+	fams := r.Gather()
+	if len(fams) != 1 || len(fams[0].Samples) != 1 {
+		t.Fatalf("Gather() = %+v, want one family with one sample", fams)
+	}
+	if got := fams[0].Samples[0].Value; got != 7 {
+		t.Fatalf("gauge func sample = %v, want 7", got)
+	}
+	// Last registration wins.
+	r.GaugeFunc("points", "", func() float64 { return 9 }, Label{Name: "shard", Value: "0"})
+	if got := r.Gather()[0].Samples[0].Value; got != 9 {
+		t.Fatalf("replaced gauge func sample = %v, want 9", got)
+	}
+}
+
+func TestHistogramCountsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("Count() = %d, want 7", got)
+	}
+	if got := h.Sum(); math.Abs(got-112.5) > 1e-9 {
+		t.Fatalf("Sum() = %v, want 112.5", got)
+	}
+	// Ranks: bucket le=1 has 1, le=2 has 2, le=4 has 3, le=8 has 0, +Inf 1.
+	if q := h.Quantile(0.5); q < 1 || q > 4 {
+		t.Fatalf("p50 = %v, want within (1,4]", q)
+	}
+	// The overflow observation resolves to the highest finite bound.
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %v, want 8 (highest finite bound)", q)
+	}
+	if q := (&HistSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	h.Observe(math.NaN()) // dropped
+	if got := h.Count(); got != 7 {
+		t.Fatalf("Count() after NaN = %d, want 7", got)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := newHistogram(ExponentialBuckets(1e-5, 2, 22))
+	for i := 0; i < 500; i++ {
+		h.Observe(1e-5 * math.Pow(1.07, float64(i%200)))
+	}
+	s := h.Snapshot()
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < Quantile at lower q %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramConcurrentObserveKeepsTotals(t *testing.T) {
+	h := newHistogram(DefaultLatencyBuckets)
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g+1) * 1e-4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count() = %d, want %d (lost observations)", got, goroutines*per)
+	}
+	want := 0.0
+	for g := 0; g < goroutines; g++ {
+		want += float64(g+1) * 1e-4 * per
+	}
+	if got := h.Sum(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Sum() = %v, want %v", got, want)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestSlowLogThresholdAndRing(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 3)
+	if l.Observe(SlowEntry{Route: "/fast", Duration: 5 * time.Millisecond}) {
+		t.Fatal("entry below threshold was recorded")
+	}
+	for i := 0; i < 5; i++ {
+		if !l.Observe(SlowEntry{Route: fmt.Sprintf("/slow-%d", i), Duration: time.Duration(20+i) * time.Millisecond}) {
+			t.Fatalf("entry %d at threshold was not recorded", i)
+		}
+	}
+	if got := l.Total(); got != 5 {
+		t.Fatalf("Total() = %d, want 5", got)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot() kept %d entries, want capacity 3", len(snap))
+	}
+	// Newest first: 4, 3, 2 survive the ring.
+	for i, want := range []string{"/slow-4", "/slow-3", "/slow-2"} {
+		if snap[i].Route != want {
+			t.Fatalf("Snapshot()[%d].Route = %q, want %q", i, snap[i].Route, want)
+		}
+	}
+	l.Reset()
+	if len(l.Snapshot()) != 0 {
+		t.Fatal("Reset did not clear the ring")
+	}
+	if l.Total() != 5 {
+		t.Fatal("Reset cleared the total")
+	}
+}
+
+func TestSlowLogZeroThresholdRecordsAll(t *testing.T) {
+	l := NewSlowLog(0, 2)
+	if !l.Observe(SlowEntry{Duration: 0}) {
+		t.Fatal("zero-threshold log rejected a zero-duration entry")
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(0, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Observe(SlowEntry{Duration: time.Millisecond})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Total(); got != 4000 {
+		t.Fatalf("Total() = %d, want 4000", got)
+	}
+	if got := len(l.Snapshot()); got != 8 {
+		t.Fatalf("Snapshot() kept %d, want 8", got)
+	}
+}
+
+func TestGatherOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "")
+	r.Gauge("b", "")
+	r.Histogram("c_seconds", "", []float64{1})
+	fams := r.Gather()
+	var names []string
+	for _, f := range fams {
+		names = append(names, f.Name)
+	}
+	want := []string{"a_total", "b", "c_seconds"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Gather order = %v, want %v", names, want)
+		}
+	}
+}

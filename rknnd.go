@@ -32,11 +32,13 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/index"
 	"repro/internal/lid"
+	"repro/internal/telemetry"
 	"repro/internal/vecmath"
 )
 
@@ -126,6 +128,7 @@ type config struct {
 	plain    bool // disable the RDT+ candidate reduction
 	margin   float64
 	adaptive bool
+	reg      *telemetry.Registry // nil: telemetry disabled
 }
 
 // WithMetric selects the distance (default Euclidean).
@@ -177,6 +180,11 @@ type Searcher struct {
 
 	snap atomic.Pointer[snapshot]
 	mu   sync.Mutex // serializes Insert/Delete (writers clone, then swap)
+
+	// tel aggregates per-query work counters when telemetry is enabled
+	// (WithTelemetry / EnableTelemetry); nil when disabled. Published
+	// atomically so it can be attached while queries are in flight.
+	tel atomic.Pointer[engineTelemetry]
 }
 
 // snapshot is one immutable generation of the index, together with its
@@ -238,6 +246,9 @@ func New(points [][]float64, opts ...Option) (*Searcher, error) {
 		}
 		s := &Searcher{adaptive: true, margin: cfg.margin, plus: !cfg.plain, backend: cfg.backend}
 		s.snap.Store(&snapshot{ix: ix})
+		if cfg.reg != nil {
+			s.EnableTelemetry(cfg.reg)
+		}
 		return s, nil
 	}
 	scale := cfg.scale
@@ -256,6 +267,9 @@ func New(points [][]float64, opts ...Option) (*Searcher, error) {
 	}
 	s := &Searcher{scale: scale, plus: !cfg.plain, backend: cfg.backend}
 	s.snap.Store(&snapshot{ix: ix})
+	if cfg.reg != nil {
+		s.EnableTelemetry(cfg.reg)
+	}
 	return s, nil
 }
 
@@ -295,25 +309,25 @@ func (s *Searcher) Dim() int { return s.snap.Load().ix.Dim() }
 // among their k nearest neighbors, sorted ascending. The member itself is
 // excluded.
 func (s *Searcher) ReverseKNN(qid, k int) ([]int, error) {
-	ids, _, err := s.query(k, func(qr *core.Querier) (*core.Result, error) { return qr.ByID(qid) })
+	ids, _, err := s.query(k, opRkNN, func(qr *core.Querier) (*core.Result, error) { return qr.ByID(qid) })
 	return ids, err
 }
 
 // ReverseKNNPoint answers the query for an arbitrary point, which need not
 // be a dataset member.
 func (s *Searcher) ReverseKNNPoint(q []float64, k int) ([]int, error) {
-	ids, _, err := s.query(k, func(qr *core.Querier) (*core.Result, error) { return qr.ByPoint(q) })
+	ids, _, err := s.query(k, opRkNNPoint, func(qr *core.Querier) (*core.Result, error) { return qr.ByPoint(q) })
 	return ids, err
 }
 
 // ReverseKNNStats is ReverseKNN with the per-query work counters.
 func (s *Searcher) ReverseKNNStats(qid, k int) ([]int, Stats, error) {
-	return s.query(k, func(qr *core.Querier) (*core.Result, error) { return qr.ByID(qid) })
+	return s.query(k, opRkNN, func(qr *core.Querier) (*core.Result, error) { return qr.ByID(qid) })
 }
 
 // ReverseKNNPointStats is ReverseKNNPoint with the per-query work counters.
 func (s *Searcher) ReverseKNNPointStats(q []float64, k int) ([]int, Stats, error) {
-	return s.query(k, func(qr *core.Querier) (*core.Result, error) { return qr.ByPoint(q) })
+	return s.query(k, opRkNNPoint, func(qr *core.Querier) (*core.Result, error) { return qr.ByPoint(q) })
 }
 
 // querier returns the per-rank query engine of the current snapshot:
@@ -322,7 +336,12 @@ func (s *Searcher) querier(k int) (*core.Querier, error) {
 	return s.snap.Load().querier(s, k)
 }
 
-func (s *Searcher) query(k int, run func(*core.Querier) (*core.Result, error)) ([]int, Stats, error) {
+func (s *Searcher) query(k int, op string, run func(*core.Querier) (*core.Result, error)) ([]int, Stats, error) {
+	tel := s.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
 	qr, err := s.querier(k)
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("rknnd: %w", err)
@@ -331,17 +350,12 @@ func (s *Searcher) query(k int, run func(*core.Querier) (*core.Result, error)) (
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("rknnd: %w", err)
 	}
-	st := res.Stats
-	return res.IDs, Stats{
-		ScanDepth:     st.ScanDepth,
-		FilterSize:    st.FilterSize,
-		Excluded:      st.Excluded,
-		LazyAccepts:   st.LazyAccepts,
-		LazyRejects:   st.LazyRejects,
-		Verified:      st.Verified,
-		DistanceComps: st.DistanceComps,
-		Omega:         st.Omega,
-	}, nil
+	st := fromCore(res.Stats)
+	if tel != nil {
+		tel.observeOp(op, 1, time.Since(begin))
+		tel.observeStats(st)
+	}
+	return res.IDs, st, nil
 }
 
 // BatchReverseKNN answers many member queries concurrently on a worker pool
@@ -357,6 +371,11 @@ func (s *Searcher) BatchReverseKNN(qids []int, k, workers int) ([][]int, error) 
 // snapshot current at the call, so results are mutually consistent even
 // while Insert/Delete run concurrently.
 func (s *Searcher) BatchReverseKNNContext(ctx context.Context, qids []int, k, workers int) ([][]int, error) {
+	tel := s.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
 	qr, err := s.querier(k)
 	if err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
@@ -372,6 +391,14 @@ func (s *Searcher) BatchReverseKNNContext(ctx context.Context, qids []int, k, wo
 		}
 		out[i] = br.Result.IDs
 	}
+	if tel != nil {
+		// One latency observation per batch call; member queries count
+		// individually in rknn_queries_total and the candidate aggregates.
+		tel.observeOp(opBatch, len(batch), time.Since(begin))
+		for _, br := range batch {
+			tel.observeStats(fromCore(br.Result.Stats))
+		}
+	}
 	return out, nil
 }
 
@@ -380,6 +407,11 @@ func (s *Searcher) BatchReverseKNNContext(ctx context.Context, qids []int, k, wo
 // similarity query, exposed because reverse-neighbor applications almost
 // always need it too.
 func (s *Searcher) KNN(q []float64, k int) ([]Neighbor, error) {
+	tel := s.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
 	ix := s.snap.Load().ix
 	if err := vecmath.Validate(q); err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
@@ -391,6 +423,9 @@ func (s *Searcher) KNN(q []float64, k int) ([]Neighbor, error) {
 	out := make([]Neighbor, len(nn))
 	for i, nb := range nn {
 		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
+	}
+	if tel != nil {
+		tel.observeOp(opKNN, 1, time.Since(begin))
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -75,6 +76,12 @@ type ShardedSearcher struct {
 	slots []*shardSlot
 	smap  atomic.Pointer[index.ShardMap]
 	mu    sync.Mutex // serializes Insert/Delete across the map and all shards
+
+	// tel/shardTel aggregate engine-level and per-shard query metrics when
+	// telemetry is enabled (WithTelemetry / EnableTelemetry); nil when
+	// disabled. Published atomically, like every read-path structure here.
+	tel      atomic.Pointer[engineTelemetry]
+	shardTel atomic.Pointer[[]*shardTelemetry]
 
 	// Mutation hooks, called under mu. The durable wrapper overrides them
 	// to route every applied mutation through a shard's write-ahead log.
@@ -178,6 +185,9 @@ func NewSharded(points [][]float64, shards int, opts ...Option) (*ShardedSearche
 	ss.insertShard = ss.plainInsert
 	ss.createShard = ss.plainCreate
 	ss.deleteShard = ss.plainDelete
+	if cfg.reg != nil {
+		ss.EnableTelemetry(cfg.reg)
+	}
 	return ss, nil
 }
 
@@ -298,7 +308,7 @@ func (ss *ShardedSearcher) pin() ([]shardView, *index.ShardMap) {
 // itself is excluded.
 func (ss *ShardedSearcher) ReverseKNN(qid, k int) ([]int, error) {
 	views, m := ss.pin()
-	ids, _, err := ss.reverseKNN(context.Background(), views, m, qid, nil, k)
+	ids, _, err := ss.reverseKNN(context.Background(), views, m, qid, nil, k, opRkNN)
 	return ids, err
 }
 
@@ -306,27 +316,34 @@ func (ss *ShardedSearcher) ReverseKNN(qid, k int) ([]int, error) {
 // (summed across shards; Omega is the tightest shard bound).
 func (ss *ShardedSearcher) ReverseKNNStats(qid, k int) ([]int, Stats, error) {
 	views, m := ss.pin()
-	return ss.reverseKNN(context.Background(), views, m, qid, nil, k)
+	return ss.reverseKNN(context.Background(), views, m, qid, nil, k, opRkNN)
 }
 
 // ReverseKNNPoint answers the query for an arbitrary point, which need not
 // be a dataset member.
 func (ss *ShardedSearcher) ReverseKNNPoint(q []float64, k int) ([]int, error) {
 	views, m := ss.pin()
-	ids, _, err := ss.reverseKNN(context.Background(), views, m, -1, q, k)
+	ids, _, err := ss.reverseKNN(context.Background(), views, m, -1, q, k, opRkNNPoint)
 	return ids, err
 }
 
 // ReverseKNNPointStats is ReverseKNNPoint with the aggregated counters.
 func (ss *ShardedSearcher) ReverseKNNPointStats(q []float64, k int) ([]int, Stats, error) {
 	views, m := ss.pin()
-	return ss.reverseKNN(context.Background(), views, m, -1, q, k)
+	return ss.reverseKNN(context.Background(), views, m, -1, q, k, opRkNNPoint)
 }
 
 // reverseKNN is the scatter-gather RkNN query over a pinned read set.
 // qid >= 0 anchors the query at a member (q is then looked up); qid < 0
-// queries the arbitrary point q.
-func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m *index.ShardMap, qid int, q []float64, k int) ([]int, Stats, error) {
+// queries the arbitrary point q. op labels the query in the engine
+// telemetry (batch members record per query here, unlike the unsharded
+// batch, whose pool hides per-member timing).
+func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m *index.ShardMap, qid int, q []float64, k int, op string) ([]int, Stats, error) {
+	tel := ss.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("rknnd: core: K must be positive, got %d", k)
 	}
@@ -405,6 +422,26 @@ func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m 
 	if err != nil {
 		return nil, Stats{}, wrapShardErr(err)
 	}
+	if p := ss.shardTel.Load(); p != nil {
+		sts := *p
+		for i, r := range results {
+			sts[views[i].shard].observe(r.stats)
+		}
+	}
+	// finish records the answered query in the engine telemetry on every
+	// successful return path (single-shard fast path and merged). Batch
+	// members count individually but leave the latency histogram to the
+	// batch call itself, matching the unsharded engine's semantics.
+	finish := func(ids []int, st Stats) ([]int, Stats, error) {
+		if tel != nil {
+			tel.countQueries(op, 1)
+			if op != opBatch {
+				tel.observeLatency(op, time.Since(begin))
+			}
+			tel.observeStats(st)
+		}
+		return ids, st, nil
+	}
 
 	stats := Stats{Omega: math.Inf(1)}
 	lists := make([][]int, len(results))
@@ -428,7 +465,7 @@ func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m 
 	// step; skipping it here makes a single-view engine byte-identical to
 	// a Searcher (and avoids one kNN scan per candidate).
 	if len(results) == 1 {
-		return results[0].globals, stats, nil
+		return finish(results[0].globals, stats)
 	}
 	candidates := core.MergeIDs(lists, nil)
 
@@ -450,7 +487,7 @@ func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m 
 			ids = append(ids, g)
 		}
 	}
-	return ids, stats, nil
+	return finish(ids, stats)
 }
 
 // verifyGlobal runs the refinement test d_k(x) >= d(q,x) for candidate x
@@ -507,6 +544,11 @@ func wrapShardErr(err error) error {
 // in ascending (distance, ID) order — the per-shard top-k lists k-way
 // merged.
 func (ss *ShardedSearcher) KNN(q []float64, k int) ([]Neighbor, error) {
+	tel := ss.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
 	if err := vecmath.Validate(q); err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
 	}
@@ -538,6 +580,9 @@ func (ss *ShardedSearcher) KNN(q []float64, k int) ([]Neighbor, error) {
 	for i, nb := range merged {
 		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
 	}
+	if tel != nil {
+		tel.observeOp(opKNN, 1, time.Since(begin))
+	}
 	return out, nil
 }
 
@@ -555,11 +600,16 @@ func (ss *ShardedSearcher) BatchReverseKNN(qids []int, k, workers int) ([][]int,
 // scaffolding is core.ForEach — the same clamps and cancellation contract
 // as the single-engine batch.
 func (ss *ShardedSearcher) BatchReverseKNNContext(ctx context.Context, qids []int, k, workers int) ([][]int, error) {
+	tel := ss.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
 	views, m := ss.pin()
 	out := make([][]int, len(qids))
 	errs := make([]error, len(qids))
 	err := core.ForEach(ctx, len(qids), workers, func(ctx context.Context, i int) error {
-		ids, _, err := ss.reverseKNN(ctx, views, m, qids[i], nil, k)
+		ids, _, err := ss.reverseKNN(ctx, views, m, qids[i], nil, k, opBatch)
 		if err != nil {
 			errs[i] = err
 			return err
@@ -582,6 +632,11 @@ func (ss *ShardedSearcher) BatchReverseKNNContext(ctx context.Context, qids []in
 			}
 		}
 		return nil, fmt.Errorf("rknnd: %w", err) // invalid arguments (negative workers)
+	}
+	if tel != nil {
+		// Members already counted themselves in reverseKNN; the batch call
+		// contributes the single latency observation.
+		tel.observeLatency(opBatch, time.Since(begin))
 	}
 	return out, nil
 }

@@ -1,0 +1,239 @@
+package repro
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// This file is the engine's observability face: an optional binding of a
+// Searcher or ShardedSearcher to an internal/telemetry Registry, feeding
+// every query's core.Stats into aggregate counters. The paper's central
+// claim — dimensional testing settles most candidates without verification
+// — becomes a live time series here: rknn_candidates_*_total track the
+// filter/refinement machinery exactly as Stats reports it per query, and
+// rknn_pruning_ratio exposes the settled fraction as a scrape-time gauge.
+// See DESIGN.md, "Observability".
+//
+// Metric mapping (counter += per-query Stats field, per back-end):
+//
+//	rknn_scan_depth_total                 ScanDepth
+//	rknn_candidates_generated_total       FilterSize + Excluded (= Stats.Candidates)
+//	rknn_candidates_excluded_total        Excluded (RDT+ exclusions)
+//	rknn_candidates_lazy_accepted_total   LazyAccepts (Assertion 2)
+//	rknn_candidates_lazy_settled_total    LazyAccepts + LazyRejects
+//	rknn_candidates_verified_total        Verified (refinement kNN queries)
+//	rknn_distance_comps_total             DistanceComps
+//
+// All instruments are resolved once at registration, so the per-query path
+// is lock-free: counter increments and one histogram observation.
+
+// Query operation labels.
+const (
+	opRkNN      = "rknn"
+	opRkNNPoint = "rknn_point"
+	opBatch     = "batch"
+	opKNN       = "knn"
+)
+
+var queryOps = []string{opRkNN, opRkNNPoint, opBatch, opKNN}
+
+// opInstruments is the per-operation slice of the engine metrics.
+type opInstruments struct {
+	queries *telemetry.Counter
+	latency *telemetry.Histogram
+}
+
+// engineTelemetry aggregates per-query work counters for one engine
+// (labeled by back-end). Nil receivers are inert, so the query path can
+// call through unconditionally after one atomic load.
+type engineTelemetry struct {
+	ops          map[string]opInstruments
+	scanDepth    *telemetry.Counter
+	generated    *telemetry.Counter
+	excluded     *telemetry.Counter
+	lazyAccepted *telemetry.Counter
+	lazySettled  *telemetry.Counter
+	verified     *telemetry.Counter
+	distComps    *telemetry.Counter
+}
+
+func newEngineTelemetry(reg *telemetry.Registry, backend string) *engineTelemetry {
+	queries := reg.CounterVec("rknn_queries_total",
+		"Queries answered successfully, by operation. Batch members count individually.",
+		"backend", "op")
+	latency := reg.HistogramVec("rknn_query_duration_seconds",
+		"Engine-side query latency, by operation. Batch calls observe once per batch.",
+		telemetry.DefaultLatencyBuckets, "backend", "op")
+	t := &engineTelemetry{ops: make(map[string]opInstruments, len(queryOps))}
+	for _, op := range queryOps {
+		t.ops[op] = opInstruments{queries: queries.With(backend, op), latency: latency.With(backend, op)}
+	}
+	t.scanDepth = reg.CounterVec("rknn_scan_depth_total",
+		"Forward neighbors retrieved by the expanding search (Stats.ScanDepth).",
+		"backend").With(backend)
+	t.generated = reg.CounterVec("rknn_candidates_generated_total",
+		"Candidates that entered the witness machinery (Stats.FilterSize + Stats.Excluded).",
+		"backend").With(backend)
+	t.excluded = reg.CounterVec("rknn_candidates_excluded_total",
+		"Candidates RDT+ refused to insert into the filter set (Stats.Excluded).",
+		"backend").With(backend)
+	t.lazyAccepted = reg.CounterVec("rknn_candidates_lazy_accepted_total",
+		"Candidates accepted by Assertion 2 without verification (Stats.LazyAccepts).",
+		"backend").With(backend)
+	t.lazySettled = reg.CounterVec("rknn_candidates_lazy_settled_total",
+		"Candidates settled without a verification kNN query (Stats.LazyAccepts + Stats.LazyRejects).",
+		"backend").With(backend)
+	t.verified = reg.CounterVec("rknn_candidates_verified_total",
+		"Explicit refinement-phase kNN verifications (Stats.Verified).",
+		"backend").With(backend)
+	t.distComps = reg.CounterVec("rknn_distance_comps_total",
+		"Distance computations performed by the witness machinery (Stats.DistanceComps).",
+		"backend").With(backend)
+	generated, verified := t.generated, t.verified
+	reg.GaugeFunc("rknn_pruning_ratio",
+		"Live fraction of candidates settled without verification: 1 - verified/generated.",
+		func() float64 {
+			g := float64(generated.Value())
+			if g == 0 {
+				return 0
+			}
+			r := 1 - float64(verified.Value())/g
+			if r < 0 {
+				return 0 // sharded merge re-verification can exceed the scatter candidates
+			}
+			return r
+		},
+		telemetry.Label{Name: "backend", Value: backend})
+	return t
+}
+
+// observeOp records n answered queries and one latency observation for op.
+func (t *engineTelemetry) observeOp(op string, n int, d time.Duration) {
+	t.countQueries(op, n)
+	t.observeLatency(op, d)
+}
+
+// countQueries records n answered queries for op without a latency
+// observation — the per-member half of batch accounting, whose latency is
+// observed once per batch call so the histogram's semantics match the
+// unsharded engine.
+func (t *engineTelemetry) countQueries(op string, n int) {
+	if t == nil {
+		return
+	}
+	t.ops[op].queries.Add(int64(n))
+}
+
+// observeLatency records one latency observation for op.
+func (t *engineTelemetry) observeLatency(op string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.ops[op].latency.Observe(d.Seconds())
+}
+
+// observeStats feeds one query's work counters into the aggregates.
+func (t *engineTelemetry) observeStats(st Stats) {
+	if t == nil {
+		return
+	}
+	t.scanDepth.Add(int64(st.ScanDepth))
+	t.generated.Add(int64(st.FilterSize + st.Excluded))
+	t.excluded.Add(int64(st.Excluded))
+	t.lazyAccepted.Add(int64(st.LazyAccepts))
+	t.lazySettled.Add(int64(st.LazyAccepts + st.LazyRejects))
+	t.verified.Add(int64(st.Verified))
+	t.distComps.Add(st.DistanceComps)
+}
+
+// shardTelemetry aggregates the scatter-side work of one shard — the
+// paper's pruning counters per partition, so uneven shards show up as
+// uneven series.
+type shardTelemetry struct {
+	scatter     *telemetry.Counter
+	generated   *telemetry.Counter
+	excluded    *telemetry.Counter
+	lazySettled *telemetry.Counter
+	verified    *telemetry.Counter
+}
+
+func newShardTelemetry(reg *telemetry.Registry, shard int, slot *shardSlot) *shardTelemetry {
+	label := strconv.Itoa(shard)
+	st := &shardTelemetry{
+		scatter: reg.CounterVec("rknn_shard_scatter_queries_total",
+			"Scatter-gather visits answered by this shard.", "shard").With(label),
+		generated: reg.CounterVec("rknn_shard_candidates_generated_total",
+			"Candidates generated by this shard's expanding searches.", "shard").With(label),
+		excluded: reg.CounterVec("rknn_shard_candidates_excluded_total",
+			"RDT+ exclusions on this shard.", "shard").With(label),
+		lazySettled: reg.CounterVec("rknn_shard_candidates_lazy_settled_total",
+			"Candidates this shard settled without verification.", "shard").With(label),
+		verified: reg.CounterVec("rknn_shard_candidates_verified_total",
+			"Refinement verifications run inside this shard.", "shard").With(label),
+	}
+	reg.GaugeFunc("rknn_shard_points",
+		"Live points currently held by this shard.",
+		func() float64 {
+			if eng := slot.eng.Load(); eng != nil {
+				return float64(eng.Len())
+			}
+			return 0
+		},
+		telemetry.Label{Name: "shard", Value: label})
+	return st
+}
+
+// observe feeds one scatter visit's core stats into the shard aggregates.
+func (st *shardTelemetry) observe(cs core.Stats) {
+	st.scatter.Inc()
+	st.generated.Add(int64(cs.FilterSize + cs.Excluded))
+	st.excluded.Add(int64(cs.Excluded))
+	st.lazySettled.Add(int64(cs.LazyAccepts + cs.LazyRejects))
+	st.verified.Add(int64(cs.Verified))
+}
+
+// WithTelemetry registers the engine's query metrics in reg and streams
+// every answered query's work counters into it — the per-query Stats the
+// engine already computes, aggregated as live Prometheus series. The same
+// Registry can back several engines (series are labeled by back-end) and
+// the HTTP server (internal/server shares it via server.WithRegistry).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) { c.reg = reg }
+}
+
+// EnableTelemetry binds the Searcher to reg after construction — the hook
+// for engines that do not pass through New, such as recovery paths (Load,
+// Open). Safe to call while queries are in flight; queries started before
+// the call are not recorded.
+func (s *Searcher) EnableTelemetry(reg *telemetry.Registry) {
+	s.tel.Store(newEngineTelemetry(reg, string(s.backend)))
+}
+
+// EnableTelemetry binds the ShardedSearcher to reg: engine-level metrics
+// plus per-shard scatter counters and live shard size gauges. Like the
+// Searcher form, it is safe to call while queries are in flight.
+func (ss *ShardedSearcher) EnableTelemetry(reg *telemetry.Registry) {
+	sts := make([]*shardTelemetry, len(ss.slots))
+	for i := range sts {
+		sts[i] = newShardTelemetry(reg, i, ss.slots[i])
+	}
+	ss.shardTel.Store(&sts)
+	ss.tel.Store(newEngineTelemetry(reg, string(ss.backend)))
+}
+
+// fromCore converts the internal per-query counters to the public Stats.
+func fromCore(st core.Stats) Stats {
+	return Stats{
+		ScanDepth:     st.ScanDepth,
+		FilterSize:    st.FilterSize,
+		Excluded:      st.Excluded,
+		LazyAccepts:   st.LazyAccepts,
+		LazyRejects:   st.LazyRejects,
+		Verified:      st.Verified,
+		DistanceComps: st.DistanceComps,
+		Omega:         st.Omega,
+	}
+}

@@ -1,0 +1,283 @@
+package repro
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/indextest"
+	"repro/internal/telemetry"
+)
+
+// counterValue extracts one sample from a gathered registry by family name
+// and label set.
+func counterValue(t *testing.T, reg *telemetry.Registry, name string, labels ...telemetry.Label) float64 {
+	t.Helper()
+	for _, f := range reg.Gather() {
+		if f.Name != name {
+			continue
+		}
+	samples:
+		for _, s := range f.Samples {
+			for _, want := range labels {
+				found := false
+				for _, l := range s.Labels {
+					if l == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					continue samples
+				}
+			}
+			return s.Value
+		}
+	}
+	t.Fatalf("no sample %s%v in registry", name, labels)
+	return 0
+}
+
+// TestTelemetryCountersMatchQueryStats is the conformance pin of the
+// acceptance criteria: after a known mix of queries, every aggregate
+// pruning counter equals the sum of the per-query ReverseKNNStats the same
+// queries reported, and the Prometheus exposition carries those exact
+// values.
+func TestTelemetryCountersMatchQueryStats(t *testing.T) {
+	pts := indextest.RandPoints(300, 4, 11)
+	reg := telemetry.NewRegistry()
+	s, err := New(pts, WithScale(8), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want Stats
+	accumulate := func(st Stats) {
+		want.ScanDepth += st.ScanDepth
+		want.FilterSize += st.FilterSize
+		want.Excluded += st.Excluded
+		want.LazyAccepts += st.LazyAccepts
+		want.LazyRejects += st.LazyRejects
+		want.Verified += st.Verified
+		want.DistanceComps += st.DistanceComps
+	}
+
+	const memberQueries = 20
+	for qid := 0; qid < memberQueries; qid++ {
+		_, st, err := s.ReverseKNNStats(qid, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accumulate(st)
+	}
+	_, st, err := s.ReverseKNNPointStats([]float64{0.5, 0.5, 0.5, 0.5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accumulate(st)
+
+	// Batch members must land in the same aggregates: replay the batch
+	// queries individually on an un-instrumented twin to know their sums.
+	twin, err := New(pts, WithScale(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchIDs := []int{30, 31, 32, 33}
+	if _, err := s.BatchReverseKNN(batchIDs, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, qid := range batchIDs {
+		_, st, err := twin.ReverseKNNStats(qid, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accumulate(st)
+	}
+
+	backend := telemetry.Label{Name: "backend", Value: "covertree"}
+	checks := map[string]int64{
+		"rknn_scan_depth_total":               int64(want.ScanDepth),
+		"rknn_candidates_generated_total":     int64(want.FilterSize + want.Excluded),
+		"rknn_candidates_excluded_total":      int64(want.Excluded),
+		"rknn_candidates_lazy_accepted_total": int64(want.LazyAccepts),
+		"rknn_candidates_lazy_settled_total":  int64(want.LazyAccepts + want.LazyRejects),
+		"rknn_candidates_verified_total":      int64(want.Verified),
+		"rknn_distance_comps_total":           want.DistanceComps,
+	}
+	for name, wantV := range checks {
+		if got := counterValue(t, reg, name, backend); got != float64(wantV) {
+			t.Errorf("%s = %v, want %d (summed per-query stats)", name, got, wantV)
+		}
+	}
+	if got := counterValue(t, reg, "rknn_queries_total", backend, telemetry.Label{Name: "op", Value: "rknn"}); got != memberQueries {
+		t.Errorf("rknn_queries_total{op=rknn} = %v, want %d", got, memberQueries)
+	}
+	if got := counterValue(t, reg, "rknn_queries_total", backend, telemetry.Label{Name: "op", Value: "batch"}); got != float64(len(batchIDs)) {
+		t.Errorf("rknn_queries_total{op=batch} = %v, want %d", got, len(batchIDs))
+	}
+	if ratio := counterValue(t, reg, "rknn_pruning_ratio", backend); ratio < 0 || ratio > 1 {
+		t.Errorf("rknn_pruning_ratio = %v, want within [0,1]", ratio)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, name := range []string{"rknn_candidates_excluded_total", "rknn_candidates_lazy_settled_total"} {
+		line := name + `{backend="covertree"} ` + itoa(checks[name])
+		if !strings.Contains(text, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, text)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	var b strings.Builder
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append(digits, byte('0'+v%10))
+		v /= 10
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		b.WriteByte(digits[i])
+	}
+	return b.String()
+}
+
+// TestShardedTelemetry checks the scatter-side accounting: per-shard
+// candidate counters sum to the engine-level generated counter (candidates
+// are only ever created inside shards), every populated shard records its
+// scatter visits, and the shard point gauges sum to the live size.
+func TestShardedTelemetry(t *testing.T) {
+	pts := indextest.RandPoints(240, 3, 17)
+	reg := telemetry.NewRegistry()
+	ss, err := NewSharded(pts, 3, WithScale(8), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var agg Stats
+	const queries = 12
+	for qid := 0; qid < queries; qid++ {
+		_, st, err := ss.ReverseKNNStats(qid, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.FilterSize += st.FilterSize
+		agg.Excluded += st.Excluded
+		agg.LazyAccepts += st.LazyAccepts
+		agg.LazyRejects += st.LazyRejects
+		agg.Verified += st.Verified
+	}
+
+	backend := telemetry.Label{Name: "backend", Value: "covertree"}
+	if got := counterValue(t, reg, "rknn_queries_total", backend, telemetry.Label{Name: "op", Value: "rknn"}); got != queries {
+		t.Errorf("rknn_queries_total = %v, want %d", got, queries)
+	}
+	if got := counterValue(t, reg, "rknn_candidates_verified_total", backend); got != float64(agg.Verified) {
+		t.Errorf("verified = %v, want %d (incl. merge re-verification)", got, agg.Verified)
+	}
+
+	var shardGenerated, shardScatter, shardPoints float64
+	for _, f := range reg.Gather() {
+		switch f.Name {
+		case "rknn_shard_candidates_generated_total":
+			for _, s := range f.Samples {
+				shardGenerated += s.Value
+			}
+		case "rknn_shard_scatter_queries_total":
+			for _, s := range f.Samples {
+				shardScatter += s.Value
+			}
+		case "rknn_shard_points":
+			for _, s := range f.Samples {
+				shardPoints += s.Value
+			}
+		}
+	}
+	if engineGenerated := counterValue(t, reg, "rknn_candidates_generated_total", backend); shardGenerated != engineGenerated {
+		t.Errorf("per-shard generated sum %v != engine generated %v", shardGenerated, engineGenerated)
+	}
+	if shardGenerated != float64(agg.FilterSize+agg.Excluded) {
+		t.Errorf("per-shard generated sum %v != summed stats %d", shardGenerated, agg.FilterSize+agg.Excluded)
+	}
+	populated := 0
+	for _, si := range ss.ShardStats() {
+		if si.Points > 0 {
+			populated++
+		}
+	}
+	if shardScatter != float64(queries*populated) {
+		t.Errorf("scatter visits %v, want %d queries x %d populated shards", shardScatter, queries, populated)
+	}
+	if shardPoints != float64(ss.Len()) {
+		t.Errorf("shard point gauges sum to %v, want %d", shardPoints, ss.Len())
+	}
+}
+
+// TestTelemetryConcurrentQueriesAndWrites is the telemetry race pin:
+// parallel member queries racing an insert/delete writer, with telemetry
+// attached mid-flight. Under -race this doubles as the data-race check; on
+// any run the counters must account for exactly the successful queries
+// (no lost increments) and the exposition must still render.
+func TestTelemetryConcurrentQueriesAndWrites(t *testing.T) {
+	pts := indextest.RandPoints(200, 3, 23)
+	reg := telemetry.NewRegistry()
+	s, err := New(pts, WithScale(50), WithBackend(BackendScan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableTelemetry(reg) // the recovery-path attach, exercised live
+
+	var ok atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, _, err := s.ReverseKNNStats((g*37+i)%200, 4); err == nil {
+					ok.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			id, err := s.Insert([]float64{0.1 * float64(i%10), 0.5, 0.5})
+			if err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			if i%2 == 0 {
+				if _, err := s.Delete(id); err != nil {
+					t.Errorf("delete: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	got := counterValue(t, reg, "rknn_queries_total",
+		telemetry.Label{Name: "backend", Value: "scan"},
+		telemetry.Label{Name: "op", Value: "rknn"})
+	if got != float64(ok.Load()) {
+		t.Errorf("rknn_queries_total = %v, want %d successful queries", got, ok.Load())
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "rknn_queries_total") {
+		t.Error("exposition lost the query counter family")
+	}
+}
