@@ -478,6 +478,94 @@ func BenchmarkCoreEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkApproxLSH starts the approximate-tier perf trajectory: RDT+
+// queries over the LSH back-end at L ∈ {4, 8, 12} tables on the FCT
+// surrogate, reporting queries/s and measured reverse-neighbor recall
+// against the exact oracle per table count, and refreshing
+// BENCH_approx.json beside BENCH_core.json / BENCH_shard.json. CI runs it
+// as a 1-iteration smoke (-benchtime 1x). -benchmem shows the pooled
+// candidate sets at work: the per-query allocation count stays flat in L
+// (the dedup set is recycled) instead of growing with every table probed.
+func BenchmarkApproxLSH(b *testing.B) {
+	data := dataset.FCT(2000, 1)
+	metric := vecmath.Euclidean{}
+	exact, err := harness.BuildBackend("covertree", data.Points, metric)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qids := []int{5, 17, 99, 256, 788, 1301, 1777, 1999}
+	truth, err := harness.NewTruth(data.Points, metric, exact, 10, qids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type measurement struct {
+		QPS    float64 `json:"queries_per_second"`
+		Recall float64 `json:"recall"`
+	}
+	results := map[string]measurement{}
+	for _, L := range []int{4, 8, 12} {
+		L := L
+		opts := lsh.DefaultOptions()
+		opts.Tables = L
+		approx, err := lsh.New(data.Points, metric, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qr, err := core.NewQuerier(approx, core.Params{K: 10, T: 8, Plus: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("L=%d", L), func(b *testing.B) {
+			b.ReportAllocs()
+			got := map[int][]int{}
+			for i := 0; i < b.N; i++ {
+				qid := qids[i%len(qids)]
+				res, err := qr.ByID(qid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got[qid] = res.IDs
+			}
+			qps := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "queries/s")
+			// Recall over the full query set: top up whatever the timed
+			// loop did not reach so every table count reports on the same
+			// queries.
+			b.StopTimer()
+			for _, qid := range qids {
+				if _, done := got[qid]; !done {
+					res, err := qr.ByID(qid)
+					if err != nil {
+						b.Fatal(err)
+					}
+					got[qid] = res.IDs
+				}
+			}
+			recall := truth.MeanRecall(got)
+			b.ReportMetric(recall, "recall")
+			results[fmt.Sprintf("L=%d", L)] = measurement{QPS: qps, Recall: recall}
+		})
+	}
+	if len(results) == 3 {
+		payload := map[string]any{
+			"benchmark":  "BenchmarkApproxLSH",
+			"dataset":    "fct-2000",
+			"k":          10,
+			"t":          8,
+			"hashes":     lsh.DefaultOptions().Hashes,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"tables":     results,
+		}
+		raw, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_approx.json", append(raw, '\n'), 0o644); err != nil {
+			b.Logf("could not write BENCH_approx.json: %v", err)
+		}
+	}
+}
+
 // BenchmarkCoreQuery isolates a single RDT+ query on each surrogate at the
 // paper's default rank, the microbenchmark backing the per-query times in
 // the figures.

@@ -36,7 +36,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		n        = fs.Int("n", 5000, "generated dataset size")
 		dim      = fs.Int("dim", 128, "dimension for imagenet/uniform surrogates")
 		seed     = fs.Int64("seed", 1, "generation seed")
-		backend  = fs.String("backend", "covertree", "forward index: scan, covertree, kdtree, vptree")
+		backend  = fs.String("backend", "covertree", "forward index: scan, covertree, kdtree, vptree, or lsh (approximate)")
 		tParam   = fs.Float64("t", 0, "pin the scale parameter (0 estimates it)")
 		auto     = fs.String("auto", "mle", "scale estimator when -t is 0: mle, gp or takens")
 		plain    = fs.Bool("plain", false, "use plain RDT instead of RDT+")
@@ -81,6 +81,11 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 	backendName := *backend
 	if bk, ok := eng.(interface{ Backend() repro.Backend }); ok {
 		backendName = string(bk.Backend())
+	}
+	// An approximate engine (lsh) serves candidate-set answers; say so in
+	// the banner, matching the "approximate" marker on every response.
+	if ap, ok := eng.(server.Approximate); ok && ap.Approximate() {
+		backendName += " (approximate)"
 	}
 	fmt.Fprintf(stdout, "rknn serve: n=%d, dim=%d, %s back-end, t=%.2f, listening on %s\n",
 		eng.Len(), eng.Dim(), backendName, eng.Scale(), ln.Addr())

@@ -16,6 +16,11 @@
 // the HTTP latency histograms and the paper's pruning mechanics
 // (candidates generated / excluded / lazily settled) as live Prometheus
 // series — `rknn serve` wires this identically.
+// The fifth act is the approximate serving tier: the same dataset behind
+// the LSH back-end (`rknn serve -backend lsh`), with responses marked
+// "approximate": true and a live recall readout — the engine samples its
+// own answers against an exact oracle and exposes the result as the
+// rknn_recall_estimate gauge.
 //
 //	go run ./examples/server
 package main
@@ -188,6 +193,47 @@ func main() {
 	fmt.Printf("sharded R10NN(42) = %v across %d shards\n", shardedAns.IDs, ss.Shards())
 	for _, si := range ss.ShardStats() {
 		fmt.Printf("  shard %d: %d points, %d queries\n", si.Shard, si.Points, si.Queries)
+	}
+
+	// The approximate serving tier: the same dataset behind the LSH
+	// back-end (`rknn serve -backend lsh` does exactly this). Responses are
+	// marked approximate, and the engine cross-checks itself: the
+	// rknn_recall_estimate gauge samples member queries against an exact
+	// brute-force oracle at scrape time, so one /metrics scrape reads the
+	// recall the approximation is actually delivering.
+	reg3 := telemetry.NewRegistry()
+	approx, err := repro.New(ds.Points, repro.WithBackend(repro.BackendLSH),
+		repro.WithScale(8), repro.WithTelemetry(reg3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts3 := httptest.NewServer(server.New(approx, server.WithRegistry(reg3)).Handler())
+	defer ts3.Close()
+	var approxAns struct {
+		IDs         []int `json:"ids"`
+		Approximate bool  `json:"approximate"`
+	}
+	post(ts3.URL+"/v1/rknn", `{"id": 42, "k": 10}`, &approxAns)
+	fmt.Printf("approximate R10NN(42) = %v (marked approximate: %v)\n", approxAns.IDs, approxAns.Approximate)
+	recall, err := approx.RecallEstimate(8, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled recall vs exact oracle: %.3f\n", recall)
+	resp, err = http.Get(ts3.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc = bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "rknn_recall_estimate") || strings.HasPrefix(line, "rknn_approx_candidates_total") {
+			fmt.Println("  " + line)
+		}
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
 	}
 }
 

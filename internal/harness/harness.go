@@ -25,15 +25,17 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/index"
 	"repro/internal/kdtree"
+	"repro/internal/lsh"
 	"repro/internal/scan"
 	"repro/internal/vecmath"
 	"repro/internal/vptree"
 )
 
 // BuildBackend constructs the forward-kNN back-end by name: "scan",
-// "covertree", "kdtree" or "vptree". The paper uses the cover tree for the
-// small and medium datasets and sequential scan for MNIST and Imagenet
-// (Section 7.1).
+// "covertree", "kdtree", "vptree", or the approximate "lsh". The paper uses
+// the cover tree for the small and medium datasets and sequential scan for
+// MNIST and Imagenet (Section 7.1); LSH realizes its claim (iii), RDT over
+// approximate neighbor rankings.
 func BuildBackend(name string, points [][]float64, metric vecmath.Metric) (index.Index, error) {
 	switch name {
 	case "scan":
@@ -44,6 +46,8 @@ func BuildBackend(name string, points [][]float64, metric vecmath.Metric) (index
 		return kdtree.New(points, metric)
 	case "vptree":
 		return vptree.New(points, metric)
+	case "lsh":
+		return lsh.New(points, metric, lsh.DefaultOptions())
 	default:
 		return nil, fmt.Errorf("harness: unknown back-end %q", name)
 	}

@@ -15,6 +15,12 @@
 // random projections h(x) = ⌊(a·x + b)/w⌋. The bucket width w is tuned at
 // build time from a sample of nearest-neighbor distances so that near
 // neighbors tend to collide.
+//
+// The index is dynamic (index.Cloner): Insert hashes the new point into
+// every table, Delete tombstones an ID in place, and Clone produces an
+// O(n)-amortized copy-on-write copy — bucket ID slices are shared between
+// clones and replaced (never appended in place) on insert — so the facade's
+// snapshot machinery serves LSH exactly like the exact dynamic back-ends.
 package lsh
 
 import (
@@ -23,6 +29,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/index"
 	"repro/internal/pqueue"
@@ -57,14 +65,15 @@ func (o Options) validate() error {
 	if o.Hashes <= 0 {
 		return fmt.Errorf("lsh: Hashes must be positive, got %d", o.Hashes)
 	}
-	if o.Width < 0 || math.IsNaN(o.Width) {
-		return fmt.Errorf("lsh: Width must be non-negative, got %v", o.Width)
+	if o.Width < 0 || math.IsNaN(o.Width) || math.IsInf(o.Width, 1) {
+		return fmt.Errorf("lsh: Width must be non-negative and finite, got %v", o.Width)
 	}
 	return nil
 }
 
 // table is one hash table: M projection vectors with offsets, and the
-// bucket map.
+// bucket map. Bucket ID slices may be shared across clones of an Index and
+// must never be mutated in place; inserts replace them (see Insert).
 type table struct {
 	projs   [][]float64
 	offsets []float64
@@ -72,16 +81,32 @@ type table struct {
 }
 
 // Index is an approximate similarity index. It implements index.Index with
-// candidate-set semantics: query results cover only hash collisions.
+// candidate-set semantics (query results cover only hash collisions) and
+// index.Cloner for online updates under copy-on-write snapshots.
 type Index struct {
-	points [][]float64
-	metric vecmath.Metric
-	dim    int
-	width  float64
-	tables []table
+	points  [][]float64
+	metric  vecmath.Metric
+	dim     int
+	width   float64
+	hashes  int // M, projections per table
+	tables  []table
+	deleted map[int]bool // tombstones for Dynamic support
+	alive   int
 }
 
-var _ index.Index = (*Index)(nil)
+var _ index.Cloner = (*Index)(nil)
+var _ index.Liveness = (*Index)(nil)
+
+// hashCalls counts bucket-key computations (one per table per hashed
+// point or query). The persistence tests pin that restoring an index from
+// its native structure blob performs zero of them. Callers batch their
+// increments (one Add per query or insert, not one per table) so the
+// shared cache line is touched once per operation on the hot path.
+var hashCalls atomic.Int64
+
+// HashCalls returns the process-lifetime count of bucket-key computations —
+// test instrumentation for the "restore never re-hashes" guarantee.
+func HashCalls() int64 { return hashCalls.Load() }
 
 // New builds the hash tables over points. Only the Euclidean metric is
 // supported (the projections quantize L2 geometry).
@@ -99,7 +124,14 @@ func New(points [][]float64, metric vecmath.Metric, opts Options) (*Index, error
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	ix := &Index{points: points, metric: metric, dim: len(points[0])}
+	ix := &Index{
+		points:  points,
+		metric:  metric,
+		dim:     len(points[0]),
+		hashes:  opts.Hashes,
+		deleted: make(map[int]bool),
+		alive:   len(points),
+	}
 
 	ix.width = opts.Width
 	if ix.width == 0 {
@@ -107,6 +139,7 @@ func New(points [][]float64, metric vecmath.Metric, opts Options) (*Index, error
 	}
 
 	ix.tables = make([]table, opts.Tables)
+	var keyBuf []byte
 	for ti := range ix.tables {
 		t := table{
 			projs:   make([][]float64, opts.Hashes),
@@ -122,16 +155,27 @@ func New(points [][]float64, metric vecmath.Metric, opts Options) (*Index, error
 			t.offsets[h] = rng.Float64() * ix.width
 		}
 		for id, p := range points {
-			key := t.key(p, ix.width)
-			t.buckets[key] = append(t.buckets[key], id)
+			keyBuf = t.appendKey(keyBuf[:0], p, ix.width)
+			t.buckets[string(keyBuf)] = append(t.buckets[string(keyBuf)], id)
 		}
+		hashCalls.Add(int64(len(points)))
 		ix.tables[ti] = t
 	}
 	return ix, nil
 }
 
+// DegenerateWidth is the documented bucket-width floor used when automatic
+// width selection finds no positive nearest-neighbor distance in its sample
+// (duplicate-only or constant datasets). Any positive width behaves
+// identically there — exact duplicates share every bucket regardless — so
+// the floor keeps such datasets servable instead of failing the build.
+const DegenerateWidth = 1.0
+
 // autoWidth picks w as a multiple of the median nearest-neighbor distance
 // of a sample, so that true near neighbors usually share a bucket cell.
+// Degenerate samples (all distances zero, or overflow to +Inf) fall back to
+// the documented DegenerateWidth floor rather than an arbitrary silent
+// value.
 func autoWidth(points [][]float64, metric vecmath.Metric, rng *rand.Rand) float64 {
 	const sample = 64
 	n := len(points)
@@ -152,25 +196,28 @@ func autoWidth(points [][]float64, metric vecmath.Metric, rng *rand.Rand) float6
 		}
 	}
 	if len(dists) == 0 {
-		return 1 // duplicate-only data: any width works
+		return DegenerateWidth // constant/duplicate-only data
 	}
 	sort.Float64s(dists)
 	w := 4 * dists[len(dists)/2]
-	if w <= 0 {
-		return 1
+	if !(w > 0) || math.IsInf(w, 1) {
+		return DegenerateWidth
 	}
 	return w
 }
 
-// key computes the bucket key of p: the concatenated quantized projections.
-func (t *table) key(p []float64, width float64) string {
-	buf := make([]byte, 0, len(t.projs)*4)
+// appendKey appends the bucket key of p — the concatenated quantized
+// projections, each encoded as all 8 little-endian bytes of its int64 value
+// so that hash values 2^32 apart never alias into one bucket — and returns
+// the extended buffer.
+func (t *table) appendKey(buf []byte, p []float64, width float64) []byte {
 	for h, a := range t.projs {
 		v := int64(math.Floor((vecmath.Dot(a, p) + t.offsets[h]) / width))
 		buf = append(buf,
-			byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 	}
-	return string(buf)
+	return buf
 }
 
 // Builder constructs LSH indexes with default options; it implements
@@ -185,8 +232,8 @@ func (Builder) Build(points [][]float64, metric vecmath.Metric) (index.Index, er
 // Name implements index.Builder.
 func (Builder) Name() string { return "lsh" }
 
-// Len implements index.Index.
-func (ix *Index) Len() int { return len(ix.points) }
+// Len implements index.Index. Deleted points are excluded.
+func (ix *Index) Len() int { return ix.alive }
 
 // Dim implements index.Index.
 func (ix *Index) Dim() int { return ix.dim }
@@ -200,21 +247,125 @@ func (ix *Index) Metric() vecmath.Metric { return ix.metric }
 // Width returns the quantization width in effect.
 func (ix *Index) Width() float64 { return ix.width }
 
-// candidates returns the IDs colliding with q in any table, deduplicated.
-func (ix *Index) candidates(q []float64, skipID int) []int {
-	seen := make(map[int]bool)
-	var out []int
+// Tables returns L, the number of hash tables.
+func (ix *Index) Tables() int { return len(ix.tables) }
+
+// Insert implements index.Dynamic: the point is hashed once per table and
+// appended to its buckets. Bucket slices may be shared with clones, so the
+// updated bucket is a fresh slice rather than an in-place append.
+func (ix *Index) Insert(p []float64) (int, error) {
+	if err := vecmath.Validate(p); err != nil {
+		return 0, err
+	}
+	if len(p) != ix.dim {
+		return 0, vecmath.CheckDims(p, ix.points[0])
+	}
+	id := len(ix.points)
+	ix.points = append(ix.points, p)
+	hashCalls.Add(int64(len(ix.tables)))
+	var keyBuf []byte
 	for ti := range ix.tables {
 		t := &ix.tables[ti]
-		for _, id := range t.buckets[t.key(q, ix.width)] {
-			if id == skipID || seen[id] {
+		keyBuf = t.appendKey(keyBuf[:0], p, ix.width)
+		old := t.buckets[string(keyBuf)]
+		next := make([]int, len(old)+1)
+		copy(next, old)
+		next[len(old)] = id
+		t.buckets[string(keyBuf)] = next
+	}
+	ix.alive++
+	return id, nil
+}
+
+// Delete implements index.Dynamic using a tombstone: the ID stays in its
+// buckets and the candidate machinery filters it, so deletion never
+// rewrites table state shared with clones.
+func (ix *Index) Delete(id int) bool {
+	if id < 0 || id >= len(ix.points) || ix.deleted[id] {
+		return false
+	}
+	ix.deleted[id] = true
+	ix.alive--
+	return true
+}
+
+// Clone implements index.Cloner. Point coordinate slices, projection
+// vectors, and bucket ID slices are shared (all immutable by convention:
+// inserts replace bucket slices, never extend them in place); the points
+// slice, the bucket map headers, and the tombstone set are copied, so
+// Insert and Delete on the clone are invisible to the original.
+func (ix *Index) Clone() index.Dynamic {
+	points := make([][]float64, len(ix.points), len(ix.points)+1)
+	copy(points, ix.points)
+	deleted := make(map[int]bool, len(ix.deleted))
+	for id := range ix.deleted {
+		deleted[id] = true
+	}
+	tables := make([]table, len(ix.tables))
+	for i, t := range ix.tables {
+		buckets := make(map[string][]int, len(t.buckets))
+		for key, ids := range t.buckets {
+			buckets[key] = ids
+		}
+		tables[i] = table{projs: t.projs, offsets: t.offsets, buckets: buckets}
+	}
+	return &Index{
+		points:  points,
+		metric:  ix.metric,
+		dim:     ix.dim,
+		width:   ix.width,
+		hashes:  ix.hashes,
+		tables:  tables,
+		deleted: deleted,
+		alive:   ix.alive,
+	}
+}
+
+// IDSpan implements index.Liveness.
+func (ix *Index) IDSpan() int { return len(ix.points) }
+
+// Live implements index.Liveness.
+func (ix *Index) Live(id int) bool { return id >= 0 && id < len(ix.points) && !ix.deleted[id] }
+
+// dedup is the pooled per-query candidate-collection state: the seen set,
+// the collected ID list, and the key scratch buffer. Candidate gathering is
+// the hot path of every query; recycling the set keeps per-query garbage
+// near zero under a steady serving stream (mirroring the pooled filter sets
+// in internal/core).
+type dedup struct {
+	seen map[int]bool
+	out  []int
+	key  []byte
+}
+
+var dedupPool = sync.Pool{New: func() any { return &dedup{seen: make(map[int]bool)} }}
+
+// release clears and returns the state to the pool. clear keeps the map's
+// buckets allocated, which is exactly the win: a warmed set absorbs the
+// next query's candidates without growing.
+func (d *dedup) release() {
+	clear(d.seen)
+	d.out = d.out[:0]
+	dedupPool.Put(d)
+}
+
+// candidates collects into d the IDs colliding with q in any table,
+// deduplicated, excluding skipID and tombstoned points. The returned slice
+// is owned by d and valid until d.release.
+func (ix *Index) candidates(d *dedup, q []float64, skipID int) []int {
+	hashCalls.Add(int64(len(ix.tables)))
+	for ti := range ix.tables {
+		t := &ix.tables[ti]
+		d.key = t.appendKey(d.key[:0], q, ix.width)
+		for _, id := range t.buckets[string(d.key)] {
+			if id == skipID || ix.deleted[id] || d.seen[id] {
 				continue
 			}
-			seen[id] = true
-			out = append(out, id)
+			d.seen[id] = true
+			d.out = append(d.out, id)
 		}
 	}
-	return out
+	return d.out
 }
 
 // NewCursor implements index.Index over the candidate set: the stream is in
@@ -222,11 +373,13 @@ func (ix *Index) candidates(q []float64, skipID int) []int {
 // end before the dataset is exhausted — the approximate-ranking regime the
 // paper's claim (iii) is about.
 func (ix *Index) NewCursor(q []float64, skipID int) index.Cursor {
-	cands := ix.candidates(q, skipID)
+	d := dedupPool.Get().(*dedup)
+	cands := ix.candidates(d, q, skipID)
 	ready := pqueue.NewMin[int](len(cands))
 	for _, id := range cands {
 		ready.Push(ix.metric.Distance(q, ix.points[id]), id)
 	}
+	d.release()
 	return &cursor{ready: ready}
 }
 
@@ -245,8 +398,10 @@ func (ix *Index) KNN(q []float64, k int, skipID int) []index.Neighbor {
 	if k <= 0 {
 		return nil
 	}
+	d := dedupPool.Get().(*dedup)
+	defer d.release()
 	top := pqueue.NewTopK[int](k)
-	for _, id := range ix.candidates(q, skipID) {
+	for _, id := range ix.candidates(d, q, skipID) {
 		top.Offer(ix.metric.Distance(q, ix.points[id]), id)
 	}
 	items := top.Sorted()
@@ -259,10 +414,12 @@ func (ix *Index) KNN(q []float64, k int, skipID int) []index.Neighbor {
 
 // Range implements index.Index over the candidate set (approximate).
 func (ix *Index) Range(q []float64, r float64, skipID int) []index.Neighbor {
+	d := dedupPool.Get().(*dedup)
+	defer d.release()
 	var out []index.Neighbor
-	for _, id := range ix.candidates(q, skipID) {
-		if d := ix.metric.Distance(q, ix.points[id]); d <= r {
-			out = append(out, index.Neighbor{ID: id, Dist: d})
+	for _, id := range ix.candidates(d, q, skipID) {
+		if dist := ix.metric.Distance(q, ix.points[id]); dist <= r {
+			out = append(out, index.Neighbor{ID: id, Dist: dist})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -276,8 +433,10 @@ func (ix *Index) Range(q []float64, r float64, skipID int) []index.Neighbor {
 
 // CountRange implements index.Index over the candidate set (approximate).
 func (ix *Index) CountRange(q []float64, r float64, skipID int) int {
+	d := dedupPool.Get().(*dedup)
+	defer d.release()
 	count := 0
-	for _, id := range ix.candidates(q, skipID) {
+	for _, id := range ix.candidates(d, q, skipID) {
 		if ix.metric.Distance(q, ix.points[id]) <= r {
 			count++
 		}

@@ -2,6 +2,7 @@ package lsh
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/bruteforce"
@@ -141,6 +142,206 @@ func TestRDTOverLSH(t *testing.T) {
 	if mean := recallSum / queries; mean < 0.7 {
 		t.Errorf("RDT+ over LSH mean recall %.3f, want >= 0.7", mean)
 	}
+}
+
+// TestKeyEncodesAllEightBytes is the regression for the bucket-key
+// truncation bug: the quantized projection value was encoded as only its
+// low 4 bytes, so hash values exactly 2^32 apart aliased into one bucket.
+// With a unit projection and unit width the quantized value is the
+// coordinate itself, so coordinates 1 and 1+2^32 must produce different
+// keys (they differ only above bit 31).
+func TestKeyEncodesAllEightBytes(t *testing.T) {
+	tb := table{projs: [][]float64{{1}}, offsets: []float64{0}}
+	near := tb.appendKey(nil, []float64{1}, 1)
+	far := tb.appendKey(nil, []float64{1 + math.Exp2(32)}, 1)
+	if string(near) == string(far) {
+		t.Fatal("coordinates 2^32 apart alias into one bucket key")
+	}
+	if len(near) != 8 {
+		t.Fatalf("key is %d bytes per hash, want 8", len(near))
+	}
+	// End to end: far-apart coordinates must not collide into shared
+	// buckets, so a tight range query around one cluster never surfaces
+	// the other.
+	pts := [][]float64{}
+	for i := 0; i < 8; i++ {
+		pts = append(pts, []float64{float64(i) * 0.25})
+	}
+	for i := 0; i < 8; i++ {
+		pts = append(pts, []float64{math.Exp2(32) + float64(i)*0.25})
+	}
+	ix, err := New(pts, vecmath.Euclidean{}, Options{Tables: 4, Hashes: 1, Width: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range ix.Range(pts[0], 10, 0) {
+		if nb.ID >= 8 {
+			t.Fatalf("range around the origin cluster surfaced far point %d (dist %g)", nb.ID, nb.Dist)
+		}
+	}
+}
+
+// TestDegenerateAutoWidth pins the documented floor: a constant dataset has
+// no positive nearest-neighbor distance to tune from, so the automatic
+// width selection settles on DegenerateWidth and the index stays fully
+// functional (exact duplicates share every bucket at any width).
+func TestDegenerateAutoWidth(t *testing.T) {
+	pts := make([][]float64, 60)
+	for i := range pts {
+		pts[i] = []float64{3, 1, 4}
+	}
+	ix, err := New(pts, vecmath.Euclidean{}, DefaultOptions())
+	if err != nil {
+		t.Fatalf("New on a constant dataset: %v", err)
+	}
+	if ix.Width() != DegenerateWidth {
+		t.Errorf("Width() = %g on constant data, want the documented floor %g", ix.Width(), DegenerateWidth)
+	}
+	if got := ix.CountRange(pts[0], 0, 0); got != 59 {
+		t.Errorf("CountRange on constant data = %d, want 59", got)
+	}
+	if got := ix.KNN(pts[0], 5, 0); len(got) != 5 || got[0].Dist != 0 {
+		t.Errorf("KNN on constant data = %v", got)
+	}
+}
+
+// TestDynamicInsertDelete exercises the index.Dynamic surface: inserted
+// points are hashed into every table and immediately retrievable, deletes
+// tombstone without renumbering, and liveness reports the span correctly.
+func TestDynamicInsertDelete(t *testing.T) {
+	pts := indextest.ClusteredPoints(300, 5, 4, 17)
+	ix, err := New(pts, vecmath.Euclidean{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate of an existing point lands in exactly its buckets, so
+	// the collision is guaranteed regardless of hashing.
+	dup := append([]float64(nil), pts[10]...)
+	id, err := ix.Insert(dup)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if id != 300 {
+		t.Fatalf("Insert assigned id %d, want 300", id)
+	}
+	if ix.Len() != 301 || ix.IDSpan() != 301 || !ix.Live(id) {
+		t.Fatalf("after insert: Len=%d IDSpan=%d Live=%v", ix.Len(), ix.IDSpan(), ix.Live(id))
+	}
+	found := false
+	for _, nb := range ix.KNN(pts[10], 3, 10) {
+		if nb.ID == id && nb.Dist == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inserted duplicate not retrieved by KNN at its own location")
+	}
+
+	if !ix.Delete(id) {
+		t.Fatal("Delete of a live id reported false")
+	}
+	if ix.Delete(id) {
+		t.Error("double Delete reported true")
+	}
+	if ix.Len() != 300 || ix.IDSpan() != 301 || ix.Live(id) {
+		t.Fatalf("after delete: Len=%d IDSpan=%d Live=%v", ix.Len(), ix.IDSpan(), ix.Live(id))
+	}
+	for _, nb := range ix.KNN(pts[10], 5, 10) {
+		if nb.ID == id {
+			t.Error("deleted id still surfaced by KNN")
+		}
+	}
+	if cur := ix.NewCursor(pts[10], 10); cur != nil {
+		for {
+			nb, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if nb.ID == id {
+				t.Error("deleted id still surfaced by cursor")
+			}
+		}
+	}
+
+	// Validation: wrong dimension and non-finite coordinates are rejected
+	// before any table is touched.
+	if _, err := ix.Insert([]float64{1}); err == nil {
+		t.Error("Insert accepted a wrong-dimension point")
+	}
+	if _, err := ix.Insert([]float64{1, 2, math.NaN(), 4, 5}); err == nil {
+		t.Error("Insert accepted a NaN coordinate")
+	}
+}
+
+// TestCloneIsolation pins the copy-on-write contract: mutations on a clone
+// are invisible to the original and vice versa, including inserts into
+// bucket slices the two share.
+func TestCloneIsolation(t *testing.T) {
+	pts := indextest.ClusteredPoints(200, 4, 3, 23)
+	orig, err := New(pts, vecmath.Euclidean{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := orig.Clone().(*Index)
+
+	// Insert a duplicate of point 0 into the clone: it lands in buckets
+	// whose ID slices are shared with the original, so an in-place append
+	// would corrupt the original.
+	dup := append([]float64(nil), pts[0]...)
+	id, err := clone.Insert(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Len() != 200 || orig.IDSpan() != 200 {
+		t.Fatalf("original grew after clone insert: Len=%d IDSpan=%d", orig.Len(), orig.IDSpan())
+	}
+	if got := orig.CountRange(pts[0], 0, 0); got != 0 {
+		t.Errorf("original sees %d duplicates of point 0 after clone insert, want 0", got)
+	}
+	if got := clone.CountRange(pts[0], 0, 0); got != 1 {
+		t.Errorf("clone sees %d duplicates of point 0, want 1", got)
+	}
+
+	// Delete on the original is invisible to the clone.
+	if !orig.Delete(5) {
+		t.Fatal("Delete(5) on original failed")
+	}
+	if !clone.Live(5) {
+		t.Error("delete on the original leaked into the clone")
+	}
+	if clone.Delete(id); clone.Live(id) {
+		t.Error("clone delete did not apply")
+	}
+}
+
+// TestConcurrentQueriesSharePool races parallel queries over the pooled
+// candidate sets; the -race build verifies the pool hands each query an
+// exclusive set.
+func TestConcurrentQueriesSharePool(t *testing.T) {
+	pts := indextest.ClusteredPoints(400, 6, 5, 29)
+	ix, err := New(pts, vecmath.Euclidean{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				qid := (w*53 + i) % len(pts)
+				nn := ix.KNN(pts[qid], 10, qid)
+				for j := 1; j < len(nn); j++ {
+					if nn[j].Dist < nn[j-1].Dist {
+						t.Error("KNN out of order under concurrency")
+						return
+					}
+				}
+				ix.CountRange(pts[qid], 0.5, qid)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 func TestDuplicateHeavyData(t *testing.T) {

@@ -79,6 +79,15 @@ type Sharded interface {
 	ShardStats() []repro.ShardInfo
 }
 
+// Approximate is the optional approximation surface of an Engine
+// (*repro.Searcher and *repro.ShardedSearcher implement it). When it
+// reports true, query responses carry "approximate": true and /statsz
+// marks the engine approximate, so clients can never mistake an
+// approximate answer for an exact one.
+type Approximate interface {
+	Approximate() bool
+}
+
 // Server wraps an Engine with HTTP handlers and request-level telemetry.
 // All methods are safe for concurrent use.
 type Server struct {
@@ -87,6 +96,9 @@ type Server struct {
 	reg   *telemetry.Registry
 	slow  *telemetry.SlowLog
 	stats map[string]*endpointStats // fixed key set, populated at New
+	// approx is resolved once at New: whether the engine's answers are
+	// approximate (see the Approximate interface).
+	approx bool
 }
 
 // endpointStats holds one route's telemetry instruments, resolved once at
@@ -148,6 +160,9 @@ func New(s Engine, opts ...Option) *Server {
 		reg:   o.reg,
 		slow:  telemetry.NewSlowLog(o.slowThreshold, o.slowSize),
 		stats: make(map[string]*endpointStats, len(routes)),
+	}
+	if a, ok := s.(Approximate); ok {
+		srv.approx = a.Approximate()
 	}
 	requests := o.reg.CounterVec("rknn_http_requests_total", "HTTP requests served, by route.", "route")
 	errs := o.reg.CounterVec("rknn_http_request_errors_total", "HTTP requests that failed, by route.", "route")
@@ -288,8 +303,12 @@ type rknnRequest struct {
 }
 
 type rknnResponse struct {
-	IDs   []int        `json:"ids"`
-	Stats *repro.Stats `json:"stats,omitempty"`
+	IDs []int `json:"ids"`
+	// Approximate marks answers from an approximate engine (LSH back-end):
+	// the ID list may miss true reverse neighbors. Omitted (false) on exact
+	// engines.
+	Approximate bool         `json:"approximate,omitempty"`
+	Stats       *repro.Stats `json:"stats,omitempty"`
 }
 
 func (srv *Server) handleRkNN(w http.ResponseWriter, r *http.Request) error {
@@ -318,7 +337,7 @@ func (srv *Server) handleRkNN(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return badRequest("%v", err)
 	}
-	resp := rknnResponse{IDs: emptyNotNull(ids)}
+	resp := rknnResponse{IDs: emptyNotNull(ids), Approximate: srv.approx}
 	if req.WithStats {
 		resp.Stats = &st
 	}
@@ -333,6 +352,8 @@ type batchRequest struct {
 
 type batchResponse struct {
 	Results [][]int `json:"results"`
+	// Approximate as in rknnResponse, once for the whole batch.
+	Approximate bool `json:"approximate,omitempty"`
 }
 
 func (srv *Server) handleRkNNBatch(w http.ResponseWriter, r *http.Request) error {
@@ -353,7 +374,7 @@ func (srv *Server) handleRkNNBatch(w http.ResponseWriter, r *http.Request) error
 	for i := range results {
 		results[i] = emptyNotNull(results[i])
 	}
-	return writeJSON(w, http.StatusOK, batchResponse{Results: results})
+	return writeJSON(w, http.StatusOK, batchResponse{Results: results, Approximate: srv.approx})
 }
 
 type knnRequest struct {
@@ -363,6 +384,8 @@ type knnRequest struct {
 
 type knnResponse struct {
 	Neighbors []neighbor `json:"neighbors"`
+	// Approximate as in rknnResponse.
+	Approximate bool `json:"approximate,omitempty"`
 }
 
 type neighbor struct {
@@ -383,7 +406,7 @@ func (srv *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 	for i, nb := range nn {
 		out[i] = neighbor{ID: nb.ID, Dist: nb.Dist}
 	}
-	return writeJSON(w, http.StatusOK, knnResponse{Neighbors: out})
+	return writeJSON(w, http.StatusOK, knnResponse{Neighbors: out, Approximate: srv.approx})
 }
 
 type insertRequest struct {
@@ -469,9 +492,10 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 		endpoints[route] = ep
 	}
 	engine := map[string]any{
-		"points": srv.s.Len(),
-		"dim":    srv.s.Dim(),
-		"scale":  srv.s.Scale(),
+		"points":      srv.s.Len(),
+		"dim":         srv.s.Dim(),
+		"scale":       srv.s.Scale(),
+		"approximate": srv.approx,
 	}
 	if d, ok := srv.s.(Durable); ok {
 		engine["generation"] = d.Generation()

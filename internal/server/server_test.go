@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -640,5 +641,179 @@ func TestSlowlogEndpoint(t *testing.T) {
 		if e.Route != "/v1/rknn" || e.Detail != "POST /v1/rknn" {
 			t.Errorf("slowlog entry = %+v", e)
 		}
+	}
+}
+
+// TestApproximateMarker pins the honesty contract of the approximate tier:
+// an LSH-backed engine marks every query response and /statsz with
+// "approximate": true, while exact engines omit the marker entirely.
+func TestApproximateMarker(t *testing.T) {
+	pts := indextest.ClusteredPoints(300, 4, 4, 19)
+	approx, err := repro.New(pts, repro.WithBackend(repro.BackendLSH), repro.WithScale(8))
+	if err != nil {
+		t.Fatalf("New(lsh): %v", err)
+	}
+	ats := httptest.NewServer(New(approx).Handler())
+	t.Cleanup(ats.Close)
+
+	var rknn map[string]json.RawMessage
+	if status := call(t, "POST", ats.URL+"/v1/rknn", map[string]any{"id": 1, "k": 5}, &rknn); status != http.StatusOK {
+		t.Fatalf("rknn status %d", status)
+	}
+	if string(rknn["approximate"]) != "true" {
+		t.Errorf(`rknn response approximate = %s, want true`, rknn["approximate"])
+	}
+	var batch map[string]json.RawMessage
+	if status := call(t, "POST", ats.URL+"/v1/rknn/batch", map[string]any{"ids": []int{1, 2}, "k": 5}, &batch); status != http.StatusOK {
+		t.Fatalf("batch status %d", status)
+	}
+	if string(batch["approximate"]) != "true" {
+		t.Errorf(`batch response approximate = %s, want true`, batch["approximate"])
+	}
+	var knn map[string]json.RawMessage
+	if status := call(t, "POST", ats.URL+"/v1/knn", map[string]any{"point": pts[0], "k": 3}, &knn); status != http.StatusOK {
+		t.Fatalf("knn status %d", status)
+	}
+	if string(knn["approximate"]) != "true" {
+		t.Errorf(`knn response approximate = %s, want true`, knn["approximate"])
+	}
+	var stats struct {
+		Engine map[string]json.RawMessage `json:"engine"`
+	}
+	if status := call(t, "GET", ats.URL+"/statsz", nil, &stats); status != http.StatusOK {
+		t.Fatalf("statsz status %d", status)
+	}
+	if string(stats.Engine["approximate"]) != "true" {
+		t.Errorf(`statsz engine.approximate = %s, want true`, stats.Engine["approximate"])
+	}
+
+	// Exact engine: the marker is omitted from responses (omitempty) and
+	// /statsz reports false.
+	_, _, ets := newTestServer(t)
+	var exact map[string]json.RawMessage
+	if status := call(t, "POST", ets.URL+"/v1/rknn", map[string]any{"id": 1, "k": 5}, &exact); status != http.StatusOK {
+		t.Fatalf("exact rknn status %d", status)
+	}
+	if _, present := exact["approximate"]; present {
+		t.Error("exact engine response carries an approximate marker")
+	}
+	var estats struct {
+		Engine map[string]json.RawMessage `json:"engine"`
+	}
+	call(t, "GET", ets.URL+"/statsz", nil, &estats)
+	if string(estats.Engine["approximate"]) != "false" {
+		t.Errorf(`exact statsz engine.approximate = %s, want false`, estats.Engine["approximate"])
+	}
+}
+
+// promHistogram parses one route's cumulative histogram out of the
+// /metrics exposition into a telemetry.HistSnapshot, so statsz quantiles
+// can be recomputed from exactly what a Prometheus scraper would see.
+func promHistogram(t *testing.T, exposition, name, route string) *telemetry.HistSnapshot {
+	t.Helper()
+	snap := &telemetry.HistSnapshot{}
+	var cum []float64
+	prevCount := 0.0
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name+"_bucket") || !strings.Contains(line, `route="`+route+`"`) {
+			if strings.HasPrefix(line, name+"_sum") && strings.Contains(line, `route="`+route+`"`) {
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &snap.Sum)
+			}
+			continue
+		}
+		le := line[strings.Index(line, `le="`)+4:]
+		le = le[:strings.Index(le, `"`)]
+		var v float64
+		fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v)
+		delta := v - prevCount
+		prevCount = v
+		if le == "+Inf" {
+			snap.Counts = append(snap.Counts, uint64(delta))
+			continue
+		}
+		var bound float64
+		fmt.Sscanf(le, "%g", &bound)
+		cum = append(cum, bound)
+		snap.Counts = append(snap.Counts, uint64(delta))
+	}
+	snap.Bounds = cum
+	for _, c := range snap.Counts {
+		snap.Count += c
+	}
+	return snap
+}
+
+// TestStatszQuantilesMatchMetricsInDegenerateRegimes pins that /statsz and
+// /metrics describe the same distribution in the two regimes the histogram
+// layout cannot resolve: every observation in the +Inf overflow bucket,
+// and no observations at all. The statsz quantiles must be finite,
+// JSON-encodable, and equal to the quantiles recomputed from the /metrics
+// bucket counts.
+func TestStatszQuantilesMatchMetricsInDegenerateRegimes(t *testing.T) {
+	pts := indextest.RandPoints(60, 2, 3)
+	s, err := repro.New(pts, repro.WithScale(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(s)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Overflow regime: feed the /v1/rknn route observations far beyond the
+	// highest finite latency bound (~21s) straight into its histogram.
+	for i := 0; i < 5; i++ {
+		srv.stats["/v1/rknn"].latency.Observe(100)
+		srv.stats["/v1/rknn"].requests.Inc()
+	}
+
+	var statsz struct {
+		Endpoints map[string]map[string]float64 `json:"endpoints"`
+	}
+	if status := call(t, "GET", ts.URL+"/statsz", nil, &statsz); status != http.StatusOK {
+		t.Fatalf("statsz status %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(raw)
+
+	ep, ok := statsz.Endpoints["/v1/rknn"]
+	if !ok {
+		t.Fatal("statsz missing /v1/rknn")
+	}
+	fromMetrics := promHistogram(t, exposition, "rknn_http_request_duration_seconds", "/v1/rknn")
+	if fromMetrics.Count != 5 {
+		t.Fatalf("metrics histogram count %d, want 5", fromMetrics.Count)
+	}
+	for _, q := range []struct {
+		key string
+		q   float64
+	}{{"p50_us", 0.50}, {"p95_us", 0.95}, {"p99_us", 0.99}} {
+		got := ep[q.key]
+		want := fromMetrics.Quantile(q.q) * 1e6
+		if got != want {
+			t.Errorf("overflow regime: statsz %s = %v, metrics-derived %v", q.key, got, want)
+		}
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Errorf("overflow regime: statsz %s = %v, want finite", q.key, got)
+		}
+	}
+
+	// Empty regime: a route that served nothing omits its quantile keys
+	// (nothing to report beats reporting a fabricated zero), and the whole
+	// document decoded cleanly above — both surfaces JSON/text-encodable.
+	if ep, ok := statsz.Endpoints["/v1/knn"]; ok {
+		if _, present := ep["p50_us"]; present {
+			t.Error("empty regime: statsz fabricated quantiles for an unserved route")
+		}
+	}
+	if h := promHistogram(t, exposition, "rknn_http_request_duration_seconds", "/v1/knn"); h.Count != 0 {
+		t.Errorf("empty regime: metrics histogram count %d, want 0", h.Count)
 	}
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sync"
@@ -262,6 +263,59 @@ func TestGatherOrdering(t *testing.T) {
 	for i := range want {
 		if names[i] != want[i] {
 			t.Fatalf("Gather order = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestHistogramQuantileOverflowAndEmptyRegimes pins the two degenerate
+// regimes the serving layer must survive: every observation beyond the
+// highest finite bound (the rank always lands in the +Inf overflow bucket)
+// and a histogram with no observations at all. Both must yield finite,
+// JSON-encodable quantiles at every q — +Inf or NaN here would break the
+// /statsz JSON encoding while /metrics kept serving, splitting the two
+// surfaces.
+func TestHistogramQuantileOverflowAndEmptyRegimes(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	h := newHistogram(bounds)
+	for i := 0; i < 9; i++ {
+		h.Observe(1000) // all overflow
+	}
+	snap := h.Snapshot()
+	if snap.Counts[len(bounds)] != 9 {
+		t.Fatalf("overflow bucket holds %d, want 9", snap.Counts[len(bounds)])
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		v := snap.Quantile(q)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("overflow-regime Quantile(%v) = %v, want finite", q, v)
+		}
+		if v != bounds[len(bounds)-1] {
+			t.Errorf("overflow-regime Quantile(%v) = %v, want highest finite bound %v", q, v, bounds[len(bounds)-1])
+		}
+		if _, err := json.Marshal(v); err != nil {
+			t.Fatalf("overflow-regime Quantile(%v) not JSON-encodable: %v", q, err)
+		}
+	}
+
+	empty := newHistogram(bounds).Snapshot()
+	if empty.Count != 0 {
+		t.Fatalf("empty snapshot Count = %d", empty.Count)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v := empty.Quantile(q)
+		if v != 0 {
+			t.Errorf("empty-histogram Quantile(%v) = %v, want 0", q, v)
+		}
+		if _, err := json.Marshal(v); err != nil {
+			t.Fatalf("empty-histogram Quantile(%v) not JSON-encodable: %v", q, err)
+		}
+	}
+	// Out-of-range q values clamp rather than producing NaN ranks.
+	mixed := newHistogram(bounds)
+	mixed.Observe(3)
+	for _, q := range []float64{-1, 2} {
+		if v := mixed.Snapshot().Quantile(q); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("Quantile(%v) = %v, want clamped finite value", q, v)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/covertree"
 	"repro/internal/harness"
 	"repro/internal/index"
+	"repro/internal/lsh"
 	"repro/internal/persist"
 	"repro/internal/vecmath"
 )
@@ -64,9 +65,14 @@ func (s *Searcher) snapshotRecord() (*persist.Snapshot, error) {
 	}
 	// Backend-native fast path: the cover tree ships its node topology so
 	// a restore reattaches it to the point rows with zero distance
-	// computations instead of re-inserting every point.
-	if ct, ok := ix.(*covertree.Tree); ok {
-		rec.Native = ct.EncodeStructure()
+	// computations instead of re-inserting every point; the LSH index ships
+	// its projections, offsets, width, and buckets so a restore performs
+	// zero hash computations and reproduces byte-identical candidate sets.
+	switch nx := ix.(type) {
+	case *covertree.Tree:
+		rec.Native = nx.EncodeStructure()
+	case *lsh.Index:
+		rec.Native = nx.EncodeStructure()
 	}
 	return rec, nil
 }
@@ -102,6 +108,16 @@ func restoreIndex(rec *persist.Snapshot) (index.Index, error) {
 		}
 		// A malformed native blob is recoverable: the rows and tombstones
 		// are intact, so fall through to the generic rebuild.
+	}
+	if rec.Backend == string(BackendLSH) && len(rec.Native) > 0 {
+		if ix, err := lsh.Restore(rec.Points, metric, rec.Deleted, rec.Native); err == nil {
+			return ix, nil
+		}
+		// Same recoverability as the cover tree — but the rebuild below
+		// re-hashes with default options, so a restored-from-rows LSH index
+		// may produce different (still approximate) candidate sets than the
+		// saved one. Only a corrupted-yet-checksum-valid blob takes this
+		// path.
 	}
 	ix, err := harness.BuildBackend(rec.Backend, rec.Points, metric)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/lsh"
 	"repro/internal/persist"
 )
 
@@ -342,5 +343,153 @@ func TestOpenDetectsForkedWAL(t *testing.T) {
 	w.Close()
 	if _, err := Open(dir); err == nil {
 		t.Error("Open accepted a forked WAL")
+	}
+}
+
+// TestLSHSaveLoadNoRehash is the approximate tier's round-trip bar: a saved
+// LSH engine restores from its native structure blob with zero hash
+// computations (pinned by the lsh.HashCalls counter) and answers every
+// query byte-identically — projections, offsets, width, and buckets all
+// come from the blob, never from re-hashing the rows.
+func TestLSHSaveLoadNoRehash(t *testing.T) {
+	pts := testPoints(150, 4, 17)
+	s, err := New(pts, WithBackend(BackendLSH), WithScale(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := queryAllLive(t, s, 5)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	estBefore := estimateCalls.Load()
+	hashBefore := lsh.HashCalls()
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if calls := estimateCalls.Load() - estBefore; calls != 0 {
+		t.Errorf("Load re-estimated the scale %d times", calls)
+	}
+	if calls := lsh.HashCalls() - hashBefore; calls != 0 {
+		t.Errorf("Load performed %d hash computations, want 0 (native structure restore)", calls)
+	}
+	if loaded.Backend() != BackendLSH || !loaded.Approximate() {
+		t.Errorf("loaded backend %q, approximate %v", loaded.Backend(), loaded.Approximate())
+	}
+	if got := queryAllLive(t, loaded, 5); !reflect.DeepEqual(got, want) {
+		t.Error("loaded LSH answers differ from the original (candidate sets not preserved)")
+	}
+}
+
+// TestLSHDurableCrashRecovery drives the LSH back-end through the full
+// durable lifecycle: logged inserts and deletes, a snapshot cut, a crash
+// with a torn log tail, and recovery — candidate sets must survive
+// byte-identically, with zero hash computations beyond the replayed WAL
+// inserts (each of which hashes into every table, exactly once).
+func TestLSHDurableCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	pts := testPoints(120, 3, 19)
+	s, err := New(pts, WithBackend(BackendLSH), WithScale(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := int64(12) // lsh.DefaultOptions().Tables, how BuildBackend builds it
+	d, err := NewDurable(dir, s)
+	if err != nil {
+		t.Fatalf("NewDurable: %v", err)
+	}
+	extra := testPoints(20, 3, 20)
+	for _, p := range extra[:8] {
+		if _, err := d.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := d.Delete(7); !ok || err != nil {
+		t.Fatalf("Delete(7) = (%v, %v)", ok, err)
+	}
+	if err := d.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	for _, p := range extra[8:] {
+		if _, err := d.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := d.Delete(125); !ok || err != nil {
+		t.Fatalf("Delete(125) = (%v, %v)", ok, err)
+	}
+	want := queryAllLive(t, d.Searcher, 5)
+
+	// Crash: no Close, torn garbage on the log tail.
+	logs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(logs) != 1 {
+		t.Fatalf("wal files %v, %v", logs, err)
+	}
+	f, err := os.OpenFile(logs[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{40, 0, 0, 0, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	hashBefore := lsh.HashCalls()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer re.Close()
+	rec := re.Recovery()
+	if rec.Generation != 2 || !rec.WALTorn || rec.WALRecords != 13 {
+		t.Errorf("recovery info %+v, want generation 2, torn, 13 records", rec)
+	}
+	// 12 replayed inserts hash once per table each; the snapshot base
+	// restores without any.
+	if calls := lsh.HashCalls() - hashBefore; calls != 12*tables {
+		t.Errorf("recovery performed %d hash computations, want %d (WAL replay only)", calls, 12*tables)
+	}
+	if got := queryAllLive(t, re.Searcher, 5); !reflect.DeepEqual(got, want) {
+		t.Error("recovered LSH answers differ from pre-crash state")
+	}
+	// The recovered engine keeps the dynamic contract.
+	if _, err := re.Insert(extra[0]); err != nil {
+		t.Fatalf("Insert after recovery: %v", err)
+	}
+}
+
+// TestLSHLoadSurvivesCorruptNativeBlob pins the fallback: a snapshot whose
+// LSH native blob is unreadable still loads by re-hashing the rows with
+// default options — approximate answers may differ, but the engine comes
+// up with the same live point set and configuration.
+func TestLSHLoadSurvivesCorruptNativeBlob(t *testing.T) {
+	pts := testPoints(90, 3, 23)
+	s, err := New(pts, WithBackend(BackendLSH), WithScale(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.snapshotRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Native) == 0 {
+		t.Fatal("LSH snapshot carries no native blob")
+	}
+	rec.Native = []byte{0xFF, 1, 2, 3} // unreadable structure
+	var buf bytes.Buffer
+	if err := persist.WriteSnapshot(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load with corrupt native blob: %v", err)
+	}
+	if loaded.Len() != s.Len() || loaded.Scale() != s.Scale() || loaded.Backend() != BackendLSH {
+		t.Errorf("fallback load: n=%d t=%g backend=%q", loaded.Len(), loaded.Scale(), loaded.Backend())
+	}
+	if _, err := loaded.ReverseKNN(3, 5); err != nil {
+		t.Errorf("fallback-loaded engine cannot answer: %v", err)
 	}
 }

@@ -87,6 +87,13 @@ const (
 	BackendScan      Backend = "scan"
 	BackendKDTree    Backend = "kdtree"
 	BackendVPTree    Backend = "vptree"
+	// BackendLSH is the approximate back-end (Euclidean locality-sensitive
+	// hashing): the expanding search streams only hash-collision candidates,
+	// so results trade recall for throughput — the paper's claim (iii)
+	// regime. Approximate() reports true, query responses carry an
+	// "approximate" marker, and the recall telemetry (rknn_recall_estimate)
+	// quantifies the trade live; see DESIGN.md, "Approximate serving tier".
+	BackendLSH Backend = "lsh"
 )
 
 // Estimator selects how the scale parameter t is derived from the data
@@ -298,6 +305,12 @@ func (s *Searcher) Scale() float64 { return s.scale }
 // Backend returns the forward-index back-end the Searcher was built (or
 // restored) with.
 func (s *Searcher) Backend() Backend { return s.backend }
+
+// Approximate reports whether queries run in the approximate regime: the
+// back-end streams candidate rankings that may miss true neighbors
+// (BackendLSH), so results are not guaranteed exact at any scale parameter.
+// Exact back-ends return false.
+func (s *Searcher) Approximate() bool { return s.backend == BackendLSH }
 
 // Len returns the number of indexed points.
 func (s *Searcher) Len() int { return s.snap.Load().ix.Len() }

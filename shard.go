@@ -215,6 +215,12 @@ func (ss *ShardedSearcher) Scale() float64 { return ss.scale }
 // Backend returns the forward-index back-end of the shards.
 func (ss *ShardedSearcher) Backend() Backend { return ss.backend }
 
+// Approximate reports whether the shards run in the approximate regime
+// (BackendLSH); see Searcher.Approximate. The scatter-gather merge is exact
+// relative to the per-shard candidate sets, so the approximation is exactly
+// the shards' own.
+func (ss *ShardedSearcher) Approximate() bool { return ss.backend == BackendLSH }
+
 // Dim returns the dimensionality of the indexed points.
 func (ss *ShardedSearcher) Dim() int { return ss.dim }
 

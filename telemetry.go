@@ -26,6 +26,20 @@ import (
 //	rknn_candidates_lazy_settled_total    LazyAccepts + LazyRejects
 //	rknn_candidates_verified_total        Verified (refinement kNN queries)
 //	rknn_distance_comps_total             DistanceComps
+//	rknn_approx_candidates_total          ScanDepth (approximate back-ends only)
+//
+// Approximate back-ends (Searcher.Approximate) additionally register
+// rknn_approx_candidates_total — the hash-collision candidates the
+// approximate ranking actually streamed, which for LSH is the probed
+// fraction of the dataset. On an approximate engine this deliberately
+// equals rknn_scan_depth_total for the same backend label: the family's
+// value is that it EXISTS only in the approximate regime, giving
+// dashboards and alerts a stable name that cannot silently match an exact
+// engine's scan depth. They also register the scrape-time
+// rknn_recall_estimate gauge,
+// a sampled cross-check of the engine's answers against the exact
+// brute-force oracle over the current snapshot (see approx.go; cached per
+// snapshot, so scrapes of an unchanged dataset are free).
 //
 // All instruments are resolved once at registration, so the per-query path
 // is lock-free: counter increments and one histogram observation.
@@ -58,9 +72,12 @@ type engineTelemetry struct {
 	lazySettled  *telemetry.Counter
 	verified     *telemetry.Counter
 	distComps    *telemetry.Counter
+	// approxCandidates is registered only for approximate back-ends; nil
+	// keeps the exact engines' exposition free of approximate series.
+	approxCandidates *telemetry.Counter
 }
 
-func newEngineTelemetry(reg *telemetry.Registry, backend string) *engineTelemetry {
+func newEngineTelemetry(reg *telemetry.Registry, backend string, approx bool) *engineTelemetry {
 	queries := reg.CounterVec("rknn_queries_total",
 		"Queries answered successfully, by operation. Batch members count individually.",
 		"backend", "op")
@@ -92,6 +109,11 @@ func newEngineTelemetry(reg *telemetry.Registry, backend string) *engineTelemetr
 	t.distComps = reg.CounterVec("rknn_distance_comps_total",
 		"Distance computations performed by the witness machinery (Stats.DistanceComps).",
 		"backend").With(backend)
+	if approx {
+		t.approxCandidates = reg.CounterVec("rknn_approx_candidates_total",
+			"Candidates streamed by the approximate neighbor ranking (Stats.ScanDepth; equals rknn_scan_depth_total, registered only for approximate back-ends).",
+			"backend").With(backend)
+	}
 	generated, verified := t.generated, t.verified
 	reg.GaugeFunc("rknn_pruning_ratio",
 		"Live fraction of candidates settled without verification: 1 - verified/generated.",
@@ -147,6 +169,9 @@ func (t *engineTelemetry) observeStats(st Stats) {
 	t.lazySettled.Add(int64(st.LazyAccepts + st.LazyRejects))
 	t.verified.Add(int64(st.Verified))
 	t.distComps.Add(st.DistanceComps)
+	if t.approxCandidates != nil {
+		t.approxCandidates.Add(int64(st.ScanDepth))
+	}
 }
 
 // shardTelemetry aggregates the scatter-side work of one shard — the
@@ -207,21 +232,35 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // EnableTelemetry binds the Searcher to reg after construction — the hook
 // for engines that do not pass through New, such as recovery paths (Load,
 // Open). Safe to call while queries are in flight; queries started before
-// the call are not recorded.
+// the call are not recorded. Approximate back-ends additionally register
+// the scrape-time rknn_recall_estimate gauge (sampled oracle cross-check,
+// cached per snapshot and recomputed at most once per
+// recallRecomputeInterval under continuous writes; -1 when an estimate
+// fails).
 func (s *Searcher) EnableTelemetry(reg *telemetry.Registry) {
-	s.tel.Store(newEngineTelemetry(reg, string(s.backend)))
+	s.tel.Store(newEngineTelemetry(reg, string(s.backend), s.Approximate()))
+	if s.Approximate() {
+		cache := &recallCache{}
+		reg.GaugeFunc("rknn_recall_estimate",
+			"Sampled reverse-neighbor recall of the approximate engine against the exact oracle (per-snapshot cached, rate-limited, background-refreshed on large datasets; -1 on failure or before the first estimate).",
+			func() float64 { return cache.estimate(s) },
+			telemetry.Label{Name: "backend", Value: string(s.backend)})
+	}
 }
 
 // EnableTelemetry binds the ShardedSearcher to reg: engine-level metrics
 // plus per-shard scatter counters and live shard size gauges. Like the
-// Searcher form, it is safe to call while queries are in flight.
+// Searcher form, it is safe to call while queries are in flight. An
+// approximate sharded engine records rknn_approx_candidates_total; the
+// recall gauge is a single-engine surface (its oracle reads one snapshot,
+// not a scatter set).
 func (ss *ShardedSearcher) EnableTelemetry(reg *telemetry.Registry) {
 	sts := make([]*shardTelemetry, len(ss.slots))
 	for i := range sts {
 		sts[i] = newShardTelemetry(reg, i, ss.slots[i])
 	}
 	ss.shardTel.Store(&sts)
-	ss.tel.Store(newEngineTelemetry(reg, string(ss.backend)))
+	ss.tel.Store(newEngineTelemetry(reg, string(ss.backend), ss.Approximate()))
 }
 
 // fromCore converts the internal per-query counters to the public Stats.
