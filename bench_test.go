@@ -459,7 +459,7 @@ func BenchmarkCoreEngine(b *testing.B) {
 		qps["batch"] = q
 	})
 	if len(qps) == 3 {
-		payload := map[string]any{
+		mergeBenchJSON(b, "BENCH_core.json", "core_engine", map[string]any{
 			"benchmark":          "BenchmarkCoreEngine",
 			"dataset":            "fct-2000",
 			"batch":              len(qids),
@@ -467,14 +467,138 @@ func BenchmarkCoreEngine(b *testing.B) {
 			"gomaxprocs":         runtime.GOMAXPROCS(0),
 			"queries_per_second": qps,
 			"mean_pruning_ratio": pruning,
+		})
+	}
+}
+
+// mergeBenchJSON read-modify-writes one top-level key of a shared benchmark
+// JSON file, so sibling benchmarks (core_engine, write_path) each refresh
+// their own section without clobbering the other's last measurement. A
+// missing or unparsable file starts fresh.
+func mergeBenchJSON(b *testing.B, path, key string, payload any) {
+	b.Helper()
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil || doc[key] == nil && len(doc) > 0 && doc["benchmark"] != nil {
+			// Pre-merge flat schema (a bare BenchmarkCoreEngine payload):
+			// adopt it under its own key rather than dropping the history.
+			doc = map[string]any{"core_engine": json.RawMessage(raw)}
 		}
-		raw, err := json.MarshalIndent(payload, "", "  ")
+	}
+	doc[key] = payload
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		b.Logf("could not write %s: %v", path, err)
+	}
+}
+
+// BenchmarkWritePath measures the incremental write path on the FCT
+// surrogate: single-point insert and delete throughput through the delta
+// overlay (the facade's live configuration), bulk ingest through
+// InsertBatch, and the pre-overlay baseline — cloning the whole back-end
+// per write, which is exactly what Searcher.Insert did before the overlay
+// landed. The overlay-vs-clone multiple is the PR's headline number and is
+// recorded into BENCH_core.json under "write_path" (CI runs a 1-iteration
+// smoke via -benchtime 1x; the multiple is only meaningful on timed runs).
+func BenchmarkWritePath(b *testing.B) {
+	data := dataset.FCT(2000, 1)
+	dim := len(data.Points[0])
+	// A fixed pool of valid points, cycled; coordinates repeat but IDs stay
+	// dense and unique, which is all the write path keys on.
+	pool := make([][]float64, 1024)
+	for i := range pool {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = float64((i*31+j*17)%1000) / 1000
+		}
+		pool[i] = p
+	}
+	qps := map[string]float64{}
+
+	b.Run("insert/overlay", func(b *testing.B) {
+		s, err := New(data.Points, WithScale(6))
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := os.WriteFile("BENCH_core.json", append(raw, '\n'), 0o644); err != nil {
-			b.Logf("could not write BENCH_core.json: %v", err)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Insert(pool[i%len(pool)]); err != nil {
+				b.Fatal(err)
+			}
 		}
+		qps["insert_overlay"] = float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(qps["insert_overlay"], "inserts/s")
+	})
+	b.Run("insert/clone-per-write", func(b *testing.B) {
+		ix, err := harness.BuildBackend("covertree", data.Points, vecmath.Euclidean{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The pre-overlay write path: clone the whole index, insert into
+			// the clone, publish the clone.
+			next := ix.(index.Cloner).Clone()
+			if _, err := next.Insert(pool[i%len(pool)]); err != nil {
+				b.Fatal(err)
+			}
+			ix = next
+		}
+		qps["insert_clone_per_write"] = float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(qps["insert_clone_per_write"], "inserts/s")
+	})
+	b.Run("insert/batch-overlay", func(b *testing.B) {
+		s, err := New(data.Points, WithScale(6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		const batch = 256
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.InsertBatch(pool[:batch]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		qps["insert_batch_overlay"] = float64(b.N) * batch / b.Elapsed().Seconds()
+		b.ReportMetric(qps["insert_batch_overlay"], "inserts/s")
+	})
+	b.Run("delete/overlay", func(b *testing.B) {
+		s, err := New(data.Points, WithScale(6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Pre-grow (untimed) so every timed iteration deletes a live ID.
+		ids := make([]int, b.N)
+		for i := range ids {
+			id, err := s.Insert(pool[i%len(pool)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[i] = id
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ok, err := s.Delete(ids[i]); !ok || err != nil {
+				b.Fatalf("Delete(%d) = (%v, %v)", ids[i], ok, err)
+			}
+		}
+		qps["delete_overlay"] = float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(qps["delete_overlay"], "deletes/s")
+	})
+
+	if len(qps) == 4 {
+		multiple := qps["insert_overlay"] / qps["insert_clone_per_write"]
+		payload := map[string]any{
+			"benchmark":                 "BenchmarkWritePath",
+			"dataset":                   "fct-2000",
+			"gomaxprocs":                runtime.GOMAXPROCS(0),
+			"writes_per_second":         qps,
+			"overlay_vs_clone_multiple": multiple,
+		}
+		mergeBenchJSON(b, "BENCH_core.json", "write_path", payload)
 	}
 }
 

@@ -1,0 +1,422 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/vecmath"
+)
+
+// Overlay is an LSM-style delta layer over an immutable base index: recent
+// inserts live in an append-only memtable, deletions in a tombstone set, and
+// every query merges the two with the base on the fly under the (distance,
+// ID) total order. It exists so the facade's copy-on-write writers no longer
+// pay O(n) per mutation — Clone copies only the delta (the memtable slice
+// header and the tombstone set), sharing the base, and the O(n) cost moves
+// into Fold, paid once per compaction instead of once per write.
+//
+// ID discipline: the base owns IDs [0, baseSpan); memtable row i is ID
+// baseSpan+i. IDs are never reused and rows are never removed (a deleted
+// memtable row is tombstoned in place), so Fold re-inserting the rows into a
+// base clone reproduces exactly the IDs the overlay already handed out.
+//
+// An Overlay mutated through Insert/Delete is not safe for concurrent use
+// (like every Dynamic); the facade's discipline — clone, mutate the clone,
+// publish atomically — keeps published overlays immutable and therefore
+// safe for any number of readers.
+type Overlay struct {
+	base     Index // immutable while this overlay is reachable by readers
+	baseSpan int   // IDs below this resolve in base
+	rows     [][]float64
+	tomb     map[int]bool // deleted IDs, both base- and memtable-region
+	baseTomb int          // tombstones below baseSpan (the base.KNN over-fetch)
+	alive    int
+	dim      int
+	metric   vecmath.Metric
+}
+
+var (
+	_ Cloner   = (*Overlay)(nil)
+	_ Liveness = (*Overlay)(nil)
+)
+
+// baseClones counts base-index clones performed by Fold across the process
+// — the O(n) events. The write-path tests pin that N inserts below the
+// compaction threshold perform zero of them.
+var baseClones atomic.Int64
+
+// BaseClones returns the process-lifetime count of O(n) base-index clones
+// (one per Fold).
+func BaseClones() int64 { return baseClones.Load() }
+
+// NewOverlay wraps base in an empty delta overlay. The base is retained by
+// reference and must not be mutated afterwards; Fold additionally requires
+// it to implement Cloner.
+func NewOverlay(base Index) *Overlay {
+	span := base.Len()
+	if lv, ok := base.(Liveness); ok {
+		span = lv.IDSpan()
+	}
+	return &Overlay{
+		base:     base,
+		baseSpan: span,
+		tomb:     make(map[int]bool),
+		alive:    base.Len(),
+		dim:      base.Dim(),
+		metric:   base.Metric(),
+	}
+}
+
+// Base returns the immutable base index under the delta.
+func (o *Overlay) Base() Index { return o.base }
+
+// MemtableLen returns the number of memtable rows (including tombstoned
+// ones — they still occupy IDs and are re-inserted by Fold).
+func (o *Overlay) MemtableLen() int { return len(o.rows) }
+
+// Pending returns the total delta size — memtable rows plus tombstones —
+// the quantity the facade's compaction threshold watches.
+func (o *Overlay) Pending() int { return len(o.rows) + len(o.tomb) }
+
+// Dirty reports whether the overlay carries any delta at all.
+func (o *Overlay) Dirty() bool { return len(o.rows) > 0 || len(o.tomb) > 0 }
+
+// Len implements Index; deleted points are excluded.
+func (o *Overlay) Len() int { return o.alive }
+
+// Dim implements Index.
+func (o *Overlay) Dim() int { return o.dim }
+
+// Metric implements Index.
+func (o *Overlay) Metric() vecmath.Metric { return o.metric }
+
+// IDSpan implements Liveness.
+func (o *Overlay) IDSpan() int { return o.baseSpan + len(o.rows) }
+
+// Live implements Liveness.
+func (o *Overlay) Live(id int) bool {
+	if id < 0 || id >= o.IDSpan() || o.tomb[id] {
+		return false
+	}
+	if id < o.baseSpan {
+		return o.baseLive(id)
+	}
+	return true
+}
+
+// baseLive reports liveness within the base alone (the base may carry its
+// own tombstones from before it was wrapped or from a previous Fold).
+func (o *Overlay) baseLive(id int) bool {
+	if lv, ok := o.base.(Liveness); ok {
+		return lv.Live(id)
+	}
+	return id >= 0 && id < o.base.Len()
+}
+
+// Point implements Index. Like the back-ends, it keeps returning the
+// coordinates of tombstoned IDs and panics on IDs never assigned.
+func (o *Overlay) Point(id int) []float64 {
+	if id < o.baseSpan {
+		return o.base.Point(id)
+	}
+	return o.rows[id-o.baseSpan]
+}
+
+// Insert implements Dynamic: an O(1) memtable append.
+func (o *Overlay) Insert(p []float64) (int, error) {
+	if err := vecmath.Validate(p); err != nil {
+		return 0, err
+	}
+	if len(p) != o.dim {
+		return 0, fmt.Errorf("index: point dimension %d, index dimension %d", len(p), o.dim)
+	}
+	o.rows = append(o.rows, p)
+	o.alive++
+	return o.baseSpan + len(o.rows) - 1, nil
+}
+
+// Delete implements Dynamic: an O(1) tombstone. Memtable rows stay in place
+// (their IDs are never reused); base points are hidden from every query
+// without touching the shared base.
+func (o *Overlay) Delete(id int) bool {
+	if !o.Live(id) {
+		return false
+	}
+	o.tomb[id] = true
+	if id < o.baseSpan {
+		o.baseTomb++
+	}
+	o.alive--
+	return true
+}
+
+// Clone implements Cloner in O(delta), not O(n): the memtable slice and the
+// tombstone set are copied, the base is shared. Mutating the clone is never
+// observable through the original, so the facade's clone-then-swap writers
+// keep their existing discipline at a per-write cost proportional to the
+// delta size.
+func (o *Overlay) Clone() Dynamic {
+	rows := make([][]float64, len(o.rows), len(o.rows)+1)
+	copy(rows, o.rows)
+	tomb := make(map[int]bool, len(o.tomb))
+	for id := range o.tomb {
+		tomb[id] = true
+	}
+	return &Overlay{
+		base:     o.base,
+		baseSpan: o.baseSpan,
+		rows:     rows,
+		tomb:     tomb,
+		baseTomb: o.baseTomb,
+		alive:    o.alive,
+		dim:      o.dim,
+		metric:   o.metric,
+	}
+}
+
+// Fold pays the O(n) cost the per-write path no longer does: it clones the
+// base, re-inserts the memtable rows (verifying each lands on the ID the
+// overlay assigned), applies the tombstones in ascending ID order, and
+// returns the folded index — a fresh base for a rebased overlay. The
+// receiver is not modified, so a frozen overlay can be folded off-lock
+// while writers keep appending to its clones.
+func (o *Overlay) Fold() (Dynamic, error) {
+	cl, ok := o.base.(Cloner)
+	if !ok {
+		return nil, errors.New("index: overlay base does not support cloning")
+	}
+	baseClones.Add(1)
+	next := cl.Clone()
+	for i, p := range o.rows {
+		id, err := next.Insert(p)
+		if err != nil {
+			return nil, fmt.Errorf("index: folding memtable row %d: %w", i, err)
+		}
+		if id != o.baseSpan+i {
+			return nil, fmt.Errorf("index: folded row landed on id %d, overlay assigned %d", id, o.baseSpan+i)
+		}
+	}
+	tombs := make([]int, 0, len(o.tomb))
+	for id := range o.tomb {
+		tombs = append(tombs, id)
+	}
+	sort.Ints(tombs)
+	for _, id := range tombs {
+		if !next.Delete(id) {
+			return nil, fmt.Errorf("index: folded tombstone %d not deletable", id)
+		}
+	}
+	return next, nil
+}
+
+// Rebase returns a fresh overlay over folded (the result of frozen.Fold())
+// carrying only the delta the receiver accumulated after frozen was
+// captured. It relies on the clone discipline's invariants: frozen was
+// cloned from the same lineage as the receiver, so frozen.rows is a prefix
+// of o.rows and frozen.tomb a subset of o.tomb.
+func (o *Overlay) Rebase(frozen *Overlay, folded Dynamic) *Overlay {
+	span := frozen.baseSpan + len(frozen.rows)
+	rows := make([][]float64, len(o.rows)-len(frozen.rows), len(o.rows)-len(frozen.rows)+1)
+	copy(rows, o.rows[len(frozen.rows):])
+	tomb := make(map[int]bool)
+	baseTomb := 0
+	for id := range o.tomb {
+		if frozen.tomb[id] {
+			continue // already applied to folded
+		}
+		tomb[id] = true
+		if id < span {
+			baseTomb++
+		}
+	}
+	return &Overlay{
+		base:     folded,
+		baseSpan: span,
+		rows:     rows,
+		tomb:     tomb,
+		baseTomb: baseTomb,
+		alive:    o.alive,
+		dim:      o.dim,
+		metric:   o.metric,
+	}
+}
+
+// baseSkip translates the caller's skipID for the base index: base queries
+// can only be asked to skip base-region IDs.
+func (o *Overlay) baseSkip(skipID int) int {
+	if skipID >= 0 && skipID < o.baseSpan {
+		return skipID
+	}
+	return -1
+}
+
+// memNeighbors returns the live memtable rows as (distance, ID) pairs in
+// ascending (distance, ID) order — the memtable half of every merge.
+func (o *Overlay) memNeighbors(q []float64, skipID int) []Neighbor {
+	if len(o.rows) == 0 {
+		return nil
+	}
+	out := make([]Neighbor, 0, len(o.rows))
+	for i, p := range o.rows {
+		id := o.baseSpan + i
+		if id == skipID || o.tomb[id] {
+			continue
+		}
+		out = append(out, Neighbor{ID: id, Dist: o.metric.Distance(q, p)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// NewCursor implements Index: the base cursor filtered through the
+// tombstones, two-way merged with the sorted memtable. Base wins distance
+// ties, which is exactly ascending-ID order: every base ID is below every
+// memtable ID.
+func (o *Overlay) NewCursor(q []float64, skipID int) Cursor {
+	return &overlayCursor{
+		base: o.base.NewCursor(q, o.baseSkip(skipID)),
+		tomb: o.tomb,
+		mem:  o.memNeighbors(q, skipID),
+	}
+}
+
+type overlayCursor struct {
+	base    Cursor
+	tomb    map[int]bool
+	mem     []Neighbor
+	memAt   int
+	pending Neighbor // next live base neighbor, when buffered
+	havePnd bool
+	baseEnd bool
+}
+
+func (c *overlayCursor) Next() (Neighbor, bool) {
+	if !c.havePnd && !c.baseEnd {
+		for {
+			n, ok := c.base.Next()
+			if !ok {
+				c.baseEnd = true
+				break
+			}
+			if c.tomb[n.ID] {
+				continue
+			}
+			c.pending, c.havePnd = n, true
+			break
+		}
+	}
+	memOK := c.memAt < len(c.mem)
+	switch {
+	case c.havePnd && memOK:
+		if c.pending.Dist <= c.mem[c.memAt].Dist {
+			c.havePnd = false
+			return c.pending, true
+		}
+		c.memAt++
+		return c.mem[c.memAt-1], true
+	case c.havePnd:
+		c.havePnd = false
+		return c.pending, true
+	case memOK:
+		c.memAt++
+		return c.mem[c.memAt-1], true
+	}
+	return Neighbor{}, false
+}
+
+// mergeTake merges the tombstone-filtered base list with the sorted
+// memtable list under the (distance, ID) order (base first on ties), keeping
+// at most k results; k < 0 keeps everything.
+func mergeTake(base, mem []Neighbor, k int) []Neighbor {
+	if k < 0 {
+		k = len(base) + len(mem)
+	}
+	out := make([]Neighbor, 0, min(k, len(base)+len(mem)))
+	bi, mi := 0, 0
+	for len(out) < k && (bi < len(base) || mi < len(mem)) {
+		switch {
+		case bi == len(base):
+			out = append(out, mem[mi])
+			mi++
+		case mi == len(mem) || base[bi].Dist <= mem[mi].Dist:
+			out = append(out, base[bi])
+			bi++
+		default:
+			out = append(out, mem[mi])
+			mi++
+		}
+	}
+	return out
+}
+
+// KNN implements Index. The base is over-fetched by the base-region
+// tombstone count so that filtering can never starve the merge of live base
+// candidates.
+func (o *Overlay) KNN(q []float64, k int, skipID int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	bn := o.base.KNN(q, k+o.baseTomb, o.baseSkip(skipID))
+	base := bn[:0:0]
+	for _, n := range bn {
+		if o.tomb[n.ID] {
+			continue
+		}
+		base = append(base, n)
+		if len(base) == k {
+			break
+		}
+	}
+	return mergeTake(base, o.memNeighbors(q, skipID), k)
+}
+
+// Range implements Index.
+func (o *Overlay) Range(q []float64, r float64, skipID int) []Neighbor {
+	bn := o.base.Range(q, r, o.baseSkip(skipID))
+	base := bn[:0:0]
+	for _, n := range bn {
+		if !o.tomb[n.ID] {
+			base = append(base, n)
+		}
+	}
+	var mem []Neighbor
+	for _, n := range o.memNeighbors(q, skipID) {
+		if n.Dist > r {
+			break
+		}
+		mem = append(mem, n)
+	}
+	return mergeTake(base, mem, -1)
+}
+
+// CountRange implements Index without materializing the base result: the
+// base count, minus the (few) tombstoned base points inside the radius,
+// plus the live memtable rows inside it.
+func (o *Overlay) CountRange(q []float64, r float64, skipID int) int {
+	n := o.base.CountRange(q, r, o.baseSkip(skipID))
+	for id := range o.tomb {
+		if id >= o.baseSpan || id == skipID {
+			continue
+		}
+		if o.metric.Distance(q, o.base.Point(id)) <= r {
+			n--
+		}
+	}
+	for i, p := range o.rows {
+		id := o.baseSpan + i
+		if id == skipID || o.tomb[id] {
+			continue
+		}
+		if o.metric.Distance(q, p) <= r {
+			n++
+		}
+	}
+	return n
+}

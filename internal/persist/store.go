@@ -200,6 +200,9 @@ func Open(dir string, policy SyncPolicy, apply func(WALRecord) error) (*Store, *
 // Append logs one mutation.
 func (st *Store) Append(r WALRecord) error { return st.wal.Append(r) }
 
+// AppendBatch logs many mutations with one write and at most one sync.
+func (st *Store) AppendBatch(records []WALRecord) error { return st.wal.AppendBatch(records) }
+
 // Sync forces the log to stable storage regardless of policy.
 func (st *Store) Sync() error { return st.wal.Sync() }
 

@@ -10,6 +10,7 @@
 //	POST   /v1/rknn/batch      {"ids":[1,2,3],"k":10,"workers":0}
 //	POST   /v1/knn             {"point":[...],"k":5}
 //	POST   /v1/points          {"point":[...]}            (insert)
+//	POST   /v1/points/batch    {"points":[[...],[...]]}   (bulk insert)
 //	DELETE /v1/points/{id}                                (delete)
 //	POST   /v1/admin/snapshot                             (cut a durable snapshot)
 //	GET    /v1/admin/slowlog                              (recent slow requests)
@@ -23,6 +24,9 @@
 // a client disconnect aborts the remaining queries of its batch. The admin
 // snapshot endpoint requires an engine with a durable store (a
 // repro.DurableSearcher); on a purely in-memory engine it answers 501.
+// Bulk insert requires an engine with a batch write path (BulkInserter);
+// engines without one likewise answer 501, steering clients to the
+// single-point endpoint.
 //
 // Observability: every route records request/error counters and a
 // log-bucket latency histogram in an internal/telemetry Registry — its own
@@ -79,6 +83,22 @@ type Sharded interface {
 	ShardStats() []repro.ShardInfo
 }
 
+// BulkInserter is the optional bulk-ingest surface of an Engine
+// (*repro.Searcher, *repro.DurableSearcher and the sharded variants
+// implement it): many points enter under one lock acquisition and — on a
+// durable engine — one WAL write and at most one sync.
+type BulkInserter interface {
+	InsertBatch(pts [][]float64) ([]int, error)
+}
+
+// Incremental is the optional incremental-write-path surface of an Engine:
+// the delta-overlay memtable size and the number of compactions folded so
+// far, reported in /statsz alongside the engine shape.
+type Incremental interface {
+	MemtableLen() int
+	Compactions() int64
+}
+
 // Approximate is the optional approximation surface of an Engine
 // (*repro.Searcher and *repro.ShardedSearcher implement it). When it
 // reports true, query responses carry "approximate": true and /statsz
@@ -111,7 +131,7 @@ type endpointStats struct {
 
 // routes is the fixed set of stats keys, one per endpoint.
 var routes = []string{
-	"/v1/rknn", "/v1/rknn/batch", "/v1/knn", "/v1/points", "/v1/admin/snapshot",
+	"/v1/rknn", "/v1/rknn/batch", "/v1/knn", "/v1/points", "/v1/points/batch", "/v1/admin/snapshot",
 	"/v1/admin/slowlog", "/healthz", "/statsz", "/metrics",
 }
 
@@ -202,6 +222,7 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/rknn/batch", srv.instrument("/v1/rknn/batch", srv.handleRkNNBatch))
 	mux.HandleFunc("POST /v1/knn", srv.instrument("/v1/knn", srv.handleKNN))
 	mux.HandleFunc("POST /v1/points", srv.instrument("/v1/points", srv.handleInsert))
+	mux.HandleFunc("POST /v1/points/batch", srv.instrument("/v1/points/batch", srv.handleInsertBatch))
 	mux.HandleFunc("DELETE /v1/points/{id}", srv.instrument("/v1/points", srv.handleDelete))
 	mux.HandleFunc("POST /v1/admin/snapshot", srv.instrument("/v1/admin/snapshot", srv.handleSnapshot))
 	mux.HandleFunc("GET /v1/admin/slowlog", srv.instrument("/v1/admin/slowlog", srv.handleSlowlog))
@@ -425,6 +446,35 @@ func (srv *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusCreated, map[string]int{"id": id})
 }
 
+type insertBatchRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+// handleInsertBatch ingests many points through the engine's batch write
+// path. The batch is atomic on a single engine (all points land or none);
+// IDs come back in request order.
+func (srv *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) error {
+	bi, ok := srv.s.(BulkInserter)
+	if !ok {
+		return &apiError{
+			status: http.StatusNotImplemented,
+			err:    errors.New("engine has no batch write path (use POST /v1/points)"),
+		}
+	}
+	var req insertBatchRequest
+	if err := decode(w, r, &req); err != nil {
+		return err
+	}
+	if len(req.Points) == 0 {
+		return badRequest("points must be non-empty")
+	}
+	ids, err := bi.InsertBatch(req.Points)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	return writeJSON(w, http.StatusCreated, map[string][]int{"ids": emptyNotNull(ids)})
+}
+
 func (srv *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
@@ -499,6 +549,10 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	}
 	if d, ok := srv.s.(Durable); ok {
 		engine["generation"] = d.Generation()
+	}
+	if inc, ok := srv.s.(Incremental); ok {
+		engine["memtable_points"] = inc.MemtableLen()
+		engine["compactions"] = inc.Compactions()
 	}
 	if sh, ok := srv.s.(Sharded); ok {
 		engine["shard_count"] = sh.Shards()

@@ -260,6 +260,52 @@ func TestPointsInsertDelete(t *testing.T) {
 	}
 }
 
+// queryOnly hides every optional surface of an Engine, leaving just the
+// required interface — the shape of a hypothetical third-party engine.
+type queryOnly struct{ Engine }
+
+func TestPointsBatchInsert(t *testing.T) {
+	s, _, ts := newTestServer(t)
+	before := s.Len()
+	batch := [][]float64{{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}, {0.7, 0.8, 0.9}}
+	var resp struct {
+		IDs []int `json:"ids"`
+	}
+	if status := call(t, "POST", ts.URL+"/v1/points/batch", map[string]any{"points": batch}, &resp); status != http.StatusCreated {
+		t.Fatalf("batch insert status %d, want 201", status)
+	}
+	if want := []int{before, before + 1, before + 2}; !reflect.DeepEqual(resp.IDs, want) {
+		t.Errorf("batch ids = %v, want %v", resp.IDs, want)
+	}
+	if s.Len() != before+3 {
+		t.Errorf("Len after batch = %d, want %d", s.Len(), before+3)
+	}
+	// A batch with any invalid member is rejected whole: nothing lands.
+	bad := [][]float64{{0.1, 0.2, 0.3}, {1}}
+	if status := call(t, "POST", ts.URL+"/v1/points/batch", map[string]any{"points": bad}, nil); status != http.StatusBadRequest {
+		t.Errorf("bad batch status %d, want 400", status)
+	}
+	if s.Len() != before+3 {
+		t.Errorf("Len after rejected batch = %d, want %d (atomic batch)", s.Len(), before+3)
+	}
+	if status := call(t, "POST", ts.URL+"/v1/points/batch", map[string]any{"points": [][]float64{}}, nil); status != http.StatusBadRequest {
+		t.Errorf("empty batch status %d, want 400", status)
+	}
+
+	// The new points answer queries immediately (they live in the overlay
+	// memtable until the background compactor folds them).
+	if status := call(t, "POST", ts.URL+"/v1/rknn", map[string]any{"id": resp.IDs[2], "k": 3}, nil); status != http.StatusOK {
+		t.Errorf("rknn on batch-inserted id: status %d, want 200", status)
+	}
+
+	// An engine without a batch write path answers 501.
+	plain := httptest.NewServer(New(queryOnly{s}).Handler())
+	defer plain.Close()
+	if status := call(t, "POST", plain.URL+"/v1/points/batch", map[string]any{"points": batch}, nil); status != http.StatusNotImplemented {
+		t.Errorf("batch on query-only engine: status %d, want 501", status)
+	}
+}
+
 func TestHealthAndStats(t *testing.T) {
 	s, _, ts := newTestServer(t)
 	var health struct {
@@ -288,12 +334,19 @@ func TestHealthAndStats(t *testing.T) {
 			MeanUS   float64 `json:"mean_us"`
 		} `json:"endpoints"`
 		Engine struct {
-			Points int     `json:"points"`
-			Scale  float64 `json:"scale"`
+			Points         int     `json:"points"`
+			Scale          float64 `json:"scale"`
+			MemtablePoints *int    `json:"memtable_points"`
+			Compactions    *int64  `json:"compactions"`
 		} `json:"engine"`
 	}
 	if status := call(t, "GET", ts.URL+"/statsz", nil, &stats); status != http.StatusOK {
 		t.Fatalf("statsz status %d", status)
+	}
+	// The incremental write path surfaces its memtable and compaction
+	// counters for any engine exposing them (all repro engines do).
+	if stats.Engine.MemtablePoints == nil || stats.Engine.Compactions == nil {
+		t.Errorf("statsz engine missing memtable_points/compactions: %+v", stats.Engine)
 	}
 	rknn := stats.Endpoints["/v1/rknn"]
 	if rknn.Requests < 2 || rknn.Errors < 1 {
@@ -573,6 +626,80 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if t.Failed() {
 		t.Logf("exposition:\n%s", text)
+	}
+}
+
+// sampleValue extracts one sample from a registry by family name and label
+// set, failing the test when absent.
+func sampleValue(t *testing.T, reg *telemetry.Registry, name string, labels ...telemetry.Label) float64 {
+	t.Helper()
+	for _, f := range reg.Gather() {
+		if f.Name != name {
+			continue
+		}
+	samples:
+		for _, s := range f.Samples {
+			for _, want := range labels {
+				found := false
+				for _, l := range s.Labels {
+					if l == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					continue samples
+				}
+			}
+			return s.Value
+		}
+	}
+	t.Fatalf("no sample %s%v in registry", name, labels)
+	return 0
+}
+
+// TestBatchTelemetryRecordsSuccessesOnMemberFailure pins the batch
+// accounting bugfix end to end: a batch whose members partly fail makes the
+// HTTP layer count one route error, while the engine still records every
+// member that succeeded before the failure surfaced — previously the error
+// return skipped the telemetry block and the successes vanished.
+func TestBatchTelemetryRecordsSuccessesOnMemberFailure(t *testing.T) {
+	pts := indextest.RandPoints(150, 3, 29)
+	reg := telemetry.NewRegistry()
+	s, err := repro.New(pts, repro.WithScale(100), repro.WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(s, WithRegistry(reg)).Handler())
+	t.Cleanup(ts.Close)
+
+	// Manufacture a member that fails mid-batch: a tombstoned ID.
+	deleted := 42
+	if ok, err := s.Delete(deleted); !ok || err != nil {
+		t.Fatalf("Delete(%d) = (%v, %v)", deleted, ok, err)
+	}
+	var errResp map[string]string
+	status := call(t, "POST", ts.URL+"/v1/rknn/batch",
+		map[string]any{"ids": []int{0, 1, deleted, 2}, "k": 5}, &errResp)
+	if status != http.StatusBadRequest {
+		t.Fatalf("batch with deleted member: status %d, want 400", status)
+	}
+	if !strings.Contains(errResp["error"], "query") {
+		t.Errorf("error %q does not name the failing query", errResp["error"])
+	}
+
+	backend := telemetry.Label{Name: "backend", Value: "covertree"}
+	if got := sampleValue(t, reg, "rknn_queries_total", backend,
+		telemetry.Label{Name: "op", Value: "batch"}); got != 3 {
+		t.Errorf("rknn_queries_total{op=batch} = %v, want 3 successful members", got)
+	}
+	if got := sampleValue(t, reg, "rknn_http_request_errors_total",
+		telemetry.Label{Name: "route", Value: "/v1/rknn/batch"}); got != 1 {
+		t.Errorf("route errors = %v, want 1", got)
+	}
+	if got := sampleValue(t, reg, "rknn_http_requests_total",
+		telemetry.Label{Name: "route", Value: "/v1/rknn/batch"}); got != 1 {
+		t.Errorf("route requests = %v, want 1", got)
 	}
 }
 

@@ -218,6 +218,25 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	f.mu.Unlock()
 }
 
+// CounterFunc registers a counter series whose value is computed by fn at
+// every scrape — for monotone totals the process already tracks elsewhere
+// (compaction counts, store generations). fn must be monotone non-decreasing
+// to honor counter semantics. Re-registering the same name and labels
+// replaces the callback (last registration wins).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	names := make([]string, len(labels))
+	values := make([]string, len(labels))
+	for i, l := range labels {
+		names[i] = l.Name
+		values[i] = l.Value
+	}
+	f := r.family(name, help, KindCounter, names, nil)
+	s := f.get(values)
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
 // HistogramVec is a histogram family partitioned by label values.
 type HistogramVec struct{ f *family }
 
@@ -280,7 +299,11 @@ func (f *family) snapshot() FamilySnapshot {
 		smp := Sample{Labels: s.labels}
 		switch f.kind {
 		case KindCounter:
-			smp.Value = float64(s.counter.Value())
+			if s.fn != nil {
+				smp.Value = s.fn()
+			} else {
+				smp.Value = float64(s.counter.Value())
+			}
 		case KindGauge:
 			if s.fn != nil {
 				smp.Value = s.fn()

@@ -45,6 +45,11 @@ func (s *Searcher) Save(w io.Writer) error {
 
 // snapshotRecord captures the Searcher's current state as a persist record.
 func (s *Searcher) snapshotRecord() (*persist.Snapshot, error) {
+	// Fold the delta overlay first so the record can ship the base
+	// back-end's native structure blob. Racing writers may leave a residual
+	// delta; the record then captures generically (rows + tombstones) and a
+	// restore rebuilds — exactly the existing corrupted-blob degradation.
+	s.compactNow()
 	ix := s.snap.Load().ix
 	metricID, metricParam, err := vecmath.IdentifyMetric(ix.Metric())
 	if err != nil {
@@ -68,7 +73,13 @@ func (s *Searcher) snapshotRecord() (*persist.Snapshot, error) {
 	// computations instead of re-inserting every point; the LSH index ships
 	// its projections, offsets, width, and buckets so a restore performs
 	// zero hash computations and reproduces byte-identical candidate sets.
-	switch nx := ix.(type) {
+	// A clean overlay exposes its base for the blob; a dirty one stays
+	// generic.
+	native := ix
+	if ov, ok := ix.(*index.Overlay); ok && !ov.Dirty() {
+		native = ov.Base()
+	}
+	switch nx := native.(type) {
 	case *covertree.Tree:
 		rec.Native = nx.EncodeStructure()
 	case *lsh.Index:
@@ -159,7 +170,7 @@ func searcherForSnapshot(rec *persist.Snapshot, ix index.Index) (*Searcher, erro
 		}
 		s.scale = rec.Scale
 	}
-	s.snap.Store(&snapshot{ix: ix})
+	s.snap.Store(&snapshot{ix: wrapOverlay(ix)})
 	return s, nil
 }
 
@@ -240,6 +251,10 @@ func Open(dir string, opts ...StoreOption) (*DurableSearcher, error) {
 		st.Close()
 		return nil, err
 	}
+	// Replay lands in the overlay's memtable: O(records) appends with zero
+	// distance or hash computations, while insert-ID verification still
+	// holds (row positions reproduce the logged IDs exactly).
+	ix = wrapOverlay(ix)
 	if err := replayRecords(ix, records); err != nil {
 		st.Close()
 		return nil, fmt.Errorf("rknnd: open %s: %w", dir, err)
@@ -260,6 +275,9 @@ func Open(dir string, opts ...StoreOption) (*DurableSearcher, error) {
 		},
 	}
 	d.gen.Store(info.Gen)
+	// A large replayed log may exceed the compaction threshold; fold it in
+	// the background rather than on the first unlucky write.
+	s.maybeCompact()
 	return d, nil
 }
 
@@ -365,6 +383,31 @@ func (d *DurableSearcher) Insert(p []float64) (int, error) {
 		return 0, d.disable(err)
 	}
 	return id, nil
+}
+
+// InsertBatch applies a batch of points in one copy-on-write step and logs
+// the whole batch as one write-ahead append — one lock acquisition, one
+// frame write, at most one fsync for the entire batch. The batch is atomic
+// in memory and in the log: either every point is inserted and logged, or
+// none are. The error contract matches Insert.
+func (d *DurableSearcher) InsertBatch(points [][]float64) ([]int, error) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if err := d.usable(); err != nil {
+		return nil, err
+	}
+	ids, err := d.Searcher.InsertBatch(points)
+	if err != nil || len(ids) == 0 {
+		return ids, err
+	}
+	records := make([]persist.WALRecord, len(ids))
+	for i, id := range ids {
+		records[i] = persist.WALRecord{Op: persist.WALInsert, ID: id, Point: points[i]}
+	}
+	if err := d.store.AppendBatch(records); err != nil {
+		return nil, d.disable(err)
+	}
+	return ids, nil
 }
 
 // Delete applies and logs a point deletion, with the same error contract

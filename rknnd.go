@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -128,14 +129,15 @@ type Stats struct {
 type Option func(*config)
 
 type config struct {
-	metric   Metric
-	backend  Backend
-	scale    float64
-	auto     Estimator
-	plain    bool // disable the RDT+ candidate reduction
-	margin   float64
-	adaptive bool
-	reg      *telemetry.Registry // nil: telemetry disabled
+	metric    Metric
+	backend   Backend
+	scale     float64
+	auto      Estimator
+	plain     bool // disable the RDT+ candidate reduction
+	margin    float64
+	adaptive  bool
+	compactAt int                 // delta-overlay compaction threshold; 0: default
+	reg       *telemetry.Registry // nil: telemetry disabled
 }
 
 // WithMetric selects the distance (default Euclidean).
@@ -164,6 +166,26 @@ func WithScaleMargin(m float64) Option { return func(c *config) { c.margin = m }
 // positives (RDT+ can mislabel through lazy acceptance; paper Section 4.3).
 func WithPlainRDT() Option { return func(c *config) { c.plain = true } }
 
+// defaultCompactionThreshold is the delta size (memtable rows plus
+// tombstones) past which a write triggers a background compaction. Large
+// enough that the amortized per-write share of the O(n) fold is small, small
+// enough that the per-query merge overhead stays bounded.
+const defaultCompactionThreshold = 256
+
+// WithCompactionThreshold sets how large the delta overlay (recent inserts
+// plus tombstones) may grow before a write triggers a background compaction
+// folding it into a fresh base index. Smaller values bound per-query merge
+// overhead tighter; larger values amortize the O(n) fold over more writes.
+// Values below 1 select the default (256).
+func WithCompactionThreshold(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 0
+		}
+		c.compactAt = n
+	}
+}
+
 // WithAdaptiveScale re-estimates the scale parameter online at every step
 // of each query's expanding search instead of fixing it up front — the
 // dynamic adjustment the paper poses as future work (Section 9). WithScale
@@ -187,6 +209,14 @@ type Searcher struct {
 
 	snap atomic.Pointer[snapshot]
 	mu   sync.Mutex // serializes Insert/Delete (writers clone, then swap)
+
+	// compactAt is the delta-overlay size past which a write schedules a
+	// background compaction (0 selects defaultCompactionThreshold);
+	// compacting admits one compactor at a time, and compactions counts the
+	// folds performed over the Searcher's lifetime.
+	compactAt   int
+	compacting  atomic.Bool
+	compactions atomic.Int64
 
 	// tel aggregates per-query work counters when telemetry is enabled
 	// (WithTelemetry / EnableTelemetry); nil when disabled. Published
@@ -247,11 +277,16 @@ func New(points [][]float64, opts ...Option) (*Searcher, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
 	}
+	// Dynamic back-ends serve writes through a delta overlay: queries merge
+	// a small memtable with the immutable base, so Insert/Delete cost
+	// O(delta) instead of an O(n) backend clone. Static back-ends stay bare
+	// (their writes are rejected anyway).
+	ix = wrapOverlay(ix)
 	if cfg.adaptive {
 		if cfg.margin < 0 {
 			return nil, fmt.Errorf("rknnd: scale margin must be non-negative, got %v", cfg.margin)
 		}
-		s := &Searcher{adaptive: true, margin: cfg.margin, plus: !cfg.plain, backend: cfg.backend}
+		s := &Searcher{adaptive: true, margin: cfg.margin, plus: !cfg.plain, backend: cfg.backend, compactAt: cfg.compactAt}
 		s.snap.Store(&snapshot{ix: ix})
 		if cfg.reg != nil {
 			s.EnableTelemetry(cfg.reg)
@@ -272,7 +307,7 @@ func New(points [][]float64, opts ...Option) (*Searcher, error) {
 	if !(scale > 0) {
 		return nil, fmt.Errorf("rknnd: scale parameter must be positive, got %v", scale)
 	}
-	s := &Searcher{scale: scale, plus: !cfg.plain, backend: cfg.backend}
+	s := &Searcher{scale: scale, plus: !cfg.plain, backend: cfg.backend, compactAt: cfg.compactAt}
 	s.snap.Store(&snapshot{ix: ix})
 	if cfg.reg != nil {
 		s.EnableTelemetry(cfg.reg)
@@ -398,19 +433,34 @@ func (s *Searcher) BatchReverseKNNContext(ctx context.Context, qids []int, k, wo
 		return nil, fmt.Errorf("rknnd: %w", err)
 	}
 	out := make([][]int, len(batch))
+	var firstErr error
+	succeeded := 0
 	for i, br := range batch {
 		if br.Err != nil {
-			return nil, fmt.Errorf("rknnd: query %d: %w", br.QueryID, br.Err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rknnd: query %d: %w", br.QueryID, br.Err)
+			}
+			continue
 		}
 		out[i] = br.Result.IDs
+		succeeded++
 	}
 	if tel != nil {
 		// One latency observation per batch call; member queries count
 		// individually in rknn_queries_total and the candidate aggregates.
-		tel.observeOp(opBatch, len(batch), time.Since(begin))
+		// Successful members are recorded even when a failed member aborts
+		// the batch — their work happened, and dropping them would make the
+		// engine totals disagree with the server's per-route accounting.
+		tel.countQueries(opBatch, succeeded)
+		tel.observeLatency(opBatch, time.Since(begin))
 		for _, br := range batch {
-			tel.observeStats(fromCore(br.Result.Stats))
+			if br.Err == nil {
+				tel.observeStats(fromCore(br.Result.Stats))
+			}
 		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }
@@ -454,13 +504,32 @@ type Neighbor struct {
 func (s *Searcher) Point(id int) []float64 { return s.snap.Load().ix.Point(id) }
 
 // Insert adds a point when the back-end supports dynamic updates
-// (BackendCoverTree and BackendScan do) and returns its new ID. The paper
-// highlights this property for data warehouse and stream scenarios
-// (Section 4); here an update additionally clones the index (O(n)) so that
-// in-flight queries keep reading their frozen snapshot, and then publishes
-// the updated clone with one atomic swap. Updates are serialized; queries
-// are never blocked.
+// (BackendCoverTree, BackendScan, and BackendLSH do) and returns its new ID.
+// The paper highlights this property for data warehouse and stream scenarios
+// (Section 4); here a write clones only the delta overlay over the immutable
+// base index — O(delta), not O(n) — so that in-flight queries keep reading
+// their frozen snapshot, then publishes the updated clone with one atomic
+// swap. The O(n) cost is paid by a background compaction once the delta
+// exceeds the threshold (WithCompactionThreshold). Updates are serialized;
+// queries are never blocked.
 func (s *Searcher) Insert(p []float64) (int, error) {
+	tel := s.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
+	id, err := s.applyInsert(p)
+	if err != nil {
+		return 0, err
+	}
+	if tel != nil {
+		tel.observeOp(opInsert, 1, time.Since(begin))
+	}
+	s.maybeCompact()
+	return id, nil
+}
+
+func (s *Searcher) applyInsert(p []float64) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.snap.Load().ix
@@ -468,8 +537,8 @@ func (s *Searcher) Insert(p []float64) (int, error) {
 	if !ok {
 		return 0, errors.New("rknnd: back-end does not support insertion")
 	}
-	// Reject invalid points before paying for the O(n) clone, so a
-	// stream of bad requests cannot stall legitimate writers.
+	// Reject invalid points before paying for the clone, so a stream of
+	// bad requests cannot stall legitimate writers.
 	if err := vecmath.Validate(p); err != nil {
 		return 0, fmt.Errorf("rknnd: %w", err)
 	}
@@ -485,10 +554,83 @@ func (s *Searcher) Insert(p []float64) (int, error) {
 	return id, nil
 }
 
+// InsertBatch adds many points in one copy-on-write step: one lock
+// acquisition, one overlay clone, one snapshot publication for the whole
+// batch. The batch is atomic — either every point is inserted (IDs returned
+// in input order) or none are visible. An empty batch is a no-op.
+func (s *Searcher) InsertBatch(points [][]float64) ([]int, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	tel := s.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
+	ids, err := s.applyInsertBatch(points)
+	if err != nil {
+		return nil, err
+	}
+	if tel != nil {
+		// Each member counts as an insert; the latency histogram observes
+		// once per batch call, mirroring query-batch accounting.
+		tel.countQueries(opInsert, len(ids))
+		tel.observeLatency(opInsert, time.Since(begin))
+	}
+	s.maybeCompact()
+	return ids, nil
+}
+
+func (s *Searcher) applyInsertBatch(points [][]float64) ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load().ix
+	cl, ok := cur.(index.Cloner)
+	if !ok {
+		return nil, errors.New("rknnd: back-end does not support insertion")
+	}
+	for i, p := range points {
+		if err := vecmath.Validate(p); err != nil {
+			return nil, fmt.Errorf("rknnd: batch point %d: %w", i, err)
+		}
+		if len(p) != cur.Dim() {
+			return nil, fmt.Errorf("rknnd: batch point %d: dimension %d, index dimension %d", i, len(p), cur.Dim())
+		}
+	}
+	next := cl.Clone()
+	ids := make([]int, len(points))
+	for i, p := range points {
+		id, err := next.Insert(p)
+		if err != nil {
+			return nil, fmt.Errorf("rknnd: batch point %d: %w", i, err)
+		}
+		ids[i] = id
+	}
+	s.snap.Store(&snapshot{ix: next})
+	return ids, nil
+}
+
 // Delete removes a dataset member when the back-end supports dynamic
-// updates, with the same copy-on-write discipline as Insert. It reports
-// whether the ID was present.
+// updates, with the same copy-on-write discipline as Insert (an O(delta)
+// overlay clone plus a tombstone). It reports whether the ID was present.
 func (s *Searcher) Delete(id int) (bool, error) {
+	tel := s.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
+	applied, err := s.applyDelete(id)
+	if err != nil {
+		return false, err
+	}
+	if tel != nil && applied {
+		tel.observeOp(opDelete, 1, time.Since(begin))
+	}
+	s.maybeCompact()
+	return applied, nil
+}
+
+func (s *Searcher) applyDelete(id int) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.snap.Load().ix
@@ -497,7 +639,7 @@ func (s *Searcher) Delete(id int) (bool, error) {
 		return false, errors.New("rknnd: back-end does not support deletion")
 	}
 	// Settle absent and already-deleted IDs against the current snapshot
-	// before paying for the O(n) clone.
+	// before paying for the clone.
 	if lv, ok := cur.(index.Liveness); ok && !lv.Live(id) {
 		return false, nil
 	}
@@ -507,4 +649,92 @@ func (s *Searcher) Delete(id int) (bool, error) {
 	}
 	s.snap.Store(&snapshot{ix: next})
 	return true, nil
+}
+
+// wrapOverlay puts a delta overlay over a dynamic (clonable) index so the
+// write path clones O(delta) instead of O(n). Static indexes and indexes
+// already wrapped pass through unchanged.
+func wrapOverlay(ix index.Index) index.Index {
+	if _, ok := ix.(*index.Overlay); ok {
+		return ix
+	}
+	if _, ok := ix.(index.Cloner); ok {
+		return index.NewOverlay(ix)
+	}
+	return ix
+}
+
+// compactThreshold returns the effective delta-overlay compaction
+// threshold.
+func (s *Searcher) compactThreshold() int {
+	if s.compactAt > 0 {
+		return s.compactAt
+	}
+	return defaultCompactionThreshold
+}
+
+// MemtableLen returns the number of delta-overlay memtable rows awaiting
+// compaction — 0 for static back-ends and right after a compaction.
+func (s *Searcher) MemtableLen() int {
+	if ov, ok := s.snap.Load().ix.(*index.Overlay); ok {
+		return ov.MemtableLen()
+	}
+	return 0
+}
+
+// Compactions returns how many delta-overlay compactions (O(n) folds of the
+// memtable and tombstones into a fresh base index) the Searcher has
+// performed.
+func (s *Searcher) Compactions() int64 { return s.compactions.Load() }
+
+// maybeCompact schedules a background compaction when the published delta
+// overlay has grown past the threshold. At most one compaction runs at a
+// time; writers are never blocked by it.
+func (s *Searcher) maybeCompact() {
+	ov, ok := s.snap.Load().ix.(*index.Overlay)
+	if !ok || ov.Pending() < s.compactThreshold() {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return // a compaction is already folding
+	}
+	go s.compact(ov)
+}
+
+// compact folds the frozen overlay's delta into a fresh base clone — the
+// one O(n) step of the write path, performed off the write lock — then
+// rebases the current overlay (which may have accumulated further writes
+// meanwhile) onto the folded index and publishes it. Callers must have won
+// the compacting flag and must not hold s.mu.
+func (s *Searcher) compact(frozen *index.Overlay) {
+	defer s.compacting.Store(false)
+	folded, err := frozen.Fold()
+	if err != nil {
+		return // base cannot fold (no Cloner): leave the delta in place
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.snap.Load().ix.(*index.Overlay); ok {
+		s.snap.Store(&snapshot{ix: cur.Rebase(frozen, folded)})
+		s.compactions.Add(1)
+	}
+}
+
+// compactNow folds the current delta synchronously, waiting out any
+// background compaction in flight. Used by the persistence paths so
+// snapshots can ship the base back-end's native structure blob. Bounded, so
+// a continuous stream of concurrent writers cannot stall a snapshot
+// forever; snapshotRecord tolerates a residually-dirty overlay.
+func (s *Searcher) compactNow() {
+	for attempts := 0; attempts < 64; attempts++ {
+		ov, ok := s.snap.Load().ix.(*index.Overlay)
+		if !ok || !ov.Dirty() {
+			return
+		}
+		if s.compacting.CompareAndSwap(false, true) {
+			s.compact(ov)
+			continue // re-check: writes may have landed since the freeze
+		}
+		runtime.Gosched() // a background fold is in flight; wait it out
+	}
 }

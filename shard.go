@@ -64,18 +64,26 @@ type shardSlot struct {
 // not depend on the shard count — the property the metamorphic conformance
 // suite pins (shard_conformance_test.go).
 type ShardedSearcher struct {
-	scale    float64
-	plus     bool
-	adaptive bool
-	margin   float64
-	backend  Backend
-	metric   Metric
-	dim      int
-	dynamic  bool
+	scale     float64
+	plus      bool
+	adaptive  bool
+	margin    float64
+	backend   Backend
+	metric    Metric
+	dim       int
+	dynamic   bool
+	compactAt int // per-shard delta-overlay compaction threshold; 0: default
 
 	slots []*shardSlot
 	smap  atomic.Pointer[index.ShardMap]
 	mu    sync.Mutex // serializes Insert/Delete across the map and all shards
+
+	// broken permanently poisons the write path after a half-applied batch
+	// left global IDs in the shard map that no engine ever received (see
+	// InsertBatch). Reads stay correct forever — such IDs answer as
+	// not-found — but further writes to any shard would corrupt the map's
+	// local-ID accounting, so they are all refused. Guarded by mu.
+	broken error
 
 	// tel/shardTel aggregate engine-level and per-shard query metrics when
 	// telemetry is enabled (WithTelemetry / EnableTelemetry); nil when
@@ -91,6 +99,13 @@ type ShardedSearcher struct {
 	insertShard func(shard int, eng *Searcher, p []float64) (local int, applied bool, err error)
 	createShard func(shard int, p []float64) (*Searcher, error)
 	deleteShard func(shard int, eng *Searcher, local int) (bool, error)
+	// Batch variants: one lock acquisition, one overlay clone, and (for the
+	// durable wrapper) one WAL append per shard group instead of per point.
+	// preflightInsert runs before any global ID is assigned so that
+	// unusable shard stores reject the whole batch cleanly.
+	insertShardBatch func(shard int, eng *Searcher, pts [][]float64) (locals []int, applied bool, err error)
+	createShardBatch func(shard int, pts [][]float64) (*Searcher, error)
+	preflightInsert  func(shards []int) error // nil: no preflight
 }
 
 // NewSharded partitions points across the given number of shards and
@@ -156,14 +171,15 @@ func NewSharded(points [][]float64, shards int, opts ...Option) (*ShardedSearche
 	}
 
 	ss := &ShardedSearcher{
-		scale:    scale,
-		plus:     !cfg.plain,
-		adaptive: cfg.adaptive,
-		margin:   cfg.margin,
-		backend:  cfg.backend,
-		metric:   cfg.metric,
-		dim:      len(points[0]),
-		slots:    make([]*shardSlot, shards),
+		scale:     scale,
+		plus:      !cfg.plain,
+		adaptive:  cfg.adaptive,
+		margin:    cfg.margin,
+		backend:   cfg.backend,
+		metric:    cfg.metric,
+		dim:       len(points[0]),
+		compactAt: cfg.compactAt,
+		slots:     make([]*shardSlot, shards),
 	}
 	for i := range ss.slots {
 		ss.slots[i] = &shardSlot{}
@@ -185,6 +201,8 @@ func NewSharded(points [][]float64, shards int, opts ...Option) (*ShardedSearche
 	ss.insertShard = ss.plainInsert
 	ss.createShard = ss.plainCreate
 	ss.deleteShard = ss.plainDelete
+	ss.insertShardBatch = ss.plainInsertBatch
+	ss.createShardBatch = ss.plainCreateBatch
 	if cfg.reg != nil {
 		ss.EnableTelemetry(cfg.reg)
 	}
@@ -195,13 +213,14 @@ func NewSharded(points [][]float64, shards int, opts ...Option) (*ShardedSearche
 // engine's configuration — deliberately without any scale estimation.
 func (ss *ShardedSearcher) newShardEngine(ix index.Index) *Searcher {
 	s := &Searcher{
-		scale:    ss.scale,
-		plus:     ss.plus,
-		adaptive: ss.adaptive,
-		margin:   ss.margin,
-		backend:  ss.backend,
+		scale:     ss.scale,
+		plus:      ss.plus,
+		adaptive:  ss.adaptive,
+		margin:    ss.margin,
+		backend:   ss.backend,
+		compactAt: ss.compactAt,
 	}
-	s.snap.Store(&snapshot{ix: ix})
+	s.snap.Store(&snapshot{ix: wrapOverlay(ix)})
 	return s
 }
 
@@ -250,10 +269,12 @@ func (ss *ShardedSearcher) ShardStats() []ShardInfo {
 
 // Point returns the coordinates of a dataset member by global ID. The
 // returned slice is owned by the engine and must not be modified. Like
-// Searcher.Point, it panics on IDs that were never assigned; an ID
-// returned by Insert is always valid (Insert publishes before returning),
-// but an ID guessed while the insert that will assign it is still in
-// flight counts as never assigned.
+// Searcher.Point, it panics on IDs that were never assigned. An ID whose
+// assigning insert is still in flight — the map entry is published before
+// the shard engine applies the point (the writer ordering) — is treated as
+// not-found and returns nil, the same semantics member queries racing a
+// write resolve to (ErrDeleted); an ID returned by Insert is always
+// resolvable (Insert publishes before returning).
 func (ss *ShardedSearcher) Point(global int) []float64 {
 	m := ss.smap.Load()
 	s, l, ok := m.Locate(global)
@@ -262,12 +283,41 @@ func (ss *ShardedSearcher) Point(global int) []float64 {
 	}
 	eng := ss.slots[s].eng.Load()
 	if eng == nil {
-		// The map entry is published before the shard engine (the writer
-		// ordering); a nil engine here means the assigning insert has not
-		// finished yet.
-		panic(fmt.Sprintf("rknnd: point id %d is not yet published", global))
+		return nil // map-published, engine not yet: the in-flight window
 	}
-	return eng.Point(l)
+	ix := eng.snap.Load().ix
+	if lv, ok := ix.(index.Liveness); ok {
+		if l >= lv.IDSpan() {
+			return nil // same window: the engine snapshot trails the map
+		}
+	} else if l >= ix.Len() {
+		return nil
+	}
+	return ix.Point(l)
+}
+
+// MemtableLen returns the delta-overlay memtable rows awaiting compaction,
+// summed across shards.
+func (ss *ShardedSearcher) MemtableLen() int {
+	n := 0
+	for _, slot := range ss.slots {
+		if eng := slot.eng.Load(); eng != nil {
+			n += eng.MemtableLen()
+		}
+	}
+	return n
+}
+
+// Compactions returns the delta-overlay compactions performed, summed
+// across shards.
+func (ss *ShardedSearcher) Compactions() int64 {
+	var n int64
+	for _, slot := range ss.slots {
+		if eng := slot.eng.Load(); eng != nil {
+			n += eng.Compactions()
+		}
+	}
+	return n
 }
 
 // shardView is one shard pinned for the duration of a query: the engine
@@ -648,14 +698,32 @@ func (ss *ShardedSearcher) BatchReverseKNNContext(ctx context.Context, qids []in
 }
 
 // Insert adds a point to its hash-assigned shard and returns its new
-// global ID. Requires a dynamic back-end (BackendCoverTree, BackendScan).
-// The shard map is published before the shard snapshot, so a concurrent
-// query either sees neither or can translate everything it sees.
+// global ID. Requires a dynamic back-end (BackendCoverTree, BackendScan,
+// BackendLSH). The shard map is published before the shard snapshot, so a
+// concurrent query either sees neither or can translate everything it sees
+// (an ID caught in that window answers as not-found until the insert
+// completes).
 func (ss *ShardedSearcher) Insert(p []float64) (int, error) {
+	tel := ss.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
+	g, err := ss.applyInsert(p)
+	if tel != nil && err == nil {
+		tel.observeOp(opInsert, 1, time.Since(begin))
+	}
+	return g, err
+}
+
+func (ss *ShardedSearcher) applyInsert(p []float64) (int, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if !ss.dynamic {
 		return 0, errors.New("rknnd: back-end does not support insertion")
+	}
+	if ss.broken != nil {
+		return 0, ss.broken
 	}
 	if err := vecmath.Validate(p); err != nil {
 		return 0, fmt.Errorf("rknnd: %w", err)
@@ -701,10 +769,26 @@ func (ss *ShardedSearcher) Insert(p []float64) (int, error) {
 // the ID forever (tombstones live in the shard index), so global IDs are
 // never reused.
 func (ss *ShardedSearcher) Delete(global int) (bool, error) {
+	tel := ss.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
+	applied, err := ss.applyDelete(global)
+	if tel != nil && applied && err == nil {
+		tel.observeOp(opDelete, 1, time.Since(begin))
+	}
+	return applied, err
+}
+
+func (ss *ShardedSearcher) applyDelete(global int) (bool, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if !ss.dynamic {
 		return false, errors.New("rknnd: back-end does not support deletion")
+	}
+	if ss.broken != nil {
+		return false, ss.broken
 	}
 	m := ss.smap.Load()
 	s, l, ok := m.Locate(global)
@@ -740,4 +824,154 @@ func (ss *ShardedSearcher) plainCreate(shard int, p []float64) (*Searcher, error
 // plainDelete routes a deletion to an in-memory shard engine.
 func (ss *ShardedSearcher) plainDelete(shard int, eng *Searcher, local int) (bool, error) {
 	return eng.Delete(local)
+}
+
+// InsertBatch adds many points in one write step: one shard-map clone, one
+// lock acquisition, and per involved shard one overlay clone (and, on a
+// durable engine, one WAL append with at most one fsync) for the whole
+// batch. IDs are returned in input order. The batch is atomic in the common
+// case; a failure applying one shard's group after the map is published (a
+// disk fault mid-batch) leaves the other groups visible, returns the IDs
+// with the error, and — when a group could not be applied in memory at all
+// — permanently poisons the write path rather than let the shard map's
+// local-ID accounting diverge from the engines (reads stay correct; the
+// orphaned IDs answer as not-found).
+func (ss *ShardedSearcher) InsertBatch(points [][]float64) ([]int, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	tel := ss.tel.Load()
+	var begin time.Time
+	if tel != nil {
+		begin = time.Now()
+	}
+	ids, err := ss.applyInsertBatch(points)
+	if tel != nil && err == nil {
+		tel.countQueries(opInsert, len(ids))
+		tel.observeLatency(opInsert, time.Since(begin))
+	}
+	return ids, err
+}
+
+func (ss *ShardedSearcher) applyInsertBatch(points [][]float64) ([]int, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if !ss.dynamic {
+		return nil, errors.New("rknnd: back-end does not support insertion")
+	}
+	if ss.broken != nil {
+		return nil, ss.broken
+	}
+	for i, p := range points {
+		if err := vecmath.Validate(p); err != nil {
+			return nil, fmt.Errorf("rknnd: batch point %d: %w", i, err)
+		}
+		if len(p) != ss.dim {
+			return nil, fmt.Errorf("rknnd: batch point %d: dimension %d, index dimension %d", i, len(p), ss.dim)
+		}
+	}
+	// The shard of every batch member is a pure function of the current
+	// global count, so the involved shards are known — and preflighted —
+	// before any ID is assigned.
+	m := ss.smap.Load()
+	members := make(map[int][]int, len(ss.slots)) // shard -> batch indexes, in order
+	for i := range points {
+		s := index.ShardOf(m.Len()+i, ss.Shards())
+		members[s] = append(members[s], i)
+	}
+	if ss.preflightInsert != nil {
+		shards := make([]int, 0, len(members))
+		for s := range members {
+			shards = append(shards, s)
+		}
+		if err := ss.preflightInsert(shards); err != nil {
+			return nil, err
+		}
+	}
+
+	m2 := m.Clone()
+	ids := make([]int, len(points))
+	locals := make([]int, len(points))
+	for i := range points {
+		g, s, l := m2.Assign()
+		if s != index.ShardOf(g, ss.Shards()) {
+			panic(fmt.Sprintf("rknnd: shard map assigned id %d to shard %d, hash expected %d", g, s, index.ShardOf(g, ss.Shards())))
+		}
+		ids[i], locals[i] = g, l
+	}
+	ss.smap.Store(m2)
+
+	var firstErr error
+	fail := func(shard int, err error, applied bool) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("rknnd: batch shard %d: %w", shard, err)
+		}
+		if !applied {
+			// The map now names IDs no engine holds; a later insert to this
+			// shard would receive a local ID the map has already spent.
+			// Refuse all future writes instead of corrupting translations.
+			ss.broken = fmt.Errorf("rknnd: writes disabled: batch left shard %d inconsistent: %w", shard, err)
+		}
+	}
+	for shard := 0; shard < len(ss.slots); shard++ {
+		idx := members[shard]
+		if len(idx) == 0 {
+			continue
+		}
+		pts := make([][]float64, len(idx))
+		for j, i := range idx {
+			pts[j] = points[i]
+		}
+		eng := ss.slots[shard].eng.Load()
+		if eng == nil {
+			neweng, err := ss.createShardBatch(shard, pts)
+			if err != nil {
+				fail(shard, err, false)
+				continue
+			}
+			ss.slots[shard].eng.Store(neweng)
+			continue
+		}
+		got, applied, err := ss.insertShardBatch(shard, eng, pts)
+		if !applied {
+			fail(shard, err, false)
+			continue
+		}
+		for j, i := range idx {
+			if got[j] != locals[i] {
+				panic(fmt.Sprintf("rknnd: shard %d assigned local id %d, shard map expected %d", shard, got[j], locals[i]))
+			}
+		}
+		if err != nil {
+			fail(shard, err, true) // applied but not durably logged
+		}
+	}
+	if firstErr != nil {
+		return ids, firstErr
+	}
+	return ids, nil
+}
+
+// plainInsertBatch routes a batch to an in-memory shard engine: one overlay
+// clone for the whole group.
+func (ss *ShardedSearcher) plainInsertBatch(shard int, eng *Searcher, pts [][]float64) ([]int, bool, error) {
+	ids, err := eng.InsertBatch(pts)
+	if err != nil {
+		return nil, false, err
+	}
+	return ids, true, nil
+}
+
+// plainCreateBatch builds a fresh shard engine for a shard that was empty
+// until now, holding the whole group.
+func (ss *ShardedSearcher) plainCreateBatch(shard int, pts [][]float64) (*Searcher, error) {
+	cp := make([][]float64, len(pts))
+	for i, p := range pts {
+		cp[i] = vecmath.Clone(p)
+	}
+	ix, err := harness.BuildBackend(string(ss.backend), cp, ss.metric)
+	if err != nil {
+		return nil, fmt.Errorf("rknnd: shard %d: %w", shard, err)
+	}
+	return ss.newShardEngine(ix), nil
 }

@@ -295,6 +295,9 @@ func (d *DurableShardedSearcher) bindHooks() {
 	d.ShardedSearcher.insertShard = d.durableInsert
 	d.ShardedSearcher.createShard = d.durableCreate
 	d.ShardedSearcher.deleteShard = d.durableDelete
+	d.ShardedSearcher.insertShardBatch = d.durableInsertBatch
+	d.ShardedSearcher.createShardBatch = d.durableCreateBatch
+	d.ShardedSearcher.preflightInsert = d.durablePreflight
 }
 
 func (d *DurableShardedSearcher) closeStores() {
@@ -353,6 +356,87 @@ func (d *DurableShardedSearcher) durableCreate(shard int, p []float64) (*Searche
 		}
 	}
 	eng, err := d.ShardedSearcher.plainCreate(shard, p)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := NewDurable(shardDirName(d.dir, shard), eng, d.walOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("rknnd: shard %d: %w", shard, err)
+	}
+	d.durables[shard] = ds
+	d.recovery[shard] = RecoveryInfo{Generation: 1}
+	return eng, nil
+}
+
+// durablePreflight verifies that every shard store a batch will touch can
+// still accept writes, before any global ID is assigned — so a poisoned or
+// closed store rejects the whole batch cleanly instead of tearing it.
+func (d *DurableShardedSearcher) durablePreflight(shards []int) error {
+	if d.closed {
+		return errClosed
+	}
+	for _, s := range shards {
+		ds := d.durables[s]
+		if ds == nil {
+			continue // shard store is created with the group
+		}
+		ds.wmu.Lock()
+		err := ds.usable()
+		ds.wmu.Unlock()
+		if err != nil {
+			return fmt.Errorf("rknnd: shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// durableInsertBatch applies one shard's group of a batch insert and logs
+// it as a single WAL append (at most one fsync), with the same poisoning
+// contract as durableInsert. A process crash between the appends of
+// different shards' groups can tear a multi-shard batch across logs;
+// recovery then refuses to open (the ID-span cross-check) rather than
+// renumber survivors.
+func (d *DurableShardedSearcher) durableInsertBatch(shard int, eng *Searcher, pts [][]float64) ([]int, bool, error) {
+	if d.closed {
+		return nil, false, errClosed
+	}
+	ds := d.durables[shard]
+	ds.wmu.Lock()
+	defer ds.wmu.Unlock()
+	if err := ds.usable(); err != nil {
+		return nil, false, err
+	}
+	ids, err := ds.Searcher.InsertBatch(pts)
+	if err != nil {
+		return nil, false, err
+	}
+	records := make([]persist.WALRecord, len(ids))
+	for i, id := range ids {
+		records[i] = persist.WALRecord{Op: persist.WALInsert, ID: id, Point: pts[i]}
+	}
+	if err := ds.store.AppendBatch(records); err != nil {
+		return ids, true, ds.disable(err)
+	}
+	return ids, true, nil
+}
+
+// durableCreateBatch populates a previously empty shard with a whole batch
+// group: a fresh engine and a fresh shard store whose initial snapshot
+// carries the points (no WAL records needed). The sibling-sync discipline
+// of durableCreate applies unchanged.
+func (d *DurableShardedSearcher) durableCreateBatch(shard int, pts [][]float64) (*Searcher, error) {
+	if d.closed {
+		return nil, errClosed
+	}
+	for i, ds := range d.durables {
+		if ds == nil || ds.store == nil {
+			continue
+		}
+		if err := ds.store.Sync(); err != nil {
+			return nil, fmt.Errorf("rknnd: shard %d: syncing log before creating shard %d: %w", i, shard, err)
+		}
+	}
+	eng, err := d.ShardedSearcher.plainCreateBatch(shard, pts)
 	if err != nil {
 		return nil, err
 	}

@@ -44,15 +44,19 @@ import (
 // All instruments are resolved once at registration, so the per-query path
 // is lock-free: counter increments and one histogram observation.
 
-// Query operation labels.
+// Operation labels: the query operations plus the write path (inserts and
+// applied deletes), all series of rknn_queries_total and
+// rknn_query_duration_seconds.
 const (
 	opRkNN      = "rknn"
 	opRkNNPoint = "rknn_point"
 	opBatch     = "batch"
 	opKNN       = "knn"
+	opInsert    = "insert"
+	opDelete    = "delete"
 )
 
-var queryOps = []string{opRkNN, opRkNNPoint, opBatch, opKNN}
+var queryOps = []string{opRkNN, opRkNNPoint, opBatch, opKNN, opInsert, opDelete}
 
 // opInstruments is the per-operation slice of the engine metrics.
 type opInstruments struct {
@@ -79,10 +83,10 @@ type engineTelemetry struct {
 
 func newEngineTelemetry(reg *telemetry.Registry, backend string, approx bool) *engineTelemetry {
 	queries := reg.CounterVec("rknn_queries_total",
-		"Queries answered successfully, by operation. Batch members count individually.",
+		"Operations answered successfully, by operation (queries and writes). Batch members count individually.",
 		"backend", "op")
 	latency := reg.HistogramVec("rknn_query_duration_seconds",
-		"Engine-side query latency, by operation. Batch calls observe once per batch.",
+		"Engine-side operation latency, by operation. Batch calls observe once per batch.",
 		telemetry.DefaultLatencyBuckets, "backend", "op")
 	t := &engineTelemetry{ops: make(map[string]opInstruments, len(queryOps))}
 	for _, op := range queryOps {
@@ -239,6 +243,7 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // fails).
 func (s *Searcher) EnableTelemetry(reg *telemetry.Registry) {
 	s.tel.Store(newEngineTelemetry(reg, string(s.backend), s.Approximate()))
+	registerWriteGauges(reg, string(s.backend), s.MemtableLen, s.Compactions)
 	if s.Approximate() {
 		cache := &recallCache{}
 		reg.GaugeFunc("rknn_recall_estimate",
@@ -261,6 +266,21 @@ func (ss *ShardedSearcher) EnableTelemetry(reg *telemetry.Registry) {
 	}
 	ss.shardTel.Store(&sts)
 	ss.tel.Store(newEngineTelemetry(reg, string(ss.backend), ss.Approximate()))
+	registerWriteGauges(reg, string(ss.backend), ss.MemtableLen, ss.Compactions)
+}
+
+// registerWriteGauges registers the incremental-write-path surfaces: the
+// live delta-overlay size and the monotone compaction count, both computed
+// at scrape time from state the engine already tracks.
+func registerWriteGauges(reg *telemetry.Registry, backend string, memtable func() int, compactions func() int64) {
+	reg.GaugeFunc("rknn_memtable_points",
+		"Delta-overlay memtable rows awaiting compaction (summed across shards for a sharded engine).",
+		func() float64 { return float64(memtable()) },
+		telemetry.Label{Name: "backend", Value: backend})
+	reg.CounterFunc("rknn_compactions_total",
+		"Delta-overlay compactions folded into a fresh base index (summed across shards for a sharded engine).",
+		func() float64 { return float64(compactions()) },
+		telemetry.Label{Name: "backend", Value: backend})
 }
 
 // fromCore converts the internal per-query counters to the public Stats.
