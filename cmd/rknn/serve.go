@@ -3,16 +3,19 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	repro "repro"
 	"repro/internal/server"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // runServe implements the `rknn serve` subcommand: build a Searcher over a
@@ -47,6 +50,9 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		shards   = fs.Int("shards", 1, "hash-partition the dataset across N shards served by scatter-gather")
 		slowThr  = fs.Duration("slowlog-threshold", server.DefaultSlowLogThreshold, "record requests at or above this latency in /v1/admin/slowlog (0 records all)")
 		slowSize = fs.Int("slowlog-size", server.DefaultSlowLogSize, "slow-query log capacity (entries)")
+		traceSmp = fs.Float64("trace-sample", 1, "head-sampling probability for retaining request traces in /v1/admin/traces (slow and ?debug=1 requests are always retained; negative disables tracing)")
+		traceCap = fs.Int("trace-ring-size", 256, "trace ring capacity (traces)")
+		dbgAddr  = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this private address (never on the serving mux)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -72,6 +78,40 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		te.EnableTelemetry(reg)
 	}
 
+	// Tracing: one ring shared by the HTTP layer (request traces) and the
+	// engine (background compaction traces). -trace-sample only controls
+	// head sampling for ring admission; span recording itself is per
+	// request, and slow or ?debug=1 requests are retained regardless.
+	var ring *trace.Ring
+	if *traceSmp >= 0 {
+		ring = trace.NewRing(*traceCap)
+		if tr, ok := eng.(interface{ EnableTracing(*trace.Ring) }); ok {
+			tr.EnableTracing(ring)
+		}
+	}
+
+	// The debug listener is deliberately a second, private server: pprof
+	// exposes heap contents and expvar the process environment, neither of
+	// which belongs on the serving address. It comes up before the ready
+	// signal so tests reading the banner never race the serve goroutine.
+	if *dbgAddr != "" {
+		dln, err := net.Listen("tcp", *dbgAddr)
+		if err != nil {
+			return fmt.Errorf("serve: debug listener: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		debugSrv := &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		defer debugSrv.Close()
+		fmt.Fprintf(stdout, "rknn serve: debug endpoints (pprof, expvar) on %s\n", dln.Addr())
+		go debugSrv.Serve(dln)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -93,8 +133,12 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		ready <- ln.Addr()
 	}
 
+	serverOpts := []server.Option{server.WithRegistry(reg), server.WithSlowLog(*slowThr, *slowSize)}
+	if ring != nil {
+		serverOpts = append(serverOpts, server.WithTracing(ring, *traceSmp))
+	}
 	httpSrv := &http.Server{
-		Handler: server.New(eng, server.WithRegistry(reg), server.WithSlowLog(*slowThr, *slowSize)).Handler(),
+		Handler: server.New(eng, serverOpts...).Handler(),
 		// Bound header reads and idle keep-alives so slow or silent
 		// connections cannot pin goroutines forever; no blanket
 		// read/write timeout because large batch queries are legitimate

@@ -619,3 +619,112 @@ func TestServeLSHDurableEndToEnd(t *testing.T) {
 		t.Error("/metrics missing rknn_approx_candidates_total for the recovered lsh engine")
 	}
 }
+
+// TestServeTracingAndDebugListener boots the daemon with tracing and the
+// private debug listener, drives a ?debug=1 query on a sharded engine, reads
+// the trace back through the admin surface and the slowlog linkage, and hits
+// pprof and expvar on the second listener.
+func TestServeTracingAndDebugListener(t *testing.T) {
+	args := []string{"-addr", "127.0.0.1:0", "-data", "uniform", "-n", "250", "-dim", "4",
+		"-t", "100", "-shards", "2", "-slowlog-threshold", "0s",
+		"-debug-addr", "127.0.0.1:0"}
+	base, out, cancel, done := startServe(t, args)
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	raw := postJSON(t, base+"/v1/rknn?debug=1", `{"id":5,"k":10}`)
+	var explained struct {
+		IDs   []int `json:"ids"`
+		Trace *struct {
+			TraceID string `json:"trace_id"`
+			Root    struct {
+				Name string `json:"name"`
+			} `json:"root"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(raw, &explained); err != nil {
+		t.Fatalf("decoding ?debug=1 response: %v\n%s", err, raw)
+	}
+	if explained.Trace == nil || explained.Trace.Root.Name != "http./v1/rknn" {
+		t.Fatalf("?debug=1 response lacks an http root trace: %s", raw)
+	}
+	for _, span := range []string{"shard.scatter", "core.rknn", "core.verify", "shard.merge"} {
+		if !strings.Contains(string(raw), span) {
+			t.Errorf("?debug=1 trace missing %s span:\n%s", span, raw)
+		}
+	}
+
+	var listing struct {
+		Total  uint64 `json:"total"`
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(getJSON(t, base+"/v1/admin/traces"), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.Total == 0 || len(listing.Traces) == 0 {
+		t.Fatalf("/v1/admin/traces retained nothing: %+v", listing)
+	}
+	full := getJSON(t, base+"/v1/admin/traces/"+explained.Trace.TraceID)
+	if !strings.Contains(string(full), "scan_depth") {
+		t.Errorf("full trace lacks core stats attrs:\n%s", full)
+	}
+
+	// Slowlog entries join back to the trace ring (threshold 0s: all slow).
+	var slowlog struct {
+		Entries []struct {
+			TraceID   string `json:"trace_id"`
+			RequestID string `json:"request_id"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(getJSON(t, base+"/v1/admin/slowlog"), &slowlog); err != nil {
+		t.Fatal(err)
+	}
+	linked := false
+	for _, e := range slowlog.Entries {
+		if e.TraceID != "" && e.RequestID != "" {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Errorf("no slowlog entry carries trace linkage: %+v", slowlog.Entries)
+	}
+
+	// The private listener announces itself on stdout; pprof and expvar
+	// answer there, and only there.
+	var dbgAddr string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "debug endpoints") {
+			fields := strings.Fields(line)
+			dbgAddr = fields[len(fields)-1]
+		}
+	}
+	if dbgAddr == "" {
+		t.Fatalf("no debug listener banner in output:\n%s", out.String())
+	}
+	if body := getJSON(t, "http://"+dbgAddr+"/debug/pprof/"); !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%s", body)
+	}
+	if body := getJSON(t, "http://"+dbgAddr+"/debug/vars"); !strings.Contains(string(body), "memstats") {
+		t.Errorf("expvar output lacks memstats:\n%s", body)
+	}
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof must not be served on the public listener")
+	}
+
+	// Runtime introspection gauges ride the public /metrics.
+	metrics := string(getJSON(t, base+"/metrics"))
+	for _, want := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_cycles_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing runtime gauge %s", want)
+		}
+	}
+}

@@ -21,6 +21,11 @@
 // "approximate": true and a live recall readout — the engine samples its
 // own answers against an exact oracle and exposes the result as the
 // rknn_recall_estimate gauge.
+// The sixth act is per-query tracing: the sharded engine and the server
+// share a trace ring, a ?debug=1 query returns its own span tree inline —
+// scatter spans per shard, the paper's work counters as attributes on the
+// core spans — and the ring is browsable after the fact through
+// /v1/admin/traces. `rknn serve -trace-sample` wires this identically.
 //
 //	go run ./examples/server
 package main
@@ -34,6 +39,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 
@@ -41,6 +47,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/server"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -195,6 +202,33 @@ func main() {
 		fmt.Printf("  shard %d: %d points, %d queries\n", si.Shard, si.Points, si.Queries)
 	}
 
+	// Per-query tracing: share a ring between the sharded engine and its
+	// server, then ask one query to explain itself. ?debug=1 returns the
+	// span tree inline — the root HTTP span, the pin of the shard set, one
+	// scatter span per shard holding the core scan/filter/verify stages
+	// (with the paper's work counters as attributes), and the merge. The
+	// same trace stays browsable in the ring via /v1/admin/traces.
+	ring := trace.NewRing(64)
+	ss.EnableTracing(ring)
+	tsTraced := httptest.NewServer(server.New(ss, server.WithTracing(ring, 0.1)).Handler())
+	defer tsTraced.Close()
+	var explained struct {
+		IDs   []int            `json:"ids"`
+		Trace *trace.TraceJSON `json:"trace"`
+	}
+	post(tsTraced.URL+"/v1/rknn?debug=1", `{"id": 42, "k": 10}`, &explained)
+	fmt.Printf("traced R10NN(42) = %v, trace %s:\n", explained.IDs, explained.Trace.TraceID)
+	printSpan(explained.Trace.Root, 1)
+	var listing struct {
+		Total  uint64          `json:"total"`
+		Traces []trace.Summary `json:"traces"`
+	}
+	if err := getDecode(tsTraced.URL+"/v1/admin/traces", &listing); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace ring retains %d trace(s); latest root %q took %dus\n",
+		listing.Total, listing.Traces[0].Root, listing.Traces[0].DurationUS)
+
 	// The approximate serving tier: the same dataset behind the LSH
 	// back-end (`rknn serve -backend lsh` does exactly this). Responses are
 	// marked approximate, and the engine cross-checks itself: the
@@ -235,6 +269,40 @@ func main() {
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// printSpan renders a span tree with durations and the attributes the
+// engine attached along the way.
+func printSpan(sp trace.SpanJSON, depth int) {
+	fmt.Printf("%s%s (%dus)", strings.Repeat("  ", depth), sp.Name, sp.DurationUS)
+	if len(sp.Attrs) > 0 {
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%v", k, sp.Attrs[k])
+		}
+		fmt.Printf("  [%s]", strings.Join(parts, " "))
+	}
+	fmt.Println()
+	for _, c := range sp.Children {
+		printSpan(c, depth+1)
+	}
+}
+
+func getDecode(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 func post(url, body string, out any) {

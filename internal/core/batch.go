@@ -36,7 +36,7 @@ func (qr *Querier) BatchByID(qids []int, workers int) ([]BatchResult, error) {
 func (qr *Querier) BatchByIDContext(ctx context.Context, qids []int, workers int) ([]BatchResult, error) {
 	out := make([]BatchResult, len(qids))
 	err := ForEach(ctx, len(qids), workers, func(ctx context.Context, i int) error {
-		res, err := qr.ByID(qids[i])
+		res, err := qr.ByIDCtx(ctx, qids[i])
 		out[i] = BatchResult{QueryID: qids[i], Result: res, Err: err}
 		return nil // per-entry errors are data, not pool failures
 	})

@@ -46,13 +46,16 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/trace"
 	"repro/internal/vecmath"
 )
 
@@ -187,6 +190,13 @@ var ErrDeletedID = errors.New("query id is deleted")
 // the dense prefix [0, Len()), so validation goes through the ID span and
 // rejects deleted members with ErrDeletedID.
 func (qr *Querier) ByID(qid int) (*Result, error) {
+	return qr.ByIDCtx(context.Background(), qid)
+}
+
+// ByIDCtx is ByID with a context. When ctx carries a trace span the query
+// hangs a "core.rknn" span with scan/filter/verify stage children off it;
+// an untraced context costs one nil check and nothing else.
+func (qr *Querier) ByIDCtx(ctx context.Context, qid int) (*Result, error) {
 	if lv, ok := qr.ix.(index.Liveness); ok {
 		if qid < 0 || qid >= lv.IDSpan() {
 			return nil, fmt.Errorf("core: query id %d out of range [0,%d)", qid, lv.IDSpan())
@@ -197,12 +207,17 @@ func (qr *Querier) ByID(qid int) (*Result, error) {
 	} else if qid < 0 || qid >= qr.ix.Len() {
 		return nil, fmt.Errorf("core: query id %d out of range [0,%d)", qid, qr.ix.Len())
 	}
-	return qr.run(qr.ix.Point(qid), qid)
+	return qr.run(ctx, qr.ix.Point(qid), qid)
 }
 
 // ByPoint answers the query for an arbitrary point q, which need not be a
 // dataset member.
 func (qr *Querier) ByPoint(q []float64) (*Result, error) {
+	return qr.ByPointCtx(context.Background(), q)
+}
+
+// ByPointCtx is ByPoint with a context, traced like ByIDCtx.
+func (qr *Querier) ByPointCtx(ctx context.Context, q []float64) (*Result, error) {
 	if err := vecmath.Validate(q); err != nil {
 		return nil, err
 	}
@@ -210,7 +225,7 @@ func (qr *Querier) ByPoint(q []float64) (*Result, error) {
 		return nil, fmt.Errorf("core: query dimension %d, index dimension %d: %w",
 			len(q), qr.ix.Dim(), vecmath.ErrDimensionMismatch)
 	}
-	return qr.run(q, -1)
+	return qr.run(ctx, q, -1)
 }
 
 // candidate is one member of the filter set F.
@@ -228,15 +243,38 @@ type candidate struct {
 // garbage near zero under concurrent load.
 var filterPool = sync.Pool{New: func() any { return new([]candidate) }}
 
+// ctxCursorIndex is an optional index capability: a cursor constructor
+// receiving the query context, so layered indexes (the overlay) can hang
+// their own spans off the query's trace. Only consulted when the query is
+// actually traced.
+type ctxCursorIndex interface {
+	NewCursorCtx(ctx context.Context, q []float64, skipID int) index.Cursor
+}
+
+// traceFinisher is an optional cursor capability: called once after the
+// expanding scan completes so the cursor can emit spans from durations it
+// accumulated while being driven.
+type traceFinisher interface{ FinishTrace() }
+
 // run executes Algorithm 1. skipID excludes a member query from its own
 // forward search; -1 disables the exclusion.
-func (qr *Querier) run(q []float64, skipID int) (*Result, error) {
+//
+// When ctx carries a trace span, run opens "core.rknn" with the full
+// Stats attached as attributes, plus three stage children: "core.scan"
+// (cursor-driving time of the expanding forward search), "core.filter"
+// (witness-cycle time, measured by accumulation since it interleaves with
+// the scan) and "core.verify" (refinement). Untraced queries pay one nil
+// check; all time.Now() reads are guarded behind it.
+func (qr *Querier) run(ctx context.Context, q []float64, skipID int) (*Result, error) {
 	k := qr.params.K
 	scale := qr.newScale()
 	n := qr.ix.Len()
 	if skipID >= 0 {
 		n-- // the query itself is not a candidate
 	}
+
+	qsp := trace.FromContext(ctx).Child("core.rknn")
+	traced := qsp != nil
 
 	stats := Stats{Omega: math.Inf(1)}
 	omega := math.Inf(1)
@@ -248,7 +286,18 @@ func (qr *Querier) run(q []float64, skipID int) (*Result, error) {
 		filterPool.Put(fp)
 	}()
 
-	cursor := qr.ix.NewCursor(q, skipID)
+	var cursor index.Cursor
+	var scanStart time.Time
+	var filterDur time.Duration
+	if traced {
+		if cix, ok := qr.ix.(ctxCursorIndex); ok {
+			cursor = cix.NewCursorCtx(trace.With(ctx, qsp), q, skipID)
+		}
+		scanStart = time.Now()
+	}
+	if cursor == nil {
+		cursor = qr.ix.NewCursor(q, skipID)
+	}
 	s := 0
 	for {
 		nb, ok := cursor.Next()
@@ -258,6 +307,11 @@ func (qr *Querier) run(q []float64, skipID int) (*Result, error) {
 		s++
 		t := scale.observe(s, nb.Dist)
 		v := candidate{id: nb.ID, point: qr.ix.Point(nb.ID), dq: nb.Dist}
+
+		var cycleStart time.Time
+		if traced {
+			cycleStart = time.Now()
+		}
 
 		// Witness cycle (lines 8–19): compare v against every retained
 		// candidate, updating both witness counters, and apply the
@@ -287,6 +341,9 @@ func (qr *Querier) run(q []float64, skipID int) (*Result, error) {
 			stats.Excluded++
 		} else {
 			filter = append(filter, v)
+		}
+		if traced {
+			filterDur += time.Since(cycleStart)
 		}
 
 		// Dimensional test (lines 21–23): tighten the termination
@@ -323,6 +380,28 @@ func (qr *Querier) run(q []float64, skipID int) (*Result, error) {
 	stats.FilterSize = len(filter)
 	stats.Omega = omega
 
+	// The scan and filter stages interleave inside one loop, so their
+	// spans are retro-dated from accumulated durations: filter time is
+	// the summed witness cycles, scan time is the rest of the loop
+	// (cursor driving and termination tests).
+	var vsp *trace.Span
+	if traced {
+		loopDur := time.Since(scanStart)
+		ssp := qsp.ChildAt("core.scan", scanStart)
+		ssp.SetInt("scan_depth", int64(s))
+		ssp.SetBool("terminated_by_omega", stats.TerminatedByOmega)
+		ssp.EndWithDuration(loopDur - filterDur)
+		fsp := qsp.ChildAt("core.filter", scanStart)
+		fsp.SetInt("filter_size", int64(len(filter)))
+		fsp.SetInt("excluded", int64(stats.Excluded))
+		fsp.SetInt("distance_comps", stats.DistanceComps)
+		fsp.EndWithDuration(filterDur)
+		if fin, ok := cursor.(traceFinisher); ok {
+			fin.FinishTrace()
+		}
+		vsp = qsp.Child("core.verify")
+	}
+
 	// Refinement phase (lines 25–32): settle every candidate that is
 	// neither lazily accepted nor lazily rejected with one forward kNN
 	// verification.
@@ -345,7 +424,35 @@ func (qr *Querier) run(q []float64, skipID int) (*Result, error) {
 	stats.LazyRejects += stats.Excluded
 
 	sort.Ints(ids)
+	if traced {
+		vsp.SetInt("verified", int64(stats.Verified))
+		vsp.SetInt("verified_hits", int64(stats.VerifiedHits))
+		vsp.SetInt("lazy_accepts", int64(stats.LazyAccepts))
+		vsp.SetInt("lazy_rejects", int64(stats.LazyRejects))
+		vsp.End()
+		setStatsAttrs(qsp, k, stats)
+		qsp.End()
+	}
 	return &Result{IDs: ids, Stats: stats}, nil
+}
+
+// setStatsAttrs attaches the full per-query Stats to a span, so a trace
+// carries the same accounting the paper's experimental methodology
+// aggregates (candidates, lazy settlements, verifications, ω).
+func setStatsAttrs(sp *trace.Span, k int, st Stats) {
+	sp.SetInt("k", int64(k))
+	sp.SetInt("scan_depth", int64(st.ScanDepth))
+	sp.SetInt("filter_size", int64(st.FilterSize))
+	sp.SetInt("excluded", int64(st.Excluded))
+	sp.SetInt("lazy_accepts", int64(st.LazyAccepts))
+	sp.SetInt("lazy_rejects", int64(st.LazyRejects))
+	sp.SetInt("verified", int64(st.Verified))
+	sp.SetInt("verified_hits", int64(st.VerifiedHits))
+	sp.SetInt("distance_comps", st.DistanceComps)
+	if !math.IsInf(st.Omega, 1) {
+		sp.SetFloat("omega", st.Omega)
+	}
+	sp.SetBool("terminated_by_omega", st.TerminatedByOmega)
 }
 
 // verify runs the explicit refinement test d_k(x) ≥ d(q,x) (lines 26–29)

@@ -1,11 +1,14 @@
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/trace"
 	"repro/internal/vecmath"
 )
 
@@ -285,6 +288,91 @@ func (o *Overlay) NewCursor(q []float64, skipID int) Cursor {
 		tomb: o.tomb,
 		mem:  o.memNeighbors(q, skipID),
 	}
+}
+
+// NewCursorCtx is NewCursor for traced queries: when ctx carries a span,
+// the returned cursor splits the merge cost into "overlay.base" (time
+// spent driving the base index's expanding search, items pulled and
+// served) and "overlay.memtable" (rows scanned/sorted, items served)
+// child spans, emitted when the scan loop calls FinishTrace. An untraced
+// ctx falls back to the plain cursor.
+func (o *Overlay) NewCursorCtx(ctx context.Context, q []float64, skipID int) Cursor {
+	sp := trace.FromContext(ctx)
+	if sp == nil {
+		return o.NewCursor(q, skipID)
+	}
+	memStart := time.Now()
+	mem := o.memNeighbors(q, skipID)
+	memDur := time.Since(memStart)
+	tb := &timedCursor{c: o.base.NewCursor(q, o.baseSkip(skipID))}
+	return &tracedOverlayCursor{
+		overlayCursor: overlayCursor{base: tb, tomb: o.tomb, mem: mem},
+		sp:            sp,
+		tb:            tb,
+		start:         memStart,
+		memDur:        memDur,
+		memRows:       len(o.rows),
+		tombs:         len(o.tomb),
+	}
+}
+
+// timedCursor wraps a base cursor, accumulating the wall time and item
+// count of its Next calls.
+type timedCursor struct {
+	c   Cursor
+	dur time.Duration
+	n   int
+}
+
+func (t *timedCursor) Next() (Neighbor, bool) {
+	t0 := time.Now()
+	n, ok := t.c.Next()
+	t.dur += time.Since(t0)
+	if ok {
+		t.n++
+	}
+	return n, ok
+}
+
+// tracedOverlayCursor is an overlayCursor that attributes every served
+// neighbor to its source and reports both halves as spans.
+type tracedOverlayCursor struct {
+	overlayCursor
+	sp             *trace.Span
+	tb             *timedCursor
+	start          time.Time
+	memDur         time.Duration
+	memRows, tombs int
+	servedBase     int
+	servedMem      int
+}
+
+func (c *tracedOverlayCursor) Next() (Neighbor, bool) {
+	before := c.memAt
+	n, ok := c.overlayCursor.Next()
+	if ok {
+		if c.memAt > before {
+			c.servedMem++
+		} else {
+			c.servedBase++
+		}
+	}
+	return n, ok
+}
+
+// FinishTrace emits the accumulated base/memtable split as retro-dated
+// spans under the query's trace. Called once by the scan loop after the
+// expanding search terminates.
+func (c *tracedOverlayCursor) FinishTrace() {
+	bsp := c.sp.ChildAt("overlay.base", c.start)
+	bsp.SetInt("pulled", int64(c.tb.n))
+	bsp.SetInt("served", int64(c.servedBase))
+	bsp.SetInt("tombstones", int64(c.tombs))
+	bsp.EndWithDuration(c.tb.dur)
+	msp := c.sp.ChildAt("overlay.memtable", c.start)
+	msp.SetInt("rows", int64(c.memRows))
+	msp.SetInt("served", int64(c.servedMem))
+	msp.EndWithDuration(c.memDur)
 }
 
 type overlayCursor struct {

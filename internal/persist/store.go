@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -202,6 +203,17 @@ func (st *Store) Append(r WALRecord) error { return st.wal.Append(r) }
 
 // AppendBatch logs many mutations with one write and at most one sync.
 func (st *Store) AppendBatch(records []WALRecord) error { return st.wal.AppendBatch(records) }
+
+// AppendCtx logs one mutation, spanned under ctx's trace when present.
+func (st *Store) AppendCtx(ctx context.Context, r WALRecord) error {
+	return st.wal.AppendCtx(ctx, r)
+}
+
+// AppendBatchCtx logs many mutations with one write and at most one sync,
+// spanned under ctx's trace when present.
+func (st *Store) AppendBatchCtx(ctx context.Context, records []WALRecord) error {
+	return st.wal.AppendBatchCtx(ctx, records)
+}
 
 // Sync forces the log to stable storage regardless of policy.
 func (st *Store) Sync() error { return st.wal.Sync() }

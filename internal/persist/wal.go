@@ -2,10 +2,13 @@ package persist
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+
+	"repro/internal/trace"
 )
 
 // WAL operation codes.
@@ -246,6 +249,68 @@ func (w *WAL) AppendBatch(records []WALRecord) error {
 		return w.Sync()
 	}
 	return nil
+}
+
+// AppendCtx is Append for traced writes: when ctx carries a span, the
+// record lands under a "wal.append" span (payload bytes attached) with a
+// "wal.fsync" child if the sync policy fires on this record. An untraced
+// context takes the plain path unchanged.
+func (w *WAL) AppendCtx(ctx context.Context, rec WALRecord) error {
+	sp := trace.FromContext(ctx)
+	if sp == nil {
+		return w.Append(rec)
+	}
+	asp := sp.Child("wal.append")
+	defer asp.End()
+	buf, err := encodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	asp.SetInt("bytes", int64(len(buf)))
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("persist: wal append: %w", err)
+	}
+	w.since++
+	return w.maybeSyncTraced(asp)
+}
+
+// AppendBatchCtx is AppendBatch for traced writes, spanned like AppendCtx
+// with the record count attached.
+func (w *WAL) AppendBatchCtx(ctx context.Context, records []WALRecord) error {
+	sp := trace.FromContext(ctx)
+	if sp == nil {
+		return w.AppendBatch(records)
+	}
+	if len(records) == 0 {
+		return nil
+	}
+	asp := sp.Child("wal.append")
+	defer asp.End()
+	var buf []byte
+	for _, rec := range records {
+		frame, err := encodeWALRecord(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, frame...)
+	}
+	asp.SetInt("records", int64(len(records)))
+	asp.SetInt("bytes", int64(len(buf)))
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("persist: wal append: %w", err)
+	}
+	w.since += len(records)
+	return w.maybeSyncTraced(asp)
+}
+
+// maybeSyncTraced applies the sync policy under a "wal.fsync" span.
+func (w *WAL) maybeSyncTraced(asp *trace.Span) error {
+	if w.policy.Every <= 0 || w.since < w.policy.Every {
+		return nil
+	}
+	fsp := asp.Child("wal.fsync")
+	defer fsp.End()
+	return w.Sync()
 }
 
 // Sync forces the log to stable storage.

@@ -14,6 +14,8 @@
 //	DELETE /v1/points/{id}                                (delete)
 //	POST   /v1/admin/snapshot                             (cut a durable snapshot)
 //	GET    /v1/admin/slowlog                              (recent slow requests)
+//	GET    /v1/admin/traces                               (recent trace summaries)
+//	GET    /v1/admin/traces/{id}                          (one full span tree)
 //	GET    /healthz
 //	GET    /statsz
 //	GET    /metrics                                       (Prometheus exposition)
@@ -27,6 +29,16 @@
 // Bulk insert requires an engine with a batch write path (BulkInserter);
 // engines without one likewise answer 501, steering clients to the
 // single-point endpoint.
+//
+// Tracing: with WithTracing, every data-plane request (the /v1 query and
+// write routes; observability routes are exempt) runs under a per-request
+// span tree that the engine layers extend — scatter, per-shard scan/filter/
+// verify, overlay reads, WAL appends. Completed traces enter a bounded
+// lock-free ring when head sampling selects them, when the request crossed
+// the slow-log threshold (tail capture), when the client sent a sampled W3C
+// traceparent, or when it asked for ?debug=1 — which also returns the span
+// tree inline with the normal /v1/rknn response. Responses echo or assign
+// X-Request-ID and carry a traceparent header naming the trace.
 //
 // Observability: every route records request/error counters and a
 // log-bucket latency histogram in an internal/telemetry Registry — its own
@@ -43,12 +55,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
 	repro "repro"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Engine is the query/update surface the server exposes. *repro.Searcher
@@ -58,14 +73,14 @@ type Engine interface {
 	Len() int
 	Dim() int
 	Scale() float64
-	ReverseKNN(qid, k int) ([]int, error)
-	ReverseKNNStats(qid, k int) ([]int, repro.Stats, error)
-	ReverseKNNPoint(q []float64, k int) ([]int, error)
-	ReverseKNNPointStats(q []float64, k int) ([]int, repro.Stats, error)
+	ReverseKNNContext(ctx context.Context, qid, k int) ([]int, error)
+	ReverseKNNStatsContext(ctx context.Context, qid, k int) ([]int, repro.Stats, error)
+	ReverseKNNPointContext(ctx context.Context, q []float64, k int) ([]int, error)
+	ReverseKNNPointStatsContext(ctx context.Context, q []float64, k int) ([]int, repro.Stats, error)
 	BatchReverseKNNContext(ctx context.Context, qids []int, k, workers int) ([][]int, error)
-	KNN(q []float64, k int) ([]repro.Neighbor, error)
-	Insert(p []float64) (int, error)
-	Delete(id int) (bool, error)
+	KNNContext(ctx context.Context, q []float64, k int) ([]repro.Neighbor, error)
+	InsertContext(ctx context.Context, p []float64) (int, error)
+	DeleteContext(ctx context.Context, id int) (bool, error)
 }
 
 // Durable is the optional durability surface of an Engine: cutting an
@@ -88,7 +103,7 @@ type Sharded interface {
 // implement it): many points enter under one lock acquisition and — on a
 // durable engine — one WAL write and at most one sync.
 type BulkInserter interface {
-	InsertBatch(pts [][]float64) ([]int, error)
+	InsertBatchContext(ctx context.Context, pts [][]float64) ([]int, error)
 }
 
 // Incremental is the optional incremental-write-path surface of an Engine:
@@ -119,6 +134,11 @@ type Server struct {
 	// approx is resolved once at New: whether the engine's answers are
 	// approximate (see the Approximate interface).
 	approx bool
+	// ring/sample: per-request tracing (WithTracing). ring retains completed
+	// traces; sample is the head-sampling probability for ring admission.
+	// A nil ring disables tracing entirely.
+	ring   *trace.Ring
+	sample float64
 }
 
 // endpointStats holds one route's telemetry instruments, resolved once at
@@ -132,7 +152,16 @@ type endpointStats struct {
 // routes is the fixed set of stats keys, one per endpoint.
 var routes = []string{
 	"/v1/rknn", "/v1/rknn/batch", "/v1/knn", "/v1/points", "/v1/points/batch", "/v1/admin/snapshot",
-	"/v1/admin/slowlog", "/healthz", "/statsz", "/metrics",
+	"/v1/admin/slowlog", "/v1/admin/traces", "/healthz", "/statsz", "/metrics",
+}
+
+// tracedRoutes is the data plane: requests here run under a span tree when
+// tracing is enabled. Observability routes are exempt — tracing a /metrics
+// scrape would fill the ring with scrapes and bury the queries it exists
+// to explain.
+var tracedRoutes = map[string]bool{
+	"/v1/rknn": true, "/v1/rknn/batch": true, "/v1/knn": true,
+	"/v1/points": true, "/v1/points/batch": true,
 }
 
 // Slow-log defaults: requests at or above the threshold enter the ring.
@@ -148,6 +177,8 @@ type options struct {
 	reg           *telemetry.Registry
 	slowThreshold time.Duration
 	slowSize      int
+	ring          *trace.Ring
+	sample        float64
 }
 
 // WithRegistry shares a telemetry Registry with the server instead of
@@ -165,6 +196,16 @@ func WithSlowLog(threshold time.Duration, capacity int) Option {
 	return func(o *options) { o.slowThreshold = threshold; o.slowSize = capacity }
 }
 
+// WithTracing enables per-request tracing: completed traces land in ring
+// when head sampling (probability sample, clamped to [0,1]) selects them —
+// slow requests, ?debug=1 requests, and requests carrying a sampled
+// upstream traceparent are retained regardless. Pass the same ring to the
+// engine's EnableTracing so background compaction traces land beside the
+// request traces.
+func WithTracing(ring *trace.Ring, sample float64) Option {
+	return func(o *options) { o.ring = ring; o.sample = sample }
+}
+
 // New returns a Server over s.
 func New(s Engine, opts ...Option) *Server {
 	o := options{slowThreshold: DefaultSlowLogThreshold, slowSize: DefaultSlowLogSize}
@@ -174,12 +215,19 @@ func New(s Engine, opts ...Option) *Server {
 	if o.reg == nil {
 		o.reg = telemetry.NewRegistry()
 	}
+	if o.sample < 0 {
+		o.sample = 0
+	} else if o.sample > 1 {
+		o.sample = 1
+	}
 	srv := &Server{
-		s:     s,
-		start: time.Now(),
-		reg:   o.reg,
-		slow:  telemetry.NewSlowLog(o.slowThreshold, o.slowSize),
-		stats: make(map[string]*endpointStats, len(routes)),
+		s:      s,
+		start:  time.Now(),
+		reg:    o.reg,
+		slow:   telemetry.NewSlowLog(o.slowThreshold, o.slowSize),
+		stats:  make(map[string]*endpointStats, len(routes)),
+		ring:   o.ring,
+		sample: o.sample,
 	}
 	if a, ok := s.(Approximate); ok {
 		srv.approx = a.Approximate()
@@ -192,6 +240,7 @@ func New(s Engine, opts ...Option) *Server {
 		srv.stats[r] = &endpointStats{requests: requests.With(r), errors: errs.With(r), latency: latency.With(r)}
 	}
 	srv.registerEngineGauges()
+	telemetry.RegisterRuntimeMetrics(o.reg)
 	return srv
 }
 
@@ -226,6 +275,8 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/points/{id}", srv.instrument("/v1/points", srv.handleDelete))
 	mux.HandleFunc("POST /v1/admin/snapshot", srv.instrument("/v1/admin/snapshot", srv.handleSnapshot))
 	mux.HandleFunc("GET /v1/admin/slowlog", srv.instrument("/v1/admin/slowlog", srv.handleSlowlog))
+	mux.HandleFunc("GET /v1/admin/traces", srv.instrument("/v1/admin/traces", srv.handleTraces))
+	mux.HandleFunc("GET /v1/admin/traces/{id}", srv.instrument("/v1/admin/traces", srv.handleTraceGet))
 	mux.HandleFunc("GET /healthz", srv.instrument("/healthz", srv.handleHealth))
 	mux.HandleFunc("GET /statsz", srv.instrument("/statsz", srv.handleStats))
 	mux.HandleFunc("GET /metrics", srv.instrument("/metrics", srv.handleMetrics))
@@ -250,8 +301,39 @@ func badRequest(format string, args ...any) error {
 // failures as JSON.
 func (srv *Server) instrument(route string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	st := srv.stats[route]
+	traced := tracedRoutes[route]
 	return func(w http.ResponseWriter, r *http.Request) {
 		begin := time.Now()
+		var (
+			tr       *trace.Trace
+			upstream bool
+			debug    bool
+		)
+		if traced && srv.ring != nil {
+			// Every data-plane request runs under a trace; whether the ring
+			// retains it is decided at the end, when the latency is known
+			// (tail capture needs the spans of requests it could not predict
+			// would be slow). Span recording costs allocations only.
+			name := "http." + route
+			if id, sampled, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+				tr = trace.NewWithID(id, name, sampled)
+				upstream = sampled
+			} else {
+				tr = trace.New(name, true)
+			}
+			debug = r.URL.Query().Get("debug") == "1"
+			root := tr.Root()
+			root.SetStr("method", r.Method)
+			root.SetStr("path", r.URL.Path)
+			rid := r.Header.Get("X-Request-ID")
+			if rid == "" {
+				rid = tr.ID()
+			}
+			root.SetStr("request_id", rid)
+			w.Header().Set("X-Request-ID", rid)
+			w.Header().Set("Traceparent", tr.Traceparent())
+			r = r.WithContext(trace.With(r.Context(), root))
+		}
 		err := h(w, r)
 		elapsed := time.Since(begin)
 		st.requests.Inc()
@@ -264,6 +346,19 @@ func (srv *Server) instrument(route string, h func(w http.ResponseWriter, r *htt
 		}
 		if err != nil {
 			entry.Err = err.Error()
+		}
+		if tr != nil {
+			root := tr.Root()
+			if err != nil {
+				root.SetStr("error", err.Error())
+			}
+			root.EndWithDuration(elapsed)
+			entry.TraceID = tr.ID()
+			entry.RequestID = w.Header().Get("X-Request-ID")
+			slow := elapsed >= srv.slow.Threshold()
+			if slow || debug || upstream || rand.Float64() < srv.sample {
+				srv.ring.Put(tr)
+			}
 		}
 		srv.slow.Observe(entry)
 		if err == nil {
@@ -330,6 +425,9 @@ type rknnResponse struct {
 	// engines.
 	Approximate bool         `json:"approximate,omitempty"`
 	Stats       *repro.Stats `json:"stats,omitempty"`
+	// Trace is the EXPLAIN-style span tree of this very request, present
+	// only under ?debug=1 on a tracing-enabled server.
+	Trace *trace.TraceJSON `json:"trace,omitempty"`
 }
 
 func (srv *Server) handleRkNN(w http.ResponseWriter, r *http.Request) error {
@@ -345,15 +443,16 @@ func (srv *Server) handleRkNN(w http.ResponseWriter, r *http.Request) error {
 		st  repro.Stats
 		err error
 	)
+	ctx := r.Context()
 	switch {
 	case req.ID != nil && req.WithStats:
-		ids, st, err = srv.s.ReverseKNNStats(*req.ID, req.K)
+		ids, st, err = srv.s.ReverseKNNStatsContext(ctx, *req.ID, req.K)
 	case req.ID != nil:
-		ids, err = srv.s.ReverseKNN(*req.ID, req.K)
+		ids, err = srv.s.ReverseKNNContext(ctx, *req.ID, req.K)
 	case req.WithStats:
-		ids, st, err = srv.s.ReverseKNNPointStats(req.Point, req.K)
+		ids, st, err = srv.s.ReverseKNNPointStatsContext(ctx, req.Point, req.K)
 	default:
-		ids, err = srv.s.ReverseKNNPoint(req.Point, req.K)
+		ids, err = srv.s.ReverseKNNPointContext(ctx, req.Point, req.K)
 	}
 	if err != nil {
 		return badRequest("%v", err)
@@ -361,6 +460,14 @@ func (srv *Server) handleRkNN(w http.ResponseWriter, r *http.Request) error {
 	resp := rknnResponse{IDs: emptyNotNull(ids), Approximate: srv.approx}
 	if req.WithStats {
 		resp.Stats = &st
+	}
+	if r.URL.Query().Get("debug") == "1" {
+		if tr := trace.FromContext(ctx).Trace(); tr != nil {
+			// Exported before the root span ends; the export clamps open
+			// spans to now, so the tree reads as "time spent so far".
+			tj := tr.Export()
+			resp.Trace = &tj
+		}
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
@@ -419,7 +526,7 @@ func (srv *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(w, r, &req); err != nil {
 		return err
 	}
-	nn, err := srv.s.KNN(req.Point, req.K)
+	nn, err := srv.s.KNNContext(r.Context(), req.Point, req.K)
 	if err != nil {
 		return badRequest("%v", err)
 	}
@@ -439,7 +546,7 @@ func (srv *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(w, r, &req); err != nil {
 		return err
 	}
-	id, err := srv.s.Insert(req.Point)
+	id, err := srv.s.InsertContext(r.Context(), req.Point)
 	if err != nil {
 		return badRequest("%v", err)
 	}
@@ -468,7 +575,7 @@ func (srv *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) err
 	if len(req.Points) == 0 {
 		return badRequest("points must be non-empty")
 	}
-	ids, err := bi.InsertBatch(req.Points)
+	ids, err := bi.InsertBatchContext(r.Context(), req.Points)
 	if err != nil {
 		return badRequest("%v", err)
 	}
@@ -480,7 +587,7 @@ func (srv *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return badRequest("invalid point id %q", r.PathValue("id"))
 	}
-	ok, err := srv.s.Delete(id)
+	ok, err := srv.s.DeleteContext(r.Context(), id)
 	if err != nil {
 		return badRequest("%v", err)
 	}
@@ -541,6 +648,13 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 		}
 		endpoints[route] = ep
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rt := map[string]any{
+		"goroutines":       runtime.NumGoroutine(),
+		"heap_alloc_bytes": ms.HeapAlloc,
+		"gc_cycles":        ms.NumGC,
+	}
 	engine := map[string]any{
 		"points":      srv.s.Len(),
 		"dim":         srv.s.Dim(),
@@ -561,6 +675,7 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusOK, map[string]any{
 		"endpoints": endpoints,
 		"engine":    engine,
+		"runtime":   rt,
 	})
 }
 
@@ -581,6 +696,8 @@ type slowEntry struct {
 	Detail     string    `json:"detail,omitempty"`
 	DurationUS int64     `json:"duration_us"`
 	Error      string    `json:"error,omitempty"`
+	TraceID    string    `json:"trace_id,omitempty"`
+	RequestID  string    `json:"request_id,omitempty"`
 }
 
 // handleSlowlog reports the retained slow requests, newest first, plus the
@@ -595,6 +712,8 @@ func (srv *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) error {
 			Detail:     e.Detail,
 			DurationUS: e.Duration.Microseconds(),
 			Error:      e.Err,
+			TraceID:    e.TraceID,
+			RequestID:  e.RequestID,
 		}
 	}
 	return writeJSON(w, http.StatusOK, map[string]any{
@@ -603,6 +722,42 @@ func (srv *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) error {
 		"total":        srv.slow.Total(),
 		"entries":      entries,
 	})
+}
+
+// handleTraces reports summaries of the retained traces, newest first.
+func (srv *Server) handleTraces(w http.ResponseWriter, r *http.Request) error {
+	if srv.ring == nil {
+		return &apiError{
+			status: http.StatusNotImplemented,
+			err:    errors.New("tracing is not enabled (start the server with -trace-sample)"),
+		}
+	}
+	snap := srv.ring.Snapshot()
+	sums := make([]trace.Summary, len(snap))
+	for i, tr := range snap {
+		sums[i] = tr.Summarize()
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": srv.ring.Cap(),
+		"total":    srv.ring.Total(),
+		"traces":   sums,
+	})
+}
+
+// handleTraceGet returns one retained trace's full span tree by hex ID.
+func (srv *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) error {
+	if srv.ring == nil {
+		return &apiError{
+			status: http.StatusNotImplemented,
+			err:    errors.New("tracing is not enabled (start the server with -trace-sample)"),
+		}
+	}
+	id := r.PathValue("id")
+	tr := srv.ring.Get(id)
+	if tr == nil {
+		return &apiError{status: http.StatusNotFound, err: fmt.Errorf("trace %q not found (evicted or never retained)", id)}
+	}
+	return writeJSON(w, http.StatusOK, tr.Export())
 }
 
 // emptyNotNull keeps empty result lists serializing as [] rather than null.

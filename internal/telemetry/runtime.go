@@ -1,0 +1,35 @@
+package telemetry
+
+import "runtime"
+
+// RegisterRuntimeMetrics adds Go runtime introspection gauges to the
+// registry: goroutine count, live heap bytes, completed GC cycles, and the
+// most recent GC pause. The values are computed at scrape time, so an idle
+// registry costs nothing; a scrape pays one runtime.ReadMemStats per series
+// that needs it, which is microseconds — fine at scrape cadence, which is
+// why these are gauges read on demand instead of a background sampler.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles since process start.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+	r.GaugeFunc("go_last_gc_pause_seconds", "Duration of the most recent GC stop-the-world pause.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.NumGC == 0 {
+				return 0
+			}
+			return float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+		})
+}

@@ -18,6 +18,12 @@ type SlowEntry struct {
 	Duration time.Duration
 	// Err is the handler error, empty on success.
 	Err string
+	// TraceID is the hex trace ID of the request's trace when tracing was
+	// enabled (slow requests are always retained in the trace ring, so the
+	// ID resolves against /v1/admin/traces/{id}); empty otherwise.
+	TraceID string
+	// RequestID is the X-Request-ID the request carried or was assigned.
+	RequestID string
 }
 
 // SlowLog is a bounded ring buffer of the slowest recent requests: an

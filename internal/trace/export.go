@@ -1,0 +1,101 @@
+package trace
+
+import "time"
+
+// SpanJSON is the wire shape of one span in an exported tree. Times are
+// microsecond offsets from the trace start so the tree reads like an
+// EXPLAIN plan rather than a pile of absolute timestamps.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	StartUS    int64          `json:"start_us"`
+	DurationUS int64          `json:"duration_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanJSON     `json:"children,omitempty"`
+}
+
+// TraceJSON is the wire shape of a full exported trace.
+type TraceJSON struct {
+	TraceID      string    `json:"trace_id"`
+	Start        time.Time `json:"start"`
+	DurationUS   int64     `json:"duration_us"`
+	Sampled      bool      `json:"sampled"`
+	Spans        int       `json:"spans"`
+	SpansDropped int       `json:"spans_dropped,omitempty"`
+	Root         SpanJSON  `json:"root"`
+}
+
+// Summary is the compact listing shape used by the traces index endpoint.
+type Summary struct {
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationUS int64     `json:"duration_us"`
+	Sampled    bool      `json:"sampled"`
+	Spans      int       `json:"spans"`
+}
+
+// Export deep-copies the span tree into its JSON shape. Safe to call
+// while spans are still open (the ?debug=1 case exports under the live
+// root): open spans report elapsed-so-far as their duration.
+func (tr *Trace) Export() TraceJSON {
+	if tr == nil {
+		return TraceJSON{}
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	now := time.Now()
+	return TraceJSON{
+		TraceID:      tr.ID(),
+		Start:        tr.start,
+		DurationUS:   spanDuration(tr.root, now).Microseconds(),
+		Sampled:      tr.sampled,
+		Spans:        tr.nspans,
+		SpansDropped: tr.dropped,
+		Root:         exportSpan(tr.root, tr.start, now),
+	}
+}
+
+// Summarize produces the compact listing entry for this trace.
+func (tr *Trace) Summarize() Summary {
+	if tr == nil {
+		return Summary{}
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return Summary{
+		TraceID:    tr.ID(),
+		Root:       tr.root.name,
+		Start:      tr.start,
+		DurationUS: spanDuration(tr.root, time.Now()).Microseconds(),
+		Sampled:    tr.sampled,
+		Spans:      tr.nspans,
+	}
+}
+
+func spanDuration(sp *Span, now time.Time) time.Duration {
+	if sp.duration > 0 {
+		return sp.duration
+	}
+	return now.Sub(sp.start)
+}
+
+func exportSpan(sp *Span, origin, now time.Time) SpanJSON {
+	out := SpanJSON{
+		Name:       sp.name,
+		StartUS:    sp.start.Sub(origin).Microseconds(),
+		DurationUS: spanDuration(sp, now).Microseconds(),
+	}
+	if len(sp.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(sp.attrs))
+		for _, a := range sp.attrs {
+			out.Attrs[a.Key] = a.Value()
+		}
+	}
+	if len(sp.children) > 0 {
+		out.Children = make([]SpanJSON, len(sp.children))
+		for i, c := range sp.children {
+			out.Children[i] = exportSpan(c, origin, now)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Ring is a bounded lock-free buffer of completed traces. Writers claim a
+// slot with one atomic add and publish with one atomic store; readers
+// snapshot by loading every slot. Overwrites are the eviction policy: the
+// newest N traces win, which is exactly what a debugging endpoint wants.
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	seq   atomic.Uint64
+}
+
+// NewRing creates a ring holding up to n traces (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Put publishes a completed trace. Nil-safe on both sides so callers can
+// write ring.Put(tr) without guarding either pointer. The trace's ringSeq
+// is written before the atomic store, so any reader that observes the
+// pointer also observes its sequence number.
+func (r *Ring) Put(tr *Trace) {
+	if r == nil || tr == nil {
+		return
+	}
+	seq := r.seq.Add(1)
+	tr.ringSeq = seq
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(tr)
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Total returns how many traces have ever been published (including
+// those since overwritten).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Snapshot returns the buffered traces newest-first. The result is a
+// point-in-time copy; traces keep their internal locks so exporting them
+// afterwards is safe even against in-flight spans.
+func (r *Ring) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Trace, 0, len(r.slots))
+	for i := range r.slots {
+		if tr := r.slots[i].Load(); tr != nil {
+			out = append(out, tr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ringSeq > out[j].ringSeq })
+	return out
+}
+
+// Get returns the buffered trace with the given hex ID, or nil. A linear
+// scan over a debugging ring of a few hundred entries is plenty.
+func (r *Ring) Get(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	for i := range r.slots {
+		if tr := r.slots[i].Load(); tr != nil && tr.ID() == id {
+			return tr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+// Package trace is a zero-dependency per-query tracing subsystem: span
+// trees with start/end times, parent links, and typed attributes, carried
+// across layers on context.Context. It exists to answer "why was THIS
+// query slow" where the telemetry package answers "how is the fleet
+// doing": one trace per request, one span per stage the paper's algorithm
+// pays for (expanding scan, lazy filter, verification) and per shard of a
+// scatter, exported as an EXPLAIN-style JSON tree.
+//
+// The untraced path is near-free by construction. A context that carries
+// no span makes FromContext return nil, and every Span method is a
+// nil-receiver no-op, so instrumented code is a single nil check when no
+// one is listening — pinned by BenchmarkTracingOff.
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// maxSpans bounds one trace's span count so a pathological request (a
+// huge batch, a scatter across many shards) cannot hold unbounded memory
+// in the ring. Children past the cap are dropped, counted, and reported
+// in the export; dropped spans are nil and therefore safe no-ops.
+const maxSpans = 512
+
+// Trace is one span tree: a root span plus everything it fathered. All
+// structural mutation happens under mu, so concurrent shard goroutines
+// can open sibling spans safely.
+type Trace struct {
+	id      [16]byte
+	spanID  [8]byte // root span id, for the outgoing traceparent header
+	sampled bool    // head-sampling decision, made once at creation
+	start   time.Time
+
+	mu      sync.Mutex
+	root    *Span
+	nspans  int
+	dropped int
+
+	ringSeq uint64 // publication order; written by Ring.Put before the atomic store
+}
+
+// Span is one timed operation inside a trace. The zero value is never
+// used: spans are created by New or Child, and a nil *Span is the valid
+// "not tracing" value whose methods all no-op.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	duration time.Duration // zero until End; export clamps to elapsed
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is a typed key/value pair on a span. A small tagged union instead
+// of interface{} keeps attribute setting allocation-light on hot stages.
+type Attr struct {
+	Key  string
+	kind byte // 'i', 'f', 's', 'b'
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Value returns the attribute's value boxed for JSON export.
+func (a Attr) Value() any {
+	switch a.kind {
+	case 'i':
+		return a.i
+	case 'f':
+		return a.f
+	case 's':
+		return a.s
+	case 'b':
+		return a.b
+	}
+	return nil
+}
+
+// New starts a trace whose root span has the given name, with a freshly
+// generated trace ID. The sampled flag records the head-sampling decision
+// so tail capture (slow traces) can still distinguish the two.
+func New(name string, sampled bool) *Trace {
+	var id [16]byte
+	putUint64(id[:8], rand.Uint64())
+	putUint64(id[8:], rand.Uint64())
+	return newTrace(id, name, sampled)
+}
+
+// NewWithID starts a trace under an externally supplied trace ID — the
+// W3C traceparent case, where an upstream caller owns the ID and our
+// spans must stitch into its tree.
+func NewWithID(id [16]byte, name string, sampled bool) *Trace {
+	return newTrace(id, name, sampled)
+}
+
+func newTrace(id [16]byte, name string, sampled bool) *Trace {
+	tr := &Trace{id: id, sampled: sampled, start: time.Now()}
+	putUint64(tr.spanID[:], rand.Uint64())
+	tr.root = &Span{tr: tr, name: name, start: tr.start}
+	tr.nspans = 1
+	return tr
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// ID returns the trace ID as 32 lowercase hex characters.
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return hex.EncodeToString(tr.id[:])
+}
+
+// Root returns the root span.
+func (tr *Trace) Root() *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.root
+}
+
+// Sampled reports the head-sampling decision made at creation.
+func (tr *Trace) Sampled() bool { return tr != nil && tr.sampled }
+
+// Start returns the trace's start time.
+func (tr *Trace) Start() time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return tr.start
+}
+
+// Duration returns the root span's duration — elapsed-so-far if the root
+// has not ended yet.
+func (tr *Trace) Duration() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.root.duration > 0 {
+		return tr.root.duration
+	}
+	return time.Since(tr.root.start)
+}
+
+// Traceparent renders the outgoing W3C traceparent header for this trace,
+// using the root span as the parent id.
+func (tr *Trace) Traceparent() string {
+	if tr == nil {
+		return ""
+	}
+	return FormatTraceparent(tr.id, tr.spanID, tr.sampled)
+}
+
+// Trace returns the owning trace, or nil on a nil span.
+func (sp *Span) Trace() *Trace {
+	if sp == nil {
+		return nil
+	}
+	return sp.tr
+}
+
+// Child opens a sub-span starting now. On a nil receiver, or when the
+// trace's span budget is exhausted, it returns nil — a valid span whose
+// methods no-op — so callers never branch.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.ChildAt(name, time.Now())
+}
+
+// ChildAt opens a sub-span with an explicit start time. Stages whose cost
+// is interleaved with another loop (the core scan/filter split) measure
+// themselves with accumulated durations and retro-date the span here.
+func (sp *Span) ChildAt(name string, start time.Time) *Span {
+	if sp == nil {
+		return nil
+	}
+	tr := sp.tr
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.nspans >= maxSpans {
+		tr.dropped++
+		return nil
+	}
+	tr.nspans++
+	c := &Span{tr: tr, name: name, start: start}
+	sp.children = append(sp.children, c)
+	return c
+}
+
+// End closes the span, fixing its duration to the elapsed wall time.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.EndWithDuration(time.Since(sp.start))
+}
+
+// EndWithDuration closes the span with an explicit duration, for stages
+// measured by accumulation rather than two wall-clock reads.
+func (sp *Span) EndWithDuration(d time.Duration) {
+	if sp == nil {
+		return
+	}
+	if d <= 0 {
+		d = 1 // a closed span is distinguishable from an open one
+	}
+	sp.tr.mu.Lock()
+	sp.duration = d
+	sp.tr.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute.
+func (sp *Span) SetInt(key string, v int64) {
+	if sp == nil {
+		return
+	}
+	sp.set(Attr{Key: key, kind: 'i', i: v})
+}
+
+// SetFloat attaches a float attribute.
+func (sp *Span) SetFloat(key string, v float64) {
+	if sp == nil {
+		return
+	}
+	sp.set(Attr{Key: key, kind: 'f', f: v})
+}
+
+// SetStr attaches a string attribute.
+func (sp *Span) SetStr(key, v string) {
+	if sp == nil {
+		return
+	}
+	sp.set(Attr{Key: key, kind: 's', s: v})
+}
+
+// SetBool attaches a boolean attribute.
+func (sp *Span) SetBool(key string, v bool) {
+	if sp == nil {
+		return
+	}
+	sp.set(Attr{Key: key, kind: 'b', b: v})
+}
+
+func (sp *Span) set(a Attr) {
+	sp.tr.mu.Lock()
+	sp.attrs = append(sp.attrs, a)
+	sp.tr.mu.Unlock()
+}
+
+type ctxKey struct{}
+
+// With returns a context carrying sp. Layers below pick it up with
+// FromContext and hang their own child spans off it.
+func With(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil when the request is
+// untraced. The nil return is the entire cost of the untraced path.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSpanIsInert pins the untraced-path contract: every method on a
+// nil span (and a nil trace, and a nil ring) is a no-op, so instrumented
+// code needs no branches beyond the nil check FromContext gives it.
+func TestNilSpanIsInert(t *testing.T) {
+	var sp *Span
+	if c := sp.Child("x"); c != nil {
+		t.Fatalf("nil.Child = %v, want nil", c)
+	}
+	sp.ChildAt("x", time.Now())
+	sp.End()
+	sp.EndWithDuration(time.Second)
+	sp.SetInt("a", 1)
+	sp.SetFloat("b", 2)
+	sp.SetStr("c", "d")
+	sp.SetBool("e", true)
+	if sp.Trace() != nil {
+		t.Error("nil.Trace() != nil")
+	}
+	var tr *Trace
+	if tr.ID() != "" || tr.Root() != nil || tr.Sampled() || tr.Duration() != 0 {
+		t.Error("nil trace accessors not zero")
+	}
+	tr.Export()
+	tr.Summarize()
+	var r *Ring
+	r.Put(New("x", true))
+	if r.Snapshot() != nil || r.Get("x") != nil || r.Cap() != 0 || r.Total() != 0 {
+		t.Error("nil ring accessors not zero")
+	}
+}
+
+// TestFromContextUntracedAllocs pins that the hot-path check on an
+// untraced context does not allocate.
+func TestFromContextUntracedAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		if sp := FromContext(ctx); sp != nil {
+			t.Fatal("unexpected span")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("FromContext on untraced ctx allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestSpanTreeExport(t *testing.T) {
+	tr := New("http./v1/rknn", true)
+	root := tr.Root()
+	if root == nil || root.Trace() != tr {
+		t.Fatal("root span not wired to its trace")
+	}
+	ctx := With(context.Background(), root)
+	if FromContext(ctx) != root {
+		t.Fatal("FromContext did not round-trip the span")
+	}
+
+	core := root.Child("core.rknn")
+	core.SetInt("k", 10)
+	core.SetFloat("omega", 1.5)
+	core.SetBool("terminated_by_omega", false)
+	core.SetStr("op", "rknn")
+	scan := core.ChildAt("core.scan", tr.Start())
+	scan.EndWithDuration(3 * time.Millisecond)
+	verify := core.Child("core.verify")
+	verify.SetInt("verified", 4)
+	verify.End()
+	core.End()
+	root.End()
+
+	out := tr.Export()
+	if out.TraceID != tr.ID() || len(out.TraceID) != 32 {
+		t.Errorf("export trace id %q", out.TraceID)
+	}
+	if !out.Sampled || out.Spans != 4 || out.SpansDropped != 0 {
+		t.Errorf("export header = %+v", out)
+	}
+	if out.Root.Name != "http./v1/rknn" || len(out.Root.Children) != 1 {
+		t.Fatalf("root = %+v", out.Root)
+	}
+	c := out.Root.Children[0]
+	if c.Name != "core.rknn" || len(c.Children) != 2 {
+		t.Fatalf("core span = %+v", c)
+	}
+	if c.Attrs["k"] != int64(10) || c.Attrs["omega"] != 1.5 ||
+		c.Attrs["terminated_by_omega"] != false || c.Attrs["op"] != "rknn" {
+		t.Errorf("typed attrs = %v", c.Attrs)
+	}
+	if c.Children[0].Name != "core.scan" || c.Children[0].DurationUS != 3000 {
+		t.Errorf("retro-dated scan span = %+v", c.Children[0])
+	}
+	if c.Children[1].Name != "core.verify" || c.Children[1].Attrs["verified"] != int64(4) {
+		t.Errorf("verify span = %+v", c.Children[1])
+	}
+
+	// The export must survive json round-tripping (the admin endpoint
+	// serves it raw).
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"core.scan"`) {
+		t.Errorf("marshalled export missing span: %s", b)
+	}
+
+	sum := tr.Summarize()
+	if sum.TraceID != tr.ID() || sum.Root != "http./v1/rknn" || sum.Spans != 4 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+// TestSpanCap checks the per-trace span budget: children past the cap are
+// dropped (as nil, still safe to use) and the drop is counted.
+func TestSpanCap(t *testing.T) {
+	tr := New("root", true)
+	root := tr.Root()
+	var got int
+	for i := 0; i < maxSpans+10; i++ {
+		if c := root.Child("c"); c != nil {
+			got++
+			c.End()
+		}
+	}
+	if got != maxSpans-1 {
+		t.Errorf("created %d children, want %d", got, maxSpans-1)
+	}
+	out := tr.Export()
+	if out.SpansDropped != 11 {
+		t.Errorf("dropped = %d, want 11", out.SpansDropped)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New("root", true)
+	h := tr.Traceparent()
+	id, sampled, ok := ParseTraceparent(h)
+	if !ok || !sampled {
+		t.Fatalf("ParseTraceparent(%q) = ok=%v sampled=%v", h, ok, sampled)
+	}
+	if got := fmt.Sprintf("%x", id); got != tr.ID() {
+		t.Errorf("round-trip id %s, want %s", got, tr.ID())
+	}
+
+	// An inbound ID is adopted verbatim so spans stitch upstream.
+	tr2 := NewWithID(id, "child-service", sampled)
+	if tr2.ID() != tr.ID() {
+		t.Errorf("NewWithID = %s, want %s", tr2.ID(), tr.ID())
+	}
+	if !strings.HasPrefix(tr2.Traceparent(), "00-"+tr.ID()+"-") {
+		t.Errorf("outgoing traceparent %q does not carry the inbound id", tr2.Traceparent())
+	}
+	if !strings.HasSuffix(tr2.Traceparent(), "-01") {
+		t.Errorf("outgoing traceparent %q lost the sampled flag", tr2.Traceparent())
+	}
+
+	for _, bad := range []string{
+		"",
+		"00-abc-def-01",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // unknown version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero parent id
+		"00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01", // non-hex
+		"00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // wrong separator
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+	if _, sampled, ok := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00"); !ok || sampled {
+		t.Error("unsampled traceparent misparsed")
+	}
+}
+
+func TestRingNewestFirstAndOverwrite(t *testing.T) {
+	r := NewRing(4)
+	var ids []string
+	for i := 0; i < 7; i++ {
+		tr := New(fmt.Sprintf("t%d", i), true)
+		tr.Root().End()
+		r.Put(tr)
+		ids = append(ids, tr.ID())
+	}
+	if r.Cap() != 4 || r.Total() != 7 {
+		t.Errorf("cap=%d total=%d", r.Cap(), r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len %d, want 4", len(snap))
+	}
+	for i, tr := range snap {
+		want := ids[6-i] // newest first
+		if tr.ID() != want {
+			t.Errorf("snapshot[%d] = %s (%s), want %s", i, tr.ID(), tr.Summarize().Root, want)
+		}
+	}
+	if got := r.Get(ids[6]); got == nil || got.ID() != ids[6] {
+		t.Errorf("Get(newest) = %v", got)
+	}
+	if got := r.Get(ids[0]); got != nil {
+		t.Errorf("Get(evicted) = %s, want nil", got.ID())
+	}
+}
+
+// TestRingRace hammers a ring from parallel writers while readers
+// snapshot, export, and look up traces — the shape of the admin endpoint
+// racing live queries. Run under -race this pins the lock-free publication
+// protocol.
+func TestRingRace(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := New("q", w%2 == 0)
+				sp := tr.Root().Child("core.rknn")
+				sp.SetInt("k", int64(i))
+				sp.End()
+				tr.Root().End()
+				r.Put(tr)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tr := range r.Snapshot() {
+				tr.Export()
+				r.Get(tr.ID())
+			}
+		}
+	}()
+	// Writers finish, then stop the reader.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+	if r.Total() != 800 {
+		t.Errorf("total = %d, want 800", r.Total())
+	}
+}

@@ -1,0 +1,49 @@
+package trace
+
+import "encoding/hex"
+
+// ParseTraceparent parses a W3C trace-context traceparent header
+// (version 00): "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>".
+// It returns the trace ID and the sampled flag bit. Headers with an
+// unknown version, malformed fields, or an all-zero trace ID are
+// rejected, per the spec.
+func ParseTraceparent(h string) (id [16]byte, sampled bool, ok bool) {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return id, false, false
+	}
+	if h[0] != '0' || h[1] != '0' {
+		return id, false, false
+	}
+	if _, err := hex.Decode(id[:], []byte(h[3:35])); err != nil {
+		return id, false, false
+	}
+	var parent [8]byte
+	if _, err := hex.Decode(parent[:], []byte(h[36:52])); err != nil {
+		return id, false, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return id, false, false
+	}
+	if id == [16]byte{} || parent == [8]byte{} {
+		return [16]byte{}, false, false
+	}
+	return id, flags[0]&0x01 != 0, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header.
+func FormatTraceparent(id [16]byte, spanID [8]byte, sampled bool) string {
+	buf := make([]byte, 55)
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hex.Encode(buf[3:35], id[:])
+	buf[35] = '-'
+	hex.Encode(buf[36:52], spanID[:])
+	buf[52] = '-'
+	buf[53] = '0'
+	if sampled {
+		buf[54] = '1'
+	} else {
+		buf[54] = '0'
+	}
+	return string(buf)
+}

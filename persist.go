@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -370,16 +371,24 @@ func (d *DurableSearcher) disable(cause error) error {
 // the store (see disable); the in-memory insert remains visible until
 // restart.
 func (d *DurableSearcher) Insert(p []float64) (int, error) {
+	return d.InsertContext(context.Background(), p)
+}
+
+// InsertContext is Insert with a context. It shadows the embedded engine's
+// promoted method — without this override a context-taking caller would
+// reach the in-memory engine directly and silently bypass the write-ahead
+// log. A traced context records the WAL append and fsync as spans.
+func (d *DurableSearcher) InsertContext(ctx context.Context, p []float64) (int, error) {
 	d.wmu.Lock()
 	defer d.wmu.Unlock()
 	if err := d.usable(); err != nil {
 		return 0, err
 	}
-	id, err := d.Searcher.Insert(p)
+	id, err := d.Searcher.InsertContext(ctx, p)
 	if err != nil {
 		return 0, err
 	}
-	if err := d.store.Append(persist.WALRecord{Op: persist.WALInsert, ID: id, Point: p}); err != nil {
+	if err := d.store.AppendCtx(ctx, persist.WALRecord{Op: persist.WALInsert, ID: id, Point: p}); err != nil {
 		return 0, d.disable(err)
 	}
 	return id, nil
@@ -391,12 +400,18 @@ func (d *DurableSearcher) Insert(p []float64) (int, error) {
 // in memory and in the log: either every point is inserted and logged, or
 // none are. The error contract matches Insert.
 func (d *DurableSearcher) InsertBatch(points [][]float64) ([]int, error) {
+	return d.InsertBatchContext(context.Background(), points)
+}
+
+// InsertBatchContext is InsertBatch with a context, shadowing the promoted
+// method for the same WAL-bypass reason as InsertContext.
+func (d *DurableSearcher) InsertBatchContext(ctx context.Context, points [][]float64) ([]int, error) {
 	d.wmu.Lock()
 	defer d.wmu.Unlock()
 	if err := d.usable(); err != nil {
 		return nil, err
 	}
-	ids, err := d.Searcher.InsertBatch(points)
+	ids, err := d.Searcher.InsertBatchContext(ctx, points)
 	if err != nil || len(ids) == 0 {
 		return ids, err
 	}
@@ -404,7 +419,7 @@ func (d *DurableSearcher) InsertBatch(points [][]float64) ([]int, error) {
 	for i, id := range ids {
 		records[i] = persist.WALRecord{Op: persist.WALInsert, ID: id, Point: points[i]}
 	}
-	if err := d.store.AppendBatch(records); err != nil {
+	if err := d.store.AppendBatchCtx(ctx, records); err != nil {
 		return nil, d.disable(err)
 	}
 	return ids, nil
@@ -413,16 +428,22 @@ func (d *DurableSearcher) InsertBatch(points [][]float64) ([]int, error) {
 // Delete applies and logs a point deletion, with the same error contract
 // as Insert. Deletes that change nothing are not logged.
 func (d *DurableSearcher) Delete(id int) (bool, error) {
+	return d.DeleteContext(context.Background(), id)
+}
+
+// DeleteContext is Delete with a context, shadowing the promoted method for
+// the same WAL-bypass reason as InsertContext.
+func (d *DurableSearcher) DeleteContext(ctx context.Context, id int) (bool, error) {
 	d.wmu.Lock()
 	defer d.wmu.Unlock()
 	if err := d.usable(); err != nil {
 		return false, err
 	}
-	ok, err := d.Searcher.Delete(id)
+	ok, err := d.Searcher.DeleteContext(ctx, id)
 	if err != nil || !ok {
 		return ok, err
 	}
-	if err := d.store.Append(persist.WALRecord{Op: persist.WALDelete, ID: id}); err != nil {
+	if err := d.store.AppendCtx(ctx, persist.WALRecord{Op: persist.WALDelete, ID: id}); err != nil {
 		return false, d.disable(err)
 	}
 	return true, nil

@@ -40,6 +40,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/lid"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vecmath"
 )
 
@@ -222,6 +223,14 @@ type Searcher struct {
 	// (WithTelemetry / EnableTelemetry); nil when disabled. Published
 	// atomically so it can be attached while queries are in flight.
 	tel atomic.Pointer[engineTelemetry]
+
+	// traceRing, when set (EnableTracing), receives background compaction
+	// traces — compactions have no request context, so each fold records
+	// itself as its own root trace. compactHist, when set (EnableTelemetry),
+	// observes fold durations; on a sharded engine every shard stores the
+	// same per-backend histogram, so the series sums across shards.
+	traceRing   atomic.Pointer[trace.Ring]
+	compactHist atomic.Pointer[telemetry.Histogram]
 }
 
 // snapshot is one immutable generation of the index, together with its
@@ -357,25 +366,56 @@ func (s *Searcher) Dim() int { return s.snap.Load().ix.Dim() }
 // among their k nearest neighbors, sorted ascending. The member itself is
 // excluded.
 func (s *Searcher) ReverseKNN(qid, k int) ([]int, error) {
-	ids, _, err := s.query(k, opRkNN, func(qr *core.Querier) (*core.Result, error) { return qr.ByID(qid) })
+	ids, _, err := s.ReverseKNNStatsContext(context.Background(), qid, k)
+	return ids, err
+}
+
+// ReverseKNNContext is ReverseKNN with a context. When ctx carries a trace
+// span (internal/trace), the query's facade, core and index stages hang
+// their spans off it; an untraced context costs one nil check per layer.
+func (s *Searcher) ReverseKNNContext(ctx context.Context, qid, k int) ([]int, error) {
+	ids, _, err := s.ReverseKNNStatsContext(ctx, qid, k)
 	return ids, err
 }
 
 // ReverseKNNPoint answers the query for an arbitrary point, which need not
 // be a dataset member.
 func (s *Searcher) ReverseKNNPoint(q []float64, k int) ([]int, error) {
-	ids, _, err := s.query(k, opRkNNPoint, func(qr *core.Querier) (*core.Result, error) { return qr.ByPoint(q) })
+	ids, _, err := s.ReverseKNNPointStatsContext(context.Background(), q, k)
+	return ids, err
+}
+
+// ReverseKNNPointContext is ReverseKNNPoint with a context, traced like
+// ReverseKNNContext.
+func (s *Searcher) ReverseKNNPointContext(ctx context.Context, q []float64, k int) ([]int, error) {
+	ids, _, err := s.ReverseKNNPointStatsContext(ctx, q, k)
 	return ids, err
 }
 
 // ReverseKNNStats is ReverseKNN with the per-query work counters.
 func (s *Searcher) ReverseKNNStats(qid, k int) ([]int, Stats, error) {
-	return s.query(k, opRkNN, func(qr *core.Querier) (*core.Result, error) { return qr.ByID(qid) })
+	return s.ReverseKNNStatsContext(context.Background(), qid, k)
+}
+
+// ReverseKNNStatsContext is ReverseKNNStats with a context, traced like
+// ReverseKNNContext.
+func (s *Searcher) ReverseKNNStatsContext(ctx context.Context, qid, k int) ([]int, Stats, error) {
+	return s.query(ctx, k, opRkNN, func(ctx context.Context, qr *core.Querier) (*core.Result, error) {
+		return qr.ByIDCtx(ctx, qid)
+	})
 }
 
 // ReverseKNNPointStats is ReverseKNNPoint with the per-query work counters.
 func (s *Searcher) ReverseKNNPointStats(q []float64, k int) ([]int, Stats, error) {
-	return s.query(k, opRkNNPoint, func(qr *core.Querier) (*core.Result, error) { return qr.ByPoint(q) })
+	return s.ReverseKNNPointStatsContext(context.Background(), q, k)
+}
+
+// ReverseKNNPointStatsContext is ReverseKNNPointStats with a context,
+// traced like ReverseKNNContext.
+func (s *Searcher) ReverseKNNPointStatsContext(ctx context.Context, q []float64, k int) ([]int, Stats, error) {
+	return s.query(ctx, k, opRkNNPoint, func(ctx context.Context, qr *core.Querier) (*core.Result, error) {
+		return qr.ByPointCtx(ctx, q)
+	})
 }
 
 // querier returns the per-rank query engine of the current snapshot:
@@ -384,17 +424,29 @@ func (s *Searcher) querier(k int) (*core.Querier, error) {
 	return s.snap.Load().querier(s, k)
 }
 
-func (s *Searcher) query(k int, op string, run func(*core.Querier) (*core.Result, error)) ([]int, Stats, error) {
+func (s *Searcher) query(ctx context.Context, k int, op string, run func(context.Context, *core.Querier) (*core.Result, error)) ([]int, Stats, error) {
 	tel := s.tel.Load()
 	var begin time.Time
 	if tel != nil {
 		begin = time.Now()
 	}
+	// facade.pin covers the snapshot pin and per-rank engine lookup (a
+	// memoized construction on a cold rank). All span calls are nil-safe
+	// no-ops on the untraced path.
+	psp := trace.FromContext(ctx).Child("facade.pin")
 	qr, err := s.querier(k)
+	if psp != nil {
+		psp.SetStr("backend", string(s.backend))
+		psp.SetStr("op", op)
+		if s.scale > 0 {
+			psp.SetFloat("scale", s.scale)
+		}
+		psp.End()
+	}
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("rknnd: %w", err)
 	}
-	res, err := run(qr)
+	res, err := run(ctx, qr)
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("rknnd: %w", err)
 	}
@@ -424,7 +476,14 @@ func (s *Searcher) BatchReverseKNNContext(ctx context.Context, qids []int, k, wo
 	if tel != nil {
 		begin = time.Now()
 	}
+	psp := trace.FromContext(ctx).Child("facade.pin")
 	qr, err := s.querier(k)
+	if psp != nil {
+		psp.SetStr("backend", string(s.backend))
+		psp.SetStr("op", opBatch)
+		psp.SetInt("members", int64(len(qids)))
+		psp.End()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
 	}
@@ -470,10 +529,22 @@ func (s *Searcher) BatchReverseKNNContext(ctx context.Context, qids []int, k, wo
 // similarity query, exposed because reverse-neighbor applications almost
 // always need it too.
 func (s *Searcher) KNN(q []float64, k int) ([]Neighbor, error) {
+	return s.KNNContext(context.Background(), q, k)
+}
+
+// KNNContext is KNN with a context; a traced request records the forward
+// search as one "core.knn" span.
+func (s *Searcher) KNNContext(ctx context.Context, q []float64, k int) ([]Neighbor, error) {
 	tel := s.tel.Load()
 	var begin time.Time
 	if tel != nil {
 		begin = time.Now()
+	}
+	ksp := trace.FromContext(ctx).Child("core.knn")
+	if ksp != nil {
+		ksp.SetStr("backend", string(s.backend))
+		ksp.SetInt("k", int64(k))
+		defer ksp.End()
 	}
 	ix := s.snap.Load().ix
 	if err := vecmath.Validate(q); err != nil {
@@ -513,12 +584,21 @@ func (s *Searcher) Point(id int) []float64 { return s.snap.Load().ix.Point(id) }
 // exceeds the threshold (WithCompactionThreshold). Updates are serialized;
 // queries are never blocked.
 func (s *Searcher) Insert(p []float64) (int, error) {
+	return s.InsertContext(context.Background(), p)
+}
+
+// InsertContext is Insert with a context; a traced request records the
+// copy-on-write application as one "facade.apply" span.
+func (s *Searcher) InsertContext(ctx context.Context, p []float64) (int, error) {
 	tel := s.tel.Load()
 	var begin time.Time
 	if tel != nil {
 		begin = time.Now()
 	}
+	asp := trace.FromContext(ctx).Child("facade.apply")
+	asp.SetStr("op", opInsert)
 	id, err := s.applyInsert(p)
+	asp.End()
 	if err != nil {
 		return 0, err
 	}
@@ -559,6 +639,12 @@ func (s *Searcher) applyInsert(p []float64) (int, error) {
 // batch. The batch is atomic — either every point is inserted (IDs returned
 // in input order) or none are visible. An empty batch is a no-op.
 func (s *Searcher) InsertBatch(points [][]float64) ([]int, error) {
+	return s.InsertBatchContext(context.Background(), points)
+}
+
+// InsertBatchContext is InsertBatch with a context, traced like
+// InsertContext.
+func (s *Searcher) InsertBatchContext(ctx context.Context, points [][]float64) ([]int, error) {
 	if len(points) == 0 {
 		return nil, nil
 	}
@@ -567,7 +653,11 @@ func (s *Searcher) InsertBatch(points [][]float64) ([]int, error) {
 	if tel != nil {
 		begin = time.Now()
 	}
+	asp := trace.FromContext(ctx).Child("facade.apply")
+	asp.SetStr("op", opInsert)
+	asp.SetInt("members", int64(len(points)))
 	ids, err := s.applyInsertBatch(points)
+	asp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -614,12 +704,20 @@ func (s *Searcher) applyInsertBatch(points [][]float64) ([]int, error) {
 // updates, with the same copy-on-write discipline as Insert (an O(delta)
 // overlay clone plus a tombstone). It reports whether the ID was present.
 func (s *Searcher) Delete(id int) (bool, error) {
+	return s.DeleteContext(context.Background(), id)
+}
+
+// DeleteContext is Delete with a context, traced like InsertContext.
+func (s *Searcher) DeleteContext(ctx context.Context, id int) (bool, error) {
 	tel := s.tel.Load()
 	var begin time.Time
 	if tel != nil {
 		begin = time.Now()
 	}
+	asp := trace.FromContext(ctx).Child("facade.apply")
+	asp.SetStr("op", opDelete)
 	applied, err := s.applyDelete(id)
+	asp.End()
 	if err != nil {
 		return false, err
 	}
@@ -706,17 +804,49 @@ func (s *Searcher) maybeCompact() {
 // rebases the current overlay (which may have accumulated further writes
 // meanwhile) onto the folded index and publishes it. Callers must have won
 // the compacting flag and must not hold s.mu.
+//
+// A compaction has no request context, so when tracing is enabled
+// (EnableTracing) each fold records itself as its own root trace
+// ("compact") in the ring; the fold duration also feeds
+// rknn_compaction_duration_seconds when telemetry is enabled.
 func (s *Searcher) compact(frozen *index.Overlay) {
 	defer s.compacting.Store(false)
+	ring := s.traceRing.Load()
+	var tr *trace.Trace
+	var fsp *trace.Span
+	start := time.Now()
+	if ring != nil {
+		tr = trace.New("compact", true)
+		root := tr.Root()
+		root.SetStr("backend", string(s.backend))
+		fsp = root.Child("compact.fold")
+		fsp.SetInt("memtable_rows", int64(frozen.MemtableLen()))
+		fsp.SetInt("pending", int64(frozen.Pending()))
+	}
 	folded, err := frozen.Fold()
+	fsp.End()
 	if err != nil {
-		return // base cannot fold (no Cloner): leave the delta in place
+		// Base cannot fold (no Cloner): leave the delta in place.
+		if tr != nil {
+			tr.Root().SetStr("error", err.Error())
+			tr.Root().End()
+			ring.Put(tr)
+		}
+		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if cur, ok := s.snap.Load().ix.(*index.Overlay); ok {
 		s.snap.Store(&snapshot{ix: cur.Rebase(frozen, folded)})
 		s.compactions.Add(1)
+	}
+	s.mu.Unlock()
+	d := time.Since(start)
+	if h := s.compactHist.Load(); h != nil {
+		h.Observe(d.Seconds())
+	}
+	if tr != nil {
+		tr.Root().EndWithDuration(d)
+		ring.Put(tr)
 	}
 }
 

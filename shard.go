@@ -12,6 +12,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/index"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vecmath"
 )
 
@@ -91,20 +93,27 @@ type ShardedSearcher struct {
 	tel      atomic.Pointer[engineTelemetry]
 	shardTel atomic.Pointer[[]*shardTelemetry]
 
+	// traceRing/compactHist mirror the Searcher fields. They are kept here
+	// as the source of truth so shard engines created after EnableTracing /
+	// EnableTelemetry (a previously empty shard receiving its first point)
+	// inherit them in newShardEngine.
+	traceRing   atomic.Pointer[trace.Ring]
+	compactHist atomic.Pointer[telemetry.Histogram]
+
 	// Mutation hooks, called under mu. The durable wrapper overrides them
 	// to route every applied mutation through a shard's write-ahead log.
 	// insertShard reports applied=true when the in-memory insert took
 	// effect even if the call failed afterwards (a WAL append failure),
 	// in which case the global ID assignment must be kept.
-	insertShard func(shard int, eng *Searcher, p []float64) (local int, applied bool, err error)
-	createShard func(shard int, p []float64) (*Searcher, error)
-	deleteShard func(shard int, eng *Searcher, local int) (bool, error)
+	insertShard func(ctx context.Context, shard int, eng *Searcher, p []float64) (local int, applied bool, err error)
+	createShard func(ctx context.Context, shard int, p []float64) (*Searcher, error)
+	deleteShard func(ctx context.Context, shard int, eng *Searcher, local int) (bool, error)
 	// Batch variants: one lock acquisition, one overlay clone, and (for the
 	// durable wrapper) one WAL append per shard group instead of per point.
 	// preflightInsert runs before any global ID is assigned so that
 	// unusable shard stores reject the whole batch cleanly.
-	insertShardBatch func(shard int, eng *Searcher, pts [][]float64) (locals []int, applied bool, err error)
-	createShardBatch func(shard int, pts [][]float64) (*Searcher, error)
+	insertShardBatch func(ctx context.Context, shard int, eng *Searcher, pts [][]float64) (locals []int, applied bool, err error)
+	createShardBatch func(ctx context.Context, shard int, pts [][]float64) (*Searcher, error)
 	preflightInsert  func(shards []int) error // nil: no preflight
 }
 
@@ -221,6 +230,12 @@ func (ss *ShardedSearcher) newShardEngine(ix index.Index) *Searcher {
 		compactAt: ss.compactAt,
 	}
 	s.snap.Store(&snapshot{ix: wrapOverlay(ix)})
+	if ring := ss.traceRing.Load(); ring != nil {
+		s.traceRing.Store(ring)
+	}
+	if h := ss.compactHist.Load(); h != nil {
+		s.compactHist.Store(h)
+	}
 	return s
 }
 
@@ -363,30 +378,72 @@ func (ss *ShardedSearcher) pin() ([]shardView, *index.ShardMap) {
 // member qid among their k nearest neighbors, sorted ascending. The member
 // itself is excluded.
 func (ss *ShardedSearcher) ReverseKNN(qid, k int) ([]int, error) {
-	views, m := ss.pin()
-	ids, _, err := ss.reverseKNN(context.Background(), views, m, qid, nil, k, opRkNN)
+	return ss.ReverseKNNContext(context.Background(), qid, k)
+}
+
+// ReverseKNNContext is ReverseKNN with a context. When ctx carries a trace
+// span, the scatter records one "shard.scatter" child per shard (each
+// containing that shard's core stage spans) and the cross-shard
+// re-verification a "shard.merge" span; an untraced context costs one nil
+// check per layer.
+func (ss *ShardedSearcher) ReverseKNNContext(ctx context.Context, qid, k int) ([]int, error) {
+	views, m := ss.pinCtx(ctx)
+	ids, _, err := ss.reverseKNN(ctx, views, m, qid, nil, k, opRkNN)
 	return ids, err
 }
 
 // ReverseKNNStats is ReverseKNN with aggregated per-query work counters
 // (summed across shards; Omega is the tightest shard bound).
 func (ss *ShardedSearcher) ReverseKNNStats(qid, k int) ([]int, Stats, error) {
-	views, m := ss.pin()
-	return ss.reverseKNN(context.Background(), views, m, qid, nil, k, opRkNN)
+	return ss.ReverseKNNStatsContext(context.Background(), qid, k)
+}
+
+// ReverseKNNStatsContext is ReverseKNNStats with a context, traced like
+// ReverseKNNContext.
+func (ss *ShardedSearcher) ReverseKNNStatsContext(ctx context.Context, qid, k int) ([]int, Stats, error) {
+	views, m := ss.pinCtx(ctx)
+	return ss.reverseKNN(ctx, views, m, qid, nil, k, opRkNN)
 }
 
 // ReverseKNNPoint answers the query for an arbitrary point, which need not
 // be a dataset member.
 func (ss *ShardedSearcher) ReverseKNNPoint(q []float64, k int) ([]int, error) {
-	views, m := ss.pin()
-	ids, _, err := ss.reverseKNN(context.Background(), views, m, -1, q, k, opRkNNPoint)
+	return ss.ReverseKNNPointContext(context.Background(), q, k)
+}
+
+// ReverseKNNPointContext is ReverseKNNPoint with a context, traced like
+// ReverseKNNContext.
+func (ss *ShardedSearcher) ReverseKNNPointContext(ctx context.Context, q []float64, k int) ([]int, error) {
+	views, m := ss.pinCtx(ctx)
+	ids, _, err := ss.reverseKNN(ctx, views, m, -1, q, k, opRkNNPoint)
 	return ids, err
 }
 
 // ReverseKNNPointStats is ReverseKNNPoint with the aggregated counters.
 func (ss *ShardedSearcher) ReverseKNNPointStats(q []float64, k int) ([]int, Stats, error) {
+	return ss.ReverseKNNPointStatsContext(context.Background(), q, k)
+}
+
+// ReverseKNNPointStatsContext is ReverseKNNPointStats with a context,
+// traced like ReverseKNNContext.
+func (ss *ShardedSearcher) ReverseKNNPointStatsContext(ctx context.Context, q []float64, k int) ([]int, Stats, error) {
+	views, m := ss.pinCtx(ctx)
+	return ss.reverseKNN(ctx, views, m, -1, q, k, opRkNNPoint)
+}
+
+// pinCtx is pin under a "facade.pin" span when ctx is traced.
+func (ss *ShardedSearcher) pinCtx(ctx context.Context) ([]shardView, *index.ShardMap) {
+	psp := trace.FromContext(ctx).Child("facade.pin")
 	views, m := ss.pin()
-	return ss.reverseKNN(context.Background(), views, m, -1, q, k, opRkNNPoint)
+	if psp != nil {
+		psp.SetStr("backend", string(ss.backend))
+		psp.SetInt("shards_pinned", int64(len(views)))
+		if ss.scale > 0 {
+			psp.SetFloat("scale", ss.scale)
+		}
+		psp.End()
+	}
+	return views, m
 }
 
 // reverseKNN is the scatter-gather RkNN query over a pinned read set.
@@ -448,18 +505,28 @@ func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m 
 		stats   core.Stats
 	}
 	results := make([]shardResult, len(views))
+	qsp := trace.FromContext(ctx)
 	err := core.Gather(ctx, len(views), func(ctx context.Context, i int) error {
 		v := views[i]
 		v.slot.queries.Add(1)
+		// One scatter span per shard; the shard engine's core stage spans
+		// nest beneath it. Child/With are nil-safe, so the untraced path
+		// pays a single pointer comparison here.
+		ssp := qsp.Child("shard.scatter")
+		if ssp != nil {
+			ssp.SetInt("shard", int64(v.shard))
+			ctx = trace.With(ctx, ssp)
+			defer ssp.End()
+		}
 		qr, err := v.sn.querier(v.eng, k)
 		if err != nil {
 			return err
 		}
 		var res *core.Result
 		if v.shard == homeShard {
-			res, err = qr.ByID(homeLocal)
+			res, err = qr.ByIDCtx(ctx, homeLocal)
 		} else {
-			res, err = qr.ByPoint(q)
+			res, err = qr.ByPointCtx(ctx, q)
 		}
 		if err != nil {
 			return err
@@ -471,6 +538,9 @@ func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m 
 				return fmt.Errorf("shard %d returned unmapped local id %d", v.shard, l)
 			}
 			globals[j] = g
+		}
+		if ssp != nil {
+			ssp.SetInt("results", int64(len(res.IDs)))
 		}
 		results[i] = shardResult{globals: globals, stats: res.Stats}
 		return nil
@@ -523,6 +593,7 @@ func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m 
 	if len(results) == 1 {
 		return finish(results[0].globals, stats)
 	}
+	msp := qsp.Child("shard.merge")
 	candidates := core.MergeIDs(lists, nil)
 
 	// Gather: each candidate is re-verified against the globally merged
@@ -531,10 +602,12 @@ func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m 
 	ids := make([]int, 0, len(candidates))
 	for _, g := range candidates {
 		if err := ctx.Err(); err != nil {
+			msp.End()
 			return nil, Stats{}, err
 		}
 		ok, comps, err := ss.verifyGlobal(views, m, g, q, k)
 		if err != nil {
+			msp.End()
 			return nil, Stats{}, err
 		}
 		stats.Verified++
@@ -542,6 +615,11 @@ func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m 
 		if ok {
 			ids = append(ids, g)
 		}
+	}
+	if msp != nil {
+		msp.SetInt("candidates", int64(len(candidates)))
+		msp.SetInt("results", int64(len(ids)))
+		msp.End()
 	}
 	return finish(ids, stats)
 }
@@ -600,10 +678,22 @@ func wrapShardErr(err error) error {
 // in ascending (distance, ID) order — the per-shard top-k lists k-way
 // merged.
 func (ss *ShardedSearcher) KNN(q []float64, k int) ([]Neighbor, error) {
+	return ss.KNNContext(context.Background(), q, k)
+}
+
+// KNNContext is KNN with a context; a traced context records one
+// "core.knn" root stage with per-shard "shard.scatter" children.
+func (ss *ShardedSearcher) KNNContext(ctx context.Context, q []float64, k int) ([]Neighbor, error) {
 	tel := ss.tel.Load()
 	var begin time.Time
 	if tel != nil {
 		begin = time.Now()
+	}
+	ksp := trace.FromContext(ctx).Child("core.knn")
+	if ksp != nil {
+		ksp.SetStr("backend", string(ss.backend))
+		ksp.SetInt("k", int64(k))
+		defer ksp.End()
 	}
 	if err := vecmath.Validate(q); err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
@@ -613,9 +703,14 @@ func (ss *ShardedSearcher) KNN(q []float64, k int) ([]Neighbor, error) {
 	}
 	views, m := ss.pin()
 	lists := make([][]index.Neighbor, len(views))
-	err := core.Gather(context.Background(), len(views), func(ctx context.Context, i int) error {
+	err := core.Gather(ctx, len(views), func(ctx context.Context, i int) error {
 		v := views[i]
 		v.slot.queries.Add(1)
+		ssp := ksp.Child("shard.scatter")
+		if ssp != nil {
+			ssp.SetInt("shard", int64(v.shard))
+			defer ssp.End()
+		}
 		nn := v.sn.ix.KNN(q, k, -1)
 		tr := make([]index.Neighbor, len(nn))
 		for j, nb := range nn {
@@ -704,19 +799,32 @@ func (ss *ShardedSearcher) BatchReverseKNNContext(ctx context.Context, qids []in
 // (an ID caught in that window answers as not-found until the insert
 // completes).
 func (ss *ShardedSearcher) Insert(p []float64) (int, error) {
+	return ss.InsertContext(context.Background(), p)
+}
+
+// InsertContext is Insert with a context; a traced context records a
+// "facade.apply" span covering the lock, shard-map clone, and shard
+// mutation (WAL spans nest beneath it on a durable engine).
+func (ss *ShardedSearcher) InsertContext(ctx context.Context, p []float64) (int, error) {
 	tel := ss.tel.Load()
 	var begin time.Time
 	if tel != nil {
 		begin = time.Now()
 	}
-	g, err := ss.applyInsert(p)
+	asp := trace.FromContext(ctx).Child("facade.apply")
+	if asp != nil {
+		asp.SetStr("op", "insert")
+		ctx = trace.With(ctx, asp)
+		defer asp.End()
+	}
+	g, err := ss.applyInsert(ctx, p)
 	if tel != nil && err == nil {
 		tel.observeOp(opInsert, 1, time.Since(begin))
 	}
 	return g, err
 }
 
-func (ss *ShardedSearcher) applyInsert(p []float64) (int, error) {
+func (ss *ShardedSearcher) applyInsert(ctx context.Context, p []float64) (int, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if !ss.dynamic {
@@ -738,7 +846,7 @@ func (ss *ShardedSearcher) applyInsert(p []float64) (int, error) {
 
 	eng := ss.slots[s].eng.Load()
 	if eng == nil {
-		neweng, err := ss.createShard(s, p)
+		neweng, err := ss.createShard(ctx, s, p)
 		if err != nil {
 			ss.smap.Store(m) // the assignment never took effect
 			return 0, err
@@ -746,7 +854,7 @@ func (ss *ShardedSearcher) applyInsert(p []float64) (int, error) {
 		ss.slots[s].eng.Store(neweng)
 		return g, nil
 	}
-	local, applied, err := ss.insertShard(s, eng, p)
+	local, applied, err := ss.insertShard(ctx, s, eng, p)
 	if !applied {
 		ss.smap.Store(m)
 		return 0, err
@@ -769,19 +877,30 @@ func (ss *ShardedSearcher) applyInsert(p []float64) (int, error) {
 // the ID forever (tombstones live in the shard index), so global IDs are
 // never reused.
 func (ss *ShardedSearcher) Delete(global int) (bool, error) {
+	return ss.DeleteContext(context.Background(), global)
+}
+
+// DeleteContext is Delete with a context, traced like InsertContext.
+func (ss *ShardedSearcher) DeleteContext(ctx context.Context, global int) (bool, error) {
 	tel := ss.tel.Load()
 	var begin time.Time
 	if tel != nil {
 		begin = time.Now()
 	}
-	applied, err := ss.applyDelete(global)
+	asp := trace.FromContext(ctx).Child("facade.apply")
+	if asp != nil {
+		asp.SetStr("op", "delete")
+		ctx = trace.With(ctx, asp)
+		defer asp.End()
+	}
+	applied, err := ss.applyDelete(ctx, global)
 	if tel != nil && applied && err == nil {
 		tel.observeOp(opDelete, 1, time.Since(begin))
 	}
 	return applied, err
 }
 
-func (ss *ShardedSearcher) applyDelete(global int) (bool, error) {
+func (ss *ShardedSearcher) applyDelete(ctx context.Context, global int) (bool, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if !ss.dynamic {
@@ -799,12 +918,12 @@ func (ss *ShardedSearcher) applyDelete(global int) (bool, error) {
 	if eng == nil {
 		return false, nil
 	}
-	return ss.deleteShard(s, eng, l)
+	return ss.deleteShard(ctx, s, eng, l)
 }
 
 // plainInsert routes an applied mutation to an in-memory shard engine.
-func (ss *ShardedSearcher) plainInsert(shard int, eng *Searcher, p []float64) (int, bool, error) {
-	id, err := eng.Insert(p)
+func (ss *ShardedSearcher) plainInsert(ctx context.Context, shard int, eng *Searcher, p []float64) (int, bool, error) {
+	id, err := eng.InsertContext(ctx, p)
 	if err != nil {
 		return 0, false, err
 	}
@@ -813,7 +932,7 @@ func (ss *ShardedSearcher) plainInsert(shard int, eng *Searcher, p []float64) (i
 
 // plainCreate builds a fresh single-point shard engine for a shard that
 // was empty until now.
-func (ss *ShardedSearcher) plainCreate(shard int, p []float64) (*Searcher, error) {
+func (ss *ShardedSearcher) plainCreate(_ context.Context, shard int, p []float64) (*Searcher, error) {
 	ix, err := harness.BuildBackend(string(ss.backend), [][]float64{vecmath.Clone(p)}, ss.metric)
 	if err != nil {
 		return nil, fmt.Errorf("rknnd: shard %d: %w", shard, err)
@@ -822,8 +941,8 @@ func (ss *ShardedSearcher) plainCreate(shard int, p []float64) (*Searcher, error
 }
 
 // plainDelete routes a deletion to an in-memory shard engine.
-func (ss *ShardedSearcher) plainDelete(shard int, eng *Searcher, local int) (bool, error) {
-	return eng.Delete(local)
+func (ss *ShardedSearcher) plainDelete(ctx context.Context, shard int, eng *Searcher, local int) (bool, error) {
+	return eng.DeleteContext(ctx, local)
 }
 
 // InsertBatch adds many points in one write step: one shard-map clone, one
@@ -837,6 +956,12 @@ func (ss *ShardedSearcher) plainDelete(shard int, eng *Searcher, local int) (boo
 // local-ID accounting diverge from the engines (reads stay correct; the
 // orphaned IDs answer as not-found).
 func (ss *ShardedSearcher) InsertBatch(points [][]float64) ([]int, error) {
+	return ss.InsertBatchContext(context.Background(), points)
+}
+
+// InsertBatchContext is InsertBatch with a context, traced like
+// InsertContext with the batch size attached.
+func (ss *ShardedSearcher) InsertBatchContext(ctx context.Context, points [][]float64) ([]int, error) {
 	if len(points) == 0 {
 		return nil, nil
 	}
@@ -845,7 +970,14 @@ func (ss *ShardedSearcher) InsertBatch(points [][]float64) ([]int, error) {
 	if tel != nil {
 		begin = time.Now()
 	}
-	ids, err := ss.applyInsertBatch(points)
+	asp := trace.FromContext(ctx).Child("facade.apply")
+	if asp != nil {
+		asp.SetStr("op", "insert_batch")
+		asp.SetInt("points", int64(len(points)))
+		ctx = trace.With(ctx, asp)
+		defer asp.End()
+	}
+	ids, err := ss.applyInsertBatch(ctx, points)
 	if tel != nil && err == nil {
 		tel.countQueries(opInsert, len(ids))
 		tel.observeLatency(opInsert, time.Since(begin))
@@ -853,7 +985,7 @@ func (ss *ShardedSearcher) InsertBatch(points [][]float64) ([]int, error) {
 	return ids, err
 }
 
-func (ss *ShardedSearcher) applyInsertBatch(points [][]float64) ([]int, error) {
+func (ss *ShardedSearcher) applyInsertBatch(ctx context.Context, points [][]float64) ([]int, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if !ss.dynamic {
@@ -924,7 +1056,7 @@ func (ss *ShardedSearcher) applyInsertBatch(points [][]float64) ([]int, error) {
 		}
 		eng := ss.slots[shard].eng.Load()
 		if eng == nil {
-			neweng, err := ss.createShardBatch(shard, pts)
+			neweng, err := ss.createShardBatch(ctx, shard, pts)
 			if err != nil {
 				fail(shard, err, false)
 				continue
@@ -932,7 +1064,7 @@ func (ss *ShardedSearcher) applyInsertBatch(points [][]float64) ([]int, error) {
 			ss.slots[shard].eng.Store(neweng)
 			continue
 		}
-		got, applied, err := ss.insertShardBatch(shard, eng, pts)
+		got, applied, err := ss.insertShardBatch(ctx, shard, eng, pts)
 		if !applied {
 			fail(shard, err, false)
 			continue
@@ -954,8 +1086,8 @@ func (ss *ShardedSearcher) applyInsertBatch(points [][]float64) ([]int, error) {
 
 // plainInsertBatch routes a batch to an in-memory shard engine: one overlay
 // clone for the whole group.
-func (ss *ShardedSearcher) plainInsertBatch(shard int, eng *Searcher, pts [][]float64) ([]int, bool, error) {
-	ids, err := eng.InsertBatch(pts)
+func (ss *ShardedSearcher) plainInsertBatch(ctx context.Context, shard int, eng *Searcher, pts [][]float64) ([]int, bool, error) {
+	ids, err := eng.InsertBatchContext(ctx, pts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -964,7 +1096,7 @@ func (ss *ShardedSearcher) plainInsertBatch(shard int, eng *Searcher, pts [][]fl
 
 // plainCreateBatch builds a fresh shard engine for a shard that was empty
 // until now, holding the whole group.
-func (ss *ShardedSearcher) plainCreateBatch(shard int, pts [][]float64) (*Searcher, error) {
+func (ss *ShardedSearcher) plainCreateBatch(_ context.Context, shard int, pts [][]float64) (*Searcher, error) {
 	cp := make([][]float64, len(pts))
 	for i, p := range pts {
 		cp[i] = vecmath.Clone(p)

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -312,7 +313,7 @@ func (d *DurableShardedSearcher) closeStores() {
 // acknowledging, with the same poisoning contract as DurableSearcher: a
 // log failure disables the shard's store but the global ID assignment
 // stands, matching the visible in-memory state.
-func (d *DurableShardedSearcher) durableInsert(shard int, eng *Searcher, p []float64) (int, bool, error) {
+func (d *DurableShardedSearcher) durableInsert(ctx context.Context, shard int, eng *Searcher, p []float64) (int, bool, error) {
 	if d.closed {
 		return 0, false, errClosed
 	}
@@ -322,11 +323,11 @@ func (d *DurableShardedSearcher) durableInsert(shard int, eng *Searcher, p []flo
 	if err := ds.usable(); err != nil {
 		return 0, false, err
 	}
-	id, err := ds.Searcher.Insert(p)
+	id, err := ds.Searcher.InsertContext(ctx, p)
 	if err != nil {
 		return 0, false, err
 	}
-	if err := ds.store.Append(persist.WALRecord{Op: persist.WALInsert, ID: id, Point: p}); err != nil {
+	if err := ds.store.AppendCtx(ctx, persist.WALRecord{Op: persist.WALInsert, ID: id, Point: p}); err != nil {
 		return id, true, ds.disable(err)
 	}
 	return id, true, nil
@@ -335,7 +336,7 @@ func (d *DurableShardedSearcher) durableInsert(shard int, eng *Searcher, p []flo
 // durableCreate populates a previously empty shard: a fresh single-point
 // engine and a fresh shard store whose initial snapshot carries the point
 // (no WAL record needed).
-func (d *DurableShardedSearcher) durableCreate(shard int, p []float64) (*Searcher, error) {
+func (d *DurableShardedSearcher) durableCreate(ctx context.Context, shard int, p []float64) (*Searcher, error) {
 	if d.closed {
 		return nil, errClosed
 	}
@@ -355,7 +356,7 @@ func (d *DurableShardedSearcher) durableCreate(shard int, p []float64) (*Searche
 			return nil, fmt.Errorf("rknnd: shard %d: syncing log before creating shard %d: %w", i, shard, err)
 		}
 	}
-	eng, err := d.ShardedSearcher.plainCreate(shard, p)
+	eng, err := d.ShardedSearcher.plainCreate(ctx, shard, p)
 	if err != nil {
 		return nil, err
 	}
@@ -396,7 +397,7 @@ func (d *DurableShardedSearcher) durablePreflight(shards []int) error {
 // different shards' groups can tear a multi-shard batch across logs;
 // recovery then refuses to open (the ID-span cross-check) rather than
 // renumber survivors.
-func (d *DurableShardedSearcher) durableInsertBatch(shard int, eng *Searcher, pts [][]float64) ([]int, bool, error) {
+func (d *DurableShardedSearcher) durableInsertBatch(ctx context.Context, shard int, eng *Searcher, pts [][]float64) ([]int, bool, error) {
 	if d.closed {
 		return nil, false, errClosed
 	}
@@ -406,7 +407,7 @@ func (d *DurableShardedSearcher) durableInsertBatch(shard int, eng *Searcher, pt
 	if err := ds.usable(); err != nil {
 		return nil, false, err
 	}
-	ids, err := ds.Searcher.InsertBatch(pts)
+	ids, err := ds.Searcher.InsertBatchContext(ctx, pts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -414,7 +415,7 @@ func (d *DurableShardedSearcher) durableInsertBatch(shard int, eng *Searcher, pt
 	for i, id := range ids {
 		records[i] = persist.WALRecord{Op: persist.WALInsert, ID: id, Point: pts[i]}
 	}
-	if err := ds.store.AppendBatch(records); err != nil {
+	if err := ds.store.AppendBatchCtx(ctx, records); err != nil {
 		return ids, true, ds.disable(err)
 	}
 	return ids, true, nil
@@ -424,7 +425,7 @@ func (d *DurableShardedSearcher) durableInsertBatch(shard int, eng *Searcher, pt
 // group: a fresh engine and a fresh shard store whose initial snapshot
 // carries the points (no WAL records needed). The sibling-sync discipline
 // of durableCreate applies unchanged.
-func (d *DurableShardedSearcher) durableCreateBatch(shard int, pts [][]float64) (*Searcher, error) {
+func (d *DurableShardedSearcher) durableCreateBatch(ctx context.Context, shard int, pts [][]float64) (*Searcher, error) {
 	if d.closed {
 		return nil, errClosed
 	}
@@ -436,7 +437,7 @@ func (d *DurableShardedSearcher) durableCreateBatch(shard int, pts [][]float64) 
 			return nil, fmt.Errorf("rknnd: shard %d: syncing log before creating shard %d: %w", i, shard, err)
 		}
 	}
-	eng, err := d.ShardedSearcher.plainCreateBatch(shard, pts)
+	eng, err := d.ShardedSearcher.plainCreateBatch(ctx, shard, pts)
 	if err != nil {
 		return nil, err
 	}
@@ -450,7 +451,7 @@ func (d *DurableShardedSearcher) durableCreateBatch(shard int, pts [][]float64) 
 }
 
 // durableDelete applies and logs a point deletion on its shard.
-func (d *DurableShardedSearcher) durableDelete(shard int, eng *Searcher, local int) (bool, error) {
+func (d *DurableShardedSearcher) durableDelete(ctx context.Context, shard int, eng *Searcher, local int) (bool, error) {
 	if d.closed {
 		return false, errClosed
 	}
@@ -463,11 +464,11 @@ func (d *DurableShardedSearcher) durableDelete(shard int, eng *Searcher, local i
 	if err := ds.usable(); err != nil {
 		return false, err
 	}
-	ok, err := ds.Searcher.Delete(local)
+	ok, err := ds.Searcher.DeleteContext(ctx, local)
 	if err != nil || !ok {
 		return ok, err
 	}
-	if err := ds.store.Append(persist.WALRecord{Op: persist.WALDelete, ID: local}); err != nil {
+	if err := ds.store.AppendCtx(ctx, persist.WALRecord{Op: persist.WALDelete, ID: local}); err != nil {
 		return false, ds.disable(err)
 	}
 	return true, nil

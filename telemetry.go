@@ -244,6 +244,7 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 func (s *Searcher) EnableTelemetry(reg *telemetry.Registry) {
 	s.tel.Store(newEngineTelemetry(reg, string(s.backend), s.Approximate()))
 	registerWriteGauges(reg, string(s.backend), s.MemtableLen, s.Compactions)
+	s.compactHist.Store(compactionHistogram(reg, string(s.backend)))
 	if s.Approximate() {
 		cache := &recallCache{}
 		reg.GaugeFunc("rknn_recall_estimate",
@@ -267,6 +268,24 @@ func (ss *ShardedSearcher) EnableTelemetry(reg *telemetry.Registry) {
 	ss.shardTel.Store(&sts)
 	ss.tel.Store(newEngineTelemetry(reg, string(ss.backend), ss.Approximate()))
 	registerWriteGauges(reg, string(ss.backend), ss.MemtableLen, ss.Compactions)
+	// Every shard engine (current and future — see newShardEngine) shares
+	// one per-backend histogram, so the compaction-duration series sums
+	// across shards.
+	h := compactionHistogram(reg, string(ss.backend))
+	ss.compactHist.Store(h)
+	for _, slot := range ss.slots {
+		if eng := slot.eng.Load(); eng != nil {
+			eng.compactHist.Store(h)
+		}
+	}
+}
+
+// compactionHistogram resolves the per-backend compaction-duration
+// histogram — the cost of each O(n) delta fold, previously only counted.
+func compactionHistogram(reg *telemetry.Registry, backend string) *telemetry.Histogram {
+	return reg.HistogramVec("rknn_compaction_duration_seconds",
+		"Duration of delta-overlay compaction folds (the O(n) step of the write path), per backend, summed across shards.",
+		telemetry.DefaultLatencyBuckets, "backend").With(backend)
 }
 
 // registerWriteGauges registers the incremental-write-path surfaces: the
