@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -712,5 +713,119 @@ func BenchmarkCoreQuery(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// scalarEuclidean reproduces the pre-kernel Euclidean path exactly: a
+// plain scalar loop reached through the Metric interface. Because it is
+// not the vecmath.Euclidean type, KernelFor dispatches to nil and every
+// layer falls back to per-row interface calls — the honest baseline for
+// the kernel speedups below.
+type scalarEuclidean struct{}
+
+func (scalarEuclidean) Distance(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func (scalarEuclidean) Name() string { return "euclidean" }
+
+func (scalarEuclidean) Metricity() bool { return true }
+
+// BenchmarkKernels measures the distance-kernel layer: one-vs-one kernel
+// latency against the scalar interface path, and end-to-end engine
+// throughput in three configurations — interface-dispatched scalar loops
+// (the pre-kernel engine), type-switched kernels, and kernels plus the
+// quantized candidate pre-filter. The measured knn/rknn multiples land in
+// the "kernels" section of BENCH_core.json. CI runs it as a 1-iteration
+// smoke (-benchtime 1x).
+func BenchmarkKernels(b *testing.B) {
+	// One-vs-one: 64-dim vectors, scalar interface call vs direct kernel.
+	dim := 64
+	x, y := make([]float64, dim), make([]float64, dim)
+	for i := range x {
+		x[i] = float64(i%7) * 0.31
+		y[i] = float64(i%5) * 0.47
+	}
+	nsPer := map[string]float64{}
+	var sink float64
+	b.Run("l2/scalar", func(b *testing.B) {
+		var m Metric = scalarEuclidean{}
+		for i := 0; i < b.N; i++ {
+			sink += m.Distance(x, y)
+		}
+		nsPer["l2_scalar"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("l2/kernel", func(b *testing.B) {
+		kern := vecmath.KernelFor(vecmath.Euclidean{})
+		for i := 0; i < b.N; i++ {
+			sink += kern(x, y)
+		}
+		nsPer["l2_kernel"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	_ = sink
+
+	// Engine level: the MNIST surrogate at full 784-dim width — the
+	// paper's sequential-scan regime, and the one the quantized filter
+	// targets: class structure gives the k-NN bound strong contrast, so
+	// the code-level bound exits within a few dozen of the 784
+	// dimensions while every exact distance pays all of them.
+	data := dataset.MNIST(6000, 1)
+	qids := make([]int, 256)
+	for i := range qids {
+		qids[i] = (i * 7) % data.Len()
+	}
+	configs := []struct {
+		name string
+		opts []Option
+	}{
+		{"scalar", []Option{WithBackend(BackendScan), WithScale(6), WithMetric(scalarEuclidean{})}},
+		{"kernels", []Option{WithBackend(BackendScan), WithScale(6)}},
+		{"kernels+filter", []Option{WithBackend(BackendScan), WithScale(6), WithQuantizedFilter()}},
+	}
+	qps := map[string]float64{}
+	for _, cfg := range configs {
+		s, err := New(data.Points, cfg.opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("knn/"+cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.KNN(data.Points[qids[i%len(qids)]], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(q, "queries/s")
+			qps["knn_"+cfg.name] = q
+		})
+		b.Run("rknn/"+cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ReverseKNN(qids[i%len(qids)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(q, "queries/s")
+			qps["rknn_"+cfg.name] = q
+		})
+	}
+	if len(qps) == 6 && len(nsPer) == 2 {
+		payload := map[string]any{
+			"benchmark":          "BenchmarkKernels",
+			"dataset":            "mnist-6000x784",
+			"k":                  10,
+			"dim_onevsone":       dim,
+			"gomaxprocs":         runtime.GOMAXPROCS(0),
+			"ns_per_distance":    nsPer,
+			"queries_per_second": qps,
+			"knn_multiple":       qps["knn_kernels+filter"] / qps["knn_scalar"],
+			"rknn_multiple":      qps["rknn_kernels+filter"] / qps["rknn_scalar"],
+		}
+		mergeBenchJSON(b, "BENCH_core.json", "kernels", payload)
 	}
 }

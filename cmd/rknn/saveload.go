@@ -51,7 +51,7 @@ func runSave(args []string, stdout io.Writer) error {
 	}
 	if *shards > 1 {
 		start := time.Now()
-		ss, err := buildShardedSearcher(pts, *shards, *backend, *tParam, *auto, *plain, *metric)
+		ss, err := buildShardedSearcher(pts, *shards, *backend, *tParam, *auto, *plain, false, *metric)
 		if err != nil {
 			return err
 		}
@@ -68,7 +68,7 @@ func runSave(args []string, stdout io.Writer) error {
 		return nil
 	}
 	start := time.Now()
-	s, err := buildSearcher(pts, *backend, *tParam, *auto, *plain, *metric)
+	s, err := buildSearcher(pts, *backend, *tParam, *auto, *plain, false, *metric)
 	if err != nil {
 		return err
 	}

@@ -43,6 +43,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		tParam   = fs.Float64("t", 0, "pin the scale parameter (0 estimates it)")
 		auto     = fs.String("auto", "mle", "scale estimator when -t is 0: mle, gp or takens")
 		plain    = fs.Bool("plain", false, "use plain RDT instead of RDT+")
+		quant    = fs.Bool("quant-filter", false, "screen candidates through a quantized pre-filter before exact distances (scan back-end only; results are unchanged)")
 		metric   = fs.String("metric", "", "distance metric: euclidean (default), manhattan, chebyshev, angular, minkowski(p)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		dataDir  = fs.String("data-dir", "", "durable store directory: recover state from it, or create it and log all writes")
@@ -61,7 +62,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		return err
 	}
 
-	eng, closeEngine, err := buildEngine(stdout, *dataDir, *walSync, *shards, *csvPath, *dataName, *n, *dim, *seed, *backend, *tParam, *auto, *plain, *metric)
+	eng, closeEngine, err := buildEngine(stdout, *dataDir, *walSync, *shards, *csvPath, *dataName, *n, *dim, *seed, *backend, *tParam, *auto, *plain, *quant, *metric)
 	if err != nil {
 		return err
 	}
@@ -227,7 +228,7 @@ func logMetricsSummary(stdout io.Writer, reg *telemetry.Registry) {
 // or build a purely in-memory engine otherwise — sharded scatter-gather
 // when -shards > 1. The returned closer flushes and closes the write-ahead
 // logs.
-func buildEngine(stdout io.Writer, dataDir string, walSync, shards int, csvPath, dataName string, n, dim int, seed int64, backend string, t float64, auto string, plain bool, metric string) (server.Engine, func(), error) {
+func buildEngine(stdout io.Writer, dataDir string, walSync, shards int, csvPath, dataName string, n, dim int, seed int64, backend string, t float64, auto string, plain, quant bool, metric string) (server.Engine, func(), error) {
 	if shards < 1 {
 		return nil, nil, fmt.Errorf("serve: -shards must be at least 1, got %d", shards)
 	}
@@ -273,7 +274,7 @@ func buildEngine(stdout io.Writer, dataDir string, walSync, shards int, csvPath,
 		return nil, nil, err
 	}
 	if shards > 1 {
-		ss, err := buildShardedSearcher(pts, shards, backend, t, auto, plain, metric)
+		ss, err := buildShardedSearcher(pts, shards, backend, t, auto, plain, quant, metric)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -288,7 +289,7 @@ func buildEngine(stdout io.Writer, dataDir string, walSync, shards int, csvPath,
 		fmt.Fprintf(stdout, "rknn serve: %s bootstrapped sharded store (%d shards) in %s\n", name, shards, dataDir)
 		return ds, func() { ds.Close() }, nil
 	}
-	s, err := buildSearcher(pts, backend, t, auto, plain, metric)
+	s, err := buildSearcher(pts, backend, t, auto, plain, quant, metric)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -305,7 +306,7 @@ func buildEngine(stdout io.Writer, dataDir string, walSync, shards int, csvPath,
 }
 
 // searcherOptions maps the serve/save flags onto the public facade options.
-func searcherOptions(backend string, t float64, auto string, plain bool, metric string) ([]repro.Option, error) {
+func searcherOptions(backend string, t float64, auto string, plain, quant bool, metric string) ([]repro.Option, error) {
 	opts := []repro.Option{repro.WithBackend(repro.Backend(backend))}
 	if metric != "" {
 		m, err := repro.ParseMetric(metric)
@@ -322,12 +323,15 @@ func searcherOptions(backend string, t float64, auto string, plain bool, metric 
 	if plain {
 		opts = append(opts, repro.WithPlainRDT())
 	}
+	if quant {
+		opts = append(opts, repro.WithQuantizedFilter())
+	}
 	return opts, nil
 }
 
 // buildSearcher builds the single-engine form of the flag set.
-func buildSearcher(pts [][]float64, backend string, t float64, auto string, plain bool, metric string) (*repro.Searcher, error) {
-	opts, err := searcherOptions(backend, t, auto, plain, metric)
+func buildSearcher(pts [][]float64, backend string, t float64, auto string, plain, quant bool, metric string) (*repro.Searcher, error) {
+	opts, err := searcherOptions(backend, t, auto, plain, quant, metric)
 	if err != nil {
 		return nil, err
 	}
@@ -335,8 +339,8 @@ func buildSearcher(pts [][]float64, backend string, t float64, auto string, plai
 }
 
 // buildShardedSearcher builds the scatter-gather form of the flag set.
-func buildShardedSearcher(pts [][]float64, shards int, backend string, t float64, auto string, plain bool, metric string) (*repro.ShardedSearcher, error) {
-	opts, err := searcherOptions(backend, t, auto, plain, metric)
+func buildShardedSearcher(pts [][]float64, shards int, backend string, t float64, auto string, plain, quant bool, metric string) (*repro.ShardedSearcher, error) {
+	opts, err := searcherOptions(backend, t, auto, plain, quant, metric)
 	if err != nil {
 		return nil, err
 	}

@@ -53,7 +53,7 @@ func New(services index.Index, clients [][]float64, kmax int) (*Index, error) {
 	if kmax <= 0 {
 		return nil, fmt.Errorf("bichromatic: KMax must be positive, got %d", kmax)
 	}
-	if err := vecmath.ValidateAll(clients); err != nil {
+	if err := vecmath.ValidateAllFor(services.Metric(), clients); err != nil {
 		return nil, err
 	}
 	if len(clients[0]) != services.Dim() {
@@ -124,7 +124,7 @@ func (ix *Index) Query(qid, k int) ([]int, error) {
 // in the service set: the clients that would adopt it among their k nearest
 // services — the influence set driving facility placement.
 func (ix *Index) QueryPoint(q []float64, k int) ([]int, error) {
-	if err := vecmath.Validate(q); err != nil {
+	if err := vecmath.ValidateFor(ix.services.Metric(), q); err != nil {
 		return nil, err
 	}
 	if len(q) != ix.services.Dim() {

@@ -21,6 +21,7 @@ import (
 type Truth struct {
 	points [][]float64
 	metric vecmath.Metric
+	dist   vecmath.DistanceFunc // resolved kernel; falls back to metric.Distance
 }
 
 // New constructs a Truth over points. The slice is retained by reference.
@@ -28,10 +29,14 @@ func New(points [][]float64, metric vecmath.Metric) (*Truth, error) {
 	if metric == nil {
 		return nil, errors.New("bruteforce: nil metric")
 	}
-	if err := vecmath.ValidateAll(points); err != nil {
+	if err := vecmath.ValidateAllFor(metric, points); err != nil {
 		return nil, err
 	}
-	return &Truth{points: points, metric: metric}, nil
+	dist := vecmath.KernelFor(metric)
+	if dist == nil {
+		dist = metric.Distance
+	}
+	return &Truth{points: points, metric: metric, dist: dist}, nil
 }
 
 // Len returns the dataset size.
@@ -49,7 +54,7 @@ func (t *Truth) RkNNByID(qid, k int) ([]int, error) {
 // RkNN returns the exact reverse k-nearest neighbors of an arbitrary query
 // point q (not necessarily a dataset member), as a sorted slice of IDs.
 func (t *Truth) RkNN(q []float64, k int) ([]int, error) {
-	if err := vecmath.Validate(q); err != nil {
+	if err := vecmath.ValidateFor(t.metric, q); err != nil {
 		return nil, err
 	}
 	if len(q) != len(t.points[0]) {
@@ -67,13 +72,13 @@ func (t *Truth) rknn(q []float64, skipID, k int) ([]int, error) {
 		if x == skipID {
 			continue
 		}
-		dxq := t.metric.Distance(t.points[x], q)
+		dxq := t.dist(t.points[x], q)
 		closer := 0
 		for y := range t.points {
 			if y == x {
 				continue
 			}
-			if t.metric.Distance(t.points[x], t.points[y]) < dxq {
+			if t.dist(t.points[x], t.points[y]) < dxq {
 				closer++
 				if closer >= k {
 					break
@@ -104,7 +109,7 @@ func (t *Truth) KNNDists(k int) ([]float64, error) {
 			if y == x {
 				continue
 			}
-			dists = append(dists, t.metric.Distance(t.points[x], t.points[y]))
+			dists = append(dists, t.dist(t.points[x], t.points[y]))
 		}
 		sort.Float64s(dists)
 		idx := k - 1

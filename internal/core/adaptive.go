@@ -121,6 +121,7 @@ func NewAdaptiveQuerier(ix index.Index, params AdaptiveParams) (*Querier, error)
 	return &Querier{
 		ix:     ix,
 		metric: ix.Metric(),
+		dist:   resolveKernel(ix.Metric()),
 		// The embedded fixed parameters carry K and Plus; T records
 		// the ceiling for introspection.
 		params:   Params{K: params.K, T: params.MaxT, Plus: params.Plus},

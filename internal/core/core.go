@@ -153,8 +153,18 @@ func (f fixedScale) observe(int, float64) float64 { return f.t }
 type Querier struct {
 	ix       index.Index
 	metric   vecmath.Metric
+	dist     vecmath.DistanceFunc // resolved kernel; falls back to metric.Distance
 	params   Params
 	newScale func() scaleStrategy // fresh per-query state
+}
+
+// resolveKernel picks the direct distance kernel for m so the witness cycle
+// — the quadratic heart of Algorithm 1 — skips the per-pair interface call.
+func resolveKernel(m vecmath.Metric) vecmath.DistanceFunc {
+	if k := vecmath.KernelFor(m); k != nil {
+		return k
+	}
+	return m.Distance
 }
 
 // NewQuerier validates the parameters and returns a Querier over ix.
@@ -171,6 +181,7 @@ func NewQuerier(ix index.Index, params Params) (*Querier, error) {
 	return &Querier{
 		ix:       ix,
 		metric:   ix.Metric(),
+		dist:     resolveKernel(ix.Metric()),
 		params:   params,
 		newScale: func() scaleStrategy { return fixedScale{t: params.T} },
 	}, nil
@@ -218,7 +229,7 @@ func (qr *Querier) ByPoint(q []float64) (*Result, error) {
 
 // ByPointCtx is ByPoint with a context, traced like ByIDCtx.
 func (qr *Querier) ByPointCtx(ctx context.Context, q []float64) (*Result, error) {
-	if err := vecmath.Validate(q); err != nil {
+	if err := vecmath.ValidateFor(qr.metric, q); err != nil {
 		return nil, err
 	}
 	if len(q) != qr.ix.Dim() {
@@ -318,7 +329,7 @@ func (qr *Querier) run(ctx context.Context, q []float64, skipID int) (*Result, e
 		// lazy-accept test to filter members.
 		for i := range filter {
 			x := &filter[i]
-			dvx := qr.metric.Distance(v.point, x.point)
+			dvx := qr.dist(v.point, x.point)
 			stats.DistanceComps++
 			if dvx < x.dq { // v witnesses x
 				x.w++

@@ -79,7 +79,7 @@ func Restore(points [][]float64, metric vecmath.Metric, deleted []int, structure
 	if !metric.Metricity() {
 		return nil, errors.New("covertree: metric must satisfy the triangle inequality")
 	}
-	if err := vecmath.ValidateAll(points); err != nil {
+	if err := vecmath.ValidateAllFor(metric, points); err != nil {
 		return nil, err
 	}
 	root, err := decodeStructure(points, structure)

@@ -66,7 +66,7 @@ func New(points [][]float64, metric vecmath.Metric) (*Tree, error) {
 	if !metric.Metricity() {
 		return nil, errors.New("covertree: metric must satisfy the triangle inequality")
 	}
-	if err := vecmath.ValidateAll(points); err != nil {
+	if err := vecmath.ValidateAllFor(metric, points); err != nil {
 		return nil, err
 	}
 	t := &Tree{
@@ -107,7 +107,7 @@ func (t *Tree) Metric() vecmath.Metric { return t.metric }
 
 // Insert implements index.Dynamic.
 func (t *Tree) Insert(p []float64) (int, error) {
-	if err := vecmath.Validate(p); err != nil {
+	if err := vecmath.ValidateFor(t.metric, p); err != nil {
 		return 0, err
 	}
 	if len(p) != t.dim {

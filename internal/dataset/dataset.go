@@ -34,6 +34,29 @@ func (d *Dataset) Dim() int {
 	return len(d.Points[0])
 }
 
+// Compact re-lays the rows into one contiguous row-major block, in place,
+// and returns the dataset. Generators build rows one at a time (each its
+// own allocation); compacting them restores the spatial locality the
+// engine's scan layers are designed around, so dataset-side passes
+// (standardization, benchmark query loops) stream instead of chasing
+// pointers. Row slices keep their identity — only the backing storage
+// moves — and full-capacity reslicing keeps an append on one row from
+// clobbering its neighbor.
+func (d *Dataset) Compact() *Dataset {
+	if len(d.Points) == 0 {
+		return d
+	}
+	dim := len(d.Points[0])
+	arena := make([]float64, 0, len(d.Points)*dim)
+	for _, p := range d.Points {
+		arena = append(arena, p...)
+	}
+	for i := range d.Points {
+		d.Points[i] = arena[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return d
+}
+
 // SampleIDs draws count distinct point IDs uniformly at random, mirroring the
 // paper's protocol of issuing RkNN queries from 100 randomly chosen dataset
 // members. If count >= Len, all IDs are returned.
@@ -64,7 +87,7 @@ func (d *Dataset) Subsample(name string, size int, rng *rand.Rand) *Dataset {
 	for i := 0; i < size; i++ {
 		pts[i] = d.Points[perm[i]]
 	}
-	return &Dataset{Name: name, Points: pts}
+	return (&Dataset{Name: name, Points: pts}).Compact()
 }
 
 // Uniform generates n points uniformly in the d-dimensional unit cube. Its
@@ -80,7 +103,7 @@ func Uniform(name string, n, d int, seed int64) *Dataset {
 		}
 		pts[i] = p
 	}
-	return &Dataset{Name: name, Points: pts}
+	return (&Dataset{Name: name, Points: pts}).Compact()
 }
 
 // GaussianMixture generates n points from c spherical Gaussian clusters with
@@ -105,7 +128,7 @@ func GaussianMixture(name string, n, d, c int, sigma float64, seed int64) *Datas
 		}
 		pts[i] = p
 	}
-	return &Dataset{Name: name, Points: pts}
+	return (&Dataset{Name: name, Points: pts}).Compact()
 }
 
 // Manifold generates n points on a smooth latentDim-dimensional manifold
@@ -129,7 +152,7 @@ func Manifold(name string, n, latentDim, ambientDim int, noise float64, seed int
 		}
 		pts[i] = p
 	}
-	return &Dataset{Name: name, Points: pts}
+	return (&Dataset{Name: name, Points: pts}).Compact()
 }
 
 // lift is a fixed random smooth map R^latent -> R^ambient. Coordinates are

@@ -36,7 +36,7 @@ func Sequoia(n int, seed int64) *Dataset {
 		across := rng.NormFloat64() * 0.004
 		pts[i] = []float64{cx + along, cy + across + 0.05*rng.NormFloat64()*rng.Float64()}
 	}
-	return &Dataset{Name: "sequoia", Points: pts}
+	return (&Dataset{Name: "sequoia", Points: pts}).Compact()
 }
 
 // ALOI generates a surrogate for the Amsterdam Library of Object Images
@@ -91,7 +91,7 @@ func MNIST(n int, seed int64) *Dataset {
 		}
 		pts[i] = p
 	}
-	return &Dataset{Name: "mnist", Points: pts}
+	return (&Dataset{Name: "mnist", Points: pts}).Compact()
 }
 
 // Imagenet generates a surrogate for the Imagenet deep-feature vectors used
@@ -133,7 +133,7 @@ func Imagenet(n, dim int, seed int64) *Dataset {
 		}
 		pts[i] = p
 	}
-	return &Dataset{Name: "imagenet", Points: pts}
+	return (&Dataset{Name: "imagenet", Points: pts}).Compact()
 }
 
 // latentHistogram produces non-negative rows that sum to ~1 (histogram-like
@@ -165,5 +165,5 @@ func latentHistogram(n, latentDim, ambientDim int, noise float64, seed int64) *D
 		}
 		pts[i] = p
 	}
-	return &Dataset{Name: "histogram", Points: pts}
+	return (&Dataset{Name: "histogram", Points: pts}).Compact()
 }

@@ -38,12 +38,22 @@ type Overlay struct {
 	alive    int
 	dim      int
 	metric   vecmath.Metric
+	dist     vecmath.DistanceFunc // resolved kernel; falls back to metric.Distance
 }
 
 var (
 	_ Cloner   = (*Overlay)(nil)
 	_ Liveness = (*Overlay)(nil)
 )
+
+// resolveKernel picks the direct distance kernel for m so the memtable scan
+// does not pay an interface call per row.
+func resolveKernel(m vecmath.Metric) vecmath.DistanceFunc {
+	if k := vecmath.KernelFor(m); k != nil {
+		return k
+	}
+	return m.Distance
+}
 
 // baseClones counts base-index clones performed by Fold across the process
 // — the O(n) events. The write-path tests pin that N inserts below the
@@ -69,7 +79,37 @@ func NewOverlay(base Index) *Overlay {
 		alive:    base.Len(),
 		dim:      base.Dim(),
 		metric:   base.Metric(),
+		dist:     resolveKernel(base.Metric()),
 	}
+}
+
+// EnableQuantFilter forwards to the base, which owns the row storage the
+// filter screens; memtable rows are screened only after a Fold re-inserts
+// them into a filtered base clone. Intended for wiring an overlay before it
+// is published to readers — the base is immutable afterwards.
+func (o *Overlay) EnableQuantFilter(cb *vecmath.Codebook) error {
+	qf, ok := o.base.(QuantFiltered)
+	if !ok {
+		return errors.New("index: overlay base does not support a quantized filter")
+	}
+	return qf.EnableQuantFilter(cb)
+}
+
+// QuantCodebook forwards the base's quantized-filter codebook (nil when the
+// base has none or no filter is enabled).
+func (o *Overlay) QuantCodebook() *vecmath.Codebook {
+	if qf, ok := o.base.(QuantFiltered); ok {
+		return qf.QuantCodebook()
+	}
+	return nil
+}
+
+// QuantFilterStats forwards the base's quantized-filter admission counters.
+func (o *Overlay) QuantFilterStats() (admitted, screened int64) {
+	if qf, ok := o.base.(QuantFiltered); ok {
+		return qf.QuantFilterStats()
+	}
+	return 0, 0
 }
 
 // Base returns the immutable base index under the delta.
@@ -129,7 +169,7 @@ func (o *Overlay) Point(id int) []float64 {
 
 // Insert implements Dynamic: an O(1) memtable append.
 func (o *Overlay) Insert(p []float64) (int, error) {
-	if err := vecmath.Validate(p); err != nil {
+	if err := vecmath.ValidateFor(o.metric, p); err != nil {
 		return 0, err
 	}
 	if len(p) != o.dim {
@@ -176,6 +216,7 @@ func (o *Overlay) Clone() Dynamic {
 		alive:    o.alive,
 		dim:      o.dim,
 		metric:   o.metric,
+		dist:     o.dist,
 	}
 }
 
@@ -243,6 +284,7 @@ func (o *Overlay) Rebase(frozen *Overlay, folded Dynamic) *Overlay {
 		alive:    o.alive,
 		dim:      o.dim,
 		metric:   o.metric,
+		dist:     o.dist,
 	}
 }
 
@@ -267,7 +309,7 @@ func (o *Overlay) memNeighbors(q []float64, skipID int) []Neighbor {
 		if id == skipID || o.tomb[id] {
 			continue
 		}
-		out = append(out, Neighbor{ID: id, Dist: o.metric.Distance(q, p)})
+		out = append(out, Neighbor{ID: id, Dist: o.dist(q, p)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
@@ -493,7 +535,7 @@ func (o *Overlay) CountRange(q []float64, r float64, skipID int) int {
 		if id >= o.baseSpan || id == skipID {
 			continue
 		}
-		if o.metric.Distance(q, o.base.Point(id)) <= r {
+		if o.dist(q, o.base.Point(id)) <= r {
 			n--
 		}
 	}
@@ -502,7 +544,7 @@ func (o *Overlay) CountRange(q []float64, r float64, skipID int) int {
 		if id == skipID || o.tomb[id] {
 			continue
 		}
-		if o.metric.Distance(q, p) <= r {
+		if o.dist(q, p) <= r {
 			n++
 		}
 	}

@@ -57,7 +57,7 @@ func New(points [][]float64, metric vecmath.Metric) (*Tree, error) {
 	if !ok {
 		return nil, errors.New("kdtree: metric cannot bound box distances; use covertree or scan")
 	}
-	if err := vecmath.ValidateAll(points); err != nil {
+	if err := vecmath.ValidateAllFor(metric, points); err != nil {
 		return nil, err
 	}
 	t := &Tree{points: points, metric: metric, boxer: boxer, dim: len(points[0])}

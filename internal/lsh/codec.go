@@ -104,7 +104,7 @@ func Restore(points [][]float64, metric vecmath.Metric, deleted []int, structure
 	if _, ok := metric.(vecmath.Euclidean); !ok {
 		return nil, errors.New("lsh: only the Euclidean metric is supported")
 	}
-	if err := vecmath.ValidateAll(points); err != nil {
+	if err := vecmath.ValidateAllFor(metric, points); err != nil {
 		return nil, err
 	}
 	ix, err := decodeStructure(points, structure)

@@ -120,7 +120,7 @@ func New(points [][]float64, metric vecmath.Metric, opts Options) (*Index, error
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	if err := vecmath.ValidateAll(points); err != nil {
+	if err := vecmath.ValidateAllFor(metric, points); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -254,7 +254,7 @@ func (ix *Index) Tables() int { return len(ix.tables) }
 // appended to its buckets. Bucket slices may be shared with clones, so the
 // updated bucket is a fresh slice rather than an in-place append.
 func (ix *Index) Insert(p []float64) (int, error) {
-	if err := vecmath.Validate(p); err != nil {
+	if err := vecmath.ValidateFor(ix.metric, p); err != nil {
 		return 0, err
 	}
 	if len(p) != ix.dim {

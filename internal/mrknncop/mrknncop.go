@@ -188,7 +188,7 @@ func (ix *Index) Query(qid, k int) (*Result, error) {
 // QueryPoint returns the exact reverse k-nearest neighbors of an arbitrary
 // query point (with kNN distances taken over the database alone).
 func (ix *Index) QueryPoint(q []float64, k int) (*Result, error) {
-	if err := vecmath.Validate(q); err != nil {
+	if err := vecmath.ValidateFor(ix.metric, q); err != nil {
 		return nil, err
 	}
 	if len(q) != len(ix.points[0]) {

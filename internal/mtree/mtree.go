@@ -62,7 +62,7 @@ func New(points [][]float64, metric vecmath.Metric, values [][]float64) (*Tree, 
 	if !metric.Metricity() {
 		return nil, errors.New("mtree: metric must satisfy the triangle inequality")
 	}
-	if err := vecmath.ValidateAll(points); err != nil {
+	if err := vecmath.ValidateAllFor(metric, points); err != nil {
 		return nil, err
 	}
 	if values != nil {

@@ -27,6 +27,13 @@ import (
 // migration path for existing files.
 const formatVersion = 1
 
+// snapVersionQuant is the snapshot format revision that appends a
+// quantized-filter codebook section. Snapshots without a codebook are
+// still written as formatVersion, so files produced by engines that never
+// enable the filter are byte-identical to version-1 files; ReadSnapshot
+// accepts both revisions.
+const snapVersionQuant = 2
+
 // Sanity caps on length prefixes: a decoder must reject anything beyond
 // these before allocating, so malformed or adversarial inputs cannot
 // request absurd allocations.
@@ -37,6 +44,7 @@ const (
 	maxNameLen    = 1 << 10 // bytes in a dataset name
 	maxWALPayload = 1 << 26 // bytes in one WAL record payload (one point)
 	maxNativeLen  = 1 << 30 // bytes in a backend-native structure blob
+	maxQuantLen   = 1 << 20 // bytes in a quantized-filter codebook blob
 )
 
 // trailerMagic terminates every snapshot and dataset file, distinguishing a

@@ -29,6 +29,7 @@ type Snapshot struct {
 	Points  [][]float64 // all IDs ever assigned, in ID order
 	Deleted []int       // tombstoned IDs, ascending
 	Native  []byte      // optional backend-native structure (may be nil)
+	Quant   []byte      // optional quantized-filter codebook (may be nil)
 }
 
 // flag bits in the header.
@@ -40,16 +41,20 @@ const (
 // File layout (all integers little-endian):
 //
 //	magic   [8]byte  "RKNNSNAP"
-//	version u32      = 1
+//	version u32      = 1 or 2
 //	header  u32 len | fields | u32 CRC-32C(fields)
 //	points  len(Points)×Dim f64 rows | u32 CRC-32C(raw row bytes)
 //	deleted len(Deleted)×u64 | u32 CRC-32C
 //	native  len(Native) bytes | u32 CRC-32C
+//	quant   len(Quant) bytes | u32 CRC-32C      (version 2 only)
 //	trailer u32      "RKNE"
 //
 // Header fields, in order: u8 metric ID, f64 metric param, u8 backend name
 // length + bytes, u8 flags, f64 scale, f64 margin, u32 dim, u64 point
-// count, u64 deleted count, u64 native length.
+// count, u64 deleted count, u64 native length, u64 quant length (version 2
+// only). A snapshot without a codebook is written as version 1, so engines
+// that never enable the quantized filter produce files bit-identical to
+// the original format.
 
 // WriteSnapshot encodes s. The writer is buffered internally; callers that
 // need durability must sync the underlying file themselves (the Store
@@ -60,9 +65,13 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 
+	version := uint32(formatVersion)
+	if len(s.Quant) > 0 {
+		version = snapVersionQuant
+	}
 	var head []byte
 	head = append(head, snapMagic[:]...)
-	head = appendU32(head, formatVersion)
+	head = appendU32(head, version)
 
 	var h []byte
 	h = appendU8(h, uint8(s.MetricID))
@@ -83,6 +92,9 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	h = appendU64(h, uint64(len(s.Points)))
 	h = appendU64(h, uint64(len(s.Deleted)))
 	h = appendU64(h, uint64(len(s.Native)))
+	if version >= snapVersionQuant {
+		h = appendU64(h, uint64(len(s.Quant)))
+	}
 
 	head = appendU32(head, uint32(len(h)))
 	head = append(head, h...)
@@ -105,6 +117,12 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 
 	if err := writeChecksummedBlob(bw, s.Native); err != nil {
 		return err
+	}
+
+	if version >= snapVersionQuant {
+		if err := writeChecksummedBlob(bw, s.Quant); err != nil {
+			return err
+		}
 	}
 
 	var tail []byte
@@ -136,6 +154,9 @@ func validateSnapshot(s *Snapshot) error {
 	if uint64(len(s.Native)) > maxNativeLen {
 		return fmt.Errorf("persist: native blob of %d bytes exceeds cap", len(s.Native))
 	}
+	if uint64(len(s.Quant)) > maxQuantLen {
+		return fmt.Errorf("persist: quant codebook blob of %d bytes exceeds cap", len(s.Quant))
+	}
 	return nil
 }
 
@@ -158,7 +179,7 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != formatVersion {
+	if version != formatVersion && version != snapVersionQuant {
 		return nil, corruptf("unsupported snapshot format version %d", version)
 	}
 
@@ -244,6 +265,15 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if nativeLen > maxNativeLen {
 		return nil, corruptf("native blob length %d exceeds cap", nativeLen)
 	}
+	var quantLen uint64
+	if version >= snapVersionQuant {
+		if quantLen, err = cur.u64(); err != nil {
+			return nil, err
+		}
+		if quantLen > maxQuantLen {
+			return nil, corruptf("quant codebook length %d exceeds cap", quantLen)
+		}
+	}
 	if err := cur.done(); err != nil {
 		return nil, err
 	}
@@ -278,6 +308,15 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	}
 	if nativeLen == 0 {
 		s.Native = nil
+	}
+
+	if version >= snapVersionQuant {
+		if s.Quant, err = readChecksummedBlob(br, quantLen); err != nil {
+			return nil, err
+		}
+		if quantLen == 0 {
+			s.Quant = nil
+		}
 	}
 
 	tm, err := readU32(br, scratch[:])

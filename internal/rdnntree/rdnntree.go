@@ -100,7 +100,7 @@ func (t *Tree) Query(qid int) ([]int, error) {
 // query the result is the set of objects that would have q among their k
 // nearest neighbors if q were added to the database.
 func (t *Tree) QueryPoint(q []float64) ([]int, error) {
-	if err := vecmath.Validate(q); err != nil {
+	if err := vecmath.ValidateFor(t.metric, q); err != nil {
 		return nil, err
 	}
 	if len(q) != t.rt.Dim() {

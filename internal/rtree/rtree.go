@@ -65,7 +65,7 @@ func New(points [][]float64, metric vecmath.Metric, values []float64) (*Tree, er
 	if !ok {
 		return nil, errors.New("rtree: metric cannot bound box distances")
 	}
-	if err := vecmath.ValidateAll(points); err != nil {
+	if err := vecmath.ValidateAllFor(metric, points); err != nil {
 		return nil, err
 	}
 	if values != nil && len(values) != len(points) {

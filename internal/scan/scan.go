@@ -6,45 +6,210 @@
 // lose their pruning power to the curse of dimensionality. Scan is also the
 // reference implementation against which every other back-end in this module
 // is tested.
+//
+// Two optimizations keep the flat scan at hardware speed without changing a
+// single result bit (DESIGN.md "Distance kernels and quantized filtering"):
+// rows are copied into one contiguous row-major arena and distances go
+// through vecmath's unrolled kernels instead of the Metric interface; and an
+// optional 8-bit scalar-quantization pre-filter (EnableQuantFilter) screens
+// rows against the current search bound with code-level and float32-level
+// lower bounds, so only rows that could possibly enter the result pay the
+// exact float64 kernel. Both lower-bound tiers are sound, so screening only
+// skips rows the bounded search would have discarded anyway.
 package scan
 
 import (
 	"errors"
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/index"
 	"repro/internal/pqueue"
 	"repro/internal/vecmath"
 )
 
+// quantKind selects the lower-bound domain of the quantized filter for the
+// metric in effect.
+type quantKind uint8
+
+const (
+	quantL2   quantKind = iota // rooted L2 results, squared LUT contributions
+	quantSqL2                  // squared L2 results, squared LUT contributions
+	quantL1                    // additive absolute contributions
+	quantLinf                  // max-combined contributions
+)
+
+// quantSlack is the relative safety margin on every screening comparison:
+// a row is skipped only when its lower bound exceeds the search bound by
+// this factor. It is ~7 orders of magnitude above accumulated float64
+// rounding for any realistic dimensionality, which is what lets the skip
+// rule claim byte-identical results, and far below any distance gap the
+// filter could usefully exploit.
+const quantSlack = 1e-9
+
+// quantKindFor reports the filter domain for m, or ok=false when the metric
+// has no sound quantized lower bound (Angular, Minkowski, custom metrics).
+func quantKindFor(m vecmath.Metric) (quantKind, bool) {
+	switch m.(type) {
+	case vecmath.Euclidean:
+		return quantL2, true
+	case vecmath.SquaredEuclidean:
+		return quantSqL2, true
+	case vecmath.Manhattan:
+		return quantL1, true
+	case vecmath.Chebyshev:
+		return quantLinf, true
+	}
+	return 0, false
+}
+
+// FilterStats carries the quantized filter's admission counters. One
+// FilterStats is shared by every clone in an index lineage (Clone copies
+// the codes, not the counters), so the totals are monotone across
+// compaction folds — the property the telemetry counter contract needs.
+type FilterStats struct {
+	admitted atomic.Int64
+	screened atomic.Int64
+}
+
+// Counts returns the lifetime totals: rows that reached the exact kernel
+// while the filter was consulted, and rows the lower bounds screened out.
+func (s *FilterStats) Counts() (admitted, screened int64) {
+	return s.admitted.Load(), s.screened.Load()
+}
+
+// quantFilter is the screening tier: one byte per (row, dimension) plus a
+// float32 shadow block. codes and blk grow with Insert and are copied by
+// Clone; cb and stats are shared across the lineage (cb is immutable).
+type quantFilter struct {
+	cb    *vecmath.Codebook
+	kind  quantKind
+	codes []uint8
+	blk   *vecmath.Block
+	stats *FilterStats
+}
+
+func (f *quantFilter) clone() *quantFilter {
+	return &quantFilter{
+		cb:    f.cb,
+		kind:  f.kind,
+		codes: append([]uint8(nil), f.codes...),
+		blk:   f.blk.Clone(),
+		stats: f.stats,
+	}
+}
+
+func (f *quantFilter) appendRow(p []float64) {
+	dim := f.cb.Dim()
+	n := len(f.codes)
+	f.codes = append(f.codes, make([]uint8, dim)...)
+	f.cb.Encode(p, f.codes[n:])
+	f.blk.Append(p)
+}
+
 // Index is a brute-force sequential scan over the dataset. It implements
 // index.Index and index.Dynamic. The zero value is not usable; construct
 // with New.
 type Index struct {
-	points  [][]float64
-	metric  vecmath.Metric
-	dim     int
+	points [][]float64 // row views into arena (plus per-insert tails)
+	arena  []float64   // contiguous row-major storage
+	metric vecmath.Metric
+	dist   vecmath.DistanceFunc // resolved kernel; falls back to metric.Distance
+	batch  vecmath.BatchDistanceFunc
+	dim    int
+	filter *quantFilter // nil until EnableQuantFilter
+
 	deleted map[int]bool // tombstones for Dynamic support
 	alive   int
 }
 
-var _ index.Cloner = (*Index)(nil)
+var (
+	_ index.Cloner        = (*Index)(nil)
+	_ index.QuantFiltered = (*Index)(nil)
+)
 
-// New builds a scan index over points. The slice is retained by reference.
+// New builds a scan index over points. The rows are copied into a
+// contiguous arena (the input is not retained).
 func New(points [][]float64, metric vecmath.Metric) (*Index, error) {
 	if metric == nil {
 		return nil, errors.New("scan: nil metric")
 	}
-	if err := vecmath.ValidateAll(points); err != nil {
+	if err := vecmath.ValidateAllFor(metric, points); err != nil {
 		return nil, err
 	}
-	return &Index{
-		points:  points,
+	dim := len(points[0])
+	arena := make([]float64, 0, len(points)*dim)
+	rows := make([][]float64, len(points))
+	for i, p := range points {
+		arena = append(arena, p...)
+		rows[i] = arena[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	ix := &Index{
+		points:  rows,
+		arena:   arena,
 		metric:  metric,
-		dim:     len(points[0]),
+		dim:     dim,
 		deleted: make(map[int]bool),
 		alive:   len(points),
-	}, nil
+	}
+	ix.resolveKernels()
+	return ix, nil
+}
+
+func (ix *Index) resolveKernels() {
+	ix.dist = vecmath.KernelFor(ix.metric)
+	if ix.dist == nil {
+		ix.dist = ix.metric.Distance
+	}
+	ix.batch = vecmath.BatchKernelFor(ix.metric)
+}
+
+// EnableQuantFilter implements index.QuantFiltered: it attaches the 8-bit
+// screening tier, training a fresh codebook over the current rows when cb
+// is nil (a restore passes the persisted codebook so screening bounds match
+// the original build exactly). It fails for metrics without a sound
+// coordinate-interval lower bound.
+func (ix *Index) EnableQuantFilter(cb *vecmath.Codebook) error {
+	kind, ok := quantKindFor(ix.metric)
+	if !ok {
+		return errors.New("scan: quantized filter does not support metric " + ix.metric.Name())
+	}
+	if cb == nil {
+		cb = vecmath.TrainCodebook(ix.points)
+	}
+	if cb.Dim() != ix.dim {
+		return vecmath.CheckDims(make([]float64, cb.Dim()), ix.points[0])
+	}
+	f := &quantFilter{
+		cb:    cb,
+		kind:  kind,
+		codes: make([]uint8, 0, len(ix.points)*ix.dim),
+		blk:   vecmath.NewEmptyBlock(ix.dim),
+		stats: &FilterStats{},
+	}
+	for _, p := range ix.points {
+		f.appendRow(p)
+	}
+	ix.filter = f
+	return nil
+}
+
+// QuantCodebook implements index.QuantFiltered.
+func (ix *Index) QuantCodebook() *vecmath.Codebook {
+	if ix.filter == nil {
+		return nil
+	}
+	return ix.filter.cb
+}
+
+// QuantFilterStats implements index.QuantFiltered.
+func (ix *Index) QuantFilterStats() (admitted, screened int64) {
+	if ix.filter == nil {
+		return 0, 0
+	}
+	return ix.filter.stats.Counts()
 }
 
 // Builder constructs scan indexes; it implements index.Builder.
@@ -70,23 +235,29 @@ func (ix *Index) Point(id int) []float64 { return ix.points[id] }
 // Metric implements index.Index.
 func (ix *Index) Metric() vecmath.Metric { return ix.metric }
 
-// Insert implements index.Dynamic.
+// Insert implements index.Dynamic. The row is appended to the arena, so
+// storage stays contiguous across compaction folds.
 func (ix *Index) Insert(p []float64) (int, error) {
-	if err := vecmath.Validate(p); err != nil {
+	if err := vecmath.ValidateFor(ix.metric, p); err != nil {
 		return 0, err
 	}
 	if len(p) != ix.dim {
 		return 0, vecmath.CheckDims(p, ix.points[0])
 	}
-	ix.points = append(ix.points, p)
+	ix.arena = append(ix.arena, p...)
+	row := ix.arena[len(ix.arena)-ix.dim : len(ix.arena) : len(ix.arena)]
+	ix.points = append(ix.points, row)
 	ix.alive++
+	if ix.filter != nil {
+		ix.filter.appendRow(row)
+	}
 	return len(ix.points) - 1, nil
 }
 
-// Clone implements index.Cloner. Point coordinate slices are shared (they
-// are immutable by the retention contract of New); the points slice itself
-// and the tombstone set are copied, so Insert and Delete on the clone are
-// invisible to the original.
+// Clone implements index.Cloner. The arena is shared (rows are immutable)
+// but resliced to zero spare capacity, so the clone's first Insert
+// reallocates instead of writing into storage visible to the original; the
+// points slice, tombstone set and filter codes are copied.
 func (ix *Index) Clone() index.Dynamic {
 	points := make([][]float64, len(ix.points), len(ix.points)+1)
 	copy(points, ix.points)
@@ -94,13 +265,20 @@ func (ix *Index) Clone() index.Dynamic {
 	for id := range ix.deleted {
 		deleted[id] = true
 	}
-	return &Index{
+	cl := &Index{
 		points:  points,
+		arena:   ix.arena[:len(ix.arena):len(ix.arena)],
 		metric:  ix.metric,
+		dist:    ix.dist,
+		batch:   ix.batch,
 		dim:     ix.dim,
 		deleted: deleted,
 		alive:   ix.alive,
 	}
+	if ix.filter != nil {
+		cl.filter = ix.filter.clone()
+	}
+	return cl
 }
 
 // Delete implements index.Dynamic using a tombstone.
@@ -119,20 +297,39 @@ func (ix *Index) IDSpan() int { return len(ix.points) }
 // Live implements index.Liveness.
 func (ix *Index) Live(id int) bool { return id >= 0 && id < len(ix.points) && !ix.deleted[id] }
 
+// skip reports whether a row is excluded from the current query. The
+// len guard matters: a map lookup per row costs more than a screened
+// row's entire tier-1 bound, so the common no-tombstone case must not
+// touch the map at all.
 func (ix *Index) skip(id, skipID int) bool {
-	return id == skipID || ix.deleted[id]
+	if id == skipID {
+		return true
+	}
+	if len(ix.deleted) == 0 {
+		return false
+	}
+	return ix.deleted[id]
 }
 
 // NewCursor implements index.Index. The cursor materializes and sorts all
 // distances up front: O(n log n) per query, which is the intended cost model
-// for this back-end.
+// for this back-end. The distance pass runs through the one-vs-many batch
+// kernel when the metric has one.
 func (ix *Index) NewCursor(q []float64, skipID int) index.Cursor {
 	order := make([]index.Neighbor, 0, len(ix.points))
-	for id, p := range ix.points {
-		if ix.skip(id, skipID) {
-			continue
+	if ix.batch != nil && len(ix.deleted) == 0 && skipID < 0 {
+		dists := make([]float64, len(ix.points))
+		ix.batch(q, ix.points, dists)
+		for id, d := range dists {
+			order = append(order, index.Neighbor{ID: id, Dist: d})
 		}
-		order = append(order, index.Neighbor{ID: id, Dist: ix.metric.Distance(q, p)})
+	} else {
+		for id, p := range ix.points {
+			if ix.skip(id, skipID) {
+				continue
+			}
+			order = append(order, index.Neighbor{ID: id, Dist: ix.dist(q, p)})
+		}
 	}
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].Dist != order[j].Dist {
@@ -158,19 +355,27 @@ func (c *sliceCursor) Next() (index.Neighbor, bool) {
 }
 
 // KNN implements index.Index with a bounded max-heap, avoiding the full sort
-// of NewCursor.
+// of NewCursor. With the quantized filter enabled, rows are screened against
+// the heap bound with sound lower bounds before paying the exact kernel;
+// because the unfiltered loop only offers a row when d < bound, skipping a
+// row whose lower bound clears the bound (with quantSlack margin) can never
+// change the heap's contents, so the results are byte-identical either way.
 func (ix *Index) KNN(q []float64, k int, skipID int) []index.Neighbor {
 	if k <= 0 {
 		return nil
 	}
 	top := pqueue.NewTopK[int](k)
-	for id, p := range ix.points {
-		if ix.skip(id, skipID) {
-			continue
-		}
-		d := ix.metric.Distance(q, p)
-		if bound, full := top.Bound(); !full || d < bound {
-			top.Offer(d, id)
+	if ix.filter != nil {
+		ix.knnFiltered(q, top, skipID)
+	} else {
+		for id, p := range ix.points {
+			if ix.skip(id, skipID) {
+				continue
+			}
+			d := ix.dist(q, p)
+			if bound, full := top.Bound(); !full || d < bound {
+				top.Offer(d, id)
+			}
 		}
 	}
 	items := top.Sorted()
@@ -181,16 +386,133 @@ func (ix *Index) KNN(q []float64, k int, skipID int) []index.Neighbor {
 	return out
 }
 
-// Range implements index.Index.
-func (ix *Index) Range(q []float64, r float64, skipID int) []index.Neighbor {
-	var out []index.Neighbor
+// quantQuery holds the per-query screening state shared by the filtered
+// KNN, Range and CountRange loops. Tier 1 screens through a per-query
+// lookup table rather than codebook arithmetic: one table load per
+// dimension is ~7× cheaper than re-deriving the cell interval, and the
+// dim×256-entry build cost amortizes over the whole row scan (tables are
+// pooled so steady-state queries allocate nothing).
+type quantQuery struct {
+	f      *quantFilter
+	dim    int
+	tab    []float64
+	q32    []float32
+	qslack float64
+}
+
+// lutPool recycles screening tables across queries. Entries are pooled at
+// whatever size their index needed; a Get that comes back too small for
+// the current dimensionality is dropped and reallocated.
+var lutPool sync.Pool
+
+func (ix *Index) newQuantQuery(q []float64) (*quantQuery, func()) {
+	f := ix.filter
+	q32, qslack := vecmath.Quantize32(q)
+	need := ix.dim * 256
+	var tab []float64
+	if v := lutPool.Get(); v != nil {
+		if t := v.([]float64); cap(t) >= need {
+			tab = t[:need]
+		}
+	}
+	if tab == nil {
+		tab = make([]float64, need)
+	}
+	squared := f.kind == quantL2 || f.kind == quantSqL2
+	f.cb.BuildLUT(q, squared, tab)
+	qq := &quantQuery{f: f, dim: ix.dim, tab: tab, q32: q32, qslack: qslack}
+	return qq, func() { lutPool.Put(tab) } //nolint:staticcheck // slice header boxing is fine here
+}
+
+// screened reports whether row id provably cannot beat bound (the current
+// heap bound or range radius, in the metric's result domain). Tier 1 is the
+// code-level LUT bound; rows surviving it are re-screened by the tighter
+// float32 block bound (tier 2). Both tiers under-estimate the exact
+// distance, and the quantSlack margin absorbs their own float64 rounding,
+// so a screened row could never have been offered by the exact loop.
+func (qq *quantQuery) screened(id int, bound float64) bool {
+	stop := bound * (1 + quantSlack)
+	codes := qq.f.codes[id*qq.dim : (id+1)*qq.dim]
+	blk := qq.f.blk
+	switch qq.f.kind {
+	case quantL2:
+		if vecmath.LUTScreenSum(qq.tab, codes, stop*stop) > stop*stop {
+			return true
+		}
+		lb := blk.LowerBound(id, math.Sqrt(blk.SquaredL2(id, qq.q32)), qq.qslack)
+		return lb > stop
+	case quantSqL2:
+		if vecmath.LUTScreenSum(qq.tab, codes, stop) > stop {
+			return true
+		}
+		lb := blk.LowerBound(id, math.Sqrt(blk.SquaredL2(id, qq.q32)), qq.qslack)
+		return lb > 0 && lb*lb > stop
+	case quantL1:
+		if vecmath.LUTScreenSum(qq.tab, codes, stop) > stop {
+			return true
+		}
+		return blk.LowerBound(id, blk.L1(id, qq.q32), qq.qslack) > stop
+	default: // quantLinf
+		if vecmath.LUTLowerBoundMax(qq.tab, codes, stop) > stop {
+			return true
+		}
+		return blk.LowerBound(id, blk.Linf(id, qq.q32), qq.qslack) > stop
+	}
+}
+
+func (ix *Index) knnFiltered(q []float64, top *pqueue.TopK[int], skipID int) {
+	qq, release := ix.newQuantQuery(q)
+	defer release()
+	var admitted, screened int64
 	for id, p := range ix.points {
 		if ix.skip(id, skipID) {
 			continue
 		}
-		if d := ix.metric.Distance(q, p); d <= r {
+		if bound, full := top.Bound(); full && qq.screened(id, bound) {
+			screened++
+			continue
+		}
+		d := ix.dist(q, p)
+		admitted++
+		if bound, full := top.Bound(); !full || d < bound {
+			top.Offer(d, id)
+		}
+	}
+	qq.f.stats.admitted.Add(admitted)
+	qq.f.stats.screened.Add(screened)
+}
+
+// Range implements index.Index. The quantized filter screens against the
+// fixed radius; the boundary is inclusive (d <= r) while screening requires
+// the lower bound to clear r by quantSlack, so boundary rows always reach
+// the exact kernel.
+func (ix *Index) Range(q []float64, r float64, skipID int) []index.Neighbor {
+	var out []index.Neighbor
+	var qq *quantQuery
+	if ix.filter != nil {
+		var release func()
+		qq, release = ix.newQuantQuery(q)
+		defer release()
+	}
+	var admitted, screened int64
+	for id, p := range ix.points {
+		if ix.skip(id, skipID) {
+			continue
+		}
+		if qq != nil {
+			if qq.screened(id, r) {
+				screened++
+				continue
+			}
+			admitted++
+		}
+		if d := ix.dist(q, p); d <= r {
 			out = append(out, index.Neighbor{ID: id, Dist: d})
 		}
+	}
+	if qq != nil {
+		qq.f.stats.admitted.Add(admitted)
+		qq.f.stats.screened.Add(screened)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
@@ -203,14 +525,32 @@ func (ix *Index) Range(q []float64, r float64, skipID int) []index.Neighbor {
 
 // CountRange implements index.Index without materializing the result.
 func (ix *Index) CountRange(q []float64, r float64, skipID int) int {
+	var qq *quantQuery
+	if ix.filter != nil {
+		var release func()
+		qq, release = ix.newQuantQuery(q)
+		defer release()
+	}
+	var admitted, screened int64
 	count := 0
 	for id, p := range ix.points {
 		if ix.skip(id, skipID) {
 			continue
 		}
-		if ix.metric.Distance(q, p) <= r {
+		if qq != nil {
+			if qq.screened(id, r) {
+				screened++
+				continue
+			}
+			admitted++
+		}
+		if ix.dist(q, p) <= r {
 			count++
 		}
+	}
+	if qq != nil {
+		qq.f.stats.admitted.Add(admitted)
+		qq.f.stats.screened.Add(screened)
 	}
 	return count
 }

@@ -3,8 +3,10 @@ package scan
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
+	"unsafe"
 
 	"repro/internal/vecmath"
 )
@@ -49,8 +51,15 @@ func TestAccessors(t *testing.T) {
 	if ix.Metric().Name() != "euclidean" {
 		t.Errorf("Metric = %s", ix.Metric().Name())
 	}
-	if &ix.Point(3)[0] != &pts[3][0] {
-		t.Error("Point should return the retained slice")
+	if !reflect.DeepEqual(ix.Point(3), pts[3]) {
+		t.Error("Point should return the row's coordinates")
+	}
+	// Rows are copied into one contiguous arena, not retained by reference.
+	if &ix.Point(3)[0] == &pts[3][0] {
+		t.Error("Point should be arena-backed, not the caller's slice")
+	}
+	if p2, p3 := ix.Point(2), ix.Point(3); uintptr(unsafe.Pointer(&p3[0]))-uintptr(unsafe.Pointer(&p2[0])) != uintptr(ix.Dim())*8 {
+		t.Error("adjacent rows should be contiguous in the arena")
 	}
 }
 

@@ -87,7 +87,7 @@ func (qr *Querier) ByID(qid int) (*Result, error) {
 
 // ByPoint answers the query for an arbitrary point.
 func (qr *Querier) ByPoint(q []float64) (*Result, error) {
-	if err := vecmath.Validate(q); err != nil {
+	if err := vecmath.ValidateFor(qr.metric, q); err != nil {
 		return nil, err
 	}
 	if len(q) != qr.rt.Dim() {

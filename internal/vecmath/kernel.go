@@ -1,0 +1,146 @@
+package vecmath
+
+import "math"
+
+// This file holds the hand-unrolled distance kernels and the type-switch
+// dispatch that lets hot loops (scan, bruteforce, the overlay memtable, the
+// core witness cycle) call them directly instead of going through the Metric
+// interface once per row.
+//
+// Bit-identity contract: every kernel must return exactly the bits the naive
+// scalar loop returns. The 4-way unrolled bodies therefore keep a single
+// accumulator and add the four per-lane terms in lane order with separate
+// statements — the speedup comes from hoisted bounds checks and the absence
+// of an interface call per row, not from reassociating the sum (which would
+// change float64 rounding and could flip distance ties deep inside the
+// conformance suite). The property tests in kernel_test.go pin each kernel
+// to its scalar reference across lengths 0..67.
+
+// DistanceFunc is a one-vs-one distance kernel with Metric.Distance's
+// contract (panics on length mismatch).
+type DistanceFunc func(a, b []float64) float64
+
+// BatchDistanceFunc is a one-vs-many row-scan kernel: out[i] = d(q, rows[i]).
+// It panics if len(out) < len(rows) or any row length mismatches q.
+type BatchDistanceFunc func(q []float64, rows [][]float64, out []float64)
+
+// KernelFor returns the direct one-vs-one kernel for m, or nil when m has no
+// registered kernel (callers fall back to m.Distance). The identity
+// kernel(a,b) == m.Distance(a,b) holds bit-for-bit for every returned kernel.
+func KernelFor(m Metric) DistanceFunc {
+	switch m.(type) {
+	case Euclidean:
+		return euclideanKernel
+	case SquaredEuclidean:
+		return SquaredDistance
+	case Manhattan:
+		return L1Distance
+	case Chebyshev:
+		return LinfDistance
+	}
+	return nil
+}
+
+// BatchKernelFor returns the one-vs-many row-scan kernel for m, or nil when
+// m has none. out[i] == m.Distance(q, rows[i]) holds bit-for-bit.
+func BatchKernelFor(m Metric) BatchDistanceFunc {
+	switch m.(type) {
+	case Euclidean:
+		return euclideanBatch
+	case SquaredEuclidean:
+		return squaredBatch
+	case Manhattan:
+		return l1Batch
+	case Chebyshev:
+		return linfBatch
+	}
+	return nil
+}
+
+func euclideanKernel(a, b []float64) float64 { return math.Sqrt(SquaredDistance(a, b)) }
+
+func euclideanBatch(q []float64, rows [][]float64, out []float64) {
+	_ = out[:len(rows)]
+	for i, r := range rows {
+		out[i] = math.Sqrt(SquaredDistance(q, r))
+	}
+}
+
+func squaredBatch(q []float64, rows [][]float64, out []float64) {
+	_ = out[:len(rows)]
+	for i, r := range rows {
+		out[i] = SquaredDistance(q, r)
+	}
+}
+
+func l1Batch(q []float64, rows [][]float64, out []float64) {
+	_ = out[:len(rows)]
+	for i, r := range rows {
+		out[i] = L1Distance(q, r)
+	}
+}
+
+func linfBatch(q []float64, rows [][]float64, out []float64) {
+	_ = out[:len(rows)]
+	for i, r := range rows {
+		out[i] = LinfDistance(q, r)
+	}
+}
+
+// L1Distance returns the Manhattan distance between a and b, panicking on a
+// length mismatch. Bit-identical to the scalar loop (single accumulator,
+// lane-order adds).
+func L1Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := math.Abs(a[i] - b[i])
+		d1 := math.Abs(a[i+1] - b[i+1])
+		d2 := math.Abs(a[i+2] - b[i+2])
+		d3 := math.Abs(a[i+3] - b[i+3])
+		s += d0
+		s += d1
+		s += d2
+		s += d3
+	}
+	for ; i < len(a); i++ {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// LinfDistance returns the Chebyshev distance between a and b, panicking on
+// a length mismatch. The max-combine is order-insensitive for non-NaN
+// inputs, so unrolling cannot change the result.
+func LinfDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		if d := math.Abs(a[i] - b[i]); d > s {
+			s = d
+		}
+		if d := math.Abs(a[i+1] - b[i+1]); d > s {
+			s = d
+		}
+		if d := math.Abs(a[i+2] - b[i+2]); d > s {
+			s = d
+		}
+		if d := math.Abs(a[i+3] - b[i+3]); d > s {
+			s = d
+		}
+	}
+	for ; i < len(a); i++ {
+		if d := math.Abs(a[i] - b[i]); d > s {
+			s = d
+		}
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Scalar references: the pre-kernel loops, verbatim. The unrolled kernels
+// must reproduce them bit for bit — not approximately — because distance
+// bits decide ties throughout the conformance suite.
+
+func refSquared(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func refL1(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+func refLinf(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > s {
+			s = d
+		}
+	}
+	return s
+}
+
+// TestKernelsBitIdenticalToScalar pins every unrolled kernel to its scalar
+// reference across vector lengths 0..67, covering each unroll tail residue
+// several times over.
+func TestKernelsBitIdenticalToScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for dim := 0; dim <= 67; dim++ {
+		for trial := 0; trial < 25; trial++ {
+			a, b := randVec(rng, dim), randVec(rng, dim)
+			if got, want := SquaredDistance(a, b), refSquared(a, b); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("dim %d: SquaredDistance = %v, scalar reference = %v", dim, got, want)
+			}
+			if got, want := L1Distance(a, b), refL1(a, b); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("dim %d: L1Distance = %v, scalar reference = %v", dim, got, want)
+			}
+			if got, want := LinfDistance(a, b), refLinf(a, b); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("dim %d: LinfDistance = %v, scalar reference = %v", dim, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelForMatchesMetric pins the dispatched one-vs-one and one-vs-many
+// kernels to Metric.Distance bit for bit, and checks that metrics without a
+// kernel dispatch to nil.
+func TestKernelForMatchesMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	metrics := []Metric{Euclidean{}, SquaredEuclidean{}, Manhattan{}, Chebyshev{}}
+	for _, m := range metrics {
+		kern := KernelFor(m)
+		batch := BatchKernelFor(m)
+		if kern == nil || batch == nil {
+			t.Fatalf("%s: expected kernels, got nil", m.Name())
+		}
+		for dim := 1; dim <= 19; dim++ {
+			q := randVec(rng, dim)
+			rows := make([][]float64, 9)
+			for i := range rows {
+				rows[i] = randVec(rng, dim)
+			}
+			out := make([]float64, len(rows))
+			batch(q, rows, out)
+			for i, r := range rows {
+				want := m.Distance(q, r)
+				if math.Float64bits(kern(q, r)) != math.Float64bits(want) {
+					t.Fatalf("%s dim %d: kernel disagrees with Distance", m.Name(), dim)
+				}
+				if math.Float64bits(out[i]) != math.Float64bits(want) {
+					t.Fatalf("%s dim %d: batch kernel disagrees with Distance", m.Name(), dim)
+				}
+			}
+		}
+	}
+	mk, _ := NewMinkowski(3)
+	for _, m := range []Metric{mk, Angular{}} {
+		if KernelFor(m) != nil || BatchKernelFor(m) != nil {
+			t.Fatalf("%s: unexpected kernel", m.Name())
+		}
+	}
+}
+
+// TestBlockLowerBounds checks the float32 block tier across lengths 0..67:
+// the approximate distances are close to exact, and the slack-adjusted
+// LowerBound never exceeds the exact float64 distance — the soundness
+// property the byte-identity of filtered scans rests on.
+func TestBlockLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for dim := 1; dim <= 67; dim++ {
+		rows := make([][]float64, 8)
+		for i := range rows {
+			rows[i] = randVec(rng, dim)
+		}
+		blk := NewBlock(rows)
+		if blk.Len() != len(rows) || blk.Dim() != dim {
+			t.Fatalf("dim %d: block shape %d×%d", dim, blk.Len(), blk.Dim())
+		}
+		q := randVec(rng, dim)
+		q32, qslack := Quantize32(q)
+		for i, r := range rows {
+			checks := []struct {
+				name   string
+				approx float64
+				exact  float64
+			}{
+				{"l2", math.Sqrt(blk.SquaredL2(i, q32)), math.Sqrt(SquaredDistance(q, r))},
+				{"l1", blk.L1(i, q32), L1Distance(q, r)},
+				{"linf", blk.Linf(i, q32), LinfDistance(q, r)},
+			}
+			for _, c := range checks {
+				lb := blk.LowerBound(i, c.approx, qslack)
+				if lb > c.exact {
+					t.Fatalf("dim %d row %d %s: lower bound %v exceeds exact %v", dim, i, c.name, lb, c.exact)
+				}
+				if c.exact > 1e-6 && lb < c.exact*0.99-1e-3 {
+					t.Fatalf("dim %d row %d %s: lower bound %v uselessly loose vs exact %v", dim, i, c.name, lb, c.exact)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockAppendClone checks that Append grows the block and that clones
+// are independent.
+func TestBlockAppendClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	blk := NewEmptyBlock(4)
+	rows := [][]float64{randVec(rng, 4), randVec(rng, 4)}
+	for _, r := range rows {
+		blk.Append(r)
+	}
+	cl := blk.Clone()
+	cl.Append(randVec(rng, 4))
+	if blk.Len() != 2 || cl.Len() != 3 {
+		t.Fatalf("Len = %d/%d, want 2/3", blk.Len(), cl.Len())
+	}
+	q32, qs := Quantize32(rows[0])
+	if lb := blk.LowerBound(0, math.Sqrt(blk.SquaredL2(0, q32)), qs); lb > 0 {
+		t.Fatalf("self-distance lower bound %v > 0", lb)
+	}
+}
+
+// ulpDiff returns the distance between a and b in units in the last place;
+// equal values give 0 and adjacent floats give 1.
+func ulpDiff(a, b float64) uint64 {
+	ia, ib := int64(math.Float64bits(a)), int64(math.Float64bits(b))
+	// Map the sign-magnitude float ordering onto a monotone integer line.
+	if ia < 0 {
+		ia = math.MinInt64 - ia
+	}
+	if ib < 0 {
+		ib = math.MinInt64 - ib
+	}
+	if ia > ib {
+		return uint64(ia - ib)
+	}
+	return uint64(ib - ia)
+}
+
+// minkowskiGeneric is the pre-fast-path implementation: one math.Pow per
+// coordinate plus the final root.
+func minkowskiGeneric(a, b []float64, p float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Pow(math.Abs(a[i]-b[i]), p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+// TestMinkowskiIntegerFastPath quick-checks the repeated-multiplication
+// fast path against the generic math.Pow path: within 1 ULP for every
+// integer order the fast path serves, and exactly the generic value for
+// fractional orders (which bypass it).
+func TestMinkowskiIntegerFastPath(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(99))}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := float64(1 + rng.Intn(maxFastIntP))
+		dim := 1 + rng.Intn(12)
+		a, b := randVec(rng, dim), randVec(rng, dim)
+		m := Minkowski{P: p}
+		got, want := m.Distance(a, b), minkowskiGeneric(a, b, p)
+		if ulpDiff(got, want) > 1 {
+			t.Logf("p=%v dim=%d: fast %v generic %v (%d ulp)", p, dim, got, want, ulpDiff(got, want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+	// Fractional and oversized orders stay on the generic path, bit for bit.
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range []float64{1.5, 2.7, math.Pi, maxFastIntP + 1} {
+		a, b := randVec(rng, 6), randVec(rng, 6)
+		if got, want := (Minkowski{P: p}).Distance(a, b), minkowskiGeneric(a, b, p); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("p=%v: Distance = %v, generic = %v", p, got, want)
+		}
+	}
+}
+
+// BenchmarkMinkowskiIntP documents the fast-path win over the math.Pow
+// loop it replaced.
+func BenchmarkMinkowskiIntP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randVec(rng, 32), randVec(rng, 32)
+	m := Minkowski{P: 3}
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Distance(x, y)
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			minkowskiGeneric(x, y, 3)
+		}
+	})
+}

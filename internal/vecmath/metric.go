@@ -81,16 +81,7 @@ func (SquaredEuclidean) Metricity() bool { return false }
 type Manhattan struct{}
 
 // Distance returns the L1 distance between a and b.
-func (Manhattan) Distance(a, b []float64) float64 {
-	if len(a) != len(b) {
-		panic("vecmath: dimension mismatch")
-	}
-	var s float64
-	for i := range a {
-		s += math.Abs(a[i] - b[i])
-	}
-	return s
-}
+func (Manhattan) Distance(a, b []float64) float64 { return L1Distance(a, b) }
 
 // Name implements Metric.
 func (Manhattan) Name() string { return "manhattan" }
@@ -102,18 +93,7 @@ func (Manhattan) Metricity() bool { return true }
 type Chebyshev struct{}
 
 // Distance returns the L∞ distance between a and b.
-func (Chebyshev) Distance(a, b []float64) float64 {
-	if len(a) != len(b) {
-		panic("vecmath: dimension mismatch")
-	}
-	var s float64
-	for i := range a {
-		if d := math.Abs(a[i] - b[i]); d > s {
-			s = d
-		}
-	}
-	return s
-}
+func (Chebyshev) Distance(a, b []float64) float64 { return LinfDistance(a, b) }
 
 // Name implements Metric.
 func (Chebyshev) Name() string { return "chebyshev" }
@@ -136,16 +116,49 @@ func NewMinkowski(p float64) (Minkowski, error) {
 	return Minkowski{P: p}, nil
 }
 
-// Distance returns the Lp distance between a and b.
+// maxFastIntP bounds the integer orders served by the repeated-multiplication
+// fast path; beyond it |a[i]-b[i]|^p over- or underflows long before the
+// rounding difference against math.Pow matters, so the generic path is fine.
+const maxFastIntP = 32
+
+// Distance returns the Lp distance between a and b. Integer orders take a
+// repeated-multiplication fast path (exponentiation by squaring) instead of
+// paying a math.Pow per coordinate; the quick-check test in metric_test.go
+// pins the fast path within 1 ULP of the generic one.
 func (m Minkowski) Distance(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("vecmath: dimension mismatch")
+	}
+	if p := int(m.P); float64(p) == m.P && p >= 1 && p <= maxFastIntP {
+		var s float64
+		for i := range a {
+			s += ipow(math.Abs(a[i]-b[i]), p)
+		}
+		// math.Pow special-cases y == 1 and y == 0.5 (it returns x and
+		// Sqrt(x)), so the root below is bit-identical to the generic
+		// path for p == 1 and p == 2.
+		return math.Pow(s, 1/m.P)
 	}
 	var s float64
 	for i := range a {
 		s += math.Pow(math.Abs(a[i]-b[i]), m.P)
 	}
 	return math.Pow(s, 1/m.P)
+}
+
+// ipow computes x^p for p >= 1 by binary exponentiation: O(log p)
+// multiplications, each rounded once, versus math.Pow's table-driven
+// exp/log decomposition.
+func ipow(x float64, p int) float64 {
+	r := 1.0
+	for p > 0 {
+		if p&1 == 1 {
+			r *= x
+		}
+		x *= x
+		p >>= 1
+	}
+	return r
 }
 
 // Name implements Metric.
@@ -157,6 +170,13 @@ func (m Minkowski) Metricity() bool { return m.P >= 1 }
 // Angular is the angle between vectors (arc length on the unit sphere). It is
 // a true metric, unlike raw cosine dissimilarity 1−cos θ, making it safe for
 // metric-tree back-ends.
+//
+// The metric is only defined on nonzero vectors: Distance keeps the d(0,x)=0
+// convention for robustness, but that convention violates the triangle
+// inequality (d(a,b) > d(a,0) + d(0,b) = 0 whenever a and b subtend a
+// positive angle), so Angular implements PointValidator and every validated
+// entry point (ValidateFor / ValidateAllFor) rejects zero vectors before
+// they can reach a metric-tree pruning bound.
 type Angular struct{}
 
 // Distance returns the angle in radians between a and b. Zero vectors are at
@@ -188,18 +208,44 @@ func (Angular) Distance(a, b []float64) float64 {
 func (Angular) Name() string { return "angular" }
 
 // Metricity implements Metric. The angular distance is a true metric on the
-// sphere.
+// sphere (zero vectors are off the sphere; ValidatePoint keeps them out).
 func (Angular) Metricity() bool { return true }
 
+// ValidatePoint implements PointValidator: the zero vector has no direction,
+// and admitting it under the d(0,x)=0 convention breaks the triangle
+// inequality that Metricity() promises.
+func (Angular) ValidatePoint(v []float64) error {
+	for _, x := range v {
+		if x != 0 {
+			return nil
+		}
+	}
+	return errors.New("vecmath: angular metric is undefined for the zero vector (d(0,x)=0 convention violates the triangle inequality)")
+}
+
 // SquaredDistance returns the squared L2 distance between a and b, panicking
-// on a length mismatch. It is the hot inner loop of the whole module, kept
-// free of function-call overhead.
+// on a length mismatch. It is the hot inner loop of the whole module: 4-way
+// unrolled with the bounds checks hoisted, but accumulating in lane order
+// into a single sum so the result stays bit-identical to the naive scalar
+// loop (see kernel.go for the bit-identity contract).
 func SquaredDistance(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("vecmath: dimension mismatch")
 	}
+	b = b[:len(a)]
 	var s float64
-	for i := range a {
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s += d0 * d0
+		s += d1 * d1
+		s += d2 * d2
+		s += d3 * d3
+	}
+	for ; i < len(a); i++ {
 		d := a[i] - b[i]
 		s += d * d
 	}

@@ -1,0 +1,189 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCodebookLowerBoundsSound checks the core screening invariant: for any
+// trained codebook, any encoded row (including rows outside the trained
+// range, as inserted after a compaction fold) and any query, the LUT lower
+// bound never exceeds the exact distance, in every supported domain.
+func TestCodebookLowerBoundsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		dim := 1 + rng.Intn(12)
+		rows := make([][]float64, 3+rng.Intn(40))
+		for i := range rows {
+			rows[i] = randVec(rng, dim)
+		}
+		if trial%5 == 0 {
+			// Constant dimension: degenerate scale-0 cells.
+			for _, r := range rows {
+				r[0] = 1.25
+			}
+		}
+		cb := TrainCodebook(rows)
+		if cb.Dim() != dim {
+			t.Fatalf("codebook dim %d, want %d", cb.Dim(), dim)
+		}
+		// Encode the trained rows plus out-of-range newcomers.
+		probe := append([][]float64(nil), rows...)
+		for i := 0; i < 5; i++ {
+			probe = append(probe, Scale(randVec(rng, dim), 10))
+		}
+		codes := make([]uint8, dim)
+		q := randVec(rng, dim)
+		sqTab := make([]float64, dim*256)
+		absTab := make([]float64, dim*256)
+		cb.BuildLUT(q, true, sqTab)
+		cb.BuildLUT(q, false, absTab)
+		inf := math.Inf(1)
+		for _, r := range probe {
+			cb.Encode(r, codes)
+			if lb := LUTLowerBoundSum(sqTab, codes, inf); lb > SquaredDistance(q, r) {
+				t.Fatalf("squared LUT bound %v exceeds exact %v", lb, SquaredDistance(q, r))
+			}
+			if lb := LUTLowerBoundSum(absTab, codes, inf); lb > L1Distance(q, r) {
+				t.Fatalf("L1 LUT bound %v exceeds exact %v", lb, L1Distance(q, r))
+			}
+			if lb := LUTLowerBoundMax(absTab, codes, inf); lb > LinfDistance(q, r) {
+				t.Fatalf("L∞ LUT bound %v exceeds exact %v", lb, LinfDistance(q, r))
+			}
+		}
+	}
+}
+
+// TestCodebookScreensFarPoints checks the filter is not vacuous: a query
+// far from a cluster gets a strictly positive lower bound on every cluster
+// row, and the early-exit stop threshold triggers.
+func TestCodebookScreensFarPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	dim := 8
+	rows := make([][]float64, 64)
+	for i := range rows {
+		rows[i] = randVec(rng, dim)
+	}
+	cb := TrainCodebook(rows)
+	q := make([]float64, dim)
+	for j := range q {
+		q[j] = 100
+	}
+	tab := make([]float64, dim*256)
+	cb.BuildLUT(q, true, tab)
+	codes := make([]uint8, dim)
+	for _, r := range rows {
+		cb.Encode(r, codes)
+		if lb := LUTLowerBoundSum(tab, codes, math.Inf(1)); lb < 1 {
+			t.Fatalf("far query got loose bound %v", lb)
+		}
+		if lb := LUTLowerBoundSum(tab, codes, 0.5); lb <= 0.5 {
+			t.Fatalf("early exit did not trigger, lb = %v", lb)
+		}
+	}
+}
+
+// TestCodebookRowBoundsMatchLUT pins the table-free screening path (the
+// one the scan index uses) to the lookup-table reference bitwise — same
+// float expressions, same early-exit thresholds — so the LUT soundness
+// tests above cover both implementations.
+func TestCodebookRowBoundsMatchLUT(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		dim := 1 + rng.Intn(14)
+		rows := make([][]float64, 3+rng.Intn(30))
+		for i := range rows {
+			rows[i] = randVec(rng, dim)
+		}
+		cb := TrainCodebook(rows)
+		q := randVec(rng, dim)
+		sqTab := make([]float64, dim*256)
+		absTab := make([]float64, dim*256)
+		cb.BuildLUT(q, true, sqTab)
+		cb.BuildLUT(q, false, absTab)
+		codes := make([]uint8, dim)
+		probe := append(append([][]float64(nil), rows...), Scale(randVec(rng, dim), 8))
+		for _, r := range probe {
+			cb.Encode(r, codes)
+			for _, stop := range []float64{math.Inf(1), 1, 0.01} {
+				if got, want := cb.RowLowerBoundSum(q, codes, true, stop), LUTLowerBoundSum(sqTab, codes, stop); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("squared row bound %v, LUT %v (stop %v)", got, want, stop)
+				}
+				if got, want := cb.RowLowerBoundSum(q, codes, false, stop), LUTLowerBoundSum(absTab, codes, stop); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("L1 row bound %v, LUT %v (stop %v)", got, want, stop)
+				}
+				if got, want := cb.RowLowerBoundMax(q, codes, stop), LUTLowerBoundMax(absTab, codes, stop); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("L∞ row bound %v, LUT %v (stop %v)", got, want, stop)
+				}
+			}
+		}
+	}
+}
+
+// TestCodebookEncodeContainment pins the containment repair: every encoded
+// coordinate lies inside its cell's float-evaluated edges (boundary cells
+// extend to infinity), which is what BuildLUT's soundness relies on.
+func TestCodebookEncodeContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		dim := 1 + rng.Intn(6)
+		rows := make([][]float64, 2+rng.Intn(30))
+		for i := range rows {
+			rows[i] = Scale(randVec(rng, dim), math.Pow(10, float64(rng.Intn(7)-3)))
+		}
+		cb := TrainCodebook(rows)
+		codes := make([]uint8, dim)
+		for _, r := range rows {
+			cb.Encode(r, codes)
+			for j, x := range r {
+				c := int(codes[j])
+				if c > 0 && cb.min[j]+float64(c)*cb.scale[j] > x {
+					t.Fatalf("coordinate %v below its cell %d lower edge", x, c)
+				}
+				if c < 255 && cb.min[j]+float64(c+1)*cb.scale[j] < x {
+					t.Fatalf("coordinate %v above its cell %d upper edge", x, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCodebookRoundTrip pins the binary codec: decode(encode(cb)) restores
+// identical screening bounds, and corrupt blobs fail instead of screening
+// unsoundly.
+func TestCodebookRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rows := make([][]float64, 20)
+	for i := range rows {
+		rows[i] = randVec(rng, 7)
+	}
+	cb := TrainCodebook(rows)
+	blob := cb.MarshalBinary()
+	got, err := DecodeCodebook(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range cb.min {
+		if got.min[j] != cb.min[j] || got.scale[j] != cb.scale[j] {
+			t.Fatalf("dim %d: round trip changed bounds", j)
+		}
+	}
+	for _, corrupt := range [][]byte{
+		nil,
+		blob[:5],
+		append([]byte("XXXX"), blob[4:]...),
+		blob[:len(blob)-1],
+	} {
+		if _, err := DecodeCodebook(corrupt); err == nil {
+			t.Fatalf("corrupt blob of length %d decoded", len(corrupt))
+		}
+	}
+	bad := append([]byte(nil), blob...)
+	for i := 10; i < 18; i++ {
+		bad[i] = 0xFF // min[0] becomes NaN
+	}
+	if _, err := DecodeCodebook(bad); err == nil {
+		t.Fatal("NaN codebook bounds decoded")
+	}
+}

@@ -1,0 +1,58 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAngularZeroVectorBreaksTriangle is the regression test for the
+// metric-layer bug this hook fixes: under the d(0,x)=0 convention the
+// zero vector sits at distance 0 from everything, so two vectors at a
+// positive angle violate d(a,b) <= d(a,0) + d(0,b) — while Metricity()
+// claims the triangle inequality holds. The old behavior let such points
+// into metric-tree back-ends, silently corrupting their pruning bounds.
+func TestAngularZeroVectorBreaksTriangle(t *testing.T) {
+	ang := Angular{}
+	a, b, zero := []float64{1, 0}, []float64{-1, 0}, []float64{0, 0}
+	dab := ang.Distance(a, b)
+	viaZero := ang.Distance(a, zero) + ang.Distance(zero, b)
+	if dab != math.Pi || viaZero != 0 {
+		t.Fatalf("d(a,b) = %v, d(a,0)+d(0,b) = %v; expected π and 0", dab, viaZero)
+	}
+	if dab <= viaZero {
+		t.Fatal("test premise broken: convention no longer violates the triangle inequality")
+	}
+	// The fix: validated entry points reject zero vectors for Angular.
+	if err := ValidateFor(ang, zero); err == nil {
+		t.Error("ValidateFor(Angular, 0) accepted the zero vector")
+	}
+	if err := ValidateFor(ang, a); err != nil {
+		t.Errorf("ValidateFor(Angular, a) rejected a unit vector: %v", err)
+	}
+	if err := ValidateAllFor(ang, [][]float64{a, b, zero}); err == nil {
+		t.Error("ValidateAllFor(Angular, ...) accepted a row set containing the zero vector")
+	}
+	if err := ValidateAllFor(ang, [][]float64{a, b}); err != nil {
+		t.Errorf("ValidateAllFor(Angular, ...) rejected nonzero rows: %v", err)
+	}
+}
+
+// TestValidateForPassThrough checks metrics without a PointValidator are
+// unaffected, and that the base Validate failures still surface.
+func TestValidateForPassThrough(t *testing.T) {
+	zero := []float64{0, 0}
+	for _, m := range []Metric{Euclidean{}, Manhattan{}, Chebyshev{}, SquaredEuclidean{}, Minkowski{P: 3}} {
+		if err := ValidateFor(m, zero); err != nil {
+			t.Errorf("%s rejected the zero vector: %v", m.Name(), err)
+		}
+		if err := ValidateAllFor(m, [][]float64{zero, {1, 2}}); err != nil {
+			t.Errorf("%s rejected valid rows: %v", m.Name(), err)
+		}
+	}
+	if err := ValidateFor(Euclidean{}, []float64{math.NaN()}); err == nil {
+		t.Error("ValidateFor accepted NaN")
+	}
+	if err := ValidateAllFor(Angular{}, nil); err == nil {
+		t.Error("ValidateAllFor accepted an empty dataset")
+	}
+}

@@ -106,6 +106,46 @@ func Validate(v []float64) error {
 	return nil
 }
 
+// PointValidator is implemented by metrics whose domain excludes some
+// otherwise-finite vectors. Angular implements it to reject the zero vector:
+// its d(0,x) = 0 convention breaks the triangle inequality (d(a,b) can
+// exceed d(a,0) + d(0,b) = 0), which would silently corrupt every
+// metric-tree pruning bound while Metricity() still claims true.
+type PointValidator interface {
+	// ValidatePoint reports why v is outside the metric's domain, or nil.
+	// Callers have already passed v through Validate.
+	ValidatePoint(v []float64) error
+}
+
+// ValidateFor is Validate plus the metric-specific domain check when m
+// implements PointValidator. Every entry point that indexes or queries under
+// a metric should use it in place of bare Validate.
+func ValidateFor(m Metric, v []float64) error {
+	if err := Validate(v); err != nil {
+		return err
+	}
+	if pv, ok := m.(PointValidator); ok {
+		return pv.ValidatePoint(v)
+	}
+	return nil
+}
+
+// ValidateAllFor is ValidateAll plus the metric-specific domain check on
+// every row.
+func ValidateAllFor(m Metric, rows [][]float64) error {
+	if err := ValidateAll(rows); err != nil {
+		return err
+	}
+	if pv, ok := m.(PointValidator); ok {
+		for i, r := range rows {
+			if err := pv.ValidatePoint(r); err != nil {
+				return fmt.Errorf("row %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
 // ValidateAll applies Validate to every row and additionally checks that all
 // rows share one dimensionality.
 func ValidateAll(rows [][]float64) error {

@@ -52,7 +52,7 @@ func New(points [][]float64, metric vecmath.Metric) (*Tree, error) {
 	if !metric.Metricity() {
 		return nil, errors.New("vptree: metric must satisfy the triangle inequality")
 	}
-	if err := vecmath.ValidateAll(points); err != nil {
+	if err := vecmath.ValidateAllFor(metric, points); err != nil {
 		return nil, err
 	}
 	t := &Tree{points: points, metric: metric, dim: len(points[0])}

@@ -86,6 +86,12 @@ func (s *Searcher) snapshotRecord() (*persist.Snapshot, error) {
 	case *lsh.Index:
 		rec.Native = nx.EncodeStructure()
 	}
+	// The quantized-filter codebook ships with the snapshot so a restore
+	// screens with the original training bounds instead of retraining on
+	// the (possibly mutated) row set.
+	if cb := s.quantCodebook(); cb != nil {
+		rec.Quant = cb.MarshalBinary()
+	}
 	return rec, nil
 }
 
@@ -138,6 +144,18 @@ func restoreIndex(rec *persist.Snapshot) (index.Index, error) {
 	if ix.Dim() != rec.Dim {
 		return nil, fmt.Errorf("rknnd: load: snapshot dimension %d, rebuilt index dimension %d", rec.Dim, ix.Dim())
 	}
+	if len(rec.Quant) > 0 {
+		// Re-enable the filter with the stored codebook. A corrupt blob is
+		// recoverable — the codebook only affects screening speed, never
+		// results — so degrade to retraining on the restored rows.
+		cb, err := vecmath.DecodeCodebook(rec.Quant)
+		if err != nil {
+			cb = nil
+		}
+		if err := enableQuantFilter(ix, cb); err != nil {
+			return nil, err
+		}
+	}
 	if len(rec.Deleted) > 0 {
 		dyn, ok := ix.(index.Dynamic)
 		if !ok {
@@ -160,6 +178,7 @@ func searcherForSnapshot(rec *persist.Snapshot, ix index.Index) (*Searcher, erro
 		adaptive: rec.Adaptive,
 		margin:   rec.Margin,
 		backend:  Backend(rec.Backend),
+		quant:    len(rec.Quant) > 0,
 	}
 	if rec.Adaptive {
 		if rec.Margin < 0 {

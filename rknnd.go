@@ -138,6 +138,7 @@ type config struct {
 	margin    float64
 	adaptive  bool
 	compactAt int                 // delta-overlay compaction threshold; 0: default
+	quant     bool                // enable the 8-bit scalar-quantization pre-filter
 	reg       *telemetry.Registry // nil: telemetry disabled
 }
 
@@ -187,6 +188,15 @@ func WithCompactionThreshold(n int) Option {
 	}
 }
 
+// WithQuantizedFilter enables the 8-bit scalar-quantization candidate
+// pre-filter on row-scan back-ends (BackendScan): rows are screened against
+// the search bound with sound quantized lower bounds before the exact
+// kernel runs, so results are byte-identical with the filter on or off.
+// The trained per-dimension min/max codebook is persisted with snapshots
+// (Save) and reattached on Load. New fails when the back-end or metric does
+// not support the filter.
+func WithQuantizedFilter() Option { return func(c *config) { c.quant = true } }
+
 // WithAdaptiveScale re-estimates the scale parameter online at every step
 // of each query's expanding search instead of fixing it up front — the
 // dynamic adjustment the paper poses as future work (Section 9). WithScale
@@ -218,6 +228,10 @@ type Searcher struct {
 	compactAt   int
 	compacting  atomic.Bool
 	compactions atomic.Int64
+
+	// quant records that the quantized pre-filter was requested, so Save
+	// marks the snapshot and shards propagate the option.
+	quant bool
 
 	// tel aggregates per-query work counters when telemetry is enabled
 	// (WithTelemetry / EnableTelemetry); nil when disabled. Published
@@ -286,6 +300,11 @@ func New(points [][]float64, opts ...Option) (*Searcher, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
 	}
+	if cfg.quant {
+		if err := enableQuantFilter(ix, nil); err != nil {
+			return nil, err
+		}
+	}
 	// Dynamic back-ends serve writes through a delta overlay: queries merge
 	// a small memtable with the immutable base, so Insert/Delete cost
 	// O(delta) instead of an O(n) backend clone. Static back-ends stay bare
@@ -295,7 +314,7 @@ func New(points [][]float64, opts ...Option) (*Searcher, error) {
 		if cfg.margin < 0 {
 			return nil, fmt.Errorf("rknnd: scale margin must be non-negative, got %v", cfg.margin)
 		}
-		s := &Searcher{adaptive: true, margin: cfg.margin, plus: !cfg.plain, backend: cfg.backend, compactAt: cfg.compactAt}
+		s := &Searcher{adaptive: true, margin: cfg.margin, plus: !cfg.plain, backend: cfg.backend, compactAt: cfg.compactAt, quant: cfg.quant}
 		s.snap.Store(&snapshot{ix: ix})
 		if cfg.reg != nil {
 			s.EnableTelemetry(cfg.reg)
@@ -316,7 +335,7 @@ func New(points [][]float64, opts ...Option) (*Searcher, error) {
 	if !(scale > 0) {
 		return nil, fmt.Errorf("rknnd: scale parameter must be positive, got %v", scale)
 	}
-	s := &Searcher{scale: scale, plus: !cfg.plain, backend: cfg.backend, compactAt: cfg.compactAt}
+	s := &Searcher{scale: scale, plus: !cfg.plain, backend: cfg.backend, compactAt: cfg.compactAt, quant: cfg.quant}
 	s.snap.Store(&snapshot{ix: ix})
 	if cfg.reg != nil {
 		s.EnableTelemetry(cfg.reg)
@@ -547,7 +566,7 @@ func (s *Searcher) KNNContext(ctx context.Context, q []float64, k int) ([]Neighb
 		defer ksp.End()
 	}
 	ix := s.snap.Load().ix
-	if err := vecmath.Validate(q); err != nil {
+	if err := vecmath.ValidateFor(ix.Metric(), q); err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
 	}
 	if len(q) != ix.Dim() {
@@ -619,7 +638,7 @@ func (s *Searcher) applyInsert(p []float64) (int, error) {
 	}
 	// Reject invalid points before paying for the clone, so a stream of
 	// bad requests cannot stall legitimate writers.
-	if err := vecmath.Validate(p); err != nil {
+	if err := vecmath.ValidateFor(cur.Metric(), p); err != nil {
 		return 0, fmt.Errorf("rknnd: %w", err)
 	}
 	if len(p) != cur.Dim() {
@@ -680,7 +699,7 @@ func (s *Searcher) applyInsertBatch(points [][]float64) ([]int, error) {
 		return nil, errors.New("rknnd: back-end does not support insertion")
 	}
 	for i, p := range points {
-		if err := vecmath.Validate(p); err != nil {
+		if err := vecmath.ValidateFor(cur.Metric(), p); err != nil {
 			return nil, fmt.Errorf("rknnd: batch point %d: %w", i, err)
 		}
 		if len(p) != cur.Dim() {
@@ -760,6 +779,44 @@ func wrapOverlay(ix index.Index) index.Index {
 		return index.NewOverlay(ix)
 	}
 	return ix
+}
+
+// enableQuantFilter attaches the quantized pre-filter to a bare (unwrapped)
+// back-end, translating the capability failure into a configuration error.
+// cb is nil on a fresh build (train on the rows) and the persisted codebook
+// on a restore (screen with the original bounds).
+func enableQuantFilter(ix index.Index, cb *vecmath.Codebook) error {
+	qf, ok := ix.(index.QuantFiltered)
+	if !ok {
+		return fmt.Errorf("rknnd: quantized filter requires a row-scan back-end (BackendScan)")
+	}
+	if err := qf.EnableQuantFilter(cb); err != nil {
+		return fmt.Errorf("rknnd: %w", err)
+	}
+	return nil
+}
+
+// QuantFiltered reports whether the quantized candidate pre-filter is
+// active.
+func (s *Searcher) QuantFiltered() bool { return s.quant }
+
+// QuantFilterStats returns the quantized pre-filter's monotone lifetime
+// totals: candidate rows admitted to exact verification and rows screened
+// out by the quantized lower bounds. Both are 0 when the filter is off.
+func (s *Searcher) QuantFilterStats() (admitted, screened int64) {
+	if qf, ok := s.snap.Load().ix.(index.QuantFiltered); ok {
+		return qf.QuantFilterStats()
+	}
+	return 0, 0
+}
+
+// quantCodebook returns the active codebook (nil when the filter is off),
+// for Save.
+func (s *Searcher) quantCodebook() *vecmath.Codebook {
+	if qf, ok := s.snap.Load().ix.(index.QuantFiltered); ok {
+		return qf.QuantCodebook()
+	}
+	return nil
 }
 
 // compactThreshold returns the effective delta-overlay compaction

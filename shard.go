@@ -75,6 +75,7 @@ type ShardedSearcher struct {
 	dim       int
 	dynamic   bool
 	compactAt int // per-shard delta-overlay compaction threshold; 0: default
+	quant     bool
 
 	slots []*shardSlot
 	smap  atomic.Pointer[index.ShardMap]
@@ -138,7 +139,7 @@ func NewSharded(points [][]float64, shards int, opts ...Option) (*ShardedSearche
 	if cfg.metric == nil {
 		return nil, errors.New("rknnd: nil metric")
 	}
-	if err := vecmath.ValidateAll(points); err != nil {
+	if err := vecmath.ValidateAllFor(cfg.metric, points); err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
 	}
 
@@ -188,6 +189,7 @@ func NewSharded(points [][]float64, shards int, opts ...Option) (*ShardedSearche
 		metric:    cfg.metric,
 		dim:       len(points[0]),
 		compactAt: cfg.compactAt,
+		quant:     cfg.quant,
 		slots:     make([]*shardSlot, shards),
 	}
 	for i := range ss.slots {
@@ -200,6 +202,11 @@ func NewSharded(points [][]float64, shards int, opts ...Option) (*ShardedSearche
 		ix, err := harness.BuildBackend(string(cfg.backend), part, cfg.metric)
 		if err != nil {
 			return nil, fmt.Errorf("rknnd: shard %d: %w", s, err)
+		}
+		if cfg.quant {
+			if err := enableQuantFilter(ix, nil); err != nil {
+				return nil, err
+			}
 		}
 		if !ss.dynamic {
 			_, ss.dynamic = ix.(index.Cloner)
@@ -228,6 +235,16 @@ func (ss *ShardedSearcher) newShardEngine(ix index.Index) *Searcher {
 		margin:    ss.margin,
 		backend:   ss.backend,
 		compactAt: ss.compactAt,
+		quant:     ss.quant,
+	}
+	if ss.quant {
+		// Shards created after construction (a previously empty shard
+		// receiving its first point) train their own codebook. NewSharded
+		// already validated back-end support, so a failure here is
+		// impossible; ignore it rather than poison the write path.
+		if qf, ok := ix.(index.QuantFiltered); ok && qf.QuantCodebook() == nil {
+			_ = qf.EnableQuantFilter(nil)
+		}
 	}
 	s.snap.Store(&snapshot{ix: wrapOverlay(ix)})
 	if ring := ss.traceRing.Load(); ring != nil {
@@ -333,6 +350,24 @@ func (ss *ShardedSearcher) Compactions() int64 {
 		}
 	}
 	return n
+}
+
+// QuantFiltered reports whether the quantized candidate pre-filter is
+// active on the shards.
+func (ss *ShardedSearcher) QuantFiltered() bool { return ss.quant }
+
+// QuantFilterStats returns the quantized pre-filter's monotone lifetime
+// totals summed across shards: candidate rows admitted to exact
+// verification and rows screened out by the quantized lower bounds.
+func (ss *ShardedSearcher) QuantFilterStats() (admitted, screened int64) {
+	for _, slot := range ss.slots {
+		if eng := slot.eng.Load(); eng != nil {
+			a, s := eng.QuantFilterStats()
+			admitted += a
+			screened += s
+		}
+	}
+	return admitted, screened
 }
 
 // shardView is one shard pinned for the duration of a query: the engine
@@ -489,7 +524,7 @@ func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m 
 		}
 		q = hix.Point(l)
 	} else {
-		if err := vecmath.Validate(q); err != nil {
+		if err := vecmath.ValidateFor(ss.metric, q); err != nil {
 			return nil, Stats{}, fmt.Errorf("rknnd: %w", err)
 		}
 		if len(q) != ss.dim {
@@ -695,7 +730,7 @@ func (ss *ShardedSearcher) KNNContext(ctx context.Context, q []float64, k int) (
 		ksp.SetInt("k", int64(k))
 		defer ksp.End()
 	}
-	if err := vecmath.Validate(q); err != nil {
+	if err := vecmath.ValidateFor(ss.metric, q); err != nil {
 		return nil, fmt.Errorf("rknnd: %w", err)
 	}
 	if len(q) != ss.dim {
@@ -833,7 +868,7 @@ func (ss *ShardedSearcher) applyInsert(ctx context.Context, p []float64) (int, e
 	if ss.broken != nil {
 		return 0, ss.broken
 	}
-	if err := vecmath.Validate(p); err != nil {
+	if err := vecmath.ValidateFor(ss.metric, p); err != nil {
 		return 0, fmt.Errorf("rknnd: %w", err)
 	}
 	if len(p) != ss.dim {
@@ -995,7 +1030,7 @@ func (ss *ShardedSearcher) applyInsertBatch(ctx context.Context, points [][]floa
 		return nil, ss.broken
 	}
 	for i, p := range points {
-		if err := vecmath.Validate(p); err != nil {
+		if err := vecmath.ValidateFor(ss.metric, p); err != nil {
 			return nil, fmt.Errorf("rknnd: batch point %d: %w", i, err)
 		}
 		if len(p) != ss.dim {
