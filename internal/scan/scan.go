@@ -468,12 +468,17 @@ func (ix *Index) knnFiltered(q []float64, top *pqueue.TopK[int], skipID int) {
 		if ix.skip(id, skipID) {
 			continue
 		}
-		if bound, full := top.Bound(); full && qq.screened(id, bound) {
-			screened++
-			continue
+		// Rows evaluated before the heap fills never consult the screen, so
+		// they count toward neither admitted nor screened — the counters
+		// cover only rows the filter actually ruled on.
+		if bound, full := top.Bound(); full {
+			if qq.screened(id, bound) {
+				screened++
+				continue
+			}
+			admitted++
 		}
 		d := ix.dist(q, p)
-		admitted++
 		if bound, full := top.Bound(); !full || d < bound {
 			top.Offer(d, id)
 		}

@@ -176,7 +176,10 @@ func (m Minkowski) Metricity() bool { return m.P >= 1 }
 // inequality (d(a,b) > d(a,0) + d(0,b) = 0 whenever a and b subtend a
 // positive angle), so Angular implements PointValidator and every validated
 // entry point (ValidateFor / ValidateAllFor) rejects zero vectors before
-// they can reach a metric-tree pruning bound.
+// they can reach a metric-tree pruning bound. Snapshot restore rebuilds
+// through the same entry points, so legacy angular snapshots containing a
+// zero vector fail to load with ErrZeroVector instead of silently serving
+// over a broken pruning invariant (DESIGN.md, "Migration note").
 type Angular struct{}
 
 // Distance returns the angle in radians between a and b. Zero vectors are at
@@ -211,6 +214,13 @@ func (Angular) Name() string { return "angular" }
 // sphere (zero vectors are off the sphere; ValidatePoint keeps them out).
 func (Angular) Metricity() bool { return true }
 
+// ErrZeroVector reports a zero vector offered to a metric whose domain
+// excludes it (Angular). It is a sentinel so callers rebuilding legacy data
+// — snapshots written before zero vectors were rejected could contain one —
+// can recognize the failure and explain the migration instead of opaquely
+// refusing to load.
+var ErrZeroVector = errors.New("vecmath: angular metric is undefined for the zero vector (d(0,x)=0 convention violates the triangle inequality)")
+
 // ValidatePoint implements PointValidator: the zero vector has no direction,
 // and admitting it under the d(0,x)=0 convention breaks the triangle
 // inequality that Metricity() promises.
@@ -220,7 +230,7 @@ func (Angular) ValidatePoint(v []float64) error {
 			return nil
 		}
 	}
-	return errors.New("vecmath: angular metric is undefined for the zero vector (d(0,x)=0 convention violates the triangle inequality)")
+	return ErrZeroVector
 }
 
 // SquaredDistance returns the squared L2 distance between a and b, panicking

@@ -17,7 +17,10 @@ import (
 // containment against the same float expressions the lookup table uses),
 // and the boundary cells extend to ±infinity so rows inserted after
 // training, outside the trained range, simply contribute zero in the
-// offending dimensions instead of an unsound bound.
+// offending dimensions instead of an unsound bound. A dimension that was
+// constant at training time (scale 0) degenerates further: every value
+// encodes to cell 0, so that single cell must cover the whole line and
+// the dimension contributes zero to every bound.
 //
 // A Codebook is immutable after training and is persisted with the snapshot
 // so a restore screens with byte-identical bounds instead of retraining on
@@ -93,12 +96,21 @@ func (cb *Codebook) Encode(r []float64, dst []uint8) {
 // per-dimension contribution lower bounds for query q: entry [j][c] is the
 // distance from q[j] to cell c's interval, squared when squared is true.
 // Cell 0 extends down to -inf and cell 255 up to +inf, covering
-// out-of-range coordinates encoded after training.
+// out-of-range coordinates encoded after training. A constant-at-training
+// dimension (scale 0) clamps every code — including rows inserted later
+// with any value there — to cell 0, so its cells carry no interval
+// information at all and the whole dimension contributes zero.
 func (cb *Codebook) BuildLUT(q []float64, squared bool, tab []float64) {
 	_ = tab[:len(cb.min)*256]
 	for j, qx := range q {
 		base := j * 256
 		mn, sc := cb.min[j], cb.scale[j]
+		if sc <= 0 {
+			for c := 0; c < 256; c++ {
+				tab[base+c] = 0
+			}
+			continue
+		}
 		for c := 0; c < 256; c++ {
 			var contrib float64
 			if c > 0 {
@@ -133,6 +145,9 @@ func (cb *Codebook) RowLowerBoundSum(q []float64, codes []uint8, squared bool, s
 	for j, c := range codes {
 		qx := q[j]
 		mn, sc := cb.min[j], cb.scale[j]
+		if sc <= 0 {
+			continue // constant-at-training dimension: cell 0 is unbounded
+		}
 		var contrib float64
 		if c > 0 {
 			if lo := mn + float64(c)*sc; qx < lo {
@@ -162,6 +177,9 @@ func (cb *Codebook) RowLowerBoundMax(q []float64, codes []uint8, stop float64) f
 	for j, c := range codes {
 		qx := q[j]
 		mn, sc := cb.min[j], cb.scale[j]
+		if sc <= 0 {
+			continue // constant-at-training dimension: cell 0 is unbounded
+		}
 		var contrib float64
 		if c > 0 {
 			if lo := mn + float64(c)*sc; qx < lo {

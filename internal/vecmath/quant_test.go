@@ -35,6 +35,14 @@ func TestCodebookLowerBoundsSound(t *testing.T) {
 		}
 		codes := make([]uint8, dim)
 		q := randVec(rng, dim)
+		if trial%5 == 0 {
+			// Query far beyond the constant dimension's single point: the
+			// degenerate cell must bound it by zero, not by q[0]−min.
+			q[0] = 5
+		}
+		// A probe equal to the query has exact distance 0, so any positive
+		// lower bound on it is an unsound screen.
+		probe = append(probe, Clone(q))
 		sqTab := make([]float64, dim*256)
 		absTab := make([]float64, dim*256)
 		cb.BuildLUT(q, true, sqTab)
@@ -96,14 +104,24 @@ func TestCodebookRowBoundsMatchLUT(t *testing.T) {
 		for i := range rows {
 			rows[i] = randVec(rng, dim)
 		}
+		if trial%4 == 0 {
+			// Constant dimension: the sc<=0 skip must stay bitwise equal to
+			// the LUT's zeroed cells, including for out-of-range queries.
+			for _, r := range rows {
+				r[0] = -0.75
+			}
+		}
 		cb := TrainCodebook(rows)
 		q := randVec(rng, dim)
+		if trial%4 == 0 {
+			q[0] = 3
+		}
 		sqTab := make([]float64, dim*256)
 		absTab := make([]float64, dim*256)
 		cb.BuildLUT(q, true, sqTab)
 		cb.BuildLUT(q, false, absTab)
 		codes := make([]uint8, dim)
-		probe := append(append([][]float64(nil), rows...), Scale(randVec(rng, dim), 8))
+		probe := append(append([][]float64(nil), rows...), Scale(randVec(rng, dim), 8), Clone(q))
 		for _, r := range probe {
 			cb.Encode(r, codes)
 			for _, stop := range []float64{math.Inf(1), 1, 0.01} {
@@ -115,6 +133,97 @@ func TestCodebookRowBoundsMatchLUT(t *testing.T) {
 				}
 				if got, want := cb.RowLowerBoundMax(q, codes, stop), LUTLowerBoundMax(absTab, codes, stop); math.Float64bits(got) != math.Float64bits(want) {
 					t.Fatalf("L∞ row bound %v, LUT %v (stop %v)", got, want, stop)
+				}
+			}
+		}
+	}
+}
+
+// TestCodebookConstantDimensionUnbounded is the regression for the
+// degenerate scale-0 cell: a dimension constant at training time clamps
+// every code to cell 0, so that cell must cover the whole line. The old
+// lookup table kept the hi-edge check and charged q[0]−min against a row
+// inserted later at q[0] itself — lower bound 3.75 against an exact
+// distance of 0, unsoundly screening out a true nearest neighbor.
+func TestCodebookConstantDimensionUnbounded(t *testing.T) {
+	rows := [][]float64{{1.25, 0}, {1.25, 1}, {1.25, 0.5}}
+	cb := TrainCodebook(rows)
+	r := []float64{5, 0.25} // inserted after training, off the constant
+	q := Clone(r)           // exact distance 0 in every domain
+	codes := make([]uint8, 2)
+	cb.Encode(r, codes)
+	sqTab := make([]float64, 2*256)
+	absTab := make([]float64, 2*256)
+	cb.BuildLUT(q, true, sqTab)
+	cb.BuildLUT(q, false, absTab)
+	inf := math.Inf(1)
+	for name, lb := range map[string]float64{
+		"LUT squared":   LUTLowerBoundSum(sqTab, codes, inf),
+		"LUT L1":        LUTLowerBoundSum(absTab, codes, inf),
+		"LUT L∞":        LUTLowerBoundMax(absTab, codes, inf),
+		"LUT screen sq": LUTScreenSum(sqTab, codes, inf),
+		"row squared":   cb.RowLowerBoundSum(q, codes, true, inf),
+		"row L1":        cb.RowLowerBoundSum(q, codes, false, inf),
+		"row L∞":        cb.RowLowerBoundMax(q, codes, inf),
+	} {
+		if lb != 0 {
+			t.Errorf("%s bound %v for an exact-zero distance", name, lb)
+		}
+	}
+}
+
+// TestLUTScreenSumEnvelope pins the reassociated 8-way screening loop — the
+// form the scan back-end actually evaluates — against the sequential
+// reference within its documented ULP envelope, against exact distances
+// with the scan back-end's quantSlack margin, and on the screening
+// implication itself: a screen that fires at bound·(1+slack) must be
+// justified by the exact distance exceeding the bound.
+func TestLUTScreenSumEnvelope(t *testing.T) {
+	const slack = 1e-9 // mirrors scan's quantSlack
+	rng := rand.New(rand.NewSource(97))
+	inf := math.Inf(1)
+	for dim := 0; dim <= 67; dim++ {
+		rows := make([][]float64, 4+rng.Intn(20))
+		for i := range rows {
+			rows[i] = randVec(rng, dim)
+		}
+		if dim > 0 && dim%7 == 0 {
+			for _, r := range rows {
+				r[0] = 1.25
+			}
+		}
+		cb := TrainCodebook(rows)
+		q := randVec(rng, dim)
+		sqTab := make([]float64, dim*256)
+		absTab := make([]float64, dim*256)
+		cb.BuildLUT(q, true, sqTab)
+		cb.BuildLUT(q, false, absTab)
+		codes := make([]uint8, dim)
+		probe := append([][]float64(nil), rows...)
+		probe = append(probe, Scale(randVec(rng, dim), 10), Clone(q))
+		for _, r := range probe {
+			cb.Encode(r, codes)
+			for _, dom := range []struct {
+				tab   []float64
+				exact float64
+			}{
+				{sqTab, SquaredDistance(q, r)},
+				{absTab, L1Distance(q, r)},
+			} {
+				ref := LUTLowerBoundSum(dom.tab, codes, inf)
+				got := LUTScreenSum(dom.tab, codes, inf)
+				env := float64(dim) * 0x1p-52 * ref
+				if math.Abs(got-ref) > env {
+					t.Fatalf("dim %d: screen sum %v vs reference %v exceeds envelope %v", dim, got, ref, env)
+				}
+				if got > dom.exact*(1+slack) {
+					t.Fatalf("dim %d: screen sum %v above exact %v with slack", dim, got, dom.exact)
+				}
+				for _, bound := range []float64{dom.exact, dom.exact * 0.99, ref * 0.5, 0} {
+					stop := bound * (1 + slack)
+					if LUTScreenSum(dom.tab, codes, stop) > stop && dom.exact <= bound {
+						t.Fatalf("dim %d: screen fired at bound %v but exact is %v", dim, bound, dom.exact)
+					}
 				}
 			}
 		}

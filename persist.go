@@ -139,6 +139,12 @@ func restoreIndex(rec *persist.Snapshot) (index.Index, error) {
 	}
 	ix, err := harness.BuildBackend(rec.Backend, rec.Points, metric)
 	if err != nil {
+		if errors.Is(err, vecmath.ErrZeroVector) {
+			// Snapshots written before the angular metric rejected zero
+			// vectors can contain one; the rebuild now refuses it. Name the
+			// migration instead of failing opaquely.
+			return nil, fmt.Errorf("rknnd: load: %w (the snapshot predates zero-vector validation for the angular metric: delete the offending rows with the release that wrote it and re-save)", err)
+		}
 		return nil, fmt.Errorf("rknnd: load: %w", err)
 	}
 	if ix.Dim() != rec.Dim {

@@ -7,10 +7,12 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/lsh"
 	"repro/internal/persist"
+	"repro/internal/vecmath"
 )
 
 func testPoints(n, dim int, seed int64) [][]float64 {
@@ -492,5 +494,37 @@ func TestLSHLoadSurvivesCorruptNativeBlob(t *testing.T) {
 	}
 	if _, err := loaded.ReverseKNN(3, 5); err != nil {
 		t.Errorf("fallback-loaded engine cannot answer: %v", err)
+	}
+}
+
+// TestLoadLegacyAngularZeroVector pins the migration surface: snapshots
+// written before the angular metric rejected zero vectors can contain one,
+// and the rebuild-on-load now refuses them (serving over a broken pruning
+// invariant would silently drop results). The refusal must be recognizable
+// — it wraps vecmath.ErrZeroVector — and name the migration instead of
+// reading as opaque corruption.
+func TestLoadLegacyAngularZeroVector(t *testing.T) {
+	pts := testPoints(40, 3, 29)
+	pts[7] = []float64{0, 0, 0} // legal in the release that wrote the snapshot
+	rec := &persist.Snapshot{
+		MetricID: vecmath.MetricIDAngular,
+		Backend:  string(BackendScan),
+		Scale:    8,
+		Dim:      3,
+		Points:   pts,
+	}
+	var buf bytes.Buffer
+	if err := persist.WriteSnapshot(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("snapshot with an angular zero vector loaded")
+	}
+	if !errors.Is(err, vecmath.ErrZeroVector) {
+		t.Fatalf("load error %q does not wrap vecmath.ErrZeroVector", err)
+	}
+	if !strings.Contains(err.Error(), "re-save") {
+		t.Fatalf("load error %q does not explain the migration", err)
 	}
 }

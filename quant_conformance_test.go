@@ -147,6 +147,83 @@ func TestQuantFilterAfterUpdates(t *testing.T) {
 	}
 }
 
+// TestQuantFilterConstantDimension is the facade-level regression for the
+// degenerate scale-0 codebook cell: a dimension that is constant at build
+// time trains a zero-width grid there, rows inserted afterwards can take
+// any value in it (every one encodes to cell 0), and queries beyond the
+// trained constant must still answer byte-identically with the filter on.
+// The old lookup table charged q−min against cell 0 in that dimension,
+// which could screen out a true nearest neighbor (an MNIST-style border
+// pixel that is constant in the training set but not in later inserts).
+func TestQuantFilterConstantDimension(t *testing.T) {
+	pts := indextest.RandPoints(120, 4, 101)
+	for _, p := range pts {
+		p[1] = 1.25 // constant at codebook training time
+	}
+	plain, filtered := quantPair(t, pts)
+	rng := rand.New(rand.NewSource(103))
+	maxID := len(pts) - 1
+	var last []float64
+	for i := 0; i < 60; i++ {
+		p := make([]float64, 4)
+		for j := range p {
+			p[j] = rng.Float64()*4 - 2
+		}
+		p[1] = 1.25 + rng.Float64()*8 // far off the trained constant
+		last = p
+		fid, err := filtered.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pid, err := plain.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fid != pid {
+			t.Fatalf("insert ids diverged: %d vs %d", fid, pid)
+		}
+		maxID = fid
+	}
+	// Fold deterministically so the inserted rows sit in filtered base rows.
+	filtered.compactNow()
+	plain.compactNow()
+	for _, k := range []int{1, 5} {
+		for qid := 0; qid <= maxID; qid += 7 {
+			got, gerr := filtered.ReverseKNN(qid, k)
+			want, werr := plain.ReverseKNN(qid, k)
+			if (gerr == nil) != (werr == nil) {
+				t.Fatalf("ReverseKNN(%d, %d) errors diverged: %v vs %v", qid, k, gerr, werr)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("ReverseKNN(%d, %d) = %v, unfiltered %v", qid, k, got, want)
+			}
+		}
+	}
+	// Forward queries out past the trained constant, including exact matches
+	// of inserted rows (distance 0 — the decisive case for the old bound).
+	for trial := 0; trial < 21; trial++ {
+		q := indextest.RandPoints(1, 4, int64(700+trial))[0]
+		q[1] = 1.25 + rng.Float64()*8
+		if trial == 20 {
+			q = append([]float64(nil), last...)
+		}
+		got, err := filtered.KNN(q, 4)
+		if err != nil {
+			t.Fatalf("KNN: %v", err)
+		}
+		want, err := plain.KNN(q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("KNN(%v) = %v, unfiltered %v", q, got, want)
+		}
+	}
+	if admitted, _ := filtered.QuantFilterStats(); admitted == 0 {
+		t.Fatal("filter never consulted on the constant-dimension workload")
+	}
+}
+
 // TestQuantFilterSaveLoadRoundTrip checks the codebook travels with the
 // snapshot: a load restores the filter with the original training bounds
 // and answers byte-identically, and an unfiltered engine still writes the
