@@ -14,6 +14,7 @@
 //	rknn -data fct -n 3000 -k 10 -method rdt+ -auto mle -query 3
 //	rknn serve -addr :8080 -data fct -n 10000
 //	rknn serve -addr :8080 -data-dir /var/lib/rknn     (durable, crash-recovering)
+//	rknn top -addr localhost:8080                      (live operations dashboard)
 //	rknn save -data fct -n 10000 -out fct.rknn
 //	rknn load -in fct.rknn -query 3 -k 10
 package main
@@ -58,6 +59,13 @@ func main() {
 			return
 		case "load":
 			if err := runLoad(os.Args[2:], os.Stdout); err != nil {
+				fail(err)
+			}
+			return
+		case "top":
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			defer stop()
+			if err := runTop(ctx, os.Args[2:], os.Stdout); err != nil {
 				fail(err)
 			}
 			return

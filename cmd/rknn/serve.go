@@ -10,6 +10,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	repro "repro"
@@ -54,11 +56,18 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 		traceSmp = fs.Float64("trace-sample", 1, "head-sampling probability for retaining request traces in /v1/admin/traces (slow and ?debug=1 requests are always retained; negative disables tracing)")
 		traceCap = fs.Int("trace-ring-size", 256, "trace ring capacity (traces)")
 		dbgAddr  = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this private address (never on the serving mux)")
+		sloLat   = fs.String("slo-latency", "", `latency SLO for data-plane requests, e.g. "p99<25ms" (tracked at /v1/admin/slo; fast burn degrades /healthz?slo=1)`)
+		sloAvail = fs.String("slo-availability", "", `availability SLO for data-plane requests as a success percentage, e.g. "99.9"`)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed; -h is not a failure
 		}
+		return err
+	}
+
+	slo, err := buildSLO(*sloLat, *sloAvail)
+	if err != nil {
 		return err
 	}
 
@@ -138,6 +147,12 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 	if ring != nil {
 		serverOpts = append(serverOpts, server.WithTracing(ring, *traceSmp))
 	}
+	if slo != nil {
+		serverOpts = append(serverOpts, server.WithSLO(slo))
+		short, long := slo.Windows()
+		fmt.Fprintf(stdout, "rknn serve: SLO tracking on (%d objectives, fast burn %.1f over %s/%s windows)\n",
+			len(slo.StatusAt(time.Now())), slo.FastBurn(), short, long)
+	}
 	httpSrv := &http.Server{
 		Handler: server.New(eng, serverOpts...).Handler(),
 		// Bound header reads and idle keep-alives so slow or silent
@@ -163,6 +178,42 @@ func runServe(ctx context.Context, args []string, stdout io.Writer, ready chan<-
 	logMetricsSummary(stdout, reg)
 	fmt.Fprintln(stdout, "rknn serve: shut down cleanly")
 	return nil
+}
+
+// buildSLO maps the -slo-latency / -slo-availability flag specs onto a
+// telemetry.SLO, or nil when neither flag is set. A latency spec reads
+// "p99<25ms" (quantile as a percentile after "p", bound as a Go duration);
+// an availability spec is a bare success percentage like "99.9". Malformed
+// specs fail at startup — an SLO that silently never fires is worse than
+// no SLO.
+func buildSLO(latSpec, availSpec string) (*telemetry.SLO, error) {
+	var objectives []telemetry.SLOObjective
+	if latSpec != "" {
+		qs, bs, ok := strings.Cut(latSpec, "<")
+		if !ok || !strings.HasPrefix(qs, "p") {
+			return nil, fmt.Errorf(`serve: -slo-latency wants "p<percentile><<bound>", e.g. "p99<25ms", got %q`, latSpec)
+		}
+		pct, err := strconv.ParseFloat(strings.TrimPrefix(qs, "p"), 64)
+		if err != nil || pct <= 0 || pct >= 100 {
+			return nil, fmt.Errorf("serve: -slo-latency percentile must be in (0,100), got %q", qs)
+		}
+		bound, err := time.ParseDuration(strings.TrimSpace(bs))
+		if err != nil || bound <= 0 {
+			return nil, fmt.Errorf("serve: -slo-latency bound must be a positive duration, got %q", bs)
+		}
+		objectives = append(objectives, telemetry.LatencyObjective(pct/100, bound.Seconds()))
+	}
+	if availSpec != "" {
+		pct, err := strconv.ParseFloat(availSpec, 64)
+		if err != nil || pct <= 0 || pct >= 100 {
+			return nil, fmt.Errorf("serve: -slo-availability wants a success percentage in (0,100), e.g. \"99.9\", got %q", availSpec)
+		}
+		objectives = append(objectives, telemetry.AvailabilityObjective(pct/100))
+	}
+	if len(objectives) == 0 {
+		return nil, nil
+	}
+	return telemetry.NewSLO(telemetry.SLOConfig{Objectives: objectives})
 }
 
 // logMetricsSummary prints the shutdown digest of the run: per-route

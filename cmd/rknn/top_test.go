@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTopOnceAgainstLiveServer boots the daemon with an SLO, drives a
+// little traffic, and renders one `rknn top -once` frame against it — the
+// scriptable path the CI smoke also exercises.
+func TestTopOnceAgainstLiveServer(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, []string{
+			"-addr", "127.0.0.1:0", "-data", "sequoia", "-n", "300", "-t", "8",
+			"-slo-latency", "p99<25ms", "-slo-availability", "99.9",
+		}, &out, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("runServe exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the server to listen")
+	}
+	base := "http://" + addr.String()
+
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(base+"/v1/rknn", "application/json",
+			strings.NewReader(`{"id": 5, "k": 10}`))
+		if err != nil {
+			t.Fatalf("POST /v1/rknn: %v", err)
+		}
+		resp.Body.Close()
+	}
+
+	var frame bytes.Buffer
+	if err := runTop(ctx, []string{"-addr", addr.String(), "-once"}, &frame); err != nil {
+		t.Fatalf("runTop -once: %v", err)
+	}
+	text := frame.String()
+	for _, want := range []string{
+		"rknn top",
+		"/v1/rknn",          // route table row
+		"ENGINE OP",         // windowed engine ops
+		"slo: ok",           // both objectives healthy
+		"availability",      // objective rows
+		"latency",           //
+		"hot query regions", // analytics section
+		"k=10",              // a query signature made it into the sketch
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("frame missing %q:\n%s", want, text)
+		}
+	}
+	// -once must not emit the ANSI clear sequence: the frame is meant for
+	// pipes and CI logs.
+	if strings.Contains(text, "\x1b[2J") {
+		t.Error("-once frame contains the ANSI clear sequence")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for shutdown")
+	}
+}
+
+func TestTopFlagAndConnectionErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := runTop(context.Background(), []string{"-interval", "-1s"}, &out); err == nil {
+		t.Fatal("negative interval must fail")
+	}
+	// A dead address fails cleanly rather than looping.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	if err := runTop(context.Background(), []string{"-addr", dead, "-once"}, &out); err == nil {
+		t.Fatal("unreachable server must fail")
+	}
+}
+
+func TestBuildSLOSpecParsing(t *testing.T) {
+	good := []struct {
+		lat, avail string
+	}{
+		{"p99<25ms", ""},
+		{"p50<1s", "99.9"},
+		{"", "99"},
+	}
+	for _, c := range good {
+		slo, err := buildSLO(c.lat, c.avail)
+		if err != nil || slo == nil {
+			t.Errorf("buildSLO(%q, %q) = %v, %v; want a live SLO", c.lat, c.avail, slo, err)
+		}
+	}
+	if slo, err := buildSLO("", ""); err != nil || slo != nil {
+		t.Errorf("no flags: got %v, %v; want nil, nil", slo, err)
+	}
+	bad := []struct {
+		lat, avail string
+	}{
+		{"p99", ""},       // no bound
+		{"99<25ms", ""},   // missing p prefix
+		{"p0<25ms", ""},   // percentile out of range
+		{"p100<25ms", ""}, // percentile out of range
+		{"p99<junk", ""},  // unparseable bound
+		{"p99<-5ms", ""},  // negative bound
+		{"", "junk"},      // unparseable percentage
+		{"", "0"},         // target out of range
+		{"", "100"},       // target out of range
+	}
+	for _, c := range bad {
+		if _, err := buildSLO(c.lat, c.avail); err == nil {
+			t.Errorf("buildSLO(%q, %q) accepted a malformed spec", c.lat, c.avail)
+		}
+	}
+}

@@ -26,6 +26,12 @@
 // scatter spans per shard, the paper's work counters as attributes on the
 // core spans — and the ring is browsable after the fact through
 // /v1/admin/traces. `rknn serve -trace-sample` wires this identically.
+// The seventh act is live operations: SLO error budgets with multi-window
+// burn-rate alerting (`rknn serve -slo-latency "p99<25ms"
+// -slo-availability 99.9`), hot-region workload analytics, and the
+// sliding-window /statsz views that `rknn top` renders as a terminal
+// dashboard. An absurdly tight availability objective is tripped on
+// purpose to show the fast-burn page and the /healthz?slo=1 503.
 //
 //	go run ./examples/server
 package main
@@ -269,6 +275,102 @@ func main() {
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
+
+	// Live operations: SLO error budgets, workload analytics, and the
+	// windowed views `rknn top` renders. `rknn serve -slo-latency
+	// "p99<25ms" -slo-availability 99.9` wires the same objectives; here
+	// the availability target is an absurd 99.99% so a handful of bad
+	// requests visibly burns the budget.
+	slo, err := telemetry.NewSLO(telemetry.SLOConfig{Objectives: []telemetry.SLOObjective{
+		telemetry.LatencyObjective(0.99, 0.025),
+		telemetry.AvailabilityObjective(0.9999),
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg4 := telemetry.NewRegistry()
+	live, err := repro.New(ds.Points, repro.WithScale(re.Scale()), repro.WithTelemetry(reg4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts4 := httptest.NewServer(server.New(live, server.WithRegistry(reg4), server.WithSLO(slo)).Handler())
+	defer ts4.Close()
+
+	// Steady traffic: a spread of query points so the Space-Saving sketch
+	// has distinct grid-cell signatures to rank, plus a repeated hot spot.
+	for i := 0; i < 40; i++ {
+		var ans struct {
+			IDs []int `json:"ids"`
+		}
+		post(ts4.URL+"/v1/rknn", fmt.Sprintf(`{"id": %d, "k": 10}`, (i%5)*13), &ans)
+	}
+	var an struct {
+		Window string `json:"window"`
+		Top    []struct {
+			Signature   string  `json:"signature"`
+			Count       uint64  `json:"count"`
+			ErrBound    uint64  `json:"count_error_bound"`
+			MeanLatency float64 `json:"mean_latency_seconds"`
+		} `json:"top"`
+	}
+	if err := getDecode(ts4.URL+"/v1/admin/analytics?n=3", &an); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hot query regions (%s window):\n", an.Window)
+	for _, hot := range an.Top {
+		fmt.Printf("  %-28s count %d±%d  mean %.1fms\n",
+			hot.Signature, hot.Count, hot.ErrBound, 1000*hot.MeanLatency)
+	}
+
+	// Healthy so far: both objectives hold, the budget is whole.
+	var sloState struct {
+		Degraded   bool `json:"degraded"`
+		Objectives []struct {
+			Name            string             `json:"name"`
+			Objective       string             `json:"objective"`
+			BudgetRemaining float64            `json:"error_budget_remaining_ratio"`
+			BurnRates       map[string]float64 `json:"burn_rates"`
+		} `json:"objectives"`
+	}
+	if err := getDecode(ts4.URL+"/v1/admin/slo", &sloState); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slo degraded: %v\n", sloState.Degraded)
+
+	// Now an incident: a burst of bad requests (unknown ids) against the
+	// 99.99%% availability target. The multi-window fast-burn rule pages —
+	// both the 1m and 5m burn rates blow past the 14.4x threshold — and
+	// /healthz?slo=1 starts answering 503 so a readiness probe sheds
+	// traffic, while the plain liveness /healthz stays 200.
+	for i := 0; i < 10; i++ {
+		resp, err := http.Post(ts4.URL+"/v1/rknn", "application/json",
+			strings.NewReader(`{"id": 999999, "k": 10}`))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if err := getDecode(ts4.URL+"/v1/admin/slo", &sloState); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after the burst, slo degraded: %v\n", sloState.Degraded)
+	for _, o := range sloState.Objectives {
+		fmt.Printf("  %-13s (%s)  budget remaining %.3f  burn 1m=%.0fx 5m=%.0fx\n",
+			o.Name, o.Objective, o.BudgetRemaining, o.BurnRates["1m"], o.BurnRates["5m"])
+	}
+	probe, err := http.Get(ts4.URL + "/healthz?slo=1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe.Body.Close()
+	alive, err := http.Get(ts4.URL + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	alive.Body.Close()
+	fmt.Printf("/healthz?slo=1 -> %d (readiness sheds traffic), /healthz -> %d (liveness holds)\n",
+		probe.StatusCode, alive.StatusCode)
+	fmt.Println("run `rknn top -addr <host:port>` against a live daemon for this as a refreshing dashboard")
 }
 
 // printSpan renders a span tree with durations and the attributes the

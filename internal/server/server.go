@@ -14,11 +14,14 @@
 //	DELETE /v1/points/{id}                                (delete)
 //	POST   /v1/admin/snapshot                             (cut a durable snapshot)
 //	GET    /v1/admin/slowlog                              (recent slow requests)
+//	PUT    /v1/admin/slowlog                              (retune the slow threshold live)
 //	GET    /v1/admin/traces                               (recent trace summaries)
 //	GET    /v1/admin/traces/{id}                          (one full span tree)
-//	GET    /healthz
-//	GET    /statsz
-//	GET    /metrics                                       (Prometheus exposition)
+//	GET    /v1/admin/slo                                  (error budgets and burn rates)
+//	GET    /v1/admin/analytics                            (hot query regions)
+//	GET    /healthz                                       (?slo=1 degrades on fast burn)
+//	GET    /statsz                                        (lifetime and windowed stats)
+//	GET    /metrics                                       (Prometheus / OpenMetrics exposition)
 //
 // Every response is JSON except /metrics (Prometheus text format); errors
 // are {"error":"..."} with a 4xx/5xx status. Request bodies are bounded
@@ -59,6 +62,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	repro "repro"
@@ -123,6 +127,21 @@ type Approximate interface {
 	Approximate() bool
 }
 
+// LiveWindows is the optional live-operations surface of an Engine
+// (*repro.Searcher and *repro.ShardedSearcher implement it when telemetry
+// is enabled): per-operation windowed latency digests and windowed pruning
+// aggregates, reported in /statsz next to the lifetime numbers.
+type LiveWindows interface {
+	QueryWindowStats() map[string]map[string]telemetry.WindowStats
+	EngineWindowStats() map[string]repro.EngineWindow
+}
+
+// WorkloadAnalytics is the optional hot-region surface of an Engine: the
+// Space-Saving sketch over query signatures behind /v1/admin/analytics.
+type WorkloadAnalytics interface {
+	WorkloadTopK(k int, window time.Duration) []telemetry.WorkloadStat
+}
+
 // Server wraps an Engine with HTTP handlers and request-level telemetry.
 // All methods are safe for concurrent use.
 type Server struct {
@@ -139,20 +158,34 @@ type Server struct {
 	// A nil ring disables tracing entirely.
 	ring   *trace.Ring
 	sample float64
+	// slo tracks the configured service-level objectives against the
+	// data-plane request stream (WithSLO); nil disables the SLO surfaces.
+	slo *telemetry.SLO
 }
 
 // endpointStats holds one route's telemetry instruments, resolved once at
-// New so the per-request path is lock-free.
+// New so the per-request path is lock-free. win wraps the same latency
+// histogram with the sliding-window ring, so one Observe feeds both the
+// lifetime exposition and the last-1m/5m views in /statsz.
 type endpointStats struct {
 	requests *telemetry.Counter
 	errors   *telemetry.Counter
 	latency  *telemetry.Histogram
+	win      *telemetry.Windowed
 }
 
 // routes is the fixed set of stats keys, one per endpoint.
 var routes = []string{
 	"/v1/rknn", "/v1/rknn/batch", "/v1/knn", "/v1/points", "/v1/points/batch", "/v1/admin/snapshot",
-	"/v1/admin/slowlog", "/v1/admin/traces", "/healthz", "/statsz", "/metrics",
+	"/v1/admin/slowlog", "/v1/admin/traces", "/v1/admin/slo", "/v1/admin/analytics",
+	"/healthz", "/statsz", "/metrics",
+}
+
+// statszWindows are the trailing windows /statsz and /v1/admin/analytics
+// report, mirroring the engine's statsWindows keys.
+var statszWindows = map[string]time.Duration{
+	"1m": time.Minute,
+	"5m": 5 * time.Minute,
 }
 
 // tracedRoutes is the data plane: requests here run under a span tree when
@@ -179,6 +212,7 @@ type options struct {
 	slowSize      int
 	ring          *trace.Ring
 	sample        float64
+	slo           *telemetry.SLO
 }
 
 // WithRegistry shares a telemetry Registry with the server instead of
@@ -206,6 +240,15 @@ func WithTracing(ring *trace.Ring, sample float64) Option {
 	return func(o *options) { o.ring = ring; o.sample = sample }
 }
 
+// WithSLO attaches a service-level-objective engine: every data-plane
+// request is classified against its objectives, the burn-rate and
+// error-budget gauges are registered on the server's registry, GET
+// /v1/admin/slo reports the live status, and /healthz?slo=1 degrades when
+// the multi-window fast-burn rule trips.
+func WithSLO(slo *telemetry.SLO) Option {
+	return func(o *options) { o.slo = slo }
+}
+
 // New returns a Server over s.
 func New(s Engine, opts ...Option) *Server {
 	o := options{slowThreshold: DefaultSlowLogThreshold, slowSize: DefaultSlowLogSize}
@@ -228,6 +271,7 @@ func New(s Engine, opts ...Option) *Server {
 		stats:  make(map[string]*endpointStats, len(routes)),
 		ring:   o.ring,
 		sample: o.sample,
+		slo:    o.slo,
 	}
 	if a, ok := s.(Approximate); ok {
 		srv.approx = a.Approximate()
@@ -237,8 +281,15 @@ func New(s Engine, opts ...Option) *Server {
 	latency := o.reg.HistogramVec("rknn_http_request_duration_seconds",
 		"Handler latency, by route.", telemetry.DefaultLatencyBuckets, "route")
 	for _, r := range routes {
-		srv.stats[r] = &endpointStats{requests: requests.With(r), errors: errs.With(r), latency: latency.With(r)}
+		lh := latency.With(r)
+		srv.stats[r] = &endpointStats{
+			requests: requests.With(r),
+			errors:   errs.With(r),
+			latency:  lh,
+			win:      telemetry.NewDefaultWindowed(lh),
+		}
 	}
+	srv.slo.Register(o.reg)
 	srv.registerEngineGauges()
 	telemetry.RegisterRuntimeMetrics(o.reg)
 	return srv
@@ -275,8 +326,11 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/points/{id}", srv.instrument("/v1/points", srv.handleDelete))
 	mux.HandleFunc("POST /v1/admin/snapshot", srv.instrument("/v1/admin/snapshot", srv.handleSnapshot))
 	mux.HandleFunc("GET /v1/admin/slowlog", srv.instrument("/v1/admin/slowlog", srv.handleSlowlog))
+	mux.HandleFunc("PUT /v1/admin/slowlog", srv.instrument("/v1/admin/slowlog", srv.handleSlowlogPut))
 	mux.HandleFunc("GET /v1/admin/traces", srv.instrument("/v1/admin/traces", srv.handleTraces))
 	mux.HandleFunc("GET /v1/admin/traces/{id}", srv.instrument("/v1/admin/traces", srv.handleTraceGet))
+	mux.HandleFunc("GET /v1/admin/slo", srv.instrument("/v1/admin/slo", srv.handleSLO))
+	mux.HandleFunc("GET /v1/admin/analytics", srv.instrument("/v1/admin/analytics", srv.handleAnalytics))
 	mux.HandleFunc("GET /healthz", srv.instrument("/healthz", srv.handleHealth))
 	mux.HandleFunc("GET /statsz", srv.instrument("/statsz", srv.handleStats))
 	mux.HandleFunc("GET /metrics", srv.instrument("/metrics", srv.handleMetrics))
@@ -336,8 +390,19 @@ func (srv *Server) instrument(route string, h func(w http.ResponseWriter, r *htt
 		}
 		err := h(w, r)
 		elapsed := time.Since(begin)
+		// end is the completion timestamp every windowed instrument banks
+		// against — derived from the latency measurement, not a second
+		// clock read.
+		end := begin.Add(elapsed)
 		st.requests.Inc()
-		st.latency.Observe(elapsed.Seconds())
+		// One observation feeds the cumulative histogram /metrics exposes
+		// and the slice ring behind the /statsz windows.
+		st.win.Observe(elapsed.Seconds(), end)
+		if traced {
+			// SLO accounting covers the data plane only: a slow /metrics
+			// scrape is not a user-visible latency violation.
+			srv.slo.Observe(elapsed.Seconds(), err != nil, end)
+		}
 		entry := telemetry.SlowEntry{
 			Time:     begin,
 			Route:    route,
@@ -358,6 +423,10 @@ func (srv *Server) instrument(route string, h func(w http.ResponseWriter, r *htt
 			slow := elapsed >= srv.slow.Threshold()
 			if slow || debug || upstream || rand.Float64() < srv.sample {
 				srv.ring.Put(tr)
+				// Retain the trace as this latency bucket's exemplar only
+				// after it enters the ring, so the OpenMetrics trace_id
+				// always resolves via /v1/admin/traces/{id}.
+				st.latency.SetExemplar(elapsed.Seconds(), tr.ID(), end)
 			}
 		}
 		srv.slow.Observe(entry)
@@ -617,13 +686,23 @@ func (srv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) error 
 	})
 }
 
+// handleHealth reports liveness; with ?slo=1 on an SLO-configured server
+// it additionally turns 503 while the multi-window fast-burn rule trips,
+// so a load balancer can shed traffic from an instance actively burning
+// its error budget.
 func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
-	return writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"points":         srv.s.Len(),
 		"dim":            srv.s.Dim(),
 		"uptime_seconds": time.Since(srv.start).Seconds(),
-	})
+	}
+	status := http.StatusOK
+	if r.URL.Query().Get("slo") == "1" && srv.slo.Degraded() {
+		body["status"] = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	return writeJSON(w, status, body)
 }
 
 // statsz reports per-endpoint request counters and latency quantiles plus
@@ -632,6 +711,7 @@ func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
 // log-bucket histograms /metrics exposes, so the two surfaces can never
 // disagree.
 func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	now := time.Now()
 	endpoints := make(map[string]map[string]any, len(srv.stats))
 	for route, st := range srv.stats {
 		ep := map[string]any{
@@ -645,6 +725,18 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			ep["p95_us"] = snap.Quantile(0.95) * 1e6
 			ep["p99_us"] = snap.Quantile(0.99) * 1e6
 			ep["mean_us"] = snap.Sum / float64(snap.Count) * 1e6
+			// The windowed views next to the lifetime quantiles: what the
+			// route looked like over the last minute and five.
+			wins := make(map[string]any, len(statszWindows))
+			active := false
+			for key, d := range statszWindows {
+				ws := st.win.StatsAt(d, now)
+				wins[key] = windowJSON(ws)
+				active = active || ws.Count > 0
+			}
+			if active {
+				ep["windows"] = wins
+			}
 		}
 		endpoints[route] = ep
 	}
@@ -672,6 +764,22 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 		engine["shard_count"] = sh.Shards()
 		engine["shards"] = sh.ShardStats()
 	}
+	if lw, ok := srv.s.(LiveWindows); ok {
+		if ops := lw.QueryWindowStats(); len(ops) > 0 {
+			byOp := make(map[string]any, len(ops))
+			for op, wins := range ops {
+				byWin := make(map[string]any, len(wins))
+				for key, ws := range wins {
+					byWin[key] = windowJSON(ws)
+				}
+				byOp[op] = byWin
+			}
+			engine["ops"] = byOp
+		}
+		if wins := lw.EngineWindowStats(); len(wins) > 0 {
+			engine["windows"] = wins
+		}
+	}
 	return writeJSON(w, http.StatusOK, map[string]any{
 		"endpoints": endpoints,
 		"engine":    engine,
@@ -679,11 +787,32 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	})
 }
 
+// windowJSON renders one window digest in /statsz's unit conventions
+// (microsecond quantiles, q/s rate).
+func windowJSON(ws telemetry.WindowStats) map[string]any {
+	return map[string]any{
+		"count":   ws.Count,
+		"qps":     ws.QPS,
+		"mean_us": ws.Mean * 1e6,
+		"p50_us":  ws.P50 * 1e6,
+		"p95_us":  ws.P95 * 1e6,
+		"p99_us":  ws.P99 * 1e6,
+	}
+}
+
 // handleMetrics serves the Prometheus text exposition of the server's
 // registry — including the engine's pruning counters when the engine was
-// built over the same registry. Encoding errors after the header is sent
-// mean the scraper went away; as in writeJSON, they are dropped.
+// built over the same registry. A scraper negotiating OpenMetrics via the
+// Accept header gets the 1.0 exposition instead, which carries the
+// trace-ID exemplars on histogram buckets; the 0.0.4 output is untouched
+// by that feature. Encoding errors after the header is sent mean the
+// scraper went away; as in writeJSON, they are dropped.
 func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", telemetry.OpenMetricsContentType)
+		_ = srv.reg.WriteOpenMetrics(w)
+		return nil
+	}
 	w.Header().Set("Content-Type", telemetry.ContentType)
 	_ = srv.reg.WritePrometheus(w)
 	return nil
@@ -700,9 +829,9 @@ type slowEntry struct {
 	RequestID  string    `json:"request_id,omitempty"`
 }
 
-// handleSlowlog reports the retained slow requests, newest first, plus the
-// log's configuration and lifetime total.
-func (srv *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) error {
+// slowlogBody renders the slow log's current state — shared by GET and
+// PUT so a retune response reflects exactly what a subsequent GET would.
+func (srv *Server) slowlogBody() map[string]any {
 	snap := srv.slow.Snapshot()
 	entries := make([]slowEntry, len(snap))
 	for i, e := range snap {
@@ -716,11 +845,103 @@ func (srv *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) error {
 			RequestID:  e.RequestID,
 		}
 	}
-	return writeJSON(w, http.StatusOK, map[string]any{
+	return map[string]any{
 		"threshold_us": srv.slow.Threshold().Microseconds(),
 		"capacity":     srv.slow.Cap(),
 		"total":        srv.slow.Total(),
 		"entries":      entries,
+	}
+}
+
+// handleSlowlog reports the retained slow requests, newest first, plus the
+// log's configuration and lifetime total.
+func (srv *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, http.StatusOK, srv.slowlogBody())
+}
+
+// handleSlowlogPut retunes the slow-query threshold on the live daemon —
+// chasing an incident means lowering the bar without a restart, and a
+// restart would lose the ring. Retained entries are preserved; the
+// response reflects the now-active threshold and mirrors the GET shape.
+func (srv *Server) handleSlowlogPut(w http.ResponseWriter, r *http.Request) error {
+	var req struct {
+		ThresholdUS *int64 `json:"threshold_us"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		return err
+	}
+	if req.ThresholdUS == nil {
+		return badRequest("threshold_us must be given")
+	}
+	if *req.ThresholdUS < 0 {
+		return badRequest("threshold_us must be non-negative, got %d", *req.ThresholdUS)
+	}
+	srv.slow.SetThreshold(time.Duration(*req.ThresholdUS) * time.Microsecond)
+	return writeJSON(w, http.StatusOK, srv.slowlogBody())
+}
+
+// handleSLO reports the live error budgets and burn rates of the
+// configured objectives.
+func (srv *Server) handleSLO(w http.ResponseWriter, r *http.Request) error {
+	if srv.slo == nil {
+		return &apiError{
+			status: http.StatusNotImplemented,
+			err:    errors.New("no SLO configured (start the server with -slo-latency or -slo-availability)"),
+		}
+	}
+	now := time.Now()
+	short, long := srv.slo.Windows()
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"fast_burn_threshold":  srv.slo.FastBurn(),
+		"short_window_seconds": short.Seconds(),
+		"long_window_seconds":  long.Seconds(),
+		"degraded":             srv.slo.DegradedAt(now),
+		"objectives":           srv.slo.StatusAt(now),
+	})
+}
+
+// analyticsEntry is one hot region in the /v1/admin/analytics response:
+// the sketch's digest plus the windowed latency view in /statsz units.
+type analyticsEntry struct {
+	telemetry.WorkloadStat
+	Window map[string]any `json:"window"`
+}
+
+// handleAnalytics reports the hottest query-region signatures: the
+// operator-facing readout of workload locality. ?n bounds the list
+// (default 10), ?window selects the latency window ("1m" default, "5m").
+func (srv *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) error {
+	wa, ok := srv.s.(WorkloadAnalytics)
+	if !ok {
+		return &apiError{
+			status: http.StatusNotImplemented,
+			err:    errors.New("engine has no workload analytics (enable telemetry)"),
+		}
+	}
+	n := 10
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			return badRequest("invalid n %q", v)
+		}
+		n = parsed
+	}
+	winKey := r.URL.Query().Get("window")
+	if winKey == "" {
+		winKey = "1m"
+	}
+	window, ok := statszWindows[winKey]
+	if !ok {
+		return badRequest("unknown window %q (want 1m or 5m)", winKey)
+	}
+	top := wa.WorkloadTopK(n, window)
+	entries := make([]analyticsEntry, len(top))
+	for i, ws := range top {
+		entries[i] = analyticsEntry{WorkloadStat: ws, Window: windowJSON(ws.Window)}
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"window": winKey,
+		"top":    entries,
 	})
 }
 

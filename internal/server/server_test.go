@@ -461,13 +461,13 @@ func TestSnapshotEndpointDurable(t *testing.T) {
 	}
 
 	var stats struct {
-		Endpoints map[string]map[string]float64 `json:"endpoints"`
-		Engine    map[string]any                `json:"engine"`
+		Endpoints map[string]map[string]any `json:"endpoints"`
+		Engine    map[string]any            `json:"engine"`
 	}
 	if status := call(t, "GET", ts.URL+"/statsz", nil, &stats); status != http.StatusOK {
 		t.Fatalf("statsz status %d", status)
 	}
-	if got := stats.Endpoints["/v1/admin/snapshot"]["requests"]; got != 1 {
+	if got, _ := stats.Endpoints["/v1/admin/snapshot"]["requests"].(float64); got != 1 {
 		t.Errorf("statsz counted %v snapshot requests, want 1", got)
 	}
 	if gen, ok := stats.Engine["generation"].(float64); !ok || gen != 2 {

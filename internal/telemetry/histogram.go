@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram counts observations into fixed buckets with ascending upper
@@ -18,20 +19,46 @@ type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	sumBits atomic.Uint64   // float64 bits of the observation sum
+	// exemplars retains the most recent exemplar per bucket (index-aligned
+	// with counts). Entries stay nil until SetExemplar is called — the
+	// tracing-off exposition is unchanged.
+	exemplars []atomic.Pointer[Exemplar]
 }
+
+// Exemplar joins one bucket of a latency histogram to the trace that most
+// recently landed in it, exposed in the OpenMetrics exposition so a
+// heatmap cell resolves to a concrete span tree.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
+}
+
+// NewHistogram returns a standalone histogram with the given ascending
+// finite bucket bounds — for windowed instruments whose cumulative form is
+// not registry-exposed (the workload sketch and the recall window build on
+// these).
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
 
 func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
 // Observe records one value. NaN observations are dropped: they would
 // poison the sum while landing in the overflow bucket, skewing quantiles.
+// Negative values are clamped to 0: a clock-skewed duration must not land
+// below every bucket bound while *subtracting* from the _sum series, which
+// would break the cumulative "le" semantics and every rate() over the sum.
 func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		return
+	}
+	if v < 0 {
+		v = 0
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: cumulative "le" semantics
 	h.counts[i].Add(1)
@@ -42,6 +69,20 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// SetExemplar retains traceID as the most recent exemplar of the bucket v
+// falls into (latest write wins — the freshest trace is the useful one).
+// It does not count an observation; callers pair it with Observe.
+func (h *Histogram) SetExemplar(v float64, traceID string, at time.Time) {
+	if math.IsNaN(v) || traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, Time: at})
 }
 
 // Count returns the total number of observations.
@@ -62,7 +103,9 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // distribution.
 func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
 
-// Snapshot captures the current distribution.
+// Snapshot captures the current distribution. Exemplars are copied only
+// when any were ever set, so the common no-tracing snapshot allocates
+// nothing extra.
 func (h *Histogram) Snapshot() *HistSnapshot {
 	s := &HistSnapshot{
 		Bounds: h.bounds,
@@ -74,6 +117,14 @@ func (h *Histogram) Snapshot() *HistSnapshot {
 		s.Count += c
 	}
 	s.Sum = h.Sum()
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]*Exemplar, len(h.counts))
+			}
+			s.Exemplars[i] = ex
+		}
+	}
 	return s
 }
 
@@ -88,6 +139,9 @@ type HistSnapshot struct {
 	Count uint64
 	// Sum is the sum of all observed values.
 	Sum float64
+	// Exemplars holds the most recent exemplar per bucket, index-aligned
+	// with Counts; nil when none were ever set (tracing off).
+	Exemplars []*Exemplar
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation

@@ -121,3 +121,102 @@ var (
 
 func escapeHelp(s string) string       { return helpEscaper.Replace(s) }
 func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }
+
+// OpenMetricsContentType is the Content-Type of WriteOpenMetrics output,
+// served when a scraper negotiates it via the Accept header.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics writes every registered family in the OpenMetrics 1.0
+// text exposition. It is a sibling of WritePrometheus, not a flag on it, so
+// the 0.0.4 output stays byte-identical. The differences that matter here:
+// counter metadata names drop the _total suffix (samples keep it), the
+// stream ends with "# EOF", and histogram bucket lines carry exemplars —
+// the most recent trace that landed in each bucket — in the
+// `# {trace_id="..."} value timestamp` syntax, which is how a latency
+// heatmap cell resolves to a concrete span tree.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.Gather() {
+		writeOpenMetricsFamily(&b, f)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeOpenMetricsFamily(b *strings.Builder, f FamilySnapshot) {
+	// OpenMetrics names a counter family without the _total suffix its
+	// sample lines carry.
+	metaName := f.Name
+	if f.Kind == KindCounter {
+		metaName = strings.TrimSuffix(metaName, "_total")
+	}
+	if f.Help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(metaName)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.Help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(metaName)
+	b.WriteByte(' ')
+	b.WriteString(f.Kind.String())
+	b.WriteByte('\n')
+	for _, s := range f.Samples {
+		if f.Kind == KindHistogram {
+			writeOpenMetricsHistogram(b, f.Name, s)
+			continue
+		}
+		writeSampleLine(b, f.Name, s.Labels, nil, s.Value)
+	}
+}
+
+// writeOpenMetricsHistogram emits the cumulative bucket series with
+// per-bucket exemplars where one was retained, then _sum and _count.
+func writeOpenMetricsHistogram(b *strings.Builder, name string, s Sample) {
+	h := s.Hist
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatValue(h.Bounds[i])
+		}
+		var ex *Exemplar
+		if i < len(h.Exemplars) {
+			ex = h.Exemplars[i]
+		}
+		writeBucketLine(b, name+"_bucket", s.Labels, le, float64(cum), ex)
+	}
+	writeSampleLine(b, name+"_sum", s.Labels, nil, h.Sum)
+	writeSampleLine(b, name+"_count", s.Labels, nil, float64(h.Count))
+}
+
+// writeBucketLine is writeSampleLine for a histogram bucket, with the
+// optional trailing exemplar.
+func writeBucketLine(b *strings.Builder, name string, labels []Label, le string, value float64, ex *Exemplar) {
+	b.WriteString(name)
+	b.WriteByte('{')
+	for _, l := range labels {
+		if l.Value == "" {
+			continue
+		}
+		writeLabel(b, l)
+		b.WriteByte(',')
+	}
+	writeLabel(b, Label{Name: "le", Value: le})
+	b.WriteByte('}')
+	b.WriteByte(' ')
+	b.WriteString(formatValue(value))
+	if ex != nil {
+		b.WriteString(` # {trace_id="`)
+		b.WriteString(escapeLabelValue(ex.TraceID))
+		b.WriteString(`"} `)
+		b.WriteString(formatValue(ex.Value))
+		b.WriteByte(' ')
+		// Exemplar timestamps are seconds since epoch with fraction.
+		b.WriteString(strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64))
+	}
+	b.WriteByte('\n')
+}

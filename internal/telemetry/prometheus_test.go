@@ -247,6 +247,13 @@ func FuzzPrometheusText(f *testing.F) {
 		if got := samples[key]; got != float64(add) {
 			t.Fatalf("counter sample %q = %v, want %d\n%s", key, got, add, text)
 		}
+		// The OpenMetrics sibling must stay parseable over the same
+		// adversarial inputs, including an exemplar with a hostile value.
+		r.HistogramVec("fuzz_seconds", "h", DefaultLatencyBuckets, labelName).With(labelValue).SetExemplar(obs, labelValue+"id", time.Unix(1, 0))
+		omSamples, _ := parseOpenMetrics(t, scrapeOpenMetrics(t, r))
+		if got := omSamples[key]; got != float64(add) {
+			t.Fatalf("openmetrics counter sample %q = %v, want %d", key, got, add)
+		}
 	})
 }
 
@@ -280,4 +287,228 @@ func TestSlowEntryFieldsRoundTrip(t *testing.T) {
 	if got.Route != "/v1/rknn" || got.Detail != "POST /v1/rknn" || got.Err != "boom" || got.Duration != 42*time.Millisecond || !got.Time.Equal(now) {
 		t.Fatalf("entry round-trip mismatch: %+v", got)
 	}
+}
+
+// --- OpenMetrics 1.0 side of the encoder ---
+
+func scrapeOpenMetrics(t testing.TB, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	return b.String()
+}
+
+type omExemplar struct {
+	TraceID string
+	Value   float64
+	TS      float64
+}
+
+// cutLabelBlock splits a leading {label="value",...} block off s with
+// quote/escape awareness (label values may contain '}' or ' # '), returning
+// the block's inside and the remainder after the closing brace.
+func cutLabelBlock(t testing.TB, s string) (labels, rest string) {
+	t.Helper()
+	if !strings.HasPrefix(s, "{") {
+		return "", s
+	}
+	inQuote, escaped := false, false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			return s[1:i], s[i+1:]
+		}
+	}
+	t.Fatalf("unterminated label block in %q", s)
+	return "", ""
+}
+
+// parseOpenMetrics validates a WriteOpenMetrics document line by line: the
+// "# EOF" terminator, counter metadata names without the _total suffix the
+// sample lines keep, and exemplars only on histogram bucket lines. It
+// returns sample values and exemplars keyed by "name{labels}".
+func parseOpenMetrics(t testing.TB, text string) (map[string]float64, map[string]omExemplar) {
+	t.Helper()
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("exposition must end with \"# EOF\\n\":\n%s", text)
+	}
+	body := strings.TrimSuffix(text, "# EOF\n")
+	samples := make(map[string]float64)
+	exemplars := make(map[string]omExemplar)
+	typed := make(map[string]string)
+	parseValue := func(ln int, s string) float64 {
+		switch s {
+		case "+Inf":
+			return math.Inf(1)
+		case "-Inf":
+			return math.Inf(-1)
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, s, err)
+		}
+		return v
+	}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || fields[2] == "" {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if fields[1] == "TYPE" {
+				if fields[3] == "counter" && strings.HasSuffix(fields[2], "_total") {
+					t.Fatalf("line %d: OpenMetrics counter metadata must drop _total: %q", ln+1, line)
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		} else {
+			t.Fatalf("line %d: no value on %q", ln+1, line)
+		}
+		labels, rest := cutLabelBlock(t, line[len(name):])
+		rest = strings.TrimPrefix(rest, " ")
+		valStr, exStr, hasEx := strings.Cut(rest, " # ")
+		v := parseValue(ln, strings.TrimSpace(valStr))
+
+		// Resolve the metadata name the sample belongs to.
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && typed[b] == "histogram" {
+				base = b
+			}
+		}
+		if b, ok := strings.CutSuffix(name, "_total"); ok && typed[b] == "counter" {
+			base = b
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("line %d: sample %q has no TYPE metadata", ln+1, name)
+		}
+		if typed[base] == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Fatalf("line %d: counter sample %q must keep the _total suffix", ln+1, name)
+		}
+		key := name
+		if labels != "" {
+			key = name + "{" + labels + "}"
+		}
+		samples[key] = v
+
+		if hasEx {
+			if !strings.HasSuffix(name, "_bucket") || typed[base] != "histogram" {
+				t.Fatalf("line %d: exemplar on non-bucket sample %q", ln+1, line)
+			}
+			exLabels, exRest := cutLabelBlock(t, exStr)
+			fields := strings.Fields(exRest)
+			if len(fields) != 2 {
+				t.Fatalf("line %d: exemplar wants \"value timestamp\", got %q", ln+1, exRest)
+			}
+			const pre = `trace_id="`
+			if !strings.HasPrefix(exLabels, pre) || !strings.HasSuffix(exLabels, `"`) {
+				t.Fatalf("line %d: exemplar label set %q, want trace_id only", ln+1, exLabels)
+			}
+			exemplars[key] = omExemplar{
+				TraceID: exLabels[len(pre) : len(exLabels)-1],
+				Value:   parseValue(ln, fields[0]),
+				TS:      parseValue(ln, fields[1]),
+			}
+		}
+	}
+	return samples, exemplars
+}
+
+func TestWriteOpenMetricsCounterNamingAndEOF(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("rknn_queries_total", "Queries served.", "op").With("rknn").Add(3)
+	r.Gauge("rknn_points", "Live points.").Set(42)
+	text := scrapeOpenMetrics(t, r)
+	samples, _ := parseOpenMetrics(t, text)
+	if got := samples[`rknn_queries_total{op="rknn"}`]; got != 3 {
+		t.Fatalf("counter sample = %v, want 3\n%s", got, text)
+	}
+	if !strings.Contains(text, "# TYPE rknn_queries counter\n") {
+		t.Fatalf("counter metadata must drop _total:\n%s", text)
+	}
+	if strings.Contains(text, "# TYPE rknn_queries_total") {
+		t.Fatalf("counter metadata kept _total:\n%s", text)
+	}
+	if got := samples["rknn_points"]; got != 42 {
+		t.Fatalf("gauge sample = %v, want 42\n%s", got, text)
+	}
+}
+
+func TestWriteOpenMetricsMatchesPrometheusValues(t *testing.T) {
+	// The two expositions are siblings over one Gather: every sample key
+	// must carry the same value in both, so a scraper migrating formats
+	// sees no discontinuity.
+	r := NewRegistry()
+	r.CounterVec("rknn_queries_total", "q", "op").With("rknn").Add(7)
+	r.Gauge("rknn_points", "p").Set(1500)
+	h := r.HistogramVec("lat_seconds", "l", []float64{0.1, 1}, "route").With("/x")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	prom := parsePrometheus(t, scrape(t, r))
+	om, _ := parseOpenMetrics(t, scrapeOpenMetrics(t, r))
+	if len(prom) != len(om) {
+		t.Fatalf("sample sets differ: prometheus %d, openmetrics %d", len(prom), len(om))
+	}
+	for key, want := range prom {
+		got, ok := om[key]
+		if !ok || got != want {
+			t.Fatalf("sample %q: openmetrics %v (present %v), prometheus %v", key, got, ok, want)
+		}
+	}
+}
+
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("lat_seconds", "Latency.", []float64{0.1, 1}, "route").With("/x")
+	h.Observe(0.05)
+	h.SetExemplar(0.05, "00f067aa0ba902b7", winBase)
+	h.Observe(5)
+	text := scrapeOpenMetrics(t, r)
+	samples, exemplars := parseOpenMetrics(t, text)
+	key := `lat_seconds_bucket{route="/x",le="0.1"}`
+	if samples[key] != 1 {
+		t.Fatalf("bucket sample = %v, want 1\n%s", samples[key], text)
+	}
+	ex, ok := exemplars[key]
+	if !ok {
+		t.Fatalf("bucket %q has no exemplar:\n%s", key, text)
+	}
+	if ex.TraceID != "00f067aa0ba902b7" || ex.Value != 0.05 {
+		t.Fatalf("exemplar = %+v", ex)
+	}
+	if want := float64(winBase.UnixNano()) / 1e9; math.Abs(ex.TS-want) > 0.002 {
+		t.Fatalf("exemplar timestamp = %v, want ~%v", ex.TS, want)
+	}
+	// Buckets that never retained a trace carry no exemplar.
+	if _, ok := exemplars[`lat_seconds_bucket{route="/x",le="+Inf"}`]; ok {
+		t.Fatalf("untraced bucket grew an exemplar:\n%s", text)
+	}
+	// The 0.0.4 exposition stays byte-compatible: no exemplar syntax, and
+	// it still parses under the strict 0.0.4 parser.
+	text004 := scrape(t, r)
+	if strings.Contains(text004, "# {") {
+		t.Fatalf("0.0.4 exposition leaked exemplar syntax:\n%s", text004)
+	}
+	parsePrometheus(t, text004)
 }

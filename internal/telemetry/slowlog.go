@@ -3,6 +3,7 @@ package telemetry
 import (
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -33,7 +34,11 @@ type SlowEntry struct {
 // long-lived daemon. Safe for concurrent use; Observe takes a mutex, which
 // is fine because entries past the threshold are rare by construction.
 type SlowLog struct {
-	threshold time.Duration
+	// threshold is atomic so it can be retuned at runtime (PUT
+	// /v1/admin/slowlog) without a lock on the per-request read: chasing a
+	// live incident means lowering it mid-flight without restarting the
+	// daemon and losing the ring.
+	threshold atomic.Int64 // nanoseconds
 	mu        sync.Mutex
 	ring      []SlowEntry
 	next      int    // ring index the next entry lands on
@@ -47,11 +52,23 @@ func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &SlowLog{threshold: threshold, ring: make([]SlowEntry, 0, capacity)}
+	l := &SlowLog{ring: make([]SlowEntry, 0, capacity)}
+	l.threshold.Store(int64(threshold))
+	return l
 }
 
-// Threshold returns the recording threshold.
-func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+// Threshold returns the active recording threshold.
+func (l *SlowLog) Threshold() time.Duration { return time.Duration(l.threshold.Load()) }
+
+// SetThreshold retunes the recording threshold. Retained entries are kept:
+// raising the bar mid-incident must not discard the evidence already
+// collected, and entries below a raised bar age out naturally.
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.threshold.Store(int64(d))
+}
 
 // Cap returns the maximum number of retained entries.
 func (l *SlowLog) Cap() int { return cap(l.ring) }
@@ -59,7 +76,7 @@ func (l *SlowLog) Cap() int { return cap(l.ring) }
 // Observe records e when its duration reaches the threshold, reporting
 // whether it was recorded.
 func (l *SlowLog) Observe(e SlowEntry) bool {
-	if e.Duration < l.threshold {
+	if e.Duration < l.Threshold() {
 		return false
 	}
 	l.mu.Lock()

@@ -319,3 +319,71 @@ func TestHistogramQuantileOverflowAndEmptyRegimes(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramObserveClampsNegative(t *testing.T) {
+	// Regression: a clock-skewed (negative) duration used to land in the
+	// first bucket while subtracting from the sum, driving _sum below zero
+	// and breaking every rate() computed over it. Negatives now clamp to 0.
+	h := newHistogram([]float64{1, 2})
+	h.Observe(-5)
+	if got := h.Sum(); got != 0 {
+		t.Fatalf("sum after negative observe = %g, want 0", got)
+	}
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count after negative observe = %d, want 1 (clamped, not dropped)", got)
+	}
+	snap := h.Snapshot()
+	if snap.Counts[0] != 1 {
+		t.Fatalf("clamped observation must land in the first bucket: %v", snap.Counts)
+	}
+	// NaN is dropped entirely: it cannot be clamped to anything meaningful.
+	h.Observe(math.NaN())
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count after NaN observe = %d, want 1", got)
+	}
+}
+
+func TestHistogramSetExemplar(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if snap := h.Snapshot(); snap.Exemplars != nil {
+		t.Fatal("no exemplars set: snapshot must not allocate any")
+	}
+	h.SetExemplar(1.5, "aaaa", winBase)
+	h.SetExemplar(1.7, "bbbb", winBase.Add(time.Second)) // same bucket: latest wins
+	h.SetExemplar(0.5, "", winBase)                      // empty trace ID dropped
+	snap := h.Snapshot()
+	if snap.Exemplars == nil {
+		t.Fatal("exemplars missing from snapshot")
+	}
+	if ex := snap.Exemplars[1]; ex == nil || ex.TraceID != "bbbb" || ex.Value != 1.7 {
+		t.Fatalf("bucket 1 exemplar = %+v, want latest (bbbb)", snap.Exemplars[1])
+	}
+	if snap.Exemplars[0] != nil {
+		t.Fatal("empty-trace-ID exemplar must be dropped")
+	}
+}
+
+func TestSlowLogSetThreshold(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 8)
+	l.Observe(SlowEntry{Route: "/a", Duration: 20 * time.Millisecond})
+	l.Observe(SlowEntry{Route: "/b", Duration: 5 * time.Millisecond}) // under: dropped
+	if got := len(l.Snapshot()); got != 1 {
+		t.Fatalf("entries before retune = %d, want 1", got)
+	}
+	// Lowering the threshold at runtime keeps the already-recorded entries
+	// and starts admitting the finer-grained ones.
+	l.SetThreshold(time.Millisecond)
+	if got := l.Threshold(); got != time.Millisecond {
+		t.Fatalf("threshold after retune = %s", got)
+	}
+	l.Observe(SlowEntry{Route: "/b", Duration: 5 * time.Millisecond})
+	snap := l.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("entries after retune = %d, want 2 (ring preserved)", len(snap))
+	}
+	// Negative thresholds clamp to 0 (record everything).
+	l.SetThreshold(-time.Second)
+	if got := l.Threshold(); got != 0 {
+		t.Fatalf("negative threshold must clamp to 0, got %s", got)
+	}
+}

@@ -419,7 +419,7 @@ func (s *Searcher) ReverseKNNStats(qid, k int) ([]int, Stats, error) {
 // ReverseKNNStatsContext is ReverseKNNStats with a context, traced like
 // ReverseKNNContext.
 func (s *Searcher) ReverseKNNStatsContext(ctx context.Context, qid, k int) ([]int, Stats, error) {
-	return s.query(ctx, k, opRkNN, func(ctx context.Context, qr *core.Querier) (*core.Result, error) {
+	return s.query(ctx, k, opRkNN, nil, qid, func(ctx context.Context, qr *core.Querier) (*core.Result, error) {
 		return qr.ByIDCtx(ctx, qid)
 	})
 }
@@ -432,7 +432,7 @@ func (s *Searcher) ReverseKNNPointStats(q []float64, k int) ([]int, Stats, error
 // ReverseKNNPointStatsContext is ReverseKNNPointStats with a context,
 // traced like ReverseKNNContext.
 func (s *Searcher) ReverseKNNPointStatsContext(ctx context.Context, q []float64, k int) ([]int, Stats, error) {
-	return s.query(ctx, k, opRkNNPoint, func(ctx context.Context, qr *core.Querier) (*core.Result, error) {
+	return s.query(ctx, k, opRkNNPoint, q, -1, func(ctx context.Context, qr *core.Querier) (*core.Result, error) {
 		return qr.ByPointCtx(ctx, q)
 	})
 }
@@ -443,7 +443,11 @@ func (s *Searcher) querier(k int) (*core.Querier, error) {
 	return s.snap.Load().querier(s, k)
 }
 
-func (s *Searcher) query(ctx context.Context, k int, op string, run func(context.Context, *core.Querier) (*core.Result, error)) ([]int, Stats, error) {
+// query runs one reverse-kNN operation with tracing and telemetry. q and
+// qid identify the query point for the workload sketch: point queries pass
+// q directly, member queries pass qid (resolved only when the sketch is
+// live, after the query has succeeded).
+func (s *Searcher) query(ctx context.Context, k int, op string, q []float64, qid int, run func(context.Context, *core.Querier) (*core.Result, error)) ([]int, Stats, error) {
 	tel := s.tel.Load()
 	var begin time.Time
 	if tel != nil {
@@ -471,10 +475,29 @@ func (s *Searcher) query(ctx context.Context, k int, op string, run func(context
 	}
 	st := fromCore(res.Stats)
 	if tel != nil {
-		tel.observeOp(op, 1, time.Since(begin))
-		tel.observeStats(st)
+		at := tel.observeOp(op, 1, begin)
+		tel.observeStats(st, at)
+		if tel.workload != nil {
+			if q == nil && qid >= 0 {
+				q = s.pointSafe(qid)
+			}
+			tel.observeWorkload(op, k, q, st, at.Sub(begin), at)
+		}
 	}
 	return res.IDs, st, nil
+}
+
+// pointSafe resolves a member's coordinates for the workload sketch,
+// tolerating IDs a concurrent delete has invalidated since the query
+// pinned its snapshot (an overlay Point on a dead row may panic; the
+// sketch then records the query without a region cell).
+func (s *Searcher) pointSafe(id int) (p []float64) {
+	defer func() {
+		if recover() != nil {
+			p = nil
+		}
+	}()
+	return s.snap.Load().ix.Point(id)
 }
 
 // BatchReverseKNN answers many member queries concurrently on a worker pool
@@ -530,10 +553,10 @@ func (s *Searcher) BatchReverseKNNContext(ctx context.Context, qids []int, k, wo
 		// the batch — their work happened, and dropping them would make the
 		// engine totals disagree with the server's per-route accounting.
 		tel.countQueries(opBatch, succeeded)
-		tel.observeLatency(opBatch, time.Since(begin))
+		at := tel.observeLatency(opBatch, begin)
 		for _, br := range batch {
 			if br.Err == nil {
-				tel.observeStats(fromCore(br.Result.Stats))
+				tel.observeStats(fromCore(br.Result.Stats), at)
 			}
 		}
 	}
@@ -578,7 +601,10 @@ func (s *Searcher) KNNContext(ctx context.Context, q []float64, k int) ([]Neighb
 		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
 	}
 	if tel != nil {
-		tel.observeOp(opKNN, 1, time.Since(begin))
+		at := tel.observeOp(opKNN, 1, begin)
+		// Forward queries carry no pruning stats, but they are traffic with
+		// a region: the sketch sees them with zeroed accumulators.
+		tel.observeWorkload(opKNN, k, q, Stats{}, at.Sub(begin), at)
 	}
 	return out, nil
 }
@@ -622,7 +648,7 @@ func (s *Searcher) InsertContext(ctx context.Context, p []float64) (int, error) 
 		return 0, err
 	}
 	if tel != nil {
-		tel.observeOp(opInsert, 1, time.Since(begin))
+		tel.observeOp(opInsert, 1, begin)
 	}
 	s.maybeCompact()
 	return id, nil
@@ -684,7 +710,7 @@ func (s *Searcher) InsertBatchContext(ctx context.Context, points [][]float64) (
 		// Each member counts as an insert; the latency histogram observes
 		// once per batch call, mirroring query-batch accounting.
 		tel.countQueries(opInsert, len(ids))
-		tel.observeLatency(opInsert, time.Since(begin))
+		tel.observeLatency(opInsert, begin)
 	}
 	s.maybeCompact()
 	return ids, nil
@@ -741,7 +767,7 @@ func (s *Searcher) DeleteContext(ctx context.Context, id int) (bool, error) {
 		return false, err
 	}
 	if tel != nil && applied {
-		tel.observeOp(opDelete, 1, time.Since(begin))
+		tel.observeOp(opDelete, 1, begin)
 	}
 	s.maybeCompact()
 	return applied, nil

@@ -596,10 +596,18 @@ func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m 
 	finish := func(ids []int, st Stats) ([]int, Stats, error) {
 		if tel != nil {
 			tel.countQueries(op, 1)
+			d := time.Since(begin)
+			at := begin.Add(d)
 			if op != opBatch {
-				tel.observeLatency(op, time.Since(begin))
+				tel.ops[op].window.Observe(d.Seconds(), at)
 			}
-			tel.observeStats(st)
+			tel.observeStats(st, at)
+			// Batch members skip the sketch like the unsharded engine: the
+			// pool hides per-member timing, and one batch would flood the
+			// top-K with its members' cells.
+			if op != opBatch {
+				tel.observeWorkload(op, k, q, st, d, at)
+			}
 		}
 		return ids, st, nil
 	}
@@ -767,7 +775,7 @@ func (ss *ShardedSearcher) KNNContext(ctx context.Context, q []float64, k int) (
 		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
 	}
 	if tel != nil {
-		tel.observeOp(opKNN, 1, time.Since(begin))
+		tel.observeOp(opKNN, 1, begin)
 	}
 	return out, nil
 }
@@ -822,7 +830,7 @@ func (ss *ShardedSearcher) BatchReverseKNNContext(ctx context.Context, qids []in
 	if tel != nil {
 		// Members already counted themselves in reverseKNN; the batch call
 		// contributes the single latency observation.
-		tel.observeLatency(opBatch, time.Since(begin))
+		tel.observeLatency(opBatch, begin)
 	}
 	return out, nil
 }
@@ -854,7 +862,7 @@ func (ss *ShardedSearcher) InsertContext(ctx context.Context, p []float64) (int,
 	}
 	g, err := ss.applyInsert(ctx, p)
 	if tel != nil && err == nil {
-		tel.observeOp(opInsert, 1, time.Since(begin))
+		tel.observeOp(opInsert, 1, begin)
 	}
 	return g, err
 }
@@ -930,7 +938,7 @@ func (ss *ShardedSearcher) DeleteContext(ctx context.Context, global int) (bool,
 	}
 	applied, err := ss.applyDelete(ctx, global)
 	if tel != nil && applied && err == nil {
-		tel.observeOp(opDelete, 1, time.Since(begin))
+		tel.observeOp(opDelete, 1, begin)
 	}
 	return applied, err
 }
@@ -1015,7 +1023,7 @@ func (ss *ShardedSearcher) InsertBatchContext(ctx context.Context, points [][]fl
 	ids, err := ss.applyInsertBatch(ctx, points)
 	if tel != nil && err == nil {
 		tel.countQueries(opInsert, len(ids))
-		tel.observeLatency(opInsert, time.Since(begin))
+		tel.observeLatency(opInsert, begin)
 	}
 	return ids, err
 }

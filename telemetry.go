@@ -1,10 +1,14 @@
 package repro
 
 import (
+	"fmt"
+	"hash/fnv"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/telemetry"
 )
 
@@ -58,10 +62,14 @@ const (
 
 var queryOps = []string{opRkNN, opRkNNPoint, opBatch, opKNN, opInsert, opDelete}
 
-// opInstruments is the per-operation slice of the engine metrics.
+// opInstruments is the per-operation slice of the engine metrics. window
+// wraps the same cumulative latency histogram with the sliding-window
+// ring, so one Observe feeds the lifetime exposition and the last-1m/5m
+// views side by side.
 type opInstruments struct {
 	queries *telemetry.Counter
 	latency *telemetry.Histogram
+	window  *telemetry.Windowed
 }
 
 // engineTelemetry aggregates per-query work counters for one engine
@@ -79,6 +87,25 @@ type engineTelemetry struct {
 	// approxCandidates is registered only for approximate back-ends; nil
 	// keeps the exact engines' exposition free of approximate series.
 	approxCandidates *telemetry.Counter
+
+	// Windowed shadows of the pruning counters, banked per query at its
+	// completion time so /statsz can report "settled fraction over the last
+	// minute" — the live form of the paper's pruning-effectiveness claim.
+	scanWin    *telemetry.WindowedCounter
+	genWin     *telemetry.WindowedCounter
+	settledWin *telemetry.WindowedCounter
+	verWin     *telemetry.WindowedCounter
+
+	// recallWin windows the sampled recall estimates of an approximate
+	// engine (fed at scrape time by the rknn_recall_estimate gauge); nil on
+	// exact engines.
+	recallWin *telemetry.Windowed
+
+	// workload is the Space-Saving hot-region sketch behind
+	// /v1/admin/analytics; grid quantizes query points into its signature
+	// cells. Both are built by EnableTelemetry from the live dataset.
+	workload *telemetry.Workload
+	grid     *queryGrid
 }
 
 func newEngineTelemetry(reg *telemetry.Registry, backend string, approx bool) *engineTelemetry {
@@ -88,9 +115,20 @@ func newEngineTelemetry(reg *telemetry.Registry, backend string, approx bool) *e
 	latency := reg.HistogramVec("rknn_query_duration_seconds",
 		"Engine-side operation latency, by operation. Batch calls observe once per batch.",
 		telemetry.DefaultLatencyBuckets, "backend", "op")
-	t := &engineTelemetry{ops: make(map[string]opInstruments, len(queryOps))}
+	t := &engineTelemetry{
+		ops:        make(map[string]opInstruments, len(queryOps)),
+		scanWin:    telemetry.NewDefaultWindowedCounter(),
+		genWin:     telemetry.NewDefaultWindowedCounter(),
+		settledWin: telemetry.NewDefaultWindowedCounter(),
+		verWin:     telemetry.NewDefaultWindowedCounter(),
+	}
 	for _, op := range queryOps {
-		t.ops[op] = opInstruments{queries: queries.With(backend, op), latency: latency.With(backend, op)}
+		lh := latency.With(backend, op)
+		t.ops[op] = opInstruments{
+			queries: queries.With(backend, op),
+			latency: lh,
+			window:  telemetry.NewDefaultWindowed(lh),
+		}
 	}
 	t.scanDepth = reg.CounterVec("rknn_scan_depth_total",
 		"Forward neighbors retrieved by the expanding search (Stats.ScanDepth).",
@@ -136,10 +174,14 @@ func newEngineTelemetry(reg *telemetry.Registry, backend string, approx bool) *e
 	return t
 }
 
-// observeOp records n answered queries and one latency observation for op.
-func (t *engineTelemetry) observeOp(op string, n int, d time.Duration) {
+// observeOp records n answered queries and one latency observation for op,
+// measured from begin. It returns the operation's completion time (begin
+// plus the measured latency) so callers can feed observeStats and the
+// workload sketch without a second clock read — the windowed instruments
+// take the timestamp the latency measurement already paid for.
+func (t *engineTelemetry) observeOp(op string, n int, begin time.Time) time.Time {
 	t.countQueries(op, n)
-	t.observeLatency(op, d)
+	return t.observeLatency(op, begin)
 }
 
 // countQueries records n answered queries for op without a latency
@@ -153,16 +195,23 @@ func (t *engineTelemetry) countQueries(op string, n int) {
 	t.ops[op].queries.Add(int64(n))
 }
 
-// observeLatency records one latency observation for op.
-func (t *engineTelemetry) observeLatency(op string, d time.Duration) {
+// observeLatency records one latency observation for op, measured from
+// begin, and returns the completion time (see observeOp).
+func (t *engineTelemetry) observeLatency(op string, begin time.Time) time.Time {
 	if t == nil {
-		return
+		return time.Time{}
 	}
-	t.ops[op].latency.Observe(d.Seconds())
+	d := time.Since(begin)
+	at := begin.Add(d)
+	// Windowed.Observe feeds the cumulative histogram and the window slice
+	// covering at in one call.
+	t.ops[op].window.Observe(d.Seconds(), at)
+	return at
 }
 
-// observeStats feeds one query's work counters into the aggregates.
-func (t *engineTelemetry) observeStats(st Stats) {
+// observeStats feeds one query's work counters into the aggregates, banking
+// the windowed shadows at the query's completion time.
+func (t *engineTelemetry) observeStats(st Stats, at time.Time) {
 	if t == nil {
 		return
 	}
@@ -176,6 +225,23 @@ func (t *engineTelemetry) observeStats(st Stats) {
 	if t.approxCandidates != nil {
 		t.approxCandidates.Add(int64(st.ScanDepth))
 	}
+	t.scanWin.Add(int64(st.ScanDepth), at)
+	t.genWin.Add(int64(st.FilterSize+st.Excluded), at)
+	t.settledWin.Add(int64(st.LazyAccepts+st.LazyRejects), at)
+	t.verWin.Add(int64(st.Verified), at)
+}
+
+// observeWorkload records one query under its region signature in the
+// analytics sketch. q may be nil (a member lookup that raced a delete, or a
+// batch member — batches skip the sketch, see BatchReverseKNNContext); the
+// query still counts under its op/k signature so hot traffic without a
+// resolvable region remains visible.
+func (t *engineTelemetry) observeWorkload(op string, k int, q []float64, st Stats, d time.Duration, at time.Time) {
+	if t == nil || t.workload == nil {
+		return
+	}
+	sig := t.grid.signature(op, k, q)
+	t.workload.Observe(sig, d.Seconds(), st.ScanDepth, st.FilterSize+st.Excluded, st.LazyAccepts+st.LazyRejects, at)
 }
 
 // shardTelemetry aggregates the scatter-side work of one shard — the
@@ -224,6 +290,252 @@ func (st *shardTelemetry) observe(cs core.Stats) {
 	st.verified.Add(int64(cs.Verified))
 }
 
+// Grid geometry for the workload signatures: cellsPerDim quantizes each
+// sampled dimension into a handful of cells (the sketch wants regions, not
+// points), gridSamplePoints bounds the dataset sample that calibrates the
+// per-dimension ranges, and gridNamedDims is how many leading cell indices
+// appear verbatim in the signature — the rest are folded into a short hash
+// so high-dimensional signatures stay readable and bounded.
+const (
+	gridCellsPerDim  = 4
+	gridSamplePoints = 256
+	gridNamedDims    = 3
+)
+
+// queryGrid quantizes query points into coarse region cells, the spatial
+// half of the workload signature. It is calibrated once from a dataset
+// sample at EnableTelemetry time: per-dimension [min,max] split into
+// gridCellsPerDim cells, with out-of-range queries clamped to the border
+// cells. A nil grid degrades to op/k-only signatures.
+type queryGrid struct {
+	min   []float64
+	width []float64 // 0 for a constant dimension: everything lands in cell 0
+}
+
+// newQueryGrid calibrates a grid from up to gridSamplePoints points of ix.
+// Point IDs are probed defensively (a concurrent delete can leave holes in
+// an overlay's ID space); a panicked probe just ends the sample early.
+// Returns nil when no points could be sampled.
+func newQueryGrid(ix index.Index) *queryGrid {
+	if ix == nil {
+		return nil
+	}
+	n, d := ix.Len(), ix.Dim()
+	if n == 0 || d == 0 {
+		return nil
+	}
+	g := &queryGrid{min: make([]float64, d), width: make([]float64, d)}
+	max := make([]float64, d)
+	sampled := 0
+	step := n / gridSamplePoints
+	if step < 1 {
+		step = 1
+	}
+	func() {
+		defer func() { _ = recover() }()
+		for id := 0; id < n; id += step {
+			p := ix.Point(id)
+			if len(p) != d {
+				continue
+			}
+			if sampled == 0 {
+				copy(g.min, p)
+				copy(max, p)
+			} else {
+				for j, v := range p {
+					if v < g.min[j] {
+						g.min[j] = v
+					}
+					if v > max[j] {
+						max[j] = v
+					}
+				}
+			}
+			sampled++
+		}
+	}()
+	if sampled == 0 {
+		return nil
+	}
+	for j := range g.width {
+		g.width[j] = (max[j] - g.min[j]) / gridCellsPerDim
+	}
+	return g
+}
+
+// cell renders q's grid cell: the first gridNamedDims indices verbatim,
+// higher dimensions folded into a 4-hex-digit FNV hash.
+func (g *queryGrid) cell(q []float64) string {
+	if g == nil || len(q) != len(g.min) {
+		return "?"
+	}
+	var b strings.Builder
+	h := fnv.New32a()
+	for j, v := range q {
+		c := 0
+		if g.width[j] > 0 {
+			c = int((v - g.min[j]) / g.width[j])
+			if c < 0 {
+				c = 0
+			}
+			if c >= gridCellsPerDim {
+				c = gridCellsPerDim - 1
+			}
+		}
+		if j < gridNamedDims {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(c))
+		} else {
+			h.Write([]byte{byte(c)})
+		}
+	}
+	if len(q) > gridNamedDims {
+		fmt.Fprintf(&b, "+%04x", h.Sum32()&0xffff)
+	}
+	return b.String()
+}
+
+// signature builds the sketch key: operation, neighbor rank, region cell.
+func (g *queryGrid) signature(op string, k int, q []float64) string {
+	if q == nil {
+		return op + " k=" + strconv.Itoa(k)
+	}
+	return op + " k=" + strconv.Itoa(k) + " @" + g.cell(q)
+}
+
+// statsWindows are the trailing windows every live-operations surface
+// reports, keyed the way /statsz and the dashboards spell them.
+var statsWindows = map[string]time.Duration{
+	"1m": time.Minute,
+	"5m": 5 * time.Minute,
+}
+
+// recallBuckets spans [0,1] in 0.05 steps — the layout of the windowed
+// recall histogram (its window mean is what surfaces; the buckets only
+// bound memory).
+var recallBuckets = func() []float64 {
+	out := make([]float64, 20)
+	for i := range out {
+		out[i] = float64(i+1) * 0.05
+	}
+	return out
+}()
+
+// EngineWindow is the pruning machinery's digest over one trailing window
+// — the live form of the candidate aggregates /metrics exposes as
+// lifetime totals.
+type EngineWindow struct {
+	// ScanDepth, Generated, Settled and Verified are window totals of the
+	// same Stats fields the cumulative counters track.
+	ScanDepth int64 `json:"scan_depth"`
+	Generated int64 `json:"candidates_generated"`
+	Settled   int64 `json:"candidates_lazy_settled"`
+	Verified  int64 `json:"candidates_verified"`
+	// PruningRatio is 1 - Verified/Generated over the window (0 with no
+	// candidates), clamped at 0 like the lifetime gauge.
+	PruningRatio float64 `json:"pruning_ratio"`
+	// Recall is the windowed mean of the sampled recall estimates on an
+	// approximate engine; -1 when absent (exact engine, or no estimate
+	// landed in the window).
+	Recall float64 `json:"recall_estimate"`
+}
+
+// queryWindowStats digests the per-operation latency windows: op ->
+// window key -> stats. Operations silent over the longest window are
+// omitted.
+func (t *engineTelemetry) queryWindowStats(now time.Time) map[string]map[string]telemetry.WindowStats {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]map[string]telemetry.WindowStats)
+	for op, ins := range t.ops {
+		byWin := make(map[string]telemetry.WindowStats, len(statsWindows))
+		seen := false
+		for key, d := range statsWindows {
+			st := ins.window.StatsAt(d, now)
+			byWin[key] = st
+			seen = seen || st.Count > 0
+		}
+		if seen {
+			out[op] = byWin
+		}
+	}
+	return out
+}
+
+// engineWindowStats digests the windowed pruning shadows (and recall, on
+// approximate engines) per window key.
+func (t *engineTelemetry) engineWindowStats(now time.Time) map[string]EngineWindow {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]EngineWindow, len(statsWindows))
+	for key, d := range statsWindows {
+		w := EngineWindow{
+			ScanDepth: t.scanWin.SumWindowAt(d, now),
+			Generated: t.genWin.SumWindowAt(d, now),
+			Settled:   t.settledWin.SumWindowAt(d, now),
+			Verified:  t.verWin.SumWindowAt(d, now),
+			Recall:    -1,
+		}
+		if w.Generated > 0 {
+			if r := 1 - float64(w.Verified)/float64(w.Generated); r > 0 {
+				w.PruningRatio = r
+			}
+		}
+		if t.recallWin != nil {
+			if st := t.recallWin.StatsAt(d, now); st.Count > 0 {
+				w.Recall = st.Mean
+			}
+		}
+		out[key] = w
+	}
+	return out
+}
+
+// QueryWindowStats reports the per-operation windowed latency digests
+// (op -> "1m"/"5m" -> stats) when telemetry is enabled; nil otherwise.
+// The server surfaces these in /statsz next to the lifetime quantiles.
+func (s *Searcher) QueryWindowStats() map[string]map[string]telemetry.WindowStats {
+	return s.tel.Load().queryWindowStats(time.Now())
+}
+
+// EngineWindowStats reports the windowed pruning/recall digests
+// ("1m"/"5m" -> window) when telemetry is enabled; nil otherwise.
+func (s *Searcher) EngineWindowStats() map[string]EngineWindow {
+	return s.tel.Load().engineWindowStats(time.Now())
+}
+
+// WorkloadTopK reports the hottest query-region signatures tracked by the
+// analytics sketch, each with its latency digest over the given window.
+// Nil without telemetry.
+func (s *Searcher) WorkloadTopK(k int, window time.Duration) []telemetry.WorkloadStat {
+	if t := s.tel.Load(); t != nil {
+		return t.workload.TopK(k, window)
+	}
+	return nil
+}
+
+// QueryWindowStats is the sharded form of Searcher.QueryWindowStats.
+func (ss *ShardedSearcher) QueryWindowStats() map[string]map[string]telemetry.WindowStats {
+	return ss.tel.Load().queryWindowStats(time.Now())
+}
+
+// EngineWindowStats is the sharded form of Searcher.EngineWindowStats.
+func (ss *ShardedSearcher) EngineWindowStats() map[string]EngineWindow {
+	return ss.tel.Load().engineWindowStats(time.Now())
+}
+
+// WorkloadTopK is the sharded form of Searcher.WorkloadTopK.
+func (ss *ShardedSearcher) WorkloadTopK(k int, window time.Duration) []telemetry.WorkloadStat {
+	if t := ss.tel.Load(); t != nil {
+		return t.workload.TopK(k, window)
+	}
+	return nil
+}
+
 // WithTelemetry registers the engine's query metrics in reg and streams
 // every answered query's work counters into it — the per-query Stats the
 // engine already computes, aggregated as live Prometheus series. The same
@@ -242,7 +554,13 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // recallRecomputeInterval under continuous writes; -1 when an estimate
 // fails).
 func (s *Searcher) EnableTelemetry(reg *telemetry.Registry) {
-	s.tel.Store(newEngineTelemetry(reg, string(s.backend), s.Approximate()))
+	t := newEngineTelemetry(reg, string(s.backend), s.Approximate())
+	t.grid = newQueryGrid(s.snap.Load().ix)
+	t.workload = telemetry.NewWorkload(0)
+	if s.Approximate() {
+		t.recallWin = telemetry.NewDefaultWindowed(telemetry.NewHistogram(recallBuckets))
+	}
+	s.tel.Store(t)
 	registerWriteGauges(reg, string(s.backend), s.MemtableLen, s.Compactions)
 	if s.quant {
 		registerQuantCounters(reg, string(s.backend), s.QuantFilterStats)
@@ -252,7 +570,17 @@ func (s *Searcher) EnableTelemetry(reg *telemetry.Registry) {
 		cache := &recallCache{}
 		reg.GaugeFunc("rknn_recall_estimate",
 			"Sampled reverse-neighbor recall of the approximate engine against the exact oracle (per-snapshot cached, rate-limited, background-refreshed on large datasets; -1 on failure or before the first estimate).",
-			func() float64 { return cache.estimate(s) },
+			func() float64 {
+				v := cache.estimate(s)
+				if v >= 0 {
+					// Scrape-time path: one clock read per estimate is fine
+					// here, and it keeps the windowed recall in
+					// EngineWindowStats fed from the same cache the gauge
+					// reports.
+					t.recallWin.Observe(v, time.Now())
+				}
+				return v
+			},
 			telemetry.Label{Name: "backend", Value: string(s.backend)})
 	}
 }
@@ -269,7 +597,19 @@ func (ss *ShardedSearcher) EnableTelemetry(reg *telemetry.Registry) {
 		sts[i] = newShardTelemetry(reg, i, ss.slots[i])
 	}
 	ss.shardTel.Store(&sts)
-	ss.tel.Store(newEngineTelemetry(reg, string(ss.backend), ss.Approximate()))
+	t := newEngineTelemetry(reg, string(ss.backend), ss.Approximate())
+	// Calibrate the workload grid from the first populated shard: shards
+	// partition by hash, so any one shard's sample spans the dataset.
+	for _, slot := range ss.slots {
+		if eng := slot.eng.Load(); eng != nil {
+			if g := newQueryGrid(eng.snap.Load().ix); g != nil {
+				t.grid = g
+				break
+			}
+		}
+	}
+	t.workload = telemetry.NewWorkload(0)
+	ss.tel.Store(t)
 	registerWriteGauges(reg, string(ss.backend), ss.MemtableLen, ss.Compactions)
 	if ss.quant {
 		registerQuantCounters(reg, string(ss.backend), ss.QuantFilterStats)
