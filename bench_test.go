@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/benchjson"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/harness"
@@ -384,19 +385,17 @@ func BenchmarkSharded(b *testing.B) {
 		})
 	}
 	if len(qps) == 2 {
-		payload := map[string]any{
+		// BENCH_shard.json is shared with the networked benchmark
+		// (internal/server); the in-process numbers live under "sharded", a
+		// pre-keyed flat file is adopted under the same key.
+		if err := benchjson.Merge("BENCH_shard.json", "sharded", "sharded", map[string]any{
 			"benchmark":          "BenchmarkSharded",
 			"dataset":            "fct-2000",
 			"batch":              len(qids),
 			"k":                  10,
 			"gomaxprocs":         runtime.GOMAXPROCS(0),
 			"queries_per_second": qps,
-		}
-		raw, err := json.MarshalIndent(payload, "", "  ")
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := os.WriteFile("BENCH_shard.json", append(raw, '\n'), 0o644); err != nil {
+		}); err != nil {
 			b.Logf("could not write BENCH_shard.json: %v", err)
 		}
 	}
@@ -477,23 +476,11 @@ func BenchmarkCoreEngine(b *testing.B) {
 // mergeBenchJSON read-modify-writes one top-level key of a shared benchmark
 // JSON file, so sibling benchmarks (core_engine, write_path) each refresh
 // their own section without clobbering the other's last measurement. A
-// missing or unparsable file starts fresh.
+// flat pre-keyed file is a bare BenchmarkCoreEngine payload and is adopted
+// under that key.
 func mergeBenchJSON(b *testing.B, path, key string, payload any) {
 	b.Helper()
-	doc := map[string]any{}
-	if raw, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(raw, &doc); err != nil || doc[key] == nil && len(doc) > 0 && doc["benchmark"] != nil {
-			// Pre-merge flat schema (a bare BenchmarkCoreEngine payload):
-			// adopt it under its own key rather than dropping the history.
-			doc = map[string]any{"core_engine": json.RawMessage(raw)}
-		}
-	}
-	doc[key] = payload
-	raw, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+	if err := benchjson.Merge(path, key, "core_engine", payload); err != nil {
 		b.Logf("could not write %s: %v", path, err)
 	}
 }

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	repro "repro"
+	"repro/internal/index"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// The two roles of a distributed rknn cluster:
+//
+//	rknn shard-serve -shard 1 -shards 3 -data fct -n 10000
+//	rknn coordinate -shard host0:8080 -shard host1:8080 -shard host2:8080
+//
+// shard-serve builds ONE hash partition of the dataset and serves it —
+// the same HTTP API as `rknn serve`, plus the binary shard protocol on
+// /v1/binary and the cluster handshake on /v1/shard/info. coordinate
+// fans queries out over the shard daemons with the same scatter-gather
+// merge the in-process sharded engine runs, so the cluster's /v1
+// responses are byte-identical to one process serving the whole dataset.
+// Every daemon must be started from the same dataset flags (the scale
+// parameter is estimated over the FULL dataset before partitioning, so
+// independently started daemons agree on it); the coordinator
+// cross-checks dimension, scale, back-end and metric at startup and
+// refuses a cluster that drifted.
+
+// runShardServe implements `rknn shard-serve`: build the one hash
+// partition this daemon owns and serve it until ctx is cancelled.
+func runShardServe(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("shard-serve", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr     = fs.String("addr", ":8081", "listen address")
+		dataName = fs.String("data", "sequoia", "surrogate dataset: sequoia, aloi, fct, mnist, imagenet, uniform")
+		csvPath  = fs.String("csv", "", "load points from a CSV file instead of generating")
+		n        = fs.Int("n", 5000, "generated dataset size")
+		dim      = fs.Int("dim", 128, "dimension for imagenet/uniform surrogates")
+		seed     = fs.Int64("seed", 1, "generation seed")
+		backend  = fs.String("backend", "covertree", "forward index: scan, covertree, kdtree, vptree, or lsh (approximate)")
+		tParam   = fs.Float64("t", 0, "pin the scale parameter (0 estimates it over the full dataset)")
+		auto     = fs.String("auto", "mle", "scale estimator when -t is 0: mle, gp or takens")
+		plain    = fs.Bool("plain", false, "use plain RDT instead of RDT+")
+		quant    = fs.Bool("quant-filter", false, "screen candidates through a quantized pre-filter (scan back-end only)")
+		metric   = fs.String("metric", "", "distance metric: euclidean (default), manhattan, chebyshev, angular, minkowski(p)")
+		shard    = fs.Int("shard", 0, "which hash partition this daemon serves, in [0, shards)")
+		shards   = fs.Int("shards", 1, "total shard count of the cluster")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		traceSmp = fs.Float64("trace-sample", 1, "head-sampling probability for retaining request traces (negative disables tracing)")
+		traceCap = fs.Int("trace-ring-size", 256, "trace ring capacity (traces)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *shards < 1 || *shard < 0 || *shard >= *shards {
+		return fmt.Errorf("shard-serve: -shard must be in [0,%d), got %d", *shards, *shard)
+	}
+
+	pts, name, err := loadPoints(*csvPath, *dataName, *n, *dim, *seed)
+	if err != nil {
+		return err
+	}
+	opts, err := searcherOptions(*backend, *tParam, *auto, *plain, *quant, *metric)
+	if err != nil {
+		return err
+	}
+	// The scale parameter must be the one a single sharded engine over the
+	// WHOLE dataset would use — estimated before partitioning — or the
+	// shards would answer under different filter bounds than the
+	// in-process engine and byte-identity would break.
+	t := *tParam
+	if t <= 0 {
+		t, err = repro.EstimateScale(pts, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "rknn shard-serve: estimated t=%.4f over the full dataset (%d points)\n", t, len(pts))
+	}
+
+	// Replay the cluster's hash assignment and keep only this daemon's
+	// partition, in local-ID order — the exact rows and ordering the
+	// in-process sharded engine gives shard `-shard`.
+	m, err := index.NewShardMap(*shards)
+	if err != nil {
+		return err
+	}
+	var mine [][]float64
+	for range pts {
+		g, s, _ := m.Assign()
+		if s == *shard {
+			mine = append(mine, pts[g])
+		}
+	}
+	if len(mine) == 0 {
+		return fmt.Errorf("shard-serve: shard %d of %d holds no points of this %d-point dataset", *shard, *shards, len(pts))
+	}
+
+	engOpts := append([]repro.Option{}, opts...)
+	engOpts = append(engOpts, repro.WithScale(t))
+	eng, err := repro.New(mine, engOpts...)
+	if err != nil {
+		return err
+	}
+
+	reg := telemetry.NewRegistry()
+	eng.EnableTelemetry(reg)
+	var ring *trace.Ring
+	if *traceSmp >= 0 {
+		ring = trace.NewRing(*traceCap)
+		eng.EnableTracing(ring)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "rknn shard-serve: %s shard %d/%d, %d of %d points, %s back-end, t=%.2f, listening on %s\n",
+		name, *shard, *shards, eng.Len(), len(pts), *backend, eng.Scale(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	serverOpts := []server.Option{server.WithRegistry(reg), server.WithShardRole(*shard, *shards)}
+	if ring != nil {
+		serverOpts = append(serverOpts, server.WithTracing(ring, *traceSmp))
+	}
+	return serveUntilDone(ctx, ln, server.New(eng, serverOpts...).Handler(), *drain, stdout, "rknn shard-serve")
+}
+
+// shardSpecFlags collects repeated -shard flags, each naming one shard's
+// replicas as a comma-separated address list (primary first).
+type shardSpecFlags []repro.ShardSpec
+
+func (f *shardSpecFlags) String() string { return fmt.Sprint(*f) }
+
+func (f *shardSpecFlags) Set(v string) error {
+	parts := strings.Split(v, ",")
+	addrs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			addrs = append(addrs, p)
+		}
+	}
+	if len(addrs) == 0 {
+		return errors.New("empty shard address list")
+	}
+	*f = append(*f, repro.ShardSpec{Addrs: addrs})
+	return nil
+}
+
+// runCoordinate implements `rknn coordinate`: connect to the shard
+// daemons (in shard order, one -shard flag per shard) and serve the
+// merged /v1 API.
+func runCoordinate(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("coordinate", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var specs shardSpecFlags
+	fs.Var(&specs, "shard", "one shard's replicas as comma-separated host:port (primary first); repeat per shard, in shard order")
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		framing  = fs.String("framing", "binary", "shard RPC framing: binary (compact, batched) or json (interoperable)")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-RPC attempt timeout")
+		retries  = fs.Int("retries", 2, "extra read attempts across healthy replicas")
+		backoff  = fs.Duration("backoff", 25*time.Millisecond, "backoff before the first retry (doubles per attempt)")
+		health   = fs.Duration("health-interval", time.Second, "replica /healthz probe period (0 disables the loop)")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		traceSmp = fs.Float64("trace-sample", 1, "head-sampling probability for retaining request traces (negative disables tracing)")
+		traceCap = fs.Int("trace-ring-size", 256, "trace ring capacity (traces)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if len(specs) == 0 {
+		return errors.New("coordinate: at least one -shard is required")
+	}
+	var coOpts []repro.CoordinatorOption
+	switch *framing {
+	case "binary":
+	case "json":
+		coOpts = append(coOpts, repro.WithJSONFraming())
+	default:
+		return fmt.Errorf("coordinate: -framing must be binary or json, got %q", *framing)
+	}
+	coOpts = append(coOpts,
+		repro.WithRequestTimeout(*timeout),
+		repro.WithRetries(*retries, *backoff),
+		repro.WithHealthInterval(*health),
+	)
+	co, err := repro.NewCoordinator(ctx, specs, coOpts...)
+	if err != nil {
+		return err
+	}
+	defer co.Close()
+
+	reg := telemetry.NewRegistry()
+	co.EnableTelemetry(reg)
+	var ring *trace.Ring
+	if *traceSmp >= 0 {
+		ring = trace.NewRing(*traceCap)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	replicas := 0
+	for _, s := range specs {
+		replicas += len(s.Addrs)
+	}
+	fmt.Fprintf(stdout, "rknn coordinate: %d shards (%d replicas), %d points, dim=%d, %s back-end, t=%.2f, %s framing, listening on %s\n",
+		co.Shards(), replicas, co.Len(), co.Dim(), co.Backend(), co.Scale(), *framing, ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	serverOpts := []server.Option{server.WithRegistry(reg)}
+	if ring != nil {
+		serverOpts = append(serverOpts, server.WithTracing(ring, *traceSmp))
+	}
+	return serveUntilDone(ctx, ln, server.New(co, serverOpts...).Handler(), *drain, stdout, "rknn coordinate")
+}
+
+// serveUntilDone runs an HTTP server on ln until ctx cancels, then drains
+// gracefully — the shared tail of every serving role.
+func serveUntilDone(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration, stdout io.Writer, tag string) error {
+	httpSrv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		done <- httpSrv.Shutdown(shutdownCtx)
+	}()
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: shut down cleanly\n", tag)
+	return nil
+}

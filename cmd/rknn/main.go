@@ -14,6 +14,8 @@
 //	rknn -data fct -n 3000 -k 10 -method rdt+ -auto mle -query 3
 //	rknn serve -addr :8080 -data fct -n 10000
 //	rknn serve -addr :8080 -data-dir /var/lib/rknn     (durable, crash-recovering)
+//	rknn shard-serve -addr :8081 -shard 0 -shards 3 -data fct -n 10000
+//	rknn coordinate -addr :8080 -shard localhost:8081 -shard localhost:8082 -shard localhost:8083
 //	rknn top -addr localhost:8080                      (live operations dashboard)
 //	rknn save -data fct -n 10000 -out fct.rknn
 //	rknn load -in fct.rknn -query 3 -k 10
@@ -49,6 +51,20 @@ func main() {
 			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 			defer stop()
 			if err := runServe(ctx, os.Args[2:], os.Stdout, nil); err != nil {
+				fail(err)
+			}
+			return
+		case "shard-serve":
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			defer stop()
+			if err := runShardServe(ctx, os.Args[2:], os.Stdout, nil); err != nil {
+				fail(err)
+			}
+			return
+		case "coordinate":
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			defer stop()
+			if err := runCoordinate(ctx, os.Args[2:], os.Stdout, nil); err != nil {
 				fail(err)
 			}
 			return

@@ -32,6 +32,16 @@
 // sliding-window /statsz views that `rknn top` renders as a terminal
 // dashboard. An absurdly tight availability objective is tripped on
 // purpose to show the fast-burn page and the /healthz?slo=1 503.
+// The eighth act is distributed serving: the same three-way partition,
+// but each shard is its own HTTP daemon speaking the compact binary
+// shard protocol — what `rknn shard-serve -shard s -shards 3` (three
+// times) plus `rknn coordinate` run as separate processes. The
+// coordinator cross-checks each daemon's metric and ID span at startup
+// exactly like OpenSharded, scatters one binary frame per shard, merges
+// with the same exact-merge proof, and so answers byte-identically to
+// the in-process sharded server — shown by comparing raw response
+// bodies. Its fan-out telemetry (rknn_remote_shard_*) rides the same
+// /metrics scrape.
 //
 //	go run ./examples/server
 package main
@@ -39,8 +49,10 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
@@ -51,6 +63,7 @@ import (
 
 	repro "repro"
 	"repro/internal/dataset"
+	"repro/internal/index"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -371,6 +384,93 @@ func main() {
 	fmt.Printf("/healthz?slo=1 -> %d (readiness sheds traffic), /healthz -> %d (liveness holds)\n",
 		probe.StatusCode, alive.StatusCode)
 	fmt.Println("run `rknn top -addr <host:port>` against a live daemon for this as a refreshing dashboard")
+
+	// Distributed serving: the same three-way partition, but each shard is
+	// a separate daemon answering the compact binary shard protocol — in
+	// production, three `rknn shard-serve -shard s -shards 3` processes
+	// fronted by one `rknn coordinate`. The partition replays the shard
+	// map's assignment sequence (the same replay the CLI and the
+	// coordinator's write path use), and every shard engine is pinned to
+	// the scale estimated over the WHOLE dataset — the two prerequisites
+	// for byte-identical answers.
+	sm, err := index.NewShardMap(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts := make([][][]float64, 3)
+	for range ds.Points {
+		g, shard, _ := sm.Assign()
+		parts[shard] = append(parts[shard], ds.Points[g])
+	}
+	specs := make([]repro.ShardSpec, 3)
+	for s := 0; s < 3; s++ {
+		eng, err := repro.New(parts[s], repro.WithScale(re.Scale()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		daemon := httptest.NewServer(server.New(eng, server.WithShardRole(s, 3)).Handler())
+		defer daemon.Close()
+		specs[s] = repro.ShardSpec{Addrs: []string{daemon.URL}}
+	}
+
+	// The coordinator handshakes with each daemon (/v1/shard/info: metric
+	// identity, shard role, ID span — the same cross-checks OpenSharded
+	// runs against on-disk stores) and then serves the ordinary engine
+	// surface, so the standard HTTP server fronts the whole cluster.
+	co, err := repro.NewCoordinator(context.Background(), specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer co.Close()
+	reg5 := telemetry.NewRegistry()
+	co.EnableTelemetry(reg5)
+	ts5 := httptest.NewServer(server.New(co, server.WithRegistry(reg5)).Handler())
+	defer ts5.Close()
+
+	rawBody := func(url, body string) string {
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return string(raw)
+	}
+	clusterAns := rawBody(ts5.URL+"/v1/rknn", `{"id": 42, "k": 10}`)
+	localAns := rawBody(ts2.URL+"/v1/rknn", `{"id": 42, "k": 10}`)
+	fmt.Printf("cluster R10NN(42) across 3 daemons = %s", clusterAns)
+	fmt.Printf("byte-identical to the in-process sharded server: %v\n", clusterAns == localAns)
+
+	// Writes route to each point's home shard by the same assignment
+	// replay, so inserted IDs continue the global sequence.
+	var clusterIns struct {
+		ID int `json:"id"`
+	}
+	post(ts5.URL+"/v1/points", `{"point": [0.5, 0.5]}`, &clusterIns)
+	fmt.Printf("cluster insert assigned id %d (continues the %d-point global sequence)\n",
+		clusterIns.ID, len(ds.Points))
+
+	// The coordinator's fan-out telemetry: per-shard request counts and
+	// latencies on the same /metrics scrape as the HTTP layer.
+	resp, err = http.Get(ts5.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc = bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "rknn_remote_shard_requests_total") ||
+			strings.HasPrefix(line, "rknn_remote_replica_healthy") {
+			fmt.Println("  " + line)
+		}
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // printSpan renders a span tree with durations and the attributes the

@@ -1,0 +1,207 @@
+// Shard-serving surface: the endpoints an `rknn shard-serve` daemon adds
+// so a remote coordinator can drive the scatter-gather verification
+// against it — the compact binary protocol of internal/wire on
+// POST /v1/binary, the cluster handshake on GET /v1/shard/info, a
+// remote-safe point fetch on GET /v1/points/{id}, and a "skip" parameter
+// on /v1/knn for member self-exclusion. All of it is ordinary public API
+// on any server whose engine exposes the ShardServing methods.
+
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	repro "repro"
+	"repro/internal/wire"
+)
+
+// ShardServing is the optional shard-daemon surface of an Engine
+// (*repro.Searcher and the durable wrapper implement it): batched
+// forward-kNN probes with explicit self-exclusion, batched member-point
+// resolution that never panics on hostile IDs, the assignment span behind
+// the coordinator's shard-map rebuild, and the metric identity behind its
+// configuration cross-check.
+type ShardServing interface {
+	KNNSkipBatch(qs []repro.KNNQuery) ([][]repro.Neighbor, error)
+	MemberPoints(ids ...int) [][]float64
+	IDSpan() int
+	MetricIdentity() (uint8, float64, error)
+}
+
+// maxBinaryBody bounds /v1/binary request frames. Verification batches
+// carry up to a few thousand float64 vectors, well under this; anything
+// larger is a confused or hostile client.
+const maxBinaryBody = 16 << 20
+
+// handleBinary answers one frame of the binary shard protocol. Framing
+// errors are HTTP errors (415 for a missing Content-Type, 400 for a
+// malformed frame); application errors travel INSIDE a wire error frame
+// with HTTP 200, so the remote client has exactly one place to look for
+// engine semantics (deleted members, bad K) regardless of transport
+// health.
+func (srv *Server) handleBinary(w http.ResponseWriter, r *http.Request) error {
+	// A strict Content-Type gate, not a decode attempt: feeding a JSON
+	// body (or anything else) to the binary decoder must answer 415, never
+	// reach the frame parser.
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, wire.ContentType) {
+		return &apiError{
+			status: http.StatusUnsupportedMediaType,
+			err:    fmt.Errorf("binary endpoint wants Content-Type %s, got %q", wire.ContentType, ct),
+		}
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBinaryBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &apiError{
+				status: http.StatusRequestEntityTooLarge,
+				err:    fmt.Errorf("request frame exceeds %d bytes", mbe.Limit),
+			}
+		}
+		return badRequest("reading request frame: %v", err)
+	}
+	req, err := wire.DecodeRequest(body)
+	if err != nil {
+		return badRequest("malformed frame: %v", err)
+	}
+
+	var frame []byte
+	switch req.Op {
+	case wire.OpRkNN:
+		var (
+			ids []int
+			st  repro.Stats
+		)
+		if req.ByID {
+			ids, st, err = srv.s.ReverseKNNStatsContext(r.Context(), req.ID, req.K)
+		} else {
+			ids, st, err = srv.s.ReverseKNNPointStatsContext(r.Context(), req.Point, req.K)
+		}
+		if err != nil {
+			frame = appendWireError(err)
+			break
+		}
+		frame = wire.AppendRkNNResponse(nil, ids, wire.Stats{
+			ScanDepth:     st.ScanDepth,
+			FilterSize:    st.FilterSize,
+			Excluded:      st.Excluded,
+			LazyAccepts:   st.LazyAccepts,
+			LazyRejects:   st.LazyRejects,
+			Verified:      st.Verified,
+			DistanceComps: st.DistanceComps,
+			Omega:         st.Omega,
+		})
+	case wire.OpKNNBatch:
+		sv, ok := srv.s.(ShardServing)
+		if !ok {
+			frame = wire.AppendError(nil, wire.ErrUnsupported, "engine has no shard-serving surface")
+			break
+		}
+		qs := make([]repro.KNNQuery, len(req.KNN))
+		for i, q := range req.KNN {
+			qs[i] = repro.KNNQuery{Point: q.Point, K: q.K, Skip: q.Skip}
+		}
+		lists, err := sv.KNNSkipBatch(qs)
+		if err != nil {
+			frame = appendWireError(err)
+			break
+		}
+		wl := make([][]wire.Neighbor, len(lists))
+		for i, nn := range lists {
+			wn := make([]wire.Neighbor, len(nn))
+			for j, nb := range nn {
+				wn[j] = wire.Neighbor{ID: nb.ID, Dist: nb.Dist}
+			}
+			wl[i] = wn
+		}
+		frame = wire.AppendKNNBatchResponse(nil, wl)
+	case wire.OpPoints:
+		sv, ok := srv.s.(ShardServing)
+		if !ok {
+			frame = wire.AppendError(nil, wire.ErrUnsupported, "engine has no shard-serving surface")
+			break
+		}
+		frame = wire.AppendPointsResponse(nil, sv.MemberPoints(req.IDs...))
+	default:
+		return badRequest("unknown op %d", req.Op)
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(frame)
+	return nil
+}
+
+// appendWireError maps an engine error to a wire error frame, preserving
+// the message (the coordinator reconstructs the exact in-process error
+// string from it) and classifying deleted-member queries for errors.Is on
+// the far side.
+func appendWireError(err error) []byte {
+	code := wire.ErrBadRequest
+	if errors.Is(err, repro.ErrDeleted) {
+		code = wire.ErrDeleted
+	}
+	return wire.AppendError(nil, code, err.Error())
+}
+
+// handleShardInfo is the cluster handshake: the daemon's role (shard
+// number and count, from WithShardRole), the engine shape a coordinator
+// must cross-check (dimension, scale, back-end, metric identity), and the
+// two counts the shard-map rebuild needs (live points and assignment
+// span).
+func (srv *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) error {
+	sv, ok := srv.s.(ShardServing)
+	if !ok {
+		return &apiError{
+			status: http.StatusNotImplemented,
+			err:    errors.New("engine has no shard-serving surface"),
+		}
+	}
+	mid, mparam, err := sv.MetricIdentity()
+	if err != nil {
+		return fmt.Errorf("metric identity: %w", err)
+	}
+	info := map[string]any{
+		"shard":        srv.shard,
+		"shards":       srv.shards,
+		"points":       srv.s.Len(),
+		"id_span":      sv.IDSpan(),
+		"dim":          srv.s.Dim(),
+		"scale":        srv.s.Scale(),
+		"metric_id":    mid,
+		"metric_param": mparam,
+	}
+	if bk, ok := srv.s.(interface{ Backend() repro.Backend }); ok {
+		info["backend"] = string(bk.Backend())
+	}
+	if srv.approx {
+		info["approximate"] = true
+	}
+	return writeJSON(w, http.StatusOK, info)
+}
+
+// handlePointGet resolves one member ID to its coordinates — the
+// remote-safe read behind the JSON framing's candidate fetch. Dead or
+// never-assigned IDs answer 404.
+func (srv *Server) handlePointGet(w http.ResponseWriter, r *http.Request) error {
+	sv, ok := srv.s.(ShardServing)
+	if !ok {
+		return &apiError{
+			status: http.StatusNotImplemented,
+			err:    errors.New("engine has no shard-serving surface"),
+		}
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return badRequest("invalid point id %q", r.PathValue("id"))
+	}
+	rows := sv.MemberPoints(id)
+	if len(rows) != 1 || rows[0] == nil {
+		return &apiError{status: http.StatusNotFound, err: fmt.Errorf("point %d not found", id)}
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{"id": id, "point": rows[0]})
+}

@@ -161,6 +161,9 @@ type Server struct {
 	// slo tracks the configured service-level objectives against the
 	// data-plane request stream (WithSLO); nil disables the SLO surfaces.
 	slo *telemetry.SLO
+	// shard/shards is the daemon's cluster role (WithShardRole), reported
+	// by GET /v1/shard/info. Default 0-of-1: a standalone server.
+	shard, shards int
 }
 
 // endpointStats holds one route's telemetry instruments, resolved once at
@@ -176,7 +179,8 @@ type endpointStats struct {
 
 // routes is the fixed set of stats keys, one per endpoint.
 var routes = []string{
-	"/v1/rknn", "/v1/rknn/batch", "/v1/knn", "/v1/points", "/v1/points/batch", "/v1/admin/snapshot",
+	"/v1/rknn", "/v1/rknn/batch", "/v1/knn", "/v1/points", "/v1/points/batch", "/v1/binary",
+	"/v1/shard/info", "/v1/admin/snapshot",
 	"/v1/admin/slowlog", "/v1/admin/traces", "/v1/admin/slo", "/v1/admin/analytics",
 	"/healthz", "/statsz", "/metrics",
 }
@@ -194,7 +198,7 @@ var statszWindows = map[string]time.Duration{
 // to explain.
 var tracedRoutes = map[string]bool{
 	"/v1/rknn": true, "/v1/rknn/batch": true, "/v1/knn": true,
-	"/v1/points": true, "/v1/points/batch": true,
+	"/v1/points": true, "/v1/points/batch": true, "/v1/binary": true,
 }
 
 // Slow-log defaults: requests at or above the threshold enter the ring.
@@ -213,6 +217,7 @@ type options struct {
 	ring          *trace.Ring
 	sample        float64
 	slo           *telemetry.SLO
+	shard, shards int
 }
 
 // WithRegistry shares a telemetry Registry with the server instead of
@@ -249,9 +254,17 @@ func WithSLO(slo *telemetry.SLO) Option {
 	return func(o *options) { o.slo = slo }
 }
 
+// WithShardRole declares the daemon's place in a shard cluster: it
+// serves shard `shard` of `shards` (reported by GET /v1/shard/info, and
+// cross-checked by the coordinator against its own configuration). The
+// default role is 0 of 1 — a standalone server.
+func WithShardRole(shard, shards int) Option {
+	return func(o *options) { o.shard = shard; o.shards = shards }
+}
+
 // New returns a Server over s.
 func New(s Engine, opts ...Option) *Server {
-	o := options{slowThreshold: DefaultSlowLogThreshold, slowSize: DefaultSlowLogSize}
+	o := options{slowThreshold: DefaultSlowLogThreshold, slowSize: DefaultSlowLogSize, shards: 1}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -272,6 +285,8 @@ func New(s Engine, opts ...Option) *Server {
 		ring:   o.ring,
 		sample: o.sample,
 		slo:    o.slo,
+		shard:  o.shard,
+		shards: o.shards,
 	}
 	if a, ok := s.(Approximate); ok {
 		srv.approx = a.Approximate()
@@ -323,7 +338,10 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/knn", srv.instrument("/v1/knn", srv.handleKNN))
 	mux.HandleFunc("POST /v1/points", srv.instrument("/v1/points", srv.handleInsert))
 	mux.HandleFunc("POST /v1/points/batch", srv.instrument("/v1/points/batch", srv.handleInsertBatch))
+	mux.HandleFunc("GET /v1/points/{id}", srv.instrument("/v1/points", srv.handlePointGet))
 	mux.HandleFunc("DELETE /v1/points/{id}", srv.instrument("/v1/points", srv.handleDelete))
+	mux.HandleFunc("POST /v1/binary", srv.instrument("/v1/binary", srv.handleBinary))
+	mux.HandleFunc("GET /v1/shard/info", srv.instrument("/v1/shard/info", srv.handleShardInfo))
 	mux.HandleFunc("POST /v1/admin/snapshot", srv.instrument("/v1/admin/snapshot", srv.handleSnapshot))
 	mux.HandleFunc("GET /v1/admin/slowlog", srv.instrument("/v1/admin/slowlog", srv.handleSlowlog))
 	mux.HandleFunc("PUT /v1/admin/slowlog", srv.instrument("/v1/admin/slowlog", srv.handleSlowlogPut))
@@ -386,7 +404,10 @@ func (srv *Server) instrument(route string, h func(w http.ResponseWriter, r *htt
 			root.SetStr("request_id", rid)
 			w.Header().Set("X-Request-ID", rid)
 			w.Header().Set("Traceparent", tr.Traceparent())
-			r = r.WithContext(trace.With(r.Context(), root))
+			// The span and the request ID ride the context so engines that
+			// fan out over the network (the coordinator) can propagate both
+			// to the next hop.
+			r = r.WithContext(trace.WithRequestID(trace.With(r.Context(), root), rid))
 		}
 		err := h(w, r)
 		elapsed := time.Since(begin)
@@ -577,6 +598,11 @@ func (srv *Server) handleRkNNBatch(w http.ResponseWriter, r *http.Request) error
 type knnRequest struct {
 	Point []float64 `json:"point"`
 	K     int       `json:"k"`
+	// Skip excludes one member ID from the result — the self-exclusion a
+	// member verification needs, made explicit because "fetch k+1 and
+	// drop the member" is not equivalent under duplicate-point distance
+	// ties. Requires an engine with the shard-serving surface.
+	Skip *int `json:"skip,omitempty"`
 }
 
 type knnResponse struct {
@@ -595,7 +621,26 @@ func (srv *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(w, r, &req); err != nil {
 		return err
 	}
-	nn, err := srv.s.KNNContext(r.Context(), req.Point, req.K)
+	var (
+		nn  []repro.Neighbor
+		err error
+	)
+	if req.Skip != nil && *req.Skip >= 0 {
+		sv, ok := srv.s.(ShardServing)
+		if !ok {
+			return &apiError{
+				status: http.StatusNotImplemented,
+				err:    errors.New(`engine has no shard-serving surface (drop "skip")`),
+			}
+		}
+		var lists [][]repro.Neighbor
+		lists, err = sv.KNNSkipBatch([]repro.KNNQuery{{Point: req.Point, K: req.K, Skip: *req.Skip}})
+		if err == nil {
+			nn = lists[0]
+		}
+	} else {
+		nn, err = srv.s.KNNContext(r.Context(), req.Point, req.K)
+	}
 	if err != nil {
 		return badRequest("%v", err)
 	}

@@ -1,0 +1,29 @@
+package trace
+
+import "context"
+
+// Request-ID propagation: the HTTP layer assigns (or echoes) an
+// X-Request-ID per request and stores it in the request context here, so
+// downstream layers that fan out over the network — the coordinator's
+// remote shard clients — can stamp the same ID on every hop. One ID then
+// names one logical query across every process that worked on it, which is
+// what makes cross-machine slow-log and trace correlation possible.
+
+type ridKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}

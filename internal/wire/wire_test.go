@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRkNNRequestRoundTrip(t *testing.T) {
+	b := AppendRkNNIDRequest(nil, 42, 7)
+	req, err := DecodeRequest(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if req.Op != OpRkNN || !req.ByID || req.ID != 42 || req.K != 7 {
+		t.Fatalf("round trip mismatch: %+v", req)
+	}
+
+	q := []float64{1.5, -2.25, 0, math.Pi}
+	b = AppendRkNNPointRequest(nil, q, 3)
+	req, err = DecodeRequest(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if req.Op != OpRkNN || req.ByID || req.K != 3 || !reflect.DeepEqual(req.Point, q) {
+		t.Fatalf("round trip mismatch: %+v", req)
+	}
+}
+
+func TestVecEncodingExactness(t *testing.T) {
+	cases := [][]float64{
+		{1, 2, 3},                   // lossless float32
+		{0.5, -0.25, 1024},          // lossless float32
+		{math.Pi, 0.1},              // needs float64
+		{math.Copysign(0, -1), 0},   // signed zero survives float32
+		{1e300, -1e-300},            // out of float32 range
+		{math.Inf(1), math.Inf(-1)}, // infinities survive float32
+		{},                          // empty
+		{math.Nextafter(1, 2)},      // 1+ulp needs float64
+	}
+	for _, q := range cases {
+		b := AppendVec(nil, q)
+		r := &reader{b: b}
+		got := r.vec()
+		if err := r.done(); err != nil {
+			t.Fatalf("vec %v: %v", q, err)
+		}
+		if len(got) != len(q) {
+			t.Fatalf("vec %v: got %v", q, got)
+		}
+		for i := range q {
+			if math.Float64bits(got[i]) != math.Float64bits(q[i]) {
+				t.Fatalf("vec %v: coordinate %d not bit-identical: got %v", q, i, got[i])
+			}
+		}
+	}
+}
+
+func TestKNNBatchRoundTrip(t *testing.T) {
+	qs := []KNNQuery{
+		{Point: []float64{1, 2}, K: 5, Skip: -1},
+		{Point: []float64{0.1, 0.2}, K: 1, Skip: 17},
+	}
+	req, err := DecodeRequest(AppendKNNBatchRequest(nil, qs))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if req.Op != OpKNNBatch || !reflect.DeepEqual(req.KNN, qs) {
+		t.Fatalf("round trip mismatch: %+v", req.KNN)
+	}
+
+	lists := [][]Neighbor{
+		{{ID: 3, Dist: 0.5}, {ID: 9, Dist: 1.25}},
+		{},
+	}
+	got, err := DecodeKNNBatchResponse(AppendKNNBatchResponse(nil, lists))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != 2 || !reflect.DeepEqual(got[0], lists[0]) || len(got[1]) != 0 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestPointsRoundTrip(t *testing.T) {
+	req, err := DecodeRequest(AppendPointsRequest(nil, []int{0, 5, 2}))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if req.Op != OpPoints || !reflect.DeepEqual(req.IDs, []int{0, 5, 2}) {
+		t.Fatalf("round trip mismatch: %+v", req)
+	}
+
+	rows := [][]float64{{1, 2}, nil, {math.Pi}}
+	got, err := DecodePointsResponse(AppendPointsResponse(nil, rows))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestRkNNResponseRoundTrip(t *testing.T) {
+	st := Stats{
+		ScanDepth: 10, FilterSize: 4, Excluded: 2, LazyAccepts: 1,
+		LazyRejects: 3, Verified: 4, DistanceComps: 123, Omega: 0.75,
+	}
+	ids, got, err := DecodeRkNNResponse(AppendRkNNResponse(nil, []int{7, 1, 9}, st))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(ids, []int{7, 1, 9}) || got != st {
+		t.Fatalf("round trip mismatch: %v %+v", ids, got)
+	}
+
+	// Empty result with an infinite bound — the empty-shard case JSON
+	// cannot represent.
+	st = Stats{Omega: math.Inf(1)}
+	ids, got, err = DecodeRkNNResponse(AppendRkNNResponse(nil, nil, st))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(ids) != 0 || !math.IsInf(got.Omega, 1) {
+		t.Fatalf("round trip mismatch: %v %+v", ids, got)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	b := AppendError(nil, ErrDeleted, "query id is deleted")
+	_, _, err := DecodeRkNNResponse(b)
+	re, ok := err.(*RemoteError)
+	if !ok || re.Code != ErrDeleted || re.Msg != "query id is deleted" {
+		t.Fatalf("want RemoteError(deleted), got %#v", err)
+	}
+	if _, err := DecodeKNNBatchResponse(b); err == nil {
+		t.Fatal("error frame must fail every response decoder")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad version":      {9, byte(OpRkNN), 0, 1, 0, 0, 0},
+		"unknown op":       {Version, 99},
+		"truncated rknn":   AppendRkNNIDRequest(nil, 1, 2)[:5],
+		"trailing bytes":   append(AppendPointsRequest(nil, []int{1}), 0xFF),
+		"huge count":       {Version, byte(OpPoints), 0xFF, 0xFF, 0xFF, 0xFF},
+		"huge dim":         {Version, byte(OpRkNN), 0, 1, 0, 0, 0, vecF64, 0xFF, 0xFF, 0xFF, 0xFF},
+		"bad vec encoding": {Version, byte(OpRkNN), 0, 1, 0, 0, 0, 7, 0, 0, 0, 0},
+	}
+	for name, b := range cases {
+		if _, err := DecodeRequest(b); err == nil {
+			t.Errorf("%s: expected decode error", name)
+		}
+	}
+	if _, _, err := DecodeRkNNResponse([]byte{Version, 0, 1, 0, 0, 0}); err == nil {
+		t.Error("truncated rknn response: expected decode error")
+	}
+	if _, err := DecodePointsResponse([]byte{Version, 0, 1, 0, 0, 0, 9}); err == nil {
+		t.Error("bad presence byte: expected decode error")
+	}
+	if _, _, err := DecodeRkNNResponse([]byte{Version, 2, 5, 0, 'h', 'i'}); err == nil {
+		t.Error("truncated error message: expected decode error")
+	}
+}

@@ -423,7 +423,7 @@ func (ss *ShardedSearcher) ReverseKNN(qid, k int) ([]int, error) {
 // check per layer.
 func (ss *ShardedSearcher) ReverseKNNContext(ctx context.Context, qid, k int) ([]int, error) {
 	views, m := ss.pinCtx(ctx)
-	ids, _, err := ss.reverseKNN(ctx, views, m, qid, nil, k, opRkNN)
+	ids, _, err := ss.reverseKNN(ctx, ss.newScatterSet(views, m), qid, nil, k, opRkNN)
 	return ids, err
 }
 
@@ -437,7 +437,7 @@ func (ss *ShardedSearcher) ReverseKNNStats(qid, k int) ([]int, Stats, error) {
 // ReverseKNNContext.
 func (ss *ShardedSearcher) ReverseKNNStatsContext(ctx context.Context, qid, k int) ([]int, Stats, error) {
 	views, m := ss.pinCtx(ctx)
-	return ss.reverseKNN(ctx, views, m, qid, nil, k, opRkNN)
+	return ss.reverseKNN(ctx, ss.newScatterSet(views, m), qid, nil, k, opRkNN)
 }
 
 // ReverseKNNPoint answers the query for an arbitrary point, which need not
@@ -450,7 +450,7 @@ func (ss *ShardedSearcher) ReverseKNNPoint(q []float64, k int) ([]int, error) {
 // ReverseKNNContext.
 func (ss *ShardedSearcher) ReverseKNNPointContext(ctx context.Context, q []float64, k int) ([]int, error) {
 	views, m := ss.pinCtx(ctx)
-	ids, _, err := ss.reverseKNN(ctx, views, m, -1, q, k, opRkNNPoint)
+	ids, _, err := ss.reverseKNN(ctx, ss.newScatterSet(views, m), -1, q, k, opRkNNPoint)
 	return ids, err
 }
 
@@ -463,7 +463,7 @@ func (ss *ShardedSearcher) ReverseKNNPointStats(q []float64, k int) ([]int, Stat
 // traced like ReverseKNNContext.
 func (ss *ShardedSearcher) ReverseKNNPointStatsContext(ctx context.Context, q []float64, k int) ([]int, Stats, error) {
 	views, m := ss.pinCtx(ctx)
-	return ss.reverseKNN(ctx, views, m, -1, q, k, opRkNNPoint)
+	return ss.reverseKNN(ctx, ss.newScatterSet(views, m), -1, q, k, opRkNNPoint)
 }
 
 // pinCtx is pin under a "facade.pin" span when ctx is traced.
@@ -481,234 +481,57 @@ func (ss *ShardedSearcher) pinCtx(ctx context.Context) ([]shardView, *index.Shar
 	return views, m
 }
 
-// reverseKNN is the scatter-gather RkNN query over a pinned read set.
-// qid >= 0 anchors the query at a member (q is then looked up); qid < 0
-// queries the arbitrary point q. op labels the query in the engine
-// telemetry (batch members record per query here, unlike the unsharded
-// batch, whose pool hides per-member timing).
-func (ss *ShardedSearcher) reverseKNN(ctx context.Context, views []shardView, m *index.ShardMap, qid int, q []float64, k int, op string) ([]int, Stats, error) {
+// newScatterSet wraps a pinned read set in the transport-independent
+// scatter-gather layer: one localShard client per pinned view, plus the
+// per-shard telemetry hook when enabled. The same scatterSet algorithm
+// runs over remote clients in the Coordinator (shard_client.go).
+func (ss *ShardedSearcher) newScatterSet(views []shardView, m *index.ShardMap) *scatterSet {
+	clients := make([]shardClient, len(views))
+	for i := range views {
+		clients[i] = localShard{views[i]}
+	}
+	sc := &scatterSet{clients: clients, m: m, metric: ss.metric, dim: ss.dim}
+	if p := ss.shardTel.Load(); p != nil {
+		sts := *p
+		sc.onStats = func(i int, st core.Stats) { sts[views[i].shard].observe(st) }
+	}
+	return sc
+}
+
+// reverseKNN is the scatter-gather RkNN query over a pinned read set —
+// the generic algorithm of scatterSet.reverseKNN plus this engine's
+// telemetry. qid >= 0 anchors the query at a member (q is then looked
+// up); qid < 0 queries the arbitrary point q. op labels the query in the
+// engine telemetry (batch members record per query here, unlike the
+// unsharded batch, whose pool hides per-member timing; they also leave
+// the latency histogram and the workload sketch to the batch call itself,
+// matching the unsharded engine's semantics).
+func (ss *ShardedSearcher) reverseKNN(ctx context.Context, sc *scatterSet, qid int, q []float64, k int, op string) ([]int, Stats, error) {
 	tel := ss.tel.Load()
 	var begin time.Time
 	if tel != nil {
 		begin = time.Now()
 	}
-	if k <= 0 {
-		return nil, Stats{}, fmt.Errorf("rknnd: core: K must be positive, got %d", k)
-	}
-	homeShard, homeLocal := -1, -1
-	if qid >= 0 {
-		s, l, ok := m.Locate(qid)
-		if !ok {
-			return nil, Stats{}, fmt.Errorf("rknnd: core: query id %d out of range [0,%d)", qid, m.Len())
-		}
-		homeShard, homeLocal = s, l
-		home := -1
-		for i := range views {
-			if views[i].shard == s {
-				home = i
-				break
-			}
-		}
-		if home < 0 {
-			// The member's shard pinned empty (or unpublished): every copy
-			// of the point this read set can see is gone.
-			return nil, Stats{}, fmt.Errorf("rknnd: core: query id %d: %w", qid, ErrDeleted)
-		}
-		hix := views[home].sn.ix
-		if lv, ok := hix.(index.Liveness); ok {
-			if l >= lv.IDSpan() || !lv.Live(l) {
-				return nil, Stats{}, fmt.Errorf("rknnd: core: query id %d: %w", qid, ErrDeleted)
-			}
-		} else if l >= hix.Len() {
-			return nil, Stats{}, fmt.Errorf("rknnd: core: query id %d: %w", qid, ErrDeleted)
-		}
-		q = hix.Point(l)
-	} else {
-		if err := vecmath.ValidateFor(ss.metric, q); err != nil {
-			return nil, Stats{}, fmt.Errorf("rknnd: %w", err)
-		}
-		if len(q) != ss.dim {
-			return nil, Stats{}, fmt.Errorf("rknnd: query dimension %d, index dimension %d", len(q), ss.dim)
-		}
-	}
-
-	// Scatter: per-shard RkNN. The member's home shard runs a member query
-	// (self-exclusion applies there); every other shard sees q as an
-	// external point.
-	type shardResult struct {
-		globals []int // translated, ascending
-		stats   core.Stats
-	}
-	results := make([]shardResult, len(views))
-	qsp := trace.FromContext(ctx)
-	err := core.Gather(ctx, len(views), func(ctx context.Context, i int) error {
-		v := views[i]
-		v.slot.queries.Add(1)
-		// One scatter span per shard; the shard engine's core stage spans
-		// nest beneath it. Child/With are nil-safe, so the untraced path
-		// pays a single pointer comparison here.
-		ssp := qsp.Child("shard.scatter")
-		if ssp != nil {
-			ssp.SetInt("shard", int64(v.shard))
-			ctx = trace.With(ctx, ssp)
-			defer ssp.End()
-		}
-		qr, err := v.sn.querier(v.eng, k)
-		if err != nil {
-			return err
-		}
-		var res *core.Result
-		if v.shard == homeShard {
-			res, err = qr.ByIDCtx(ctx, homeLocal)
-		} else {
-			res, err = qr.ByPointCtx(ctx, q)
-		}
-		if err != nil {
-			return err
-		}
-		globals := make([]int, len(res.IDs))
-		for j, l := range res.IDs {
-			g, ok := m.Global(v.shard, l)
-			if !ok {
-				return fmt.Errorf("shard %d returned unmapped local id %d", v.shard, l)
-			}
-			globals[j] = g
-		}
-		if ssp != nil {
-			ssp.SetInt("results", int64(len(res.IDs)))
-		}
-		results[i] = shardResult{globals: globals, stats: res.Stats}
-		return nil
-	})
+	ids, st, resolvedQ, err := sc.reverseKNN(ctx, qid, q, k)
 	if err != nil {
-		return nil, Stats{}, wrapShardErr(err)
+		return nil, Stats{}, err
 	}
-	if p := ss.shardTel.Load(); p != nil {
-		sts := *p
-		for i, r := range results {
-			sts[views[i].shard].observe(r.stats)
+	if tel != nil {
+		tel.countQueries(op, 1)
+		d := time.Since(begin)
+		at := begin.Add(d)
+		if op != opBatch {
+			tel.ops[op].window.Observe(d.Seconds(), at)
+		}
+		tel.observeStats(st, at)
+		// Batch members skip the sketch like the unsharded engine: the
+		// pool hides per-member timing, and one batch would flood the
+		// top-K with its members' cells.
+		if op != opBatch {
+			tel.observeWorkload(op, k, resolvedQ, st, d, at)
 		}
 	}
-	// finish records the answered query in the engine telemetry on every
-	// successful return path (single-shard fast path and merged). Batch
-	// members count individually but leave the latency histogram to the
-	// batch call itself, matching the unsharded engine's semantics.
-	finish := func(ids []int, st Stats) ([]int, Stats, error) {
-		if tel != nil {
-			tel.countQueries(op, 1)
-			d := time.Since(begin)
-			at := begin.Add(d)
-			if op != opBatch {
-				tel.ops[op].window.Observe(d.Seconds(), at)
-			}
-			tel.observeStats(st, at)
-			// Batch members skip the sketch like the unsharded engine: the
-			// pool hides per-member timing, and one batch would flood the
-			// top-K with its members' cells.
-			if op != opBatch {
-				tel.observeWorkload(op, k, q, st, d, at)
-			}
-		}
-		return ids, st, nil
-	}
-
-	stats := Stats{Omega: math.Inf(1)}
-	lists := make([][]int, len(results))
-	for i, r := range results {
-		lists[i] = r.globals
-		stats.ScanDepth += r.stats.ScanDepth
-		stats.FilterSize += r.stats.FilterSize
-		stats.Excluded += r.stats.Excluded
-		stats.LazyAccepts += r.stats.LazyAccepts
-		stats.LazyRejects += r.stats.LazyRejects
-		stats.Verified += r.stats.Verified
-		stats.DistanceComps += r.stats.DistanceComps
-		if r.stats.Omega < stats.Omega {
-			stats.Omega = r.stats.Omega
-		}
-	}
-
-	// One populated shard holds the entire dataset, so its answer is
-	// definitionally the global answer — the same algorithm the unsharded
-	// Searcher runs. Verification below is only the cross-shard merge
-	// step; skipping it here makes a single-view engine byte-identical to
-	// a Searcher (and avoids one kNN scan per candidate).
-	if len(results) == 1 {
-		return finish(results[0].globals, stats)
-	}
-	msp := qsp.Child("shard.merge")
-	candidates := core.MergeIDs(lists, nil)
-
-	// Gather: each candidate is re-verified against the globally merged
-	// k-NN distance, which makes the final answer exact relative to the
-	// candidate union (and independent of the partitioning).
-	ids := make([]int, 0, len(candidates))
-	for _, g := range candidates {
-		if err := ctx.Err(); err != nil {
-			msp.End()
-			return nil, Stats{}, err
-		}
-		ok, comps, err := ss.verifyGlobal(views, m, g, q, k)
-		if err != nil {
-			msp.End()
-			return nil, Stats{}, err
-		}
-		stats.Verified++
-		stats.DistanceComps += comps
-		if ok {
-			ids = append(ids, g)
-		}
-	}
-	if msp != nil {
-		msp.SetInt("candidates", int64(len(candidates)))
-		msp.SetInt("results", int64(len(ids)))
-		msp.End()
-	}
-	return finish(ids, stats)
-}
-
-// verifyGlobal runs the refinement test d_k(x) >= d(q,x) for candidate x
-// (global ID g) against the union of all pinned shards: per-shard forward
-// kNN queries at x, merged under the (distance, ID) order.
-func (ss *ShardedSearcher) verifyGlobal(views []shardView, m *index.ShardMap, g int, q []float64, k int) (bool, int64, error) {
-	sx, lx, ok := m.Locate(g)
-	if !ok {
-		return false, 0, fmt.Errorf("rknnd: candidate id %d not in shard map", g)
-	}
-	var px []float64
-	for i := range views {
-		if views[i].shard == sx {
-			px = views[i].sn.ix.Point(lx)
-			break
-		}
-	}
-	if px == nil {
-		return false, 0, fmt.Errorf("rknnd: candidate id %d has no pinned shard", g)
-	}
-	dqx := ss.metric.Distance(q, px)
-	lists := make([][]index.Neighbor, len(views))
-	for i := range views {
-		v := views[i]
-		skip := -1
-		if v.shard == sx {
-			skip = lx
-		}
-		nn := v.sn.ix.KNN(px, k, skip)
-		tr := make([]index.Neighbor, len(nn))
-		for j, nb := range nn {
-			tg, ok := m.Global(v.shard, nb.ID)
-			if !ok {
-				return false, 0, fmt.Errorf("rknnd: shard %d returned unmapped local id %d", v.shard, nb.ID)
-			}
-			tr[j] = index.Neighbor{ID: tg, Dist: nb.Dist}
-		}
-		lists[i] = tr
-	}
-	merged := core.MergeKNN(lists, k, nil)
-	if len(merged) < k {
-		return true, 1, nil // fewer than k other points exist globally
-	}
-	return merged[len(merged)-1].Dist >= dqx, 1, nil
+	return ids, st, nil
 }
 
 // wrapShardErr prefixes shard-level errors with the facade's rknnd tag
@@ -736,6 +559,7 @@ func (ss *ShardedSearcher) KNNContext(ctx context.Context, q []float64, k int) (
 	if ksp != nil {
 		ksp.SetStr("backend", string(ss.backend))
 		ksp.SetInt("k", int64(k))
+		ctx = trace.With(ctx, ksp)
 		defer ksp.End()
 	}
 	if err := vecmath.ValidateFor(ss.metric, q); err != nil {
@@ -745,31 +569,10 @@ func (ss *ShardedSearcher) KNNContext(ctx context.Context, q []float64, k int) (
 		return nil, fmt.Errorf("rknnd: query dimension %d, index dimension %d", len(q), ss.dim)
 	}
 	views, m := ss.pin()
-	lists := make([][]index.Neighbor, len(views))
-	err := core.Gather(ctx, len(views), func(ctx context.Context, i int) error {
-		v := views[i]
-		v.slot.queries.Add(1)
-		ssp := ksp.Child("shard.scatter")
-		if ssp != nil {
-			ssp.SetInt("shard", int64(v.shard))
-			defer ssp.End()
-		}
-		nn := v.sn.ix.KNN(q, k, -1)
-		tr := make([]index.Neighbor, len(nn))
-		for j, nb := range nn {
-			g, ok := m.Global(v.shard, nb.ID)
-			if !ok {
-				return fmt.Errorf("shard %d returned unmapped local id %d", v.shard, nb.ID)
-			}
-			tr[j] = index.Neighbor{ID: g, Dist: nb.Dist}
-		}
-		lists[i] = tr
-		return nil
-	})
+	merged, err := ss.newScatterSet(views, m).knn(ctx, q, k)
 	if err != nil {
-		return nil, wrapShardErr(err)
+		return nil, err
 	}
-	merged := core.MergeKNN(lists, k, nil)
 	out := make([]Neighbor, len(merged))
 	for i, nb := range merged {
 		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
@@ -800,10 +603,11 @@ func (ss *ShardedSearcher) BatchReverseKNNContext(ctx context.Context, qids []in
 		begin = time.Now()
 	}
 	views, m := ss.pin()
+	sc := ss.newScatterSet(views, m)
 	out := make([][]int, len(qids))
 	errs := make([]error, len(qids))
 	err := core.ForEach(ctx, len(qids), workers, func(ctx context.Context, i int) error {
-		ids, _, err := ss.reverseKNN(ctx, views, m, qids[i], nil, k, opBatch)
+		ids, _, err := ss.reverseKNN(ctx, sc, qids[i], nil, k, opBatch)
 		if err != nil {
 			errs[i] = err
 			return err

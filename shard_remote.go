@@ -1,0 +1,514 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/vecmath"
+	"repro/internal/wire"
+)
+
+// This file is the remote implementation of shardClient: a shard served by
+// an `rknn shard-serve` daemon (or any rknn HTTP server holding one
+// partition), reached over HTTP with either JSON bodies or the compact
+// binary framing of internal/wire. The scatter-gather in shard_client.go
+// is transport-blind; everything network-specific — replica selection,
+// health-based failover, retry with backoff, per-request timeouts, header
+// propagation, per-shard request telemetry — lives here.
+
+// maxRemoteResponse bounds how many bytes one shard response may occupy in
+// memory, against a confused or hostile daemon streaming forever.
+const maxRemoteResponse = 64 << 20
+
+// replicaSet tracks the addresses serving one shard. Addrs[0] is the
+// primary and the only replica that takes writes; reads rotate across the
+// replicas the health loop currently believes are serving (and in sync
+// with the primary — a replica that lags after a write through the
+// coordinator is marked down until it catches up, so reads never travel
+// back in time relative to acknowledged writes).
+type replicaSet struct {
+	addrs   []string
+	healthy []atomic.Bool
+	rr      atomic.Uint64
+}
+
+func newReplicaSet(addrs []string) *replicaSet {
+	rs := &replicaSet{addrs: addrs, healthy: make([]atomic.Bool, len(addrs))}
+	for i := range rs.healthy {
+		rs.healthy[i].Store(true)
+	}
+	return rs
+}
+
+// pick returns the next replica to read from: round-robin over the healthy
+// ones, or — when the health loop has everything marked down — plain
+// round-robin over all of them, since a stale "down" beats answering
+// nothing (the attempt itself rediscovers a recovered replica).
+func (rs *replicaSet) pick() int {
+	n := len(rs.addrs)
+	start := int(rs.rr.Add(1)-1) % n
+	for off := 0; off < n; off++ {
+		if i := (start + off) % n; rs.healthy[i].Load() {
+			return i
+		}
+	}
+	return start
+}
+
+func (rs *replicaSet) markDown(i int) { rs.healthy[i].Store(false) }
+
+// remoteTelemetry is the per-remote-shard instrument set, registered by
+// Coordinator.EnableTelemetry and observed on every RPC.
+type remoteTelemetry struct {
+	requests *telemetry.CounterVec
+	errors   *telemetry.CounterVec
+	retries  *telemetry.CounterVec
+	latency  *telemetry.HistogramVec
+}
+
+func newRemoteTelemetry(reg *telemetry.Registry) *remoteTelemetry {
+	return &remoteTelemetry{
+		requests: reg.CounterVec("rknn_remote_shard_requests_total",
+			"RPCs attempted against remote shards, by shard.", "shard"),
+		errors: reg.CounterVec("rknn_remote_shard_request_errors_total",
+			"RPC attempts against remote shards that failed, by shard.", "shard"),
+		retries: reg.CounterVec("rknn_remote_shard_retries_total",
+			"RPC attempts that were retried on another replica, by shard.", "shard"),
+		latency: reg.HistogramVec("rknn_remote_shard_request_duration_seconds",
+			"Remote shard RPC latency, by shard.", telemetry.DefaultLatencyBuckets, "shard"),
+	}
+}
+
+// clusterClient is the network state every remoteShard of one Coordinator
+// shares: a single http.Client over one pooled Transport (per-host
+// keep-alive connections are reused across queries — fanning out with a
+// fresh Transport per shard would re-handshake constantly and leak idle
+// sockets), the framing choice, and the retry policy.
+type clusterClient struct {
+	hc      *http.Client
+	binary  bool
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+	tel     atomic.Pointer[remoteTelemetry]
+}
+
+// remoteShard serves shardClient calls from a daemon across the network.
+type remoteShard struct {
+	shard   int
+	rs      *replicaSet
+	cc      *clusterClient
+	queries atomic.Int64
+}
+
+func (r *remoteShard) Shard() int  { return r.shard }
+func (r *remoteShard) CountQuery() { r.queries.Add(1) }
+
+// remoteError maps a daemon's error message back onto the facade's error
+// vocabulary, so coordinator answers carry the exact strings and sentinel
+// identities of the in-process engine: the daemon's "rknnd: " prefix is
+// stripped (the scatter layer re-adds exactly one), and deleted-member
+// messages unwrap to ErrDeleted for errors.Is.
+func remoteError(msg string) error {
+	msg = strings.TrimPrefix(msg, "rknnd: ")
+	if pre, ok := strings.CutSuffix(msg, core.ErrDeletedID.Error()); ok {
+		return fmt.Errorf("%s%w", pre, core.ErrDeletedID)
+	}
+	return errors.New(msg)
+}
+
+// call performs one logical RPC against the shard. Writes go to the
+// primary only and are never retried: a timed-out write may have been
+// applied, and replaying it would assign a second ID. Reads get
+// cc.retries additional attempts with exponential backoff, each against
+// the next healthy replica; an attempt that fails at the transport layer
+// or with a 5xx marks its replica down (the health loop revives it).
+// Application-level failures (a well-formed 4xx or a binary error frame)
+// are returned to the decoder — they would fail identically everywhere.
+func (r *remoteShard) call(ctx context.Context, write bool, method, path, contentType string, body []byte, decode func(status int, ctype string, body []byte) error) error {
+	attempts := 1
+	if !write {
+		attempts += r.cc.retries
+	}
+	var lastErr error
+	backoff := r.cc.backoff
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			if tel := r.cc.tel.Load(); tel != nil {
+				tel.retries.With(strconv.Itoa(r.shard)).Inc()
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		replica := 0
+		if !write {
+			replica = r.rs.pick()
+		}
+		status, ctype, respBody, err := r.attempt(ctx, method, r.rs.addrs[replica]+path, contentType, body)
+		if err != nil {
+			r.rs.markDown(replica)
+			lastErr = fmt.Errorf("shard %d (%s): %w", r.shard, r.rs.addrs[replica], err)
+			continue
+		}
+		if status >= 500 {
+			r.rs.markDown(replica)
+			lastErr = fmt.Errorf("shard %d (%s): %s", r.shard, r.rs.addrs[replica], httpErrMsg(status, ctype, respBody))
+			continue
+		}
+		return decode(status, ctype, respBody)
+	}
+	return lastErr
+}
+
+// attempt is one HTTP exchange under the per-request timeout, traced as a
+// "remote.call" span and stamped with the query's traceparent and
+// X-Request-ID so the daemon joins the same distributed trace.
+func (r *remoteShard) attempt(ctx context.Context, method, url, contentType string, body []byte) (status int, ctype string, respBody []byte, err error) {
+	if r.cc.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cc.timeout)
+		defer cancel()
+	}
+	sp := trace.FromContext(ctx).Child("remote.call")
+	begin := time.Now()
+	if sp != nil {
+		sp.SetInt("shard", int64(r.shard))
+		sp.SetStr("url", url)
+		defer sp.End()
+	}
+	if tel := r.cc.tel.Load(); tel != nil {
+		shard := strconv.Itoa(r.shard)
+		tel.requests.With(shard).Inc()
+		defer func() {
+			tel.latency.With(shard).Observe(time.Since(begin).Seconds())
+			if err != nil || status >= 500 {
+				tel.errors.With(shard).Inc()
+			}
+		}()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if tr := trace.FromContext(ctx).Trace(); tr != nil {
+		req.Header.Set("traceparent", tr.Traceparent())
+	}
+	if rid := trace.RequestID(ctx); rid != "" {
+		req.Header.Set("X-Request-ID", rid)
+	}
+	resp, err := r.cc.hc.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err = io.ReadAll(io.LimitReader(resp.Body, maxRemoteResponse))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if sp != nil {
+		sp.SetInt("status", int64(resp.StatusCode))
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), respBody, nil
+}
+
+// httpErrMsg extracts the daemon's error message from a failure response:
+// the {"error":...} body the server renders, or the raw status otherwise.
+func httpErrMsg(status int, ctype string, body []byte) string {
+	if strings.HasPrefix(ctype, "application/json") {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return e.Error
+		}
+	}
+	return fmt.Sprintf("HTTP %d", status)
+}
+
+// jsonErr turns a non-2xx JSON response into the mapped application error.
+func jsonErr(status int, ctype string, body []byte) error {
+	return remoteError(httpErrMsg(status, ctype, body))
+}
+
+// binaryCall posts one wire frame to /v1/binary and hands back the
+// response frame; wire error frames surface through the frame decoders.
+func (r *remoteShard) binaryCall(ctx context.Context, frame []byte) ([]byte, error) {
+	var out []byte
+	err := r.call(ctx, false, http.MethodPost, "/v1/binary", wire.ContentType, frame,
+		func(status int, ctype string, body []byte) error {
+			if !strings.HasPrefix(ctype, wire.ContentType) {
+				return jsonErr(status, ctype, body)
+			}
+			out = body
+			return nil
+		})
+	return out, err
+}
+
+// wireStats converts the wire stats block back to engine counters.
+func wireStats(ws wire.Stats) core.Stats {
+	return core.Stats{
+		ScanDepth:     ws.ScanDepth,
+		FilterSize:    ws.FilterSize,
+		Excluded:      ws.Excluded,
+		LazyAccepts:   ws.LazyAccepts,
+		LazyRejects:   ws.LazyRejects,
+		Verified:      ws.Verified,
+		DistanceComps: ws.DistanceComps,
+		Omega:         ws.Omega,
+	}
+}
+
+// remoteStats mirrors the engine's Stats JSON shape (repro.Stats has no
+// JSON tags, so fields marshal under their Go names).
+type remoteStats struct {
+	ScanDepth     int
+	FilterSize    int
+	Excluded      int
+	LazyAccepts   int
+	LazyRejects   int
+	Verified      int
+	DistanceComps int64
+	Omega         float64
+}
+
+func (r *remoteShard) reverseKNN(ctx context.Context, byID bool, local int, q []float64, k int) ([]int, core.Stats, error) {
+	if r.cc.binary {
+		var frame []byte
+		if byID {
+			frame = wire.AppendRkNNIDRequest(nil, local, k)
+		} else {
+			frame = wire.AppendRkNNPointRequest(nil, q, k)
+		}
+		resp, err := r.binaryCall(ctx, frame)
+		if err != nil {
+			return nil, core.Stats{}, err
+		}
+		ids, ws, err := wire.DecodeRkNNResponse(resp)
+		if err != nil {
+			var re *wire.RemoteError
+			if errors.As(err, &re) {
+				return nil, core.Stats{}, remoteError(re.Msg)
+			}
+			return nil, core.Stats{}, fmt.Errorf("shard %d: %w", r.shard, err)
+		}
+		return ids, wireStats(ws), nil
+	}
+	reqBody := map[string]any{"k": k, "stats": true}
+	if byID {
+		reqBody["id"] = local
+	} else {
+		reqBody["point"] = q
+	}
+	raw, err := json.Marshal(reqBody)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	var out struct {
+		IDs   []int        `json:"ids"`
+		Stats *remoteStats `json:"stats"`
+	}
+	err = r.call(ctx, false, http.MethodPost, "/v1/rknn", "application/json", raw,
+		func(status int, ctype string, body []byte) error {
+			if status != http.StatusOK {
+				return jsonErr(status, ctype, body)
+			}
+			return json.Unmarshal(body, &out)
+		})
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	st := core.Stats{}
+	if out.Stats != nil {
+		st = core.Stats{
+			ScanDepth:     out.Stats.ScanDepth,
+			FilterSize:    out.Stats.FilterSize,
+			Excluded:      out.Stats.Excluded,
+			LazyAccepts:   out.Stats.LazyAccepts,
+			LazyRejects:   out.Stats.LazyRejects,
+			Verified:      out.Stats.Verified,
+			DistanceComps: out.Stats.DistanceComps,
+			Omega:         out.Stats.Omega,
+		}
+	}
+	return out.IDs, st, nil
+}
+
+func (r *remoteShard) ReverseKNNByID(ctx context.Context, local, k int) ([]int, core.Stats, error) {
+	return r.reverseKNN(ctx, true, local, nil, k)
+}
+
+func (r *remoteShard) ReverseKNNByPoint(ctx context.Context, q []float64, k int) ([]int, core.Stats, error) {
+	return r.reverseKNN(ctx, false, -1, q, k)
+}
+
+func (r *remoteShard) Points(ctx context.Context, locals []int) ([][]float64, error) {
+	if r.cc.binary {
+		resp, err := r.binaryCall(ctx, wire.AppendPointsRequest(nil, locals))
+		if err != nil {
+			return nil, err
+		}
+		rows, err := wire.DecodePointsResponse(resp)
+		if err != nil {
+			var re *wire.RemoteError
+			if errors.As(err, &re) {
+				return nil, remoteError(re.Msg)
+			}
+			return nil, fmt.Errorf("shard %d: %w", r.shard, err)
+		}
+		return rows, nil
+	}
+	// JSON framing has no batch point fetch: one GET per ID, the cost the
+	// binary protocol exists to collapse.
+	rows := make([][]float64, len(locals))
+	for i, l := range locals {
+		var out struct {
+			Point []float64 `json:"point"`
+		}
+		absent := false
+		err := r.call(ctx, false, http.MethodGet, "/v1/points/"+strconv.Itoa(l), "", nil,
+			func(status int, ctype string, body []byte) error {
+				if status == http.StatusNotFound {
+					absent = true
+					return nil
+				}
+				if status != http.StatusOK {
+					return jsonErr(status, ctype, body)
+				}
+				return json.Unmarshal(body, &out)
+			})
+		if err != nil {
+			return nil, err
+		}
+		if !absent {
+			rows[i] = out.Point
+			if rows[i] == nil {
+				rows[i] = []float64{}
+			}
+		}
+	}
+	return rows, nil
+}
+
+func (r *remoteShard) KNNBatch(ctx context.Context, probes []knnProbe) ([][]index.Neighbor, error) {
+	if r.cc.binary {
+		qs := make([]wire.KNNQuery, len(probes))
+		for i, p := range probes {
+			qs[i] = wire.KNNQuery{Point: p.q, K: p.k, Skip: p.skip}
+		}
+		resp, err := r.binaryCall(ctx, wire.AppendKNNBatchRequest(nil, qs))
+		if err != nil {
+			return nil, err
+		}
+		lists, err := wire.DecodeKNNBatchResponse(resp)
+		if err != nil {
+			var re *wire.RemoteError
+			if errors.As(err, &re) {
+				return nil, remoteError(re.Msg)
+			}
+			return nil, fmt.Errorf("shard %d: %w", r.shard, err)
+		}
+		out := make([][]index.Neighbor, len(lists))
+		for i, nn := range lists {
+			tr := make([]index.Neighbor, len(nn))
+			for j, nb := range nn {
+				tr[j] = index.Neighbor{ID: nb.ID, Dist: nb.Dist}
+			}
+			out[i] = tr
+		}
+		return out, nil
+	}
+	// JSON framing: one POST /v1/knn per probe (see Points).
+	out := make([][]index.Neighbor, len(probes))
+	for i, p := range probes {
+		reqBody := map[string]any{"point": p.q, "k": p.k}
+		if p.skip >= 0 {
+			reqBody["skip"] = p.skip
+		}
+		raw, err := json.Marshal(reqBody)
+		if err != nil {
+			return nil, err
+		}
+		var resp struct {
+			Neighbors []struct {
+				ID   int     `json:"id"`
+				Dist float64 `json:"dist"`
+			} `json:"neighbors"`
+		}
+		err = r.call(ctx, false, http.MethodPost, "/v1/knn", "application/json", raw,
+			func(status int, ctype string, body []byte) error {
+				if status != http.StatusOK {
+					return jsonErr(status, ctype, body)
+				}
+				return json.Unmarshal(body, &resp)
+			})
+		if err != nil {
+			return nil, err
+		}
+		nn := make([]index.Neighbor, len(resp.Neighbors))
+		for j, nb := range resp.Neighbors {
+			nn[j] = index.Neighbor{ID: nb.ID, Dist: nb.Dist}
+		}
+		out[i] = nn
+	}
+	return out, nil
+}
+
+// shardInfo is the daemon self-description behind GET /v1/shard/info.
+type shardInfo struct {
+	Shard       int     `json:"shard"`
+	Shards      int     `json:"shards"`
+	Points      int     `json:"points"`
+	IDSpan      int     `json:"id_span"`
+	Dim         int     `json:"dim"`
+	Scale       float64 `json:"scale"`
+	Backend     string  `json:"backend,omitempty"`
+	MetricID    uint8   `json:"metric_id"`
+	MetricParam float64 `json:"metric_param"`
+	Approximate bool    `json:"approximate,omitempty"`
+}
+
+// fetchInfo retrieves the daemon's shard self-description.
+func (r *remoteShard) fetchInfo(ctx context.Context) (shardInfo, error) {
+	var info shardInfo
+	err := r.call(ctx, false, http.MethodGet, "/v1/shard/info", "", nil,
+		func(status int, ctype string, body []byte) error {
+			if status != http.StatusOK {
+				return jsonErr(status, ctype, body)
+			}
+			return json.Unmarshal(body, &info)
+		})
+	return info, err
+}
+
+// metricOf reconstructs the comparable metric value a daemon reported.
+func (info shardInfo) metricOf() (Metric, error) {
+	return vecmath.MetricFromID(vecmath.MetricID(info.MetricID), info.MetricParam)
+}

@@ -1,0 +1,170 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/harness"
+	"repro/internal/index"
+	"repro/internal/vecmath"
+)
+
+// This file is the shard-serving surface of the facade: the handful of
+// read-side methods a shard daemon exposes so a remote coordinator can run
+// the scatter-gather verification against it — batched member-point
+// lookups, batched forward-kNN probes with explicit self-exclusion, the ID
+// span behind the shard-map rebuild, and the metric identity behind the
+// coordinator's cross-shard configuration check. They are ordinary public
+// API: all answer from one pinned snapshot, with the same concurrency
+// contract as every other read.
+
+// KNNQuery is one probe of KNNSkipBatch: the query point, the rank, and an
+// optional member ID to exclude from the result (-1 for none) — the
+// self-exclusion a member RkNN verification needs, made explicit because
+// "fetch k+1 and drop the member" is not equivalent under duplicate-point
+// distance ties.
+type KNNQuery struct {
+	Point []float64
+	K     int
+	Skip  int
+}
+
+// KNNSkipBatch answers many forward-kNN probes against one pinned
+// snapshot, each in ascending (distance, ID) order with the probe's Skip
+// member excluded. All probes see the same generation of the index, which
+// is what makes a remote verification pass sound: the kNN bound of every
+// candidate is computed over one consistent shard view.
+func (s *Searcher) KNNSkipBatch(qs []KNNQuery) ([][]Neighbor, error) {
+	sn := s.snap.Load()
+	m := sn.ix.Metric()
+	dim := sn.ix.Dim()
+	out := make([][]Neighbor, len(qs))
+	for i, q := range qs {
+		if q.K <= 0 {
+			return nil, fmt.Errorf("rknnd: core: K must be positive, got %d", q.K)
+		}
+		if err := vecmath.ValidateFor(m, q.Point); err != nil {
+			return nil, fmt.Errorf("rknnd: probe %d: %w", i, err)
+		}
+		if len(q.Point) != dim {
+			return nil, fmt.Errorf("rknnd: probe %d: query dimension %d, index dimension %d", i, len(q.Point), dim)
+		}
+		skip := q.Skip
+		if skip < 0 {
+			skip = -1
+		}
+		nn := sn.ix.KNN(q.Point, q.K, skip)
+		res := make([]Neighbor, len(nn))
+		for j, nb := range nn {
+			res[j] = Neighbor{ID: nb.ID, Dist: nb.Dist}
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// MemberPoints resolves member IDs to coordinates from one pinned
+// snapshot. A nil row marks an ID with no live point there: deleted, out
+// of range, or an insert still in flight. Unlike Point, it never panics —
+// it is the remote-safe form a daemon can expose to untrusted IDs. The
+// returned rows are owned by the engine and must not be modified.
+func (s *Searcher) MemberPoints(ids ...int) [][]float64 {
+	ix := s.snap.Load().ix
+	rows := make([][]float64, len(ids))
+	for i, id := range ids {
+		rows[i] = livePoint(ix, id)
+	}
+	return rows
+}
+
+// IDSpan returns the number of member IDs ever assigned, including
+// tombstones — the quantity a coordinator needs to rebuild the global
+// shard map, since hash placement is a pure function of assignment order,
+// not of liveness.
+func (s *Searcher) IDSpan() int {
+	ix := s.snap.Load().ix
+	if lv, ok := ix.(index.Liveness); ok {
+		return lv.IDSpan()
+	}
+	return ix.Len()
+}
+
+// MetricIdentity returns the registry identity (ID, parameter) of the
+// engine's distance metric — the comparable form behind the coordinator's
+// cross-shard configuration check, mirroring what OpenSharded verifies
+// across on-disk shard stores.
+func (s *Searcher) MetricIdentity() (uint8, float64, error) {
+	id, param, err := vecmath.IdentifyMetric(s.snap.Load().ix.Metric())
+	return uint8(id), param, err
+}
+
+// MemberPoints is the sharded form of Searcher.MemberPoints: IDs are
+// global, rows come from one pinned cross-shard read set.
+func (ss *ShardedSearcher) MemberPoints(ids ...int) [][]float64 {
+	views, m := ss.pin()
+	byShard := make(map[int]*shardView, len(views))
+	for i := range views {
+		byShard[views[i].shard] = &views[i]
+	}
+	rows := make([][]float64, len(ids))
+	for i, g := range ids {
+		s, l, ok := m.Locate(g)
+		if !ok {
+			continue
+		}
+		if v, ok := byShard[s]; ok {
+			rows[i] = livePoint(v.sn.ix, l)
+		}
+	}
+	return rows
+}
+
+// IDSpan is the sharded form of Searcher.IDSpan: the global assignment
+// count, which the shard map tracks exactly (deletes never shrink it).
+func (ss *ShardedSearcher) IDSpan() int { return ss.smap.Load().Len() }
+
+// MetricIdentity is the sharded form of Searcher.MetricIdentity.
+func (ss *ShardedSearcher) MetricIdentity() (uint8, float64, error) {
+	id, param, err := vecmath.IdentifyMetric(ss.metric)
+	return uint8(id), param, err
+}
+
+// EstimateScale estimates the scale parameter t over the full dataset
+// exactly the way NewSharded does before partitioning: the configured
+// estimator (WithAutoScale, default MLE) runs against an exact scan index
+// over all points, the margin (WithScaleMargin) is added, and the result
+// is clamped to at least 1. A shard daemon uses this so S independently
+// started processes, each holding one partition, agree on the t a single
+// ShardedSearcher over the same dataset would use — a prerequisite for
+// byte-identical networked answers.
+func EstimateScale(points [][]float64, opts ...Option) (float64, error) {
+	cfg := config{
+		metric:  Euclidean,
+		backend: BackendCoverTree,
+		scale:   math.NaN(),
+		auto:    EstimatorMLE,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.metric == nil {
+		return 0, errors.New("rknnd: nil metric")
+	}
+	if err := vecmath.ValidateAllFor(cfg.metric, points); err != nil {
+		return 0, fmt.Errorf("rknnd: %w", err)
+	}
+	full, err := harness.BuildBackend(string(BackendScan), points, cfg.metric)
+	if err != nil {
+		return 0, fmt.Errorf("rknnd: %w", err)
+	}
+	t, err := estimate(cfg.auto, full, points, cfg.metric)
+	if err != nil {
+		return 0, fmt.Errorf("rknnd: estimating scale parameter: %w", err)
+	}
+	t += cfg.margin
+	if t < 1 {
+		t = 1
+	}
+	return t, nil
+}
